@@ -1,0 +1,226 @@
+// Package bisectlb is a Go implementation of the load-balancing framework
+// of Bischof, Ebner and Erlebach, "Parallel Load Balancing for Problems
+// with Good Bisectors" (IPPS/SPDP 1999).
+//
+// A class of problems has α-bisectors if every problem of weight w can be
+// split into two subproblems whose weights sum to w and each lie within
+// [α·w, (1−α)·w]. Given such a problem and N processors, the package
+// partitions the problem into at most N subproblems by repeated bisection
+// while provably bounding the maximum subproblem weight relative to the
+// ideal share w/N:
+//
+//	HF     — sequential Heaviest Problem First; guarantee r_α.
+//	PHF    — parallel HF producing the identical partition in O(log N)
+//	         model time (for fixed α).
+//	BA     — Best Approximation: inherently parallel recursive splitting,
+//	         no knowledge of α, no global communication.
+//	BA-HF  — hybrid with threshold parameter κ; its guarantee approaches
+//	         HF's as κ grows.
+//
+// Problems enter through the Problem interface; packages under internal/
+// provide ready-made substrates (the paper's synthetic stochastic model,
+// FE-trees from adaptive substructuring, adaptive-quadrature regions and
+// branch-and-bound search frontiers), all re-exported via constructors
+// here. See README.md for a walk-through and DESIGN.md for the
+// paper-to-code map.
+package bisectlb
+
+import (
+	"fmt"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/core"
+)
+
+// Problem is the unit of divisible load. See the documentation of
+// internal/bisect.Problem for the determinism contract implementations
+// must honour.
+type Problem = bisect.Problem
+
+// Result describes a computed partition; Part one of its subproblems.
+type (
+	Result    = core.Result
+	Part      = core.Part
+	PHFResult = core.PHFResult
+)
+
+// Options configure tree recording; ParallelOptions configure the
+// goroutine-parallel executions.
+type (
+	Options         = core.Options
+	ParallelOptions = core.ParallelOptions
+)
+
+// Violation reports a breach of the α-bisector contract found by CheckAlpha.
+type Violation = bisect.Violation
+
+// Algorithm selects a load-balancing strategy for Balance.
+type Algorithm int
+
+const (
+	// HFAlgorithm is the sequential heaviest-first baseline.
+	HFAlgorithm Algorithm = iota
+	// BAAlgorithm is the recursive best-approximation algorithm.
+	BAAlgorithm
+	// BAHFAlgorithm is the BA/HF hybrid (requires Alpha; Kappa > 0).
+	BAHFAlgorithm
+	// PHFAlgorithm is the parallelised HF (requires Alpha).
+	PHFAlgorithm
+	// ParallelBAAlgorithm executes BA with goroutine parallelism.
+	ParallelBAAlgorithm
+	// ParallelPHFAlgorithm executes PHF with goroutine workers and
+	// collective operations (requires Alpha).
+	ParallelPHFAlgorithm
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case HFAlgorithm:
+		return "HF"
+	case BAAlgorithm:
+		return "BA"
+	case BAHFAlgorithm:
+		return "BA-HF"
+	case PHFAlgorithm:
+		return "PHF"
+	case ParallelBAAlgorithm:
+		return "parallel-BA"
+	case ParallelPHFAlgorithm:
+		return "parallel-PHF"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config selects and parameterises an algorithm for Balance.
+type Config struct {
+	// Algorithm picks the strategy; the zero value is HF.
+	Algorithm Algorithm
+	// Alpha is the class's bisector guarantee, required by PHF, BA-HF and
+	// parallel PHF. Must satisfy 0 < Alpha ≤ 1/2 where required.
+	Alpha float64
+	// Kappa is BA-HF's threshold parameter; zero means 1.0.
+	Kappa float64
+	// Options configure bisection-tree recording (sequential algorithms).
+	Options Options
+	// Parallel configures worker counts for the parallel executions.
+	Parallel ParallelOptions
+}
+
+// Balance partitions p into at most n subproblems with the configured
+// algorithm.
+func Balance(p Problem, n int, cfg Config) (*Result, error) {
+	switch cfg.Algorithm {
+	case HFAlgorithm:
+		return core.HF(p, n, cfg.Options)
+	case BAAlgorithm:
+		return core.BA(p, n, cfg.Options)
+	case BAHFAlgorithm:
+		kappa := cfg.Kappa
+		if kappa == 0 {
+			kappa = 1.0
+		}
+		return core.BAHF(p, n, cfg.Alpha, kappa, cfg.Options)
+	case PHFAlgorithm:
+		r, err := core.PHF(p, n, cfg.Alpha, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		return &r.Result, nil
+	case ParallelBAAlgorithm:
+		return core.ParallelBA(p, n, cfg.Parallel)
+	case ParallelPHFAlgorithm:
+		r, err := core.ParallelPHF(p, n, cfg.Alpha, cfg.Parallel)
+		if err != nil {
+			return nil, err
+		}
+		return &r.Result, nil
+	default:
+		return nil, fmt.Errorf("bisectlb: unknown algorithm %v", cfg.Algorithm)
+	}
+}
+
+// HF runs the sequential Heaviest Problem First algorithm.
+func HF(p Problem, n int) (*Result, error) { return core.HF(p, n, Options{}) }
+
+// BA runs the Best Approximation algorithm.
+func BA(p Problem, n int) (*Result, error) { return core.BA(p, n, Options{}) }
+
+// BAHF runs the BA/HF hybrid with bisector parameter alpha and threshold
+// parameter kappa.
+func BAHF(p Problem, n int, alpha, kappa float64) (*Result, error) {
+	return core.BAHF(p, n, alpha, kappa, Options{})
+}
+
+// PHF runs the parallelised HF, returning phase accounting alongside the
+// partition. The partition equals HF's whenever subproblem weights are
+// tie-free (see core.PHF for the tie caveat).
+func PHF(p Problem, n int, alpha float64) (*PHFResult, error) {
+	return core.PHF(p, n, alpha, Options{})
+}
+
+// ParallelBA runs BA with goroutine-parallel recursion.
+func ParallelBA(p Problem, n int, opt ParallelOptions) (*Result, error) {
+	return core.ParallelBA(p, n, opt)
+}
+
+// ParallelPHF runs PHF over goroutine workers with collective operations.
+func ParallelPHF(p Problem, n int, alpha float64, opt ParallelOptions) (*PHFResult, error) {
+	return core.ParallelPHF(p, n, alpha, opt)
+}
+
+// SamePartition reports whether two results consist of the same
+// subproblems (compared by problem ID).
+func SamePartition(a, b *Result) bool { return core.SamePartition(a, b) }
+
+// GuaranteeHF returns r_α, the worst-case ratio bound of HF and PHF
+// (Theorem 2 of the paper).
+func GuaranteeHF(alpha float64) (float64, error) {
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return 0, err
+	}
+	return bounds.RHF(alpha), nil
+}
+
+// GuaranteeBA returns BA's worst-case ratio bound for n processors
+// (Theorem 7 / Lemma 5).
+func GuaranteeBA(alpha float64, n int) (float64, error) {
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("bisectlb: processor count must be ≥ 1, got %d", n)
+	}
+	return bounds.BA(alpha, n), nil
+}
+
+// GuaranteeBAHF returns BA-HF's worst-case ratio bound (Theorem 8).
+func GuaranteeBAHF(alpha, kappa float64) (float64, error) {
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return 0, err
+	}
+	if err := bounds.ValidateKappa(kappa); err != nil {
+		return 0, err
+	}
+	return bounds.BAHF(alpha, kappa), nil
+}
+
+// KappaFor returns the κ that brings BA-HF's guarantee within a (1+eps)
+// factor of HF's (the paper's closing tuning rule).
+func KappaFor(eps float64) (float64, error) {
+	if !(eps > 0) {
+		return 0, fmt.Errorf("bisectlb: eps must be positive, got %v", eps)
+	}
+	return bounds.KappaFor(eps), nil
+}
+
+// CheckAlpha explores p's bisection tree to maxDepth levels and reports
+// violations of the α-bisector contract (children summing to the parent and
+// staying within [α·w, (1−α)·w], with relative tolerance tol). Use it to
+// validate a custom Problem implementation before declaring α to PHF or
+// BA-HF.
+func CheckAlpha(p Problem, alpha float64, maxDepth int, tol float64) []Violation {
+	return bisect.Check(p, alpha, maxDepth, tol)
+}

@@ -1,0 +1,58 @@
+// Command lbfigure regenerates the paper's Figure 5: the average
+// load-balance ratio of Algorithms BA, BA-HF and HF against log2 N for
+// α̂ ~ U[0.1, 0.5] and κ = 1.0, rendered as an ASCII chart with a numeric
+// companion table, followed by an automatic check of the qualitative
+// findings the paper reports for the figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bisectlb/internal/experiments"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 1000, "trials per processor count")
+		maxLog = flag.Int("maxlog", 16, "largest log2 N (paper: 20)")
+		seed   = flag.Uint64("seed", 1999, "random seed")
+		csv    = flag.String("csv", "", "also write the series to this CSV file")
+	)
+	flag.Parse()
+
+	cfg := experiments.Figure5Config(*trials, *maxLog, *seed)
+	rows, err := experiments.RunTriple(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbfigure:", err)
+		os.Exit(1)
+	}
+	if err := experiments.RenderFigure5(os.Stdout, cfg, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "lbfigure:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if violations := experiments.CheckFigure5Shape(rows); len(violations) == 0 {
+		fmt.Println("shape check: PASS — HF < BA-HF < BA throughout, spreads within the paper's bounds")
+	} else {
+		fmt.Println("shape check: FAIL")
+		for _, v := range violations {
+			fmt.Println("  -", v)
+		}
+		os.Exit(1)
+	}
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbfigure:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteTripleCSV(f, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "lbfigure:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("CSV written to %s\n", *csv)
+	}
+}

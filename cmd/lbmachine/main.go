@@ -1,0 +1,90 @@
+// Command lbmachine runs the machine-model study backing Section 3's
+// running-time and communication claims: makespan, message and
+// global-operation counts of HF, BA, BA-HF and the three PHF phase-one
+// variants on the simulated parallel machine (bisect=1, send=1,
+// global op=⌈log2 N⌉ time units).
+//
+// With -n it additionally prints a single-run detail comparison at that
+// processor count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/experiments"
+	"bisectlb/internal/machine"
+)
+
+func main() {
+	var (
+		trials = flag.Int("trials", 50, "trials per processor count")
+		maxLog = flag.Int("maxlog", 14, "largest log2 N for the sweep")
+		alpha  = flag.Float64("alpha", 0.1, "declared class parameter α")
+		kappa  = flag.Float64("kappa", 1.0, "BA-HF threshold parameter κ")
+		seed   = flag.Uint64("seed", 1999, "random seed")
+		nFlag  = flag.Int("n", 0, "if > 0, also print a single-run detail at this N")
+		topoN  = flag.Int("topology", 0, "if > 0, also run the interconnect-topology study at this N")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultMachineStudy(*trials, *maxLog, *seed)
+	cfg.Alpha = *alpha
+	cfg.Lo = *alpha
+	cfg.Kappa = *kappa
+	rows, err := experiments.RunMachineStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbmachine:", err)
+		os.Exit(1)
+	}
+	if err := experiments.RenderMachineStudy(os.Stdout, cfg, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "lbmachine:", err)
+		os.Exit(1)
+	}
+
+	if *nFlag > 0 {
+		fmt.Printf("\nSingle-run detail at N = %d (seed %d):\n", *nFlag, *seed)
+		mk := func(name string, m *machine.Metrics, err error) {
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lbmachine:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  %-14s makespan=%-8d messages=%-8d mgr=%-6d globalOps=%-5d ratio=%.4f",
+				name, m.Makespan, m.Messages, m.ManagerMessages, m.GlobalOps, m.Ratio)
+			if m.Phase1Time > 0 || m.Phase2Time > 0 {
+				fmt.Printf("  (phase1=%d phase2=%d iters=%d)",
+					m.Phase1Time, m.Phase2Time, m.Phase2Iterations)
+			}
+			fmt.Println()
+		}
+		p := func() bisect.Problem { return bisect.MustSynthetic(1, cfg.Lo, cfg.Hi, *seed) }
+		m, err := machine.RunHF(p(), *nFlag)
+		mk("HF", m, err)
+		m, err = machine.RunBA(p(), *nFlag)
+		mk("BA", m, err)
+		m, err = machine.RunBAHF(p(), *nFlag, *alpha, *kappa)
+		mk("BA-HF", m, err)
+		for _, mode := range []machine.Phase1Mode{machine.Phase1Oracle, machine.Phase1Central, machine.Phase1BAPrime} {
+			m, err = machine.RunPHF(p(), *nFlag, *alpha, mode)
+			mk("PHF/"+mode.String(), m, err)
+		}
+	}
+
+	if *topoN > 0 {
+		fmt.Println()
+		tcfg := experiments.DefaultTopologyStudy(*trials, *topoN, *seed)
+		tcfg.Alpha = *alpha
+		tcfg.Lo = *alpha
+		rows, err := experiments.RunTopologyStudy(tcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbmachine:", err)
+			os.Exit(1)
+		}
+		if err := experiments.RenderTopologyStudy(os.Stdout, tcfg, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "lbmachine:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command lbsim runs the remaining simulation studies of the paper's
+// Section 4 — the κ-influence study, the variance study and the
+// non-power-of-two processor-count study — plus two studies this
+// reproduction adds: the weight-estimation robustness sweep and the BA
+// split-rule quality ablation. -exp all runs every study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bisectlb/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "study to run: kappa | variance | oddn | all")
+		trials = flag.Int("trials", 1000, "trials per configuration")
+		maxLog = flag.Int("maxlog", 14, "largest log2 N for the sweeps")
+		seed   = flag.Uint64("seed", 1999, "random seed")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "lbsim %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("kappa", func() error {
+		res, err := experiments.RunKappaStudy(experiments.DefaultKappaConfig(*trials, *maxLog, *seed))
+		if err != nil {
+			return err
+		}
+		return experiments.RenderKappaStudy(os.Stdout, res)
+	})
+	run("variance", func() error {
+		rows, err := experiments.RunVarianceStudy(experiments.DefaultVarianceStudy(*trials, *maxLog, *seed))
+		if err != nil {
+			return err
+		}
+		return experiments.RenderVarianceStudy(os.Stdout, rows)
+	})
+	run("oddn", func() error {
+		cfg := experiments.DefaultOddNStudy(*trials, *seed)
+		rows, err := experiments.RunOddNStudy(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderOddNStudy(os.Stdout, cfg, rows)
+	})
+	run("robustness", func() error {
+		cfg := experiments.DefaultRobustnessStudy(*trials, *seed)
+		rows, err := experiments.RunRobustnessStudy(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderRobustnessStudy(os.Stdout, cfg, rows)
+	})
+	run("splitrule", func() error {
+		cfg := experiments.DefaultSplitRuleAblation(*trials, *maxLog, *seed)
+		rows, err := experiments.RunSplitRuleAblation(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderSplitRuleAblation(os.Stdout, cfg, rows)
+	})
+	run("dynamic", func() error {
+		cfg := experiments.DefaultDynamicStudy(*trials/10+1, *seed)
+		rows, err := experiments.RunDynamicStudy(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderDynamicStudy(os.Stdout, cfg, rows)
+	})
+	run("endtoend", func() error {
+		cfg := experiments.DefaultEndToEndStudy(*trials, *seed)
+		rows, err := experiments.RunEndToEndStudy(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderEndToEndStudy(os.Stdout, cfg, rows)
+	})
+
+	switch *exp {
+	case "all", "kappa", "variance", "oddn", "robustness", "splitrule", "endtoend", "dynamic":
+	default:
+		fmt.Fprintf(os.Stderr,
+			"lbsim: unknown experiment %q (want kappa, variance, oddn, robustness, splitrule, endtoend, dynamic or all)\n", *exp)
+		os.Exit(2)
+	}
+}

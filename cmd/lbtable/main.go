@@ -1,0 +1,79 @@
+// Command lbtable regenerates the paper's Table 1: worst-case upper bounds
+// and observed min/avg/max load-balance ratios of Algorithms BA, BA-HF and
+// HF under the stochastic model α̂ ~ U[lo, hi].
+//
+// The paper's exact configuration is -lo 0.01 -hi 0.5 -kappa 1 -trials 1000
+// -maxlog 20 -flat; the defaults trade the flat 1000-trial sweep for a
+// scaled one that finishes in minutes on a laptop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bisectlb/internal/artifact"
+	"bisectlb/internal/experiments"
+)
+
+func main() {
+	var (
+		lo     = flag.Float64("lo", 0.01, "lower bound of the α̂ interval")
+		hi     = flag.Float64("hi", 0.5, "upper bound of the α̂ interval")
+		kappa  = flag.Float64("kappa", 1.0, "BA-HF threshold parameter κ")
+		trials = flag.Int("trials", 1000, "trials per processor count")
+		minLog = flag.Int("minlog", 5, "smallest log2 N")
+		maxLog = flag.Int("maxlog", 16, "largest log2 N (paper: 20)")
+		seed   = flag.Uint64("seed", 1999, "random seed")
+		flat   = flag.Bool("flat", false, "disable trial scaling above 2^14 (paper-exact, slow)")
+		csv    = flag.String("csv", "", "also write results to this CSV file")
+		jsonP  = flag.String("json", "", "also archive results (with configuration) to this JSON file")
+	)
+	flag.Parse()
+
+	cfg := experiments.TripleConfig{
+		Lo: *lo, Hi: *hi, Kappa: *kappa,
+		Trials: *trials, Seed: *seed,
+		Ns:          experiments.PowersOfTwo(*minLog, *maxLog),
+		ScaleTrials: !*flat,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbtable:", err)
+		os.Exit(2)
+	}
+	rows, err := experiments.RunTriple(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbtable:", err)
+		os.Exit(1)
+	}
+	if err := experiments.RenderTable1(os.Stdout, cfg, rows); err != nil {
+		fmt.Fprintln(os.Stderr, "lbtable:", err)
+		os.Exit(1)
+	}
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbtable:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteTripleCSV(f, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "lbtable:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nCSV written to %s\n", *csv)
+	}
+	if *jsonP != "" {
+		f, err := os.Create(*jsonP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbtable:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := artifact.WriteTable(f, cfg, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "lbtable:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("JSON archived to %s\n", *jsonP)
+	}
+}

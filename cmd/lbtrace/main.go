@@ -1,0 +1,57 @@
+// Command lbtrace visualises a simulated run on the paper's machine model
+// as a per-processor Gantt chart: who bisects, sends, receives and joins
+// global operations at which model time. Useful for seeing *why* BA is
+// O(log N) with zero global communication while PHF interleaves local work
+// with collective phases.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/machine"
+)
+
+func main() {
+	var (
+		alg      = flag.String("alg", "ba", "algorithm to trace: ba | phf")
+		n        = flag.Int("n", 32, "processor count")
+		lo       = flag.Float64("lo", 0.1, "lower bound of the α̂ interval")
+		hi       = flag.Float64("hi", 0.5, "upper bound of the α̂ interval")
+		alpha    = flag.Float64("alpha", 0.1, "declared class parameter α (phf)")
+		seed     = flag.Uint64("seed", 1999, "instance seed")
+		maxProcs = flag.Int("rows", 32, "maximum processor rows to display")
+	)
+	flag.Parse()
+
+	p, err := bisect.NewSynthetic(1, *lo, *hi, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbtrace:", err)
+		os.Exit(2)
+	}
+
+	var m *machine.Metrics
+	var tr *machine.Trace
+	switch *alg {
+	case "ba":
+		m, tr, err = machine.RunBATrace(p, *n)
+	case "phf":
+		m, tr, err = machine.RunPHFOracleTrace(p, *n, *alpha)
+	default:
+		fmt.Fprintf(os.Stderr, "lbtrace: unknown algorithm %q (want ba or phf)\n", *alg)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbtrace:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on N=%d: makespan=%d, messages=%d, global ops=%d, ratio=%.4f\n\n",
+		m.Algorithm, m.N, m.Makespan, m.Messages, m.GlobalOps, m.Ratio)
+	if err := machine.RenderGantt(os.Stdout, tr, *maxProcs); err != nil {
+		fmt.Fprintln(os.Stderr, "lbtrace:", err)
+		os.Exit(1)
+	}
+}

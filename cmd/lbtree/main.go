@@ -1,0 +1,79 @@
+// Command lbtree runs one load-balancing algorithm on one workload family
+// and dumps the recorded bisection tree — the T_p of the paper's analysis —
+// as Graphviz DOT (render with `dot -Tsvg`), along with a structural
+// summary. Useful for inspecting how HF's heaviest-first order and BA's
+// proportional processor splits shape the tree differently.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+	"bisectlb/internal/workload"
+)
+
+func main() {
+	var (
+		alg    = flag.String("alg", "hf", "algorithm: hf | ba | bahf | phf")
+		family = flag.String("workload", "uniform", "workload: uniform | fem | quadrature | search | list")
+		n      = flag.Int("n", 16, "processor count")
+		lo     = flag.Float64("lo", 0.1, "lower α̂ bound (uniform workload)")
+		hi     = flag.Float64("hi", 0.5, "upper α̂ bound (uniform workload)")
+		kappa  = flag.Float64("kappa", 1.0, "BA-HF threshold parameter")
+		seed   = flag.Uint64("seed", 1999, "instance seed")
+	)
+	flag.Parse()
+
+	var fac workload.Factory
+	switch *family {
+	case "uniform":
+		fac = workload.Uniform(*lo, *hi)
+	case "fem":
+		fac = workload.FEM()
+	case "quadrature":
+		fac = workload.Quadrature()
+	case "search":
+		fac = workload.SearchTree()
+	case "list":
+		fac = workload.List(10000, 0.2)
+	default:
+		fmt.Fprintf(os.Stderr, "lbtree: unknown workload %q\n", *family)
+		os.Exit(2)
+	}
+	p := fac.New(*seed)
+
+	var res *core.Result
+	var err error
+	opt := core.Options{RecordTree: true}
+	switch *alg {
+	case "hf":
+		res, err = core.HF(p, *n, opt)
+	case "ba":
+		res, err = core.BA(p, *n, opt)
+	case "bahf":
+		res, err = core.BAHF(p, *n, fac.Alpha, *kappa, opt)
+	case "phf":
+		var phf *core.PHFResult
+		phf, err = core.PHF(p, *n, fac.Alpha, opt)
+		if err == nil {
+			res = &phf.Result
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "lbtree: unknown algorithm %q\n", *alg)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbtree:", err)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr,
+		"%s on %s (n=%d): %d parts, %d bisections, max depth %d, ratio %.4f\n",
+		res.Algorithm, fac.Name, *n, len(res.Parts), res.Bisections, res.MaxDepth, res.Ratio)
+	if err := bisect.ValidateRoot(p); err == nil && res.Tree != nil {
+		fmt.Print(res.Tree.DOT())
+	}
+}

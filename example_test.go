@@ -1,0 +1,106 @@
+package bisectlb_test
+
+import (
+	"fmt"
+	"log"
+
+	"bisectlb"
+)
+
+// ExampleBalance shows algorithm selection through the unified entry point.
+func ExampleBalance() {
+	problem, err := bisectlb.NewFixedProblem(1.0, 0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bisectlb.Balance(problem, 4, bisectlb.Config{
+		Algorithm: bisectlb.BAAlgorithm,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s split into %d parts with %d bisections\n",
+		res.Algorithm, len(res.Parts), res.Bisections)
+	// Output: BA split into 4 parts with 3 bisections
+}
+
+// ExamplePHF demonstrates the paper's Theorem 3: PHF computes HF's exact
+// partition while running in O(log N) parallel rounds.
+func ExamplePHF() {
+	mk := func() bisectlb.Problem {
+		p, err := bisectlb.NewSyntheticProblem(1.0, 0.2, 0.5, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	hf, err := bisectlb.HF(mk(), 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	phf, err := bisectlb.PHF(mk(), 16, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("identical partitions:", bisectlb.SamePartition(hf, &phf.Result))
+	// Output: identical partitions: true
+}
+
+// ExampleGuaranteeHF evaluates the worst-case bound r_α of Theorem 2.
+func ExampleGuaranteeHF() {
+	g, err := bisectlb.GuaranteeHF(1.0 / 3.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("r_{1/3} = %.0f\n", g)
+	// Output: r_{1/3} = 2
+}
+
+// ExampleCheckAlpha validates a custom problem class before declaring its α
+// to the α-aware algorithms.
+func ExampleCheckAlpha() {
+	problem, err := bisectlb.NewSyntheticProblem(1.0, 0.3, 0.5, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	violations := bisectlb.CheckAlpha(problem, 0.3, 6, 1e-9)
+	fmt.Println("violations of the declared α=0.3:", len(violations))
+	// Output: violations of the declared α=0.3: 0
+}
+
+// ExampleKappaFor tunes BA-HF's threshold parameter for a 5% quality
+// tolerance, per the paper's closing rule κ ≥ 1/ln(1+ε).
+func ExampleKappaFor() {
+	kappa, err := bisectlb.KappaFor(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("κ for ε=0.05: %.1f\n", kappa)
+	// Output: κ for ε=0.05: 20.5
+}
+
+// ExampleRecommend applies the paper's concluding decision guidance.
+func ExampleRecommend() {
+	rec, err := bisectlb.Recommend(0.2, 1024, 0.1, bisectlb.MachineProfile{
+		GlobalOpsCheap: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommended:", rec.Algorithm)
+	// Output: recommended: PHF
+}
+
+// ExampleHeteroBA balances over processors with unequal speeds.
+func ExampleHeteroBA() {
+	problem, err := bisectlb.NewFixedProblem(1.0, 0.5) // perfect halving
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bisectlb.HeteroBA(problem, bisectlb.SortedSpeeds([]float64{1, 3, 3, 1}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("makespan within %.2fx of the ideal\n", res.Ratio)
+	// Output: makespan within 1.33x of the ideal
+}

@@ -1,0 +1,3 @@
+module bisectlb
+
+go 1.22

@@ -1,0 +1,53 @@
+package bisectlb
+
+import "bisectlb/internal/hetero"
+
+// HeteroResult describes a partition over processors with unequal speeds;
+// HeteroAssignment is one subproblem-to-processor-range mapping. The
+// quality measure generalises the paper's: makespan max_i w_i/s_i against
+// the ideal w(p)/Σs_i.
+type (
+	HeteroResult     = hetero.Result
+	HeteroAssignment = hetero.Assignment
+)
+
+// HeteroBA partitions p over processors with the given positive speeds
+// using the heterogeneous generalisation of Algorithm BA: each bisection
+// cuts the processor range at the capacity prefix that best approximates
+// the children's weight ratio. Speeds are used in the given order as the
+// range order; pass them sorted descending to put fast processors at the
+// front of heavy ranges (see SortedSpeeds).
+//
+// This is an extension beyond the paper, which assumes identical
+// processors; with all speeds equal it reduces exactly to Algorithm BA.
+func HeteroBA(p Problem, speeds []float64) (*HeteroResult, error) {
+	m, err := hetero.NewMachine(speeds)
+	if err != nil {
+		return nil, err
+	}
+	return hetero.BA(p, m)
+}
+
+// HeteroHF partitions p into one part per processor with Algorithm HF and
+// assigns parts to processors by sorted matching (heaviest part to fastest
+// processor), which is the optimal one-to-one assignment of the computed
+// parts.
+func HeteroHF(p Problem, speeds []float64) (*HeteroResult, error) {
+	m, err := hetero.NewMachine(speeds)
+	if err != nil {
+		return nil, err
+	}
+	return hetero.HF(p, m)
+}
+
+// SortedSpeeds returns a descending copy of speeds, the recommended range
+// order for HeteroBA.
+func SortedSpeeds(speeds []float64) []float64 {
+	out := append([]float64(nil), speeds...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] > out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

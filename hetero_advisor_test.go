@@ -1,0 +1,112 @@
+package bisectlb_test
+
+import (
+	"math"
+	"testing"
+
+	"bisectlb"
+)
+
+func TestHeteroBAPublic(t *testing.T) {
+	p, err := bisectlb.NewSyntheticProblem(1, 0.1, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := bisectlb.SortedSpeeds([]float64{1, 4, 2, 8})
+	if speeds[0] != 8 || speeds[3] != 1 {
+		t.Fatalf("SortedSpeeds wrong: %v", speeds)
+	}
+	res, err := bisectlb.HeteroBA(p, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < 1-1e-9 {
+		t.Fatalf("ratio %v below 1", res.Ratio)
+	}
+	sum := 0.0
+	for _, a := range res.Assignments {
+		sum += a.Problem.Weight()
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("assignment weights sum to %v", sum)
+	}
+	if _, err := bisectlb.HeteroBA(p, []float64{1, 0}); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+}
+
+func TestHeteroHFPublic(t *testing.T) {
+	p, err := bisectlb.NewSyntheticProblem(1, 0.1, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bisectlb.HeteroHF(p, []float64{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 4 {
+		t.Fatalf("assignments = %d", len(res.Assignments))
+	}
+	// Heaviest part must be served by the fastest processor (index 3).
+	best := res.Assignments[0]
+	for _, a := range res.Assignments[1:] {
+		if a.Problem.Weight() > best.Problem.Weight() {
+			best = a
+		}
+	}
+	if best.Lo != 3 {
+		t.Fatalf("heaviest on processor %d, want 3", best.Lo)
+	}
+}
+
+func TestRecommendBranches(t *testing.T) {
+	cases := []struct {
+		profile bisectlb.MachineProfile
+		n       int
+		want    bisectlb.Algorithm
+	}{
+		{bisectlb.MachineProfile{Sequential: true}, 64, bisectlb.HFAlgorithm},
+		{bisectlb.MachineProfile{}, 1, bisectlb.HFAlgorithm},
+		{bisectlb.MachineProfile{GlobalOpsCheap: true}, 64, bisectlb.PHFAlgorithm},
+		{bisectlb.MachineProfile{BalanceCritical: true}, 64, bisectlb.BAHFAlgorithm},
+		{bisectlb.MachineProfile{}, 64, bisectlb.BAAlgorithm},
+	}
+	for i, c := range cases {
+		rec, err := bisectlb.Recommend(0.2, c.n, 0.1, c.profile)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if rec.Algorithm != c.want {
+			t.Fatalf("case %d: recommended %v, want %v", i, rec.Algorithm, c.want)
+		}
+		if rec.Guarantee <= 0 || rec.Rationale == "" {
+			t.Fatalf("case %d: incomplete recommendation %+v", i, rec)
+		}
+	}
+}
+
+func TestRecommendBAHFKappaHonoursEps(t *testing.T) {
+	rec, err := bisectlb.Recommend(0.2, 128, 0.05, bisectlb.MachineProfile{BalanceCritical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf, _ := bisectlb.GuaranteeHF(0.2)
+	if rec.Guarantee > 1.05*hf+1e-9 {
+		t.Fatalf("BA-HF recommendation %v outside 1.05×HF bound %v", rec.Guarantee, hf)
+	}
+	if rec.Kappa <= 0 {
+		t.Fatal("κ missing")
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	if _, err := bisectlb.Recommend(0, 8, 0.1, bisectlb.MachineProfile{}); err == nil {
+		t.Fatal("α=0 accepted")
+	}
+	if _, err := bisectlb.Recommend(0.2, 0, 0.1, bisectlb.MachineProfile{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := bisectlb.Recommend(0.2, 8, 0, bisectlb.MachineProfile{}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}

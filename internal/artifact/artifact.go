@@ -1,0 +1,167 @@
+// Package artifact serialises run results, bisection trees and experiment
+// tables to JSON so they can be archived next to EXPERIMENTS.md and
+// consumed by external analysis tooling. Encoding is lossy in one
+// deliberate way: problems are reduced to (id, weight) pairs — the
+// substrate objects themselves are not round-tripped.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bisectlb/internal/bistree"
+	"bisectlb/internal/core"
+	"bisectlb/internal/experiments"
+)
+
+// PartJSON is the serialised form of one partition element.
+type PartJSON struct {
+	ID     uint64  `json:"id"`
+	Weight float64 `json:"weight"`
+	Procs  int     `json:"procs"`
+	Depth  int     `json:"depth"`
+}
+
+// ResultJSON is the serialised form of a core.Result.
+type ResultJSON struct {
+	Algorithm  string     `json:"algorithm"`
+	N          int        `json:"n"`
+	Total      float64    `json:"total"`
+	Max        float64    `json:"max"`
+	Ratio      float64    `json:"ratio"`
+	Bisections int        `json:"bisections"`
+	MaxDepth   int        `json:"max_depth"`
+	Parts      []PartJSON `json:"parts"`
+	Tree       *NodeJSON  `json:"tree,omitempty"`
+}
+
+// NodeJSON is the serialised form of a bisection-tree node.
+type NodeJSON struct {
+	ID       uint64      `json:"id"`
+	Weight   float64     `json:"weight"`
+	Procs    int         `json:"procs,omitempty"`
+	Children []*NodeJSON `json:"children,omitempty"`
+}
+
+// FromResult converts a result (and its recorded tree, if any).
+func FromResult(r *core.Result) (*ResultJSON, error) {
+	if r == nil {
+		return nil, fmt.Errorf("artifact: nil result")
+	}
+	out := &ResultJSON{
+		Algorithm:  r.Algorithm,
+		N:          r.N,
+		Total:      r.Total,
+		Max:        r.Max,
+		Ratio:      r.Ratio,
+		Bisections: r.Bisections,
+		MaxDepth:   r.MaxDepth,
+	}
+	for _, pt := range r.Parts {
+		out.Parts = append(out.Parts, PartJSON{
+			ID:     pt.Problem.ID(),
+			Weight: pt.Problem.Weight(),
+			Procs:  pt.Procs,
+			Depth:  pt.Depth,
+		})
+	}
+	if r.Tree != nil {
+		out.Tree = fromNode(r.Tree.Root)
+	}
+	return out, nil
+}
+
+func fromNode(n *bistree.Node) *NodeJSON {
+	if n == nil {
+		return nil
+	}
+	out := &NodeJSON{ID: n.ID, Weight: n.Weight, Procs: n.Procs}
+	if !n.IsLeaf() {
+		out.Children = []*NodeJSON{fromNode(n.Children[0]), fromNode(n.Children[1])}
+	}
+	return out
+}
+
+// WriteResult encodes the result as indented JSON.
+func WriteResult(w io.Writer, r *core.Result) error {
+	obj, err := FromResult(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
+}
+
+// Leaves returns the leaf entries of a serialised tree in preorder.
+func (n *NodeJSON) Leaves() []*NodeJSON {
+	if n == nil {
+		return nil
+	}
+	if len(n.Children) == 0 {
+		return []*NodeJSON{n}
+	}
+	var out []*NodeJSON
+	for _, c := range n.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Validate checks structural sanity of a serialised tree: exactly zero or
+// two children per node and children weights summing to the parent within
+// relative tolerance tol.
+func (n *NodeJSON) Validate(tol float64) error {
+	if n == nil {
+		return nil
+	}
+	switch len(n.Children) {
+	case 0:
+		return nil
+	case 2:
+		sum := n.Children[0].Weight + n.Children[1].Weight
+		if d := sum - n.Weight; d > tol*n.Weight || -d > tol*n.Weight {
+			return fmt.Errorf("artifact: node %d weight %g != children sum %g", n.ID, n.Weight, sum)
+		}
+		if err := n.Children[0].Validate(tol); err != nil {
+			return err
+		}
+		return n.Children[1].Validate(tol)
+	default:
+		return fmt.Errorf("artifact: node %d has %d children", n.ID, len(n.Children))
+	}
+}
+
+// TableJSON wraps the Table 1 / Figure 5 rows with their configuration for
+// archival.
+type TableJSON struct {
+	Lo          float64                 `json:"lo"`
+	Hi          float64                 `json:"hi"`
+	Kappa       float64                 `json:"kappa"`
+	Trials      int                     `json:"trials"`
+	Seed        uint64                  `json:"seed"`
+	ScaleTrials bool                    `json:"scale_trials"`
+	Rows        []experiments.TripleRow `json:"rows"`
+}
+
+// WriteTable encodes an experiment table with its configuration.
+func WriteTable(w io.Writer, cfg experiments.TripleConfig, rows []experiments.TripleRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(TableJSON{
+		Lo: cfg.Lo, Hi: cfg.Hi, Kappa: cfg.Kappa,
+		Trials: cfg.Trials, Seed: cfg.Seed, ScaleTrials: cfg.ScaleTrials,
+		Rows: rows,
+	})
+}
+
+// ReadTable decodes a table previously written with WriteTable.
+func ReadTable(r io.Reader) (*TableJSON, error) {
+	var out TableJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("artifact: decoding table: %w", err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,116 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+	"bisectlb/internal/experiments"
+)
+
+func TestFromResultWithTree(t *testing.T) {
+	res, err := core.HF(bisect.MustSynthetic(1, 0.1, 0.5, 3), 16, core.Options{RecordTree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := FromResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Algorithm != "HF" || obj.N != 16 || len(obj.Parts) != 16 {
+		t.Fatalf("header wrong: %+v", obj)
+	}
+	if obj.Tree == nil {
+		t.Fatal("tree missing")
+	}
+	if err := obj.Tree.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(obj.Tree.Leaves()); got != 16 {
+		t.Fatalf("tree has %d leaves", got)
+	}
+	var sum float64
+	for _, p := range obj.Parts {
+		sum += p.Weight
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("parts sum %v", sum)
+	}
+}
+
+func TestFromResultNil(t *testing.T) {
+	if _, err := FromResult(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestWriteResultRoundTrip(t *testing.T) {
+	res, err := core.BA(bisect.MustSynthetic(1, 0.1, 0.5, 5), 8, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var back ResultJSON
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Ratio != res.Ratio || len(back.Parts) != len(res.Parts) {
+		t.Fatal("round trip lost data")
+	}
+	if !strings.Contains(buf.String(), "\"algorithm\": \"BA\"") {
+		t.Fatalf("unexpected encoding:\n%s", buf.String())
+	}
+}
+
+func TestNodeValidateCatchesCorruption(t *testing.T) {
+	n := &NodeJSON{
+		ID: 1, Weight: 10,
+		Children: []*NodeJSON{{ID: 2, Weight: 4}, {ID: 3, Weight: 4}}, // sums to 8
+	}
+	if err := n.Validate(1e-9); err == nil {
+		t.Fatal("weight mismatch not detected")
+	}
+	bad := &NodeJSON{ID: 1, Weight: 1, Children: []*NodeJSON{{ID: 2, Weight: 1}}}
+	if err := bad.Validate(1e-9); err == nil {
+		t.Fatal("single child not detected")
+	}
+	if (&NodeJSON{ID: 1, Weight: 1}).Validate(0) != nil {
+		t.Fatal("leaf rejected")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	cfg := experiments.TripleConfig{
+		Lo: 0.1, Hi: 0.5, Kappa: 1, Trials: 10, Seed: 2, Ns: []int{32, 64},
+	}
+	rows, err := experiments.RunTriple(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Lo != 0.1 || back.Trials != 10 || len(back.Rows) != 2 {
+		t.Fatalf("round trip lost config: %+v", back)
+	}
+	if back.Rows[0].HF.Stats.Mean != rows[0].HF.Stats.Mean {
+		t.Fatal("round trip lost row data")
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	if _, err := ReadTable(strings.NewReader("{nonsense")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package bisect
+
+import (
+	"fmt"
+
+	"bisectlb/internal/xrand"
+)
+
+// List models the paper's concrete justification for the stochastic model:
+// "problems are represented by lists of elements taken from an ordered set,
+// and a list is bisected by choosing a random pivot element and partitioning
+// the list into those elements that are smaller than the pivot and those
+// that are larger". The weight of a list problem is its element count.
+//
+// An unrestricted random pivot gives no α-bisector guarantee, so List
+// supports a guard rank window: the pivot rank is drawn uniformly from
+// [⌈α·n⌉, ⌊(1−α)·n⌋], which makes the class an α-bisector class while
+// keeping the split fraction (conditionally) uniform — the distribution the
+// paper assumes.
+type List struct {
+	length int
+	alpha  float64
+	seed   uint64
+}
+
+var _ Problem = (*List)(nil)
+
+// NewList creates a list problem with n elements and pivot guard α.
+// α = 0 is rejected because a zero-width guard can produce empty halves,
+// which would violate the positive-weight contract.
+func NewList(n int, alpha float64, seed uint64) (*List, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bisect: list length %d must be ≥ 1", n)
+	}
+	if !(alpha > 0) || alpha > 0.5 {
+		return nil, fmt.Errorf("bisect: invalid list guard α %v; need 0 < α ≤ 1/2", alpha)
+	}
+	return &List{length: n, alpha: alpha, seed: seed}, nil
+}
+
+// MustList is NewList that panics on error.
+func MustList(n int, alpha float64, seed uint64) *List {
+	p, err := NewList(n, alpha, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Weight returns the element count as the problem's load.
+func (l *List) Weight() float64 { return float64(l.length) }
+
+// Len returns the element count.
+func (l *List) Len() int { return l.length }
+
+// CanBisect reports whether the list still has at least two elements and the
+// guard window admits a split with both halves non-empty.
+func (l *List) CanBisect() bool {
+	lo, hi := l.pivotWindow()
+	return l.length >= 2 && lo <= hi
+}
+
+// ID returns the node's seed, unique within a run.
+func (l *List) ID() uint64 { return l.seed }
+
+// pivotWindow returns the inclusive range of admissible left-half sizes.
+func (l *List) pivotWindow() (lo, hi int) {
+	n := float64(l.length)
+	lo = int(ceilPos(l.alpha * n))
+	hi = int((1 - l.alpha) * n)
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > l.length-1 {
+		hi = l.length - 1
+	}
+	return lo, hi
+}
+
+func ceilPos(x float64) float64 {
+	i := float64(int(x))
+	if i < x {
+		return i + 1
+	}
+	return i
+}
+
+// Bisect partitions the list around a pivot rank drawn uniformly from the
+// guard window. The heavier half is returned first.
+func (l *List) Bisect() (Problem, Problem) {
+	lo, hi := l.pivotWindow()
+	if l.length < 2 || lo > hi {
+		panic("bisect: Bisect on indivisible list")
+	}
+	rng := xrand.New(l.seed)
+	left := lo + rng.Intn(hi-lo+1)
+	right := l.length - left
+	a := &List{length: left, alpha: l.alpha, seed: xrand.Mix(l.seed, 1)}
+	b := &List{length: right, alpha: l.alpha, seed: xrand.Mix(l.seed, 2)}
+	if a.length >= b.length {
+		return a, b
+	}
+	return b, a
+}

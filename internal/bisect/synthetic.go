@@ -1,0 +1,145 @@
+package bisect
+
+import (
+	"fmt"
+
+	"bisectlb/internal/xrand"
+)
+
+// Synthetic is the paper's stochastic model (Section 4): every bisection
+// draws an actual bisection parameter α̂ uniformly at random from [Lo, Hi]
+// with 0 < Lo ≤ Hi ≤ 1/2, independently and identically distributed across
+// bisections. The light child receives α̂·w, the heavy child (1−α̂)·w.
+//
+// Determinism: the draw for a node depends only on the node's seed, and the
+// children's seeds are derived from the parent seed. Two algorithms that
+// bisect the same node therefore observe the same split, which is exactly
+// the property the paper's "PHF computes the same partitioning as HF"
+// theorem needs in an executable setting.
+type Synthetic struct {
+	weight float64
+	seed   uint64
+	depth  int
+	lo, hi float64
+}
+
+var _ Problem = (*Synthetic)(nil)
+
+// NewSynthetic creates the root of a synthetic problem with total weight w
+// and per-bisection parameter α̂ ~ U[lo, hi]. It returns an error for an
+// invalid weight or an interval outside 0 < lo ≤ hi ≤ 1/2.
+func NewSynthetic(w float64, lo, hi float64, seed uint64) (*Synthetic, error) {
+	if !(w > 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadWeight, w)
+	}
+	if !(lo > 0) || hi < lo || hi > 0.5 {
+		return nil, fmt.Errorf("bisect: invalid α̂ interval [%v, %v]; need 0 < lo ≤ hi ≤ 1/2", lo, hi)
+	}
+	return &Synthetic{weight: w, seed: seed, lo: lo, hi: hi}, nil
+}
+
+// MustSynthetic is NewSynthetic that panics on error, for tests and examples.
+func MustSynthetic(w float64, lo, hi float64, seed uint64) *Synthetic {
+	p, err := NewSynthetic(w, lo, hi, seed)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RehydrateSynthetic reconstructs an interior node of a synthetic
+// bisection tree from its serialised fields (weight, interval, seed,
+// depth). It exists for transports that ship subproblems between
+// processes (internal/dist): a rehydrated node bisects exactly like the
+// original, because splits depend only on the seed.
+func RehydrateSynthetic(w, lo, hi float64, seed uint64, depth int) (*Synthetic, error) {
+	p, err := NewSynthetic(w, lo, hi, seed)
+	if err != nil {
+		return nil, err
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("bisect: negative depth %d", depth)
+	}
+	p.depth = depth
+	return p, nil
+}
+
+// Weight returns the problem's load.
+func (s *Synthetic) Weight() float64 { return s.weight }
+
+// CanBisect always reports true: the synthetic model is infinitely divisible.
+func (s *Synthetic) CanBisect() bool { return true }
+
+// ID returns the node's seed, which uniquely identifies it within a run.
+func (s *Synthetic) ID() uint64 { return s.seed }
+
+// Depth returns the node's distance from the root of its bisection history.
+func (s *Synthetic) Depth() int { return s.depth }
+
+// Interval returns the α̂ interval the node draws from.
+func (s *Synthetic) Interval() (lo, hi float64) { return s.lo, s.hi }
+
+// Bisect splits the problem with a fresh α̂ ~ U[lo, hi]. The first return is
+// the heavy child, matching the "assume w.l.o.g. w(p1) ≥ w(p2)" convention
+// in the paper's Figures 3 and 4.
+func (s *Synthetic) Bisect() (Problem, Problem) {
+	rng := xrand.New(s.seed)
+	ahat := rng.InRange(s.lo, s.hi)
+	heavyW := (1 - ahat) * s.weight
+	lightW := s.weight - heavyW
+	heavy := &Synthetic{weight: heavyW, seed: xrand.Mix(s.seed, 1), depth: s.depth + 1, lo: s.lo, hi: s.hi}
+	light := &Synthetic{weight: lightW, seed: xrand.Mix(s.seed, 2), depth: s.depth + 1, lo: s.lo, hi: s.hi}
+	return heavy, light
+}
+
+// Fixed is a problem whose every bisection splits exactly (1−α)·w and α·w.
+// It realises the adversarial structure behind the worst-case analyses: all
+// the imbalance the class permits, at every level.
+type Fixed struct {
+	weight float64
+	alpha  float64
+	id     uint64
+}
+
+var _ Problem = (*Fixed)(nil)
+
+// NewFixed creates a root problem of weight w that always splits with the
+// exact parameter alpha ∈ (0, 1/2].
+func NewFixed(w, alpha float64) (*Fixed, error) {
+	if !(w > 0) {
+		return nil, fmt.Errorf("%w (got %v)", ErrBadWeight, w)
+	}
+	if !(alpha > 0) || alpha > 0.5 {
+		return nil, fmt.Errorf("bisect: invalid fixed α %v; need 0 < α ≤ 1/2", alpha)
+	}
+	return &Fixed{weight: w, alpha: alpha, id: 1}, nil
+}
+
+// MustFixed is NewFixed that panics on error.
+func MustFixed(w, alpha float64) *Fixed {
+	p, err := NewFixed(w, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Weight returns the problem's load.
+func (f *Fixed) Weight() float64 { return f.weight }
+
+// CanBisect always reports true.
+func (f *Fixed) CanBisect() bool { return true }
+
+// ID returns the node's position in an implicit infinite binary tree
+// (root 1, children 2i and 2i+1), which is unique per run.
+func (f *Fixed) ID() uint64 { return f.id }
+
+// Alpha returns the fixed split parameter.
+func (f *Fixed) Alpha() float64 { return f.alpha }
+
+// Bisect splits deterministically into (1−α)·w and α·w.
+func (f *Fixed) Bisect() (Problem, Problem) {
+	heavy := &Fixed{weight: (1 - f.alpha) * f.weight, alpha: f.alpha, id: 2 * f.id}
+	light := &Fixed{weight: f.weight - heavy.weight, alpha: f.alpha, id: 2*f.id + 1}
+	return heavy, light
+}

@@ -1,0 +1,199 @@
+package bisect
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"bisectlb/internal/xrand"
+)
+
+// Counter tallies the bisections performed through wrapped problems. One
+// Counter is shared by a whole tree of Counting problems, so after a run it
+// reports the total bisection count — useful to verify the N−1 bisection
+// theorems from outside an algorithm.
+type Counter struct {
+	bisections atomic.Int64
+	maxDepth   atomic.Int64
+}
+
+// Bisections returns the number of Bisect calls observed.
+func (c *Counter) Bisections() int64 { return c.bisections.Load() }
+
+// MaxDepth returns the deepest wrapped node that was created.
+func (c *Counter) MaxDepth() int64 { return c.maxDepth.Load() }
+
+// Counting wraps a problem so every Bisect in its subtree increments the
+// shared Counter. Weight, ID and divisibility pass through unchanged.
+type Counting struct {
+	inner   Problem
+	counter *Counter
+	depth   int64
+}
+
+var _ Problem = (*Counting)(nil)
+
+// WithCounter wraps p; all descendants share the returned Counter.
+func WithCounter(p Problem) (*Counting, *Counter) {
+	c := &Counter{}
+	return &Counting{inner: p, counter: c}, c
+}
+
+// Weight returns the wrapped problem's weight.
+func (c *Counting) Weight() float64 { return c.inner.Weight() }
+
+// CanBisect returns the wrapped problem's divisibility.
+func (c *Counting) CanBisect() bool { return c.inner.CanBisect() }
+
+// ID returns the wrapped problem's identity.
+func (c *Counting) ID() uint64 { return c.inner.ID() }
+
+// Bisect counts the call and wraps both children.
+func (c *Counting) Bisect() (Problem, Problem) {
+	a, b := c.inner.Bisect()
+	c.counter.bisections.Add(1)
+	d := c.depth + 1
+	for {
+		cur := c.counter.maxDepth.Load()
+		if d <= cur || c.counter.maxDepth.CompareAndSwap(cur, d) {
+			break
+		}
+	}
+	return &Counting{inner: a, counter: c.counter, depth: d},
+		&Counting{inner: b, counter: c.counter, depth: d}
+}
+
+// Validating wraps a problem and panics the moment any bisection in its
+// subtree violates the α-bisector contract (children summing to the parent
+// within tol, both inside [α·w, (1−α)·w]). Use it in tests and during
+// development of new substrates; production code should run CheckAlpha
+// up front instead.
+type Validating struct {
+	inner Problem
+	alpha float64
+	tol   float64
+}
+
+var _ Problem = (*Validating)(nil)
+
+// WithValidation wraps p with contract enforcement.
+func WithValidation(p Problem, alpha, tol float64) *Validating {
+	if !(alpha > 0) || alpha > 0.5 {
+		panic(fmt.Sprintf("bisect: WithValidation α=%v outside (0, 1/2]", alpha))
+	}
+	if tol < 0 {
+		tol = 0
+	}
+	return &Validating{inner: p, alpha: alpha, tol: tol}
+}
+
+// Weight returns the wrapped problem's weight.
+func (v *Validating) Weight() float64 { return v.inner.Weight() }
+
+// CanBisect returns the wrapped problem's divisibility.
+func (v *Validating) CanBisect() bool { return v.inner.CanBisect() }
+
+// ID returns the wrapped problem's identity.
+func (v *Validating) ID() uint64 { return v.inner.ID() }
+
+// Bisect validates the split before passing the children on.
+func (v *Validating) Bisect() (Problem, Problem) {
+	w := v.inner.Weight()
+	a, b := v.inner.Bisect()
+	wa, wb := a.Weight(), b.Weight()
+	slack := v.tol * w
+	if math.Abs(wa+wb-w) > slack {
+		panic(fmt.Sprintf("bisect: node %d children %g + %g do not sum to %g", v.inner.ID(), wa, wb, w))
+	}
+	lo, hi := v.alpha*w-slack, (1-v.alpha)*w+slack
+	if wa < lo || wa > hi || wb < lo || wb > hi {
+		panic(fmt.Sprintf("bisect: node %d split (%g, %g) outside [%g, %g]", v.inner.ID(), wa, wb, v.alpha*w, (1-v.alpha)*w))
+	}
+	return &Validating{inner: a, alpha: v.alpha, tol: v.tol},
+		&Validating{inner: b, alpha: v.alpha, tol: v.tol}
+}
+
+// Noisy wraps a problem so the weight *reported* to the load balancer
+// carries multiplicative estimation error, while the true weight remains
+// available for evaluating the resulting partition. This models the
+// practical situation the paper notes in Section 2 — "it is assumed that
+// the weight of a problem can be calculated (or approximated) easily" —
+// and the harder setting of its reference [10] where weights are unknown:
+// algorithms make decisions on estimates, but the quality that matters is
+// measured on real loads.
+//
+// The noise factor for each node is a deterministic function of the node's
+// ID, so different algorithms see identical (mis-)estimates and stay
+// comparable.
+type Noisy struct {
+	inner Problem
+	// rel is the maximum relative error: reported = true · (1 + e),
+	// e ~ U[−rel, +rel] derived from the node ID.
+	rel      float64
+	salt     uint64
+	reported float64
+}
+
+var _ Problem = (*Noisy)(nil)
+
+// WithNoise wraps p with relative weight-estimation error rel ∈ [0, 1).
+func WithNoise(p Problem, rel float64, salt uint64) (*Noisy, error) {
+	if rel < 0 || rel >= 1 {
+		return nil, fmt.Errorf("bisect: noise level %v outside [0, 1)", rel)
+	}
+	n := &Noisy{inner: p, rel: rel, salt: salt}
+	n.reported = n.estimate()
+	return n, nil
+}
+
+func (n *Noisy) estimate() float64 {
+	if n.rel == 0 {
+		return n.inner.Weight()
+	}
+	rng := xrand.New(xrand.Mix(n.salt, n.inner.ID()))
+	e := rng.InRange(-n.rel, n.rel)
+	return n.inner.Weight() * (1 + e)
+}
+
+// Weight returns the *estimated* weight the balancer sees.
+func (n *Noisy) Weight() float64 { return n.reported }
+
+// TrueWeight returns the exact underlying load.
+func (n *Noisy) TrueWeight() float64 { return n.inner.Weight() }
+
+// CanBisect returns the wrapped problem's divisibility.
+func (n *Noisy) CanBisect() bool { return n.inner.CanBisect() }
+
+// ID returns the wrapped problem's identity.
+func (n *Noisy) ID() uint64 { return n.inner.ID() }
+
+// Bisect splits the underlying problem and re-estimates both children.
+// Note that estimated child weights do not sum exactly to the estimated
+// parent — exactly the inconsistency real work estimators exhibit.
+func (n *Noisy) Bisect() (Problem, Problem) {
+	a, b := n.inner.Bisect()
+	ca := &Noisy{inner: a, rel: n.rel, salt: n.salt}
+	ca.reported = ca.estimate()
+	cb := &Noisy{inner: b, rel: n.rel, salt: n.salt}
+	cb.reported = cb.estimate()
+	if ca.reported >= cb.reported {
+		return ca, cb
+	}
+	return cb, ca
+}
+
+// TrueMax returns the maximum true weight among parts that may be Noisy
+// (plain problems contribute their Weight).
+func TrueMax(ps []Problem) float64 {
+	m := 0.0
+	for _, p := range ps {
+		w := p.Weight()
+		if n, ok := p.(*Noisy); ok {
+			w = n.TrueWeight()
+		}
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package bisect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCountingCountsBisections(t *testing.T) {
+	p, counter := WithCounter(MustSynthetic(1, 0.1, 0.5, 1))
+	var walk func(q Problem, depth int)
+	walk = func(q Problem, depth int) {
+		if depth == 0 {
+			return
+		}
+		a, b := q.Bisect()
+		walk(a, depth-1)
+		walk(b, depth-1)
+	}
+	walk(p, 4) // full binary expansion: 2^4−1 = 15 bisections
+	if counter.Bisections() != 15 {
+		t.Fatalf("counted %d bisections, want 15", counter.Bisections())
+	}
+	if counter.MaxDepth() != 4 {
+		t.Fatalf("max depth %d, want 4", counter.MaxDepth())
+	}
+}
+
+func TestCountingPassesThrough(t *testing.T) {
+	inner := MustSynthetic(2, 0.1, 0.5, 3)
+	p, _ := WithCounter(inner)
+	if p.Weight() != inner.Weight() || p.ID() != inner.ID() || p.CanBisect() != inner.CanBisect() {
+		t.Fatal("Counting altered the problem's observable behaviour")
+	}
+	a, b := p.Bisect()
+	ia, ib := inner.Bisect()
+	if a.Weight() != ia.Weight() || b.Weight() != ib.Weight() {
+		t.Fatal("Counting altered the split")
+	}
+}
+
+func TestValidatingAcceptsConformingClass(t *testing.T) {
+	p := WithValidation(MustSynthetic(1, 0.2, 0.5, 5), 0.2, 1e-9)
+	var walk func(q Problem, depth int)
+	walk = func(q Problem, depth int) {
+		if depth == 0 {
+			return
+		}
+		a, b := q.Bisect()
+		walk(a, depth-1)
+		walk(b, depth-1)
+	}
+	walk(p, 6) // must not panic
+}
+
+func TestValidatingPanicsOnViolation(t *testing.T) {
+	// A class that only guarantees α=0.05 validated against α=0.45 must
+	// blow up somewhere in a modest expansion.
+	p := WithValidation(MustSynthetic(1, 0.05, 0.5, 7), 0.45, 1e-9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("violation not detected")
+		}
+	}()
+	var walk func(q Problem, depth int)
+	walk = func(q Problem, depth int) {
+		if depth == 0 {
+			return
+		}
+		a, b := q.Bisect()
+		walk(a, depth-1)
+		walk(b, depth-1)
+	}
+	walk(p, 10)
+}
+
+func TestValidatingConstructorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad α accepted")
+		}
+	}()
+	WithValidation(MustSynthetic(1, 0.1, 0.5, 1), 0.9, 0)
+}
+
+func TestNoisyZeroNoiseIsTransparent(t *testing.T) {
+	inner := MustSynthetic(1, 0.1, 0.5, 9)
+	p, err := WithNoise(inner, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Weight() != inner.Weight() || p.TrueWeight() != inner.Weight() {
+		t.Fatal("zero noise altered weights")
+	}
+}
+
+func TestNoisyBounds(t *testing.T) {
+	if _, err := WithNoise(MustSynthetic(1, 0.1, 0.5, 1), -0.1, 1); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+	if _, err := WithNoise(MustSynthetic(1, 0.1, 0.5, 1), 1, 1); err == nil {
+		t.Fatal("noise=1 accepted")
+	}
+}
+
+func TestNoisyEstimateWithinBand(t *testing.T) {
+	const rel = 0.25
+	p, err := WithNoise(MustSynthetic(1, 0.1, 0.5, 11), rel, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(q Problem, depth int)
+	walk = func(q Problem, depth int) {
+		n := q.(*Noisy)
+		ratio := n.Weight() / n.TrueWeight()
+		if ratio < 1-rel-1e-12 || ratio > 1+rel+1e-12 {
+			t.Fatalf("estimate ratio %v outside ±%v", ratio, rel)
+		}
+		if depth == 0 || !q.CanBisect() {
+			return
+		}
+		a, b := q.Bisect()
+		walk(a, depth-1)
+		walk(b, depth-1)
+	}
+	walk(p, 6)
+}
+
+func TestNoisyDeterministicAcrossRuns(t *testing.T) {
+	mk := func() Problem {
+		p, err := WithNoise(MustSynthetic(1, 0.1, 0.5, 13), 0.3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	a1, a2 := a.Bisect()
+	b1, b2 := b.Bisect()
+	if a1.Weight() != b1.Weight() || a2.Weight() != b2.Weight() {
+		t.Fatal("noise not deterministic in node identity")
+	}
+}
+
+func TestNoisyChildrenNeedNotSum(t *testing.T) {
+	// The whole point: estimated child weights are inconsistent with the
+	// estimated parent, like real estimators.
+	p, err := WithNoise(MustSynthetic(1, 0.1, 0.5, 17), 0.4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := p.Bisect()
+	if math.Abs(a.Weight()+b.Weight()-p.Weight()) < 1e-12 {
+		t.Skip("estimates happened to sum exactly; extremely unlikely")
+	}
+}
+
+func TestTrueMax(t *testing.T) {
+	plain := MustSynthetic(3, 0.1, 0.5, 1)
+	noisy, err := WithNoise(MustSynthetic(5, 0.1, 0.5, 2), 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := TrueMax([]Problem{plain, noisy})
+	if got != 5 {
+		t.Fatalf("TrueMax = %v, want 5 (the true weight, not the estimate %v)", got, noisy.Weight())
+	}
+}

@@ -1,0 +1,206 @@
+// Package bistree records the bisection tree of a load-balancing run, the
+// representation the paper uses throughout its analysis: "The root of the
+// bisection tree T_p is the problem p. If the algorithm bisects a problem q
+// into q1 and q2, nodes q1 and q2 are added to T_p as children of node q. In
+// the end, T_p has N leaves, which correspond to the subproblems computed by
+// the algorithm, and all problems that were bisected appear as internal
+// nodes with exactly two children."
+package bistree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one problem in a bisection tree.
+type Node struct {
+	ID       uint64
+	Weight   float64
+	Depth    int
+	Parent   *Node
+	Children [2]*Node // both nil (leaf) or both non-nil (internal)
+	Procs    int      // processors assigned by the BA family; 0 when unused
+}
+
+// IsLeaf reports whether the node was never bisected.
+func (n *Node) IsLeaf() bool { return n.Children[0] == nil && n.Children[1] == nil }
+
+// Tree is a bisection tree under construction or analysis.
+type Tree struct {
+	Root  *Node
+	index map[uint64]*Node
+}
+
+// New creates a tree with the given root problem.
+func New(rootID uint64, rootWeight float64) *Tree {
+	root := &Node{ID: rootID, Weight: rootWeight}
+	return &Tree{Root: root, index: map[uint64]*Node{rootID: root}}
+}
+
+// Lookup returns the node with the given ID, or nil.
+func (t *Tree) Lookup(id uint64) *Node {
+	return t.index[id]
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return len(t.index) }
+
+// RecordBisection adds the two children of parentID. It returns an error if
+// the parent is unknown, already bisected, or a child ID collides.
+func (t *Tree) RecordBisection(parentID uint64, id1 uint64, w1 float64, id2 uint64, w2 float64) error {
+	parent := t.index[parentID]
+	if parent == nil {
+		return fmt.Errorf("bistree: unknown parent %d", parentID)
+	}
+	if !parent.IsLeaf() {
+		return fmt.Errorf("bistree: node %d bisected twice", parentID)
+	}
+	if _, dup := t.index[id1]; dup {
+		return fmt.Errorf("bistree: duplicate node id %d", id1)
+	}
+	if _, dup := t.index[id2]; dup || id1 == id2 {
+		return fmt.Errorf("bistree: duplicate node id %d", id2)
+	}
+	c1 := &Node{ID: id1, Weight: w1, Depth: parent.Depth + 1, Parent: parent}
+	c2 := &Node{ID: id2, Weight: w2, Depth: parent.Depth + 1, Parent: parent}
+	parent.Children[0], parent.Children[1] = c1, c2
+	t.index[id1], t.index[id2] = c1, c2
+	return nil
+}
+
+// SetProcs annotates a node with its processor allocation (BA family).
+func (t *Tree) SetProcs(id uint64, procs int) error {
+	n := t.index[id]
+	if n == nil {
+		return fmt.Errorf("bistree: unknown node %d", id)
+	}
+	n.Procs = procs
+	return nil
+}
+
+// Leaves returns the leaves in deterministic (ID-sorted) order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Walk visits every node in preorder.
+func (t *Tree) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		visit(n)
+		rec(n.Children[0])
+		rec(n.Children[1])
+	}
+	rec(t.Root)
+}
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int {
+	c := 0
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			c++
+		}
+	})
+	return c
+}
+
+// NumInternal returns the number of bisected nodes.
+func (t *Tree) NumInternal() int {
+	return t.Size() - t.NumLeaves()
+}
+
+// MaxLeafDepth returns the depth of the deepest leaf (root has depth 0).
+func (t *Tree) MaxLeafDepth() int {
+	d := 0
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() && n.Depth > d {
+			d = n.Depth
+		}
+	})
+	return d
+}
+
+// MinLeafDepth returns the depth of the shallowest leaf.
+func (t *Tree) MinLeafDepth() int {
+	d := -1
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() && (d < 0 || n.Depth < d) {
+			d = n.Depth
+		}
+	})
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// MaxLeafWeight returns the heaviest leaf weight.
+func (t *Tree) MaxLeafWeight() float64 {
+	m := 0.0
+	t.Walk(func(n *Node) {
+		if n.IsLeaf() && n.Weight > m {
+			m = n.Weight
+		}
+	})
+	return m
+}
+
+// CheckInvariants verifies the structural properties the paper's definition
+// promises: every internal node has exactly two children (guaranteed by
+// construction), children weights sum to the parent within tol relative
+// error, and depths are consistent. It returns the first problem found.
+func (t *Tree) CheckInvariants(tol float64) error {
+	var err error
+	t.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		if n.IsLeaf() {
+			return
+		}
+		c1, c2 := n.Children[0], n.Children[1]
+		if c1 == nil || c2 == nil {
+			err = fmt.Errorf("bistree: node %d has exactly one child", n.ID)
+			return
+		}
+		if c1.Depth != n.Depth+1 || c2.Depth != n.Depth+1 {
+			err = fmt.Errorf("bistree: node %d children depth mismatch", n.ID)
+			return
+		}
+		sum := c1.Weight + c2.Weight
+		if diff := sum - n.Weight; diff > tol*n.Weight || -diff > tol*n.Weight {
+			err = fmt.Errorf("bistree: node %d weight %g != children sum %g", n.ID, n.Weight, sum)
+		}
+	})
+	return err
+}
+
+// DOT renders the tree in Graphviz DOT syntax for debugging and docs.
+func (t *Tree) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph bisection {\n  node [shape=box];\n")
+	t.Walk(func(n *Node) {
+		label := fmt.Sprintf("w=%.4g", n.Weight)
+		if n.Procs > 0 {
+			label += fmt.Sprintf("\\nprocs=%d", n.Procs)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", n.ID, label)
+		if !n.IsLeaf() {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n  n%d -> n%d;\n", n.ID, n.Children[0].ID, n.ID, n.Children[1].ID)
+		}
+	})
+	b.WriteString("}\n")
+	return b.String()
+}

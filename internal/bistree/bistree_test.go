@@ -1,0 +1,139 @@
+package bistree
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSmall(t *testing.T) *Tree {
+	t.Helper()
+	tr := New(1, 10)
+	if err := tr.RecordBisection(1, 2, 6, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RecordBisection(2, 4, 3.5, 5, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRecordAndLookup(t *testing.T) {
+	tr := buildSmall(t)
+	if tr.Size() != 5 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if tr.Lookup(4) == nil || tr.Lookup(99) != nil {
+		t.Fatal("lookup wrong")
+	}
+	if tr.Lookup(4).Parent.ID != 2 {
+		t.Fatal("parent pointer wrong")
+	}
+}
+
+func TestRecordErrors(t *testing.T) {
+	tr := buildSmall(t)
+	if err := tr.RecordBisection(99, 100, 1, 101, 1); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	if err := tr.RecordBisection(1, 100, 1, 101, 1); err == nil {
+		t.Fatal("double bisection accepted")
+	}
+	if err := tr.RecordBisection(3, 2, 1, 101, 1); err == nil {
+		t.Fatal("duplicate child id accepted")
+	}
+	if err := tr.RecordBisection(3, 100, 1, 100, 1); err == nil {
+		t.Fatal("equal child ids accepted")
+	}
+}
+
+func TestLeavesAndCounts(t *testing.T) {
+	tr := buildSmall(t)
+	leaves := tr.Leaves()
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i-1].ID >= leaves[i].ID {
+			t.Fatal("leaves not ID-sorted")
+		}
+	}
+	if tr.NumLeaves() != 3 || tr.NumInternal() != 2 {
+		t.Fatalf("leaf/internal = %d/%d", tr.NumLeaves(), tr.NumInternal())
+	}
+}
+
+func TestDepths(t *testing.T) {
+	tr := buildSmall(t)
+	if tr.MaxLeafDepth() != 2 {
+		t.Fatalf("max depth = %d", tr.MaxLeafDepth())
+	}
+	if tr.MinLeafDepth() != 1 {
+		t.Fatalf("min depth = %d", tr.MinLeafDepth())
+	}
+	single := New(1, 5)
+	if single.MaxLeafDepth() != 0 || single.MinLeafDepth() != 0 {
+		t.Fatal("single-node depths wrong")
+	}
+}
+
+func TestMaxLeafWeight(t *testing.T) {
+	tr := buildSmall(t)
+	if got := tr.MaxLeafWeight(); got != 4 {
+		t.Fatalf("max leaf weight = %v", got)
+	}
+}
+
+func TestCheckInvariantsOK(t *testing.T) {
+	tr := buildSmall(t)
+	if err := tr.CheckInvariants(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsWeightMismatch(t *testing.T) {
+	tr := New(1, 10)
+	if err := tr.RecordBisection(1, 2, 6, 3, 5); err != nil { // 6+5 != 10
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(1e-9); err == nil {
+		t.Fatal("weight mismatch not detected")
+	}
+}
+
+func TestSetProcs(t *testing.T) {
+	tr := buildSmall(t)
+	if err := tr.SetProcs(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Lookup(2).Procs != 3 {
+		t.Fatal("procs not recorded")
+	}
+	if err := tr.SetProcs(999, 1); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	tr := buildSmall(t)
+	dot := tr.DOT()
+	for _, frag := range []string{"digraph", "n1 -> n2", "n2 -> n5", "w=2.5"} {
+		if !strings.Contains(dot, frag) {
+			t.Fatalf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestWalkPreorder(t *testing.T) {
+	tr := buildSmall(t)
+	var order []uint64
+	tr.Walk(func(n *Node) { order = append(order, n.ID) })
+	want := []uint64{1, 2, 4, 5, 3}
+	if len(order) != len(want) {
+		t.Fatalf("walk visited %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("preorder %v, want %v", order, want)
+		}
+	}
+}

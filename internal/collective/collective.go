@@ -1,0 +1,169 @@
+// Package collective provides the global communication primitives the
+// paper's parallel machine model assumes — barrier, broadcast, max-reduce
+// and prefix sums — implemented over a fixed group of worker goroutines.
+//
+// Every barrier phase charges ⌈log2 n⌉ "model rounds" to the group's round
+// counter (reductions and broadcasts consist of two phases), so parallel
+// executions built on the package can report running time in the same units
+// as the paper's analysis (which assumes such operations cost O(log N) on
+// realistic machines).
+package collective
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bisectlb/internal/bounds"
+)
+
+// Group coordinates n participants identified by ids 0 … n−1. All methods
+// must be called by every participant with its own id for the operation to
+// complete (they are collective calls, like MPI's).
+type Group struct {
+	n    int
+	mu   sync.Mutex
+	cond *sync.Cond
+	// Sense-reversing barrier state.
+	arrived int
+	sense   bool
+
+	// Scratch areas for reductions; slot i belongs to participant i.
+	f64  []float64
+	i64  []int64
+	resF float64
+	resI int64
+	pre  []int64
+
+	modelRounds atomic.Int64
+	barriers    atomic.Int64
+}
+
+// NewGroup creates a group of n participants. It panics for n < 1.
+func NewGroup(n int) *Group {
+	if n < 1 {
+		panic(fmt.Sprintf("collective: group size %d must be ≥ 1", n))
+	}
+	g := &Group{
+		n:   n,
+		f64: make([]float64, n),
+		i64: make([]int64, n),
+		pre: make([]int64, n),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Size returns the number of participants.
+func (g *Group) Size() int { return g.n }
+
+// ModelRounds returns the accumulated model cost: ⌈log2 n⌉ per barrier
+// phase. A plain Barrier is one phase; reductions, broadcasts and prefix
+// sums are two phases (an up-sweep collecting contributions and a
+// down-sweep distributing the result), matching how tree-structured
+// collectives behave on real machines.
+func (g *Group) ModelRounds() int64 { return g.modelRounds.Load() }
+
+// Barriers returns the number of barrier phases completed.
+func (g *Group) Barriers() int64 { return g.barriers.Load() }
+
+// Barrier blocks until all participants have called it.
+func (g *Group) Barrier() { g.barrier() }
+
+// barrier is a sense-reversing barrier; the releasing participant charges
+// one phase of model cost.
+func (g *Group) barrier() {
+	if g.n == 1 {
+		g.barriers.Add(1)
+		return
+	}
+	g.mu.Lock()
+	mySense := !g.sense
+	g.arrived++
+	if g.arrived == g.n {
+		g.arrived = 0
+		g.sense = mySense
+		g.barriers.Add(1)
+		g.modelRounds.Add(bounds.CollectiveCost(g.n))
+		g.cond.Broadcast()
+	} else {
+		for g.sense != mySense {
+			g.cond.Wait()
+		}
+	}
+	g.mu.Unlock()
+}
+
+// MaxFloat64 performs an all-reduce maximum: every participant contributes
+// v and receives the global maximum.
+func (g *Group) MaxFloat64(id int, v float64) float64 {
+	g.f64[id] = v
+	g.barrier()
+	if id == 0 {
+		m := g.f64[0]
+		for _, x := range g.f64[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		g.resF = m
+	}
+	g.barrier()
+	return g.resF
+}
+
+// SumInt64 performs an all-reduce sum of int64 contributions.
+func (g *Group) SumInt64(id int, v int64) int64 {
+	g.i64[id] = v
+	g.barrier()
+	if id == 0 {
+		var s int64
+		for _, x := range g.i64 {
+			s += x
+		}
+		g.resI = s
+	}
+	g.barrier()
+	return g.resI
+}
+
+// PrefixSumInt64 performs an exclusive prefix sum: the return values are the
+// sum of the contributions of participants with smaller ids, and the total.
+// The paper uses prefix computations to number free processors and heavy
+// subproblems in PHF's second phase.
+func (g *Group) PrefixSumInt64(id int, v int64) (before, total int64) {
+	g.i64[id] = v
+	g.barrier()
+	if id == 0 {
+		var run int64
+		for i, x := range g.i64 {
+			g.pre[i] = run
+			run += x
+		}
+		g.resI = run
+	}
+	g.barrier()
+	return g.pre[id], g.resI
+}
+
+// BroadcastFloat64 distributes root's value to all participants.
+func (g *Group) BroadcastFloat64(id, root int, v float64) float64 {
+	if id == root {
+		g.resF = v
+	}
+	g.barrier()
+	out := g.resF
+	g.barrier()
+	return out
+}
+
+// BroadcastInt64 distributes root's value to all participants.
+func (g *Group) BroadcastInt64(id, root int, v int64) int64 {
+	if id == root {
+		g.resI = v
+	}
+	g.barrier()
+	out := g.resI
+	g.barrier()
+	return out
+}

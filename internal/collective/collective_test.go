@@ -1,0 +1,160 @@
+package collective
+
+import (
+	"sync"
+	"testing"
+
+	"bisectlb/internal/bounds"
+)
+
+// spawn runs body on every participant and waits for completion.
+func spawn(g *Group, body func(id int)) {
+	var wg sync.WaitGroup
+	for id := 0; id < g.Size(); id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			body(id)
+		}(id)
+	}
+	wg.Wait()
+}
+
+func TestBarrierRounds(t *testing.T) {
+	g := NewGroup(8)
+	const rounds = 50
+	counter := make([]int, rounds)
+	spawn(g, func(id int) {
+		for r := 0; r < rounds; r++ {
+			g.Barrier()
+			if id == 0 {
+				counter[r]++
+			}
+			g.Barrier()
+			if counter[r] != 1 {
+				t.Errorf("round %d: worker %d saw counter=%d", r, id, counter[r])
+			}
+		}
+	})
+}
+
+func TestBarrierSingleParticipant(t *testing.T) {
+	g := NewGroup(1)
+	g.Barrier() // must not block
+	if g.MaxFloat64(0, 42) != 42 {
+		t.Fatal("single-participant reduce broken")
+	}
+}
+
+func TestMaxFloat64(t *testing.T) {
+	g := NewGroup(6)
+	out := make([]float64, 6)
+	spawn(g, func(id int) {
+		out[id] = g.MaxFloat64(id, float64(id*id))
+	})
+	for id, v := range out {
+		if v != 25 {
+			t.Fatalf("participant %d got max %v", id, v)
+		}
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	g := NewGroup(5)
+	out := make([]int64, 5)
+	spawn(g, func(id int) {
+		out[id] = g.SumInt64(id, int64(id+1))
+	})
+	for id, v := range out {
+		if v != 15 {
+			t.Fatalf("participant %d got sum %v", id, v)
+		}
+	}
+}
+
+func TestPrefixSumInt64(t *testing.T) {
+	g := NewGroup(4)
+	before := make([]int64, 4)
+	totals := make([]int64, 4)
+	spawn(g, func(id int) {
+		b, tot := g.PrefixSumInt64(id, int64(10*(id+1)))
+		before[id] = b
+		totals[id] = tot
+	})
+	wantBefore := []int64{0, 10, 30, 60}
+	for id := range before {
+		if before[id] != wantBefore[id] {
+			t.Fatalf("participant %d: before=%d want %d", id, before[id], wantBefore[id])
+		}
+		if totals[id] != 100 {
+			t.Fatalf("participant %d: total=%d", id, totals[id])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	g := NewGroup(7)
+	outF := make([]float64, 7)
+	outI := make([]int64, 7)
+	spawn(g, func(id int) {
+		v := 0.0
+		if id == 3 {
+			v = 2.718
+		}
+		outF[id] = g.BroadcastFloat64(id, 3, v)
+		iv := int64(0)
+		if id == 3 {
+			iv = 99
+		}
+		outI[id] = g.BroadcastInt64(id, 3, iv)
+	})
+	for id := range outF {
+		if outF[id] != 2.718 || outI[id] != 99 {
+			t.Fatalf("participant %d got %v/%v", id, outF[id], outI[id])
+		}
+	}
+}
+
+func TestRepeatedCollectivesInterleave(t *testing.T) {
+	g := NewGroup(4)
+	spawn(g, func(id int) {
+		for r := 0; r < 100; r++ {
+			m := g.MaxFloat64(id, float64(id+r))
+			if m != float64(3+r) {
+				t.Errorf("round %d: max=%v", r, m)
+				return
+			}
+			b, tot := g.PrefixSumInt64(id, 1)
+			if b != int64(id) || tot != 4 {
+				t.Errorf("round %d: prefix %d/%d", r, b, tot)
+				return
+			}
+		}
+	})
+}
+
+func TestModelRoundAccounting(t *testing.T) {
+	g := NewGroup(8)
+	spawn(g, func(id int) {
+		g.Barrier()
+		g.MaxFloat64(id, 1)
+	})
+	// Barrier = 1 phase, MaxFloat64 = 2 phases (up- and down-sweep), each
+	// phase costing ⌈log2 8⌉ = 3 model rounds.
+	want := int64(3) * bounds.CollectiveCost(8)
+	if got := g.ModelRounds(); got != want {
+		t.Fatalf("model rounds = %d, want %d", got, want)
+	}
+	if got := g.Barriers(); got != 3 {
+		t.Fatalf("barrier phases = %d, want 3", got)
+	}
+}
+
+func TestNewGroupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGroup(0) did not panic")
+		}
+	}()
+	NewGroup(0)
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/xrand"
+)
+
+func TestBAHFBasicContract(t *testing.T) {
+	p := bisect.MustSynthetic(100, 0.1, 0.5, 1)
+	for _, n := range []int{1, 2, 3, 7, 32, 100, 1024} {
+		res, err := BAHF(p, n, 0.1, 1.0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Parts) != n {
+			t.Fatalf("n=%d: got %d parts", n, len(res.Parts))
+		}
+		if res.Bisections != n-1 {
+			t.Fatalf("n=%d: %d bisections, want %d", n, res.Bisections, n-1)
+		}
+		if err := res.CheckPartition(1e-9); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBAHFGuarantee(t *testing.T) {
+	for _, alpha := range []float64{0.05, 0.1, 0.2, 1.0 / 3.0, 0.5} {
+		for _, kappa := range []float64{0.5, 1, 2, 3} {
+			p := bisect.MustFixed(1, alpha)
+			for _, n := range []int{2, 16, 100, 1024} {
+				res, err := BAHF(p, n, alpha, kappa, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				limit := bounds.BAHF(alpha, kappa)
+				// The small-N regime falls back to HF entirely, whose own
+				// guarantee may be the binding one.
+				if hf := bounds.RHF(alpha); hf > limit {
+					limit = hf
+				}
+				if limit < 2*(1-alpha) {
+					limit = 2 * (1 - alpha)
+				}
+				if res.Ratio > limit+1e-9 {
+					t.Fatalf("α=%v κ=%v n=%d: ratio %v exceeds guarantee %v",
+						alpha, kappa, n, res.Ratio, limit)
+				}
+			}
+		}
+	}
+}
+
+func TestBAHFSmallNEqualsHF(t *testing.T) {
+	// With n < κ/α + 1 the hybrid is HF from the start: identical parts.
+	alpha, kappa := 0.1, 2.0 // cutoff = 21
+	for _, n := range []int{2, 5, 10, 20} {
+		hf, err := HF(bisect.MustSynthetic(1, alpha, 0.5, 4), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := BAHF(bisect.MustSynthetic(1, alpha, 0.5, 4), n, alpha, kappa, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePartition(hf, hyb) {
+			t.Fatalf("n=%d below cutoff: BA-HF != HF", n)
+		}
+	}
+}
+
+func TestBAHFHugeKappaEqualsHF(t *testing.T) {
+	rng := xrand.New(31)
+	for trial := 0; trial < 20; trial++ {
+		seed := rng.Uint64()
+		n := 2 + rng.Intn(500)
+		hf, err := HF(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := BAHF(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, 0.1, 1e9, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePartition(hf, hyb) {
+			t.Fatalf("trial %d: κ→∞ BA-HF != HF", trial)
+		}
+	}
+}
+
+func TestBAHFTinyKappaApproachesBA(t *testing.T) {
+	// κ→0 makes the cutoff ≈ 1, so BA-HF never leaves the BA regime.
+	seed := uint64(12)
+	n := 300
+	ba, err := BA(bisect.MustSynthetic(1, 0.2, 0.5, seed), n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := BAHF(bisect.MustSynthetic(1, 0.2, 0.5, seed), n, 0.2, 1e-9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SamePartition(ba, hyb) {
+		t.Fatal("κ→0 BA-HF != BA")
+	}
+}
+
+func TestBAHFQualityBetweenBAAndHF(t *testing.T) {
+	// The paper's simulations found HF best, BA worst, BA-HF in between —
+	// verify the ordering on sample means (not per-instance, which can
+	// fluctuate).
+	rng := xrand.New(41)
+	const trials = 300
+	var sumHF, sumBA, sumHyb float64
+	for i := 0; i < trials; i++ {
+		seed := rng.Uint64()
+		n := 256
+		hf, err := HF(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := BA(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := BAHF(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, 0.1, 1.0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumHF += hf.Ratio
+		sumBA += ba.Ratio
+		sumHyb += hyb.Ratio
+	}
+	if !(sumHF < sumHyb && sumHyb < sumBA) {
+		t.Fatalf("expected avg HF < BA-HF < BA, got %v / %v / %v",
+			sumHF/trials, sumHyb/trials, sumBA/trials)
+	}
+}
+
+func TestBAHFErrors(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 1)
+	if _, err := BAHF(p, 4, 0, 1, Options{}); err == nil {
+		t.Fatal("α=0 accepted")
+	}
+	if _, err := BAHF(p, 4, 0.1, 0, Options{}); err == nil {
+		t.Fatal("κ=0 accepted")
+	}
+	if _, err := BAHF(nil, 4, 0.1, 1, Options{}); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := BAHF(p, 0, 0.1, 1, Options{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestBAHFDeterminismQuick(t *testing.T) {
+	rng := xrand.New(55)
+	f := func(seed uint64) bool {
+		rng.Reseed(seed)
+		n := 1 + rng.Intn(600)
+		kappa := rng.InRange(0.5, 4)
+		a, err := BAHF(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, 0.1, kappa, Options{})
+		if err != nil {
+			return false
+		}
+		b, err := BAHF(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, 0.1, kappa, Options{})
+		if err != nil {
+			return false
+		}
+		return SamePartition(a, b) && a.CheckPartition(1e-9) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+// Native fuzz targets. Under plain `go test` these run on their seed
+// corpus; `go test -fuzz FuzzHFPHFIdentity ./internal/core` explores
+// further. All targets sanitise their raw inputs into valid parameter
+// space first — the interesting surface is the algorithm logic, not the
+// input validation (which has dedicated unit tests).
+
+import (
+	"math"
+	"testing"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+)
+
+// sanitizeInterval folds two arbitrary float64s into a valid α̂ interval
+// 0 < lo < hi ≤ 1/2 and an n in [1, 1500]. The interval is kept
+// non-degenerate (hi ≥ lo + 0.02): a zero-width interval produces exactly
+// tied subproblem weights, under which the PHF ≡ HF identity intentionally
+// weakens (see the tie caveat on PHF); the identity fuzz target explores
+// the continuous regime the theorem addresses. The fuzzer discovered this
+// itself at lo=hi=0.25 — that input is kept in testdata as a regression
+// seed for the sanitiser.
+func sanitizeInterval(a, b float64, nRaw uint16) (lo, hi float64, n int) {
+	fold := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0.25
+		}
+		x = math.Abs(x)
+		x -= math.Floor(x) // [0, 1)
+		return 0.01 + x*0.47
+	}
+	lo, hi = fold(a), fold(b)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi < lo+0.02 {
+		hi = lo + 0.02
+	}
+	if hi > 0.5 {
+		hi = 0.5
+	}
+	if lo > hi-0.02 {
+		lo = hi - 0.02
+	}
+	n = 1 + int(nRaw)%1500
+	return
+}
+
+func FuzzHFPHFIdentity(f *testing.F) {
+	f.Add(uint64(1), uint16(64), 0.1, 0.5)
+	f.Add(uint64(42), uint16(1), 0.01, 0.01)
+	f.Add(uint64(7), uint16(999), 0.3, 0.49)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, a, b float64) {
+		lo, hi, n := sanitizeInterval(a, b, nRaw)
+		hf, err := HF(bisect.MustSynthetic(1, lo, hi, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phf, err := PHF(bisect.MustSynthetic(1, lo, hi, seed), n, lo, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePartition(hf, &phf.Result) {
+			t.Fatalf("PHF != HF at lo=%v hi=%v n=%d seed=%d", lo, hi, n, seed)
+		}
+		if err := hf.CheckPartition(1e-9); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzGuarantees(f *testing.F) {
+	f.Add(uint64(3), uint16(100), 0.2, 0.4)
+	f.Add(uint64(11), uint16(1024), 0.05, 0.5)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, a, b float64) {
+		lo, hi, n := sanitizeInterval(a, b, nRaw)
+		hf, err := HF(bisect.MustSynthetic(1, lo, hi, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hf.Ratio > bounds.RHF(lo)+1e-9 {
+			t.Fatalf("HF guarantee violated: lo=%v hi=%v n=%d ratio=%v", lo, hi, n, hf.Ratio)
+		}
+		ba, err := BA(bisect.MustSynthetic(1, lo, hi, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ba.Ratio > bounds.BA(lo, n)+1e-9 {
+			t.Fatalf("BA guarantee violated: lo=%v hi=%v n=%d ratio=%v", lo, hi, n, ba.Ratio)
+		}
+	})
+}
+
+func FuzzBAHFSandwich(f *testing.F) {
+	f.Add(uint64(5), uint16(200), 0.15, 0.5, 1.5)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint16, a, b, kRaw float64) {
+		lo, hi, n := sanitizeInterval(a, b, nRaw)
+		kappa := 0.25
+		if !math.IsNaN(kRaw) && !math.IsInf(kRaw, 0) {
+			k := math.Abs(kRaw)
+			k -= math.Floor(k)
+			kappa = 0.25 + 4*k
+		}
+		hyb, err := BAHF(bisect.MustSynthetic(1, lo, hi, seed), n, lo, kappa, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := hyb.CheckPartition(1e-9); err != nil {
+			t.Fatal(err)
+		}
+		limit := bounds.BAHF(lo, kappa)
+		if r := bounds.RHF(lo); r > limit {
+			limit = r
+		}
+		if hyb.Ratio > limit+1e-9 {
+			t.Fatalf("BA-HF guarantee violated: lo=%v κ=%v n=%d ratio=%v", lo, kappa, n, hyb.Ratio)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/pheap"
+)
+
+// node pairs a problem with its bisection-tree depth.
+type node struct {
+	p     bisect.Problem
+	depth int
+}
+
+// HF implements Algorithm HF (Heaviest Problem First, paper Figure 1): keep
+// a pool of subproblems initialised to {p} and, while the pool holds fewer
+// than n subproblems, bisect a subproblem of maximum weight. Ties on weight
+// are broken by the smaller problem ID so runs are reproducible.
+//
+// For a class with α-bisectors, Theorem 2 guarantees
+//
+//	max_i w(p_i) ≤ (w(p)/n) · r_α,   r_α = (1/α)(1−α)^{⌈1/α⌉−2},
+//
+// using exactly n−1 bisections. HF is the sequential baseline every parallel
+// algorithm in this package is measured against.
+//
+// Indivisible subproblems (CanBisect() == false) are parked as final parts;
+// if every remaining subproblem is indivisible the partition ends with fewer
+// than n parts, which the paper's model explicitly allows ("some processors
+// remain idle").
+func HF(p bisect.Problem, n int, opt Options) (*Result, error) {
+	if err := validate(p, n); err != nil {
+		return nil, err
+	}
+	rec := newRecorder(opt, p)
+	total := p.Weight()
+
+	h := pheap.New(n)
+	h.Push(pheap.Item{Weight: total, ID: p.ID(), Value: node{p, 0}})
+	var final []Part
+	bisections := 0
+
+	for h.Len() > 0 && len(final)+h.Len() < n {
+		it := h.Pop()
+		nd := it.Value.(node)
+		if !nd.p.CanBisect() {
+			final = append(final, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
+			continue
+		}
+		c1, c2 := nd.p.Bisect()
+		bisections++
+		if err := rec.bisection(nd.p, c1, c2); err != nil {
+			return nil, err
+		}
+		h.Push(pheap.Item{Weight: c1.Weight(), ID: c1.ID(), Value: node{c1, nd.depth + 1}})
+		h.Push(pheap.Item{Weight: c2.Weight(), ID: c2.ID(), Value: node{c2, nd.depth + 1}})
+	}
+	for _, it := range h.Drain() {
+		nd := it.Value.(node)
+		final = append(final, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
+	}
+	return finalize("HF", final, n, total, bisections, rec), nil
+}
+
+// HFScan is Algorithm HF implemented with a linear scan for the maximum
+// instead of a heap. It exists purely as the ablation baseline for the
+// BenchmarkHFHeapVsScan comparison (DESIGN.md §7); callers should use HF.
+func HFScan(p bisect.Problem, n int, opt Options) (*Result, error) {
+	if err := validate(p, n); err != nil {
+		return nil, err
+	}
+	rec := newRecorder(opt, p)
+	total := p.Weight()
+
+	pool := []node{{p, 0}}
+	var final []Part
+	bisections := 0
+	for len(pool) > 0 && len(final)+len(pool) < n {
+		// Linear scan for the heaviest subproblem (ties: smaller ID).
+		best := 0
+		for i := 1; i < len(pool); i++ {
+			wi, wb := pool[i].p.Weight(), pool[best].p.Weight()
+			if wi > wb || (wi == wb && pool[i].p.ID() < pool[best].p.ID()) {
+				best = i
+			}
+		}
+		nd := pool[best]
+		pool[best] = pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if !nd.p.CanBisect() {
+			final = append(final, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
+			continue
+		}
+		c1, c2 := nd.p.Bisect()
+		bisections++
+		if err := rec.bisection(nd.p, c1, c2); err != nil {
+			return nil, err
+		}
+		pool = append(pool, node{c1, nd.depth + 1}, node{c2, nd.depth + 1})
+	}
+	for _, nd := range pool {
+		final = append(final, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
+	}
+	return finalize("HF", final, n, total, bisections, rec), nil
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/collective"
+)
+
+// ParallelOptions configure the goroutine-parallel executions.
+type ParallelOptions struct {
+	// Workers is the number of goroutines to use. Zero means GOMAXPROCS.
+	// The paper's machine has one processor per subproblem; on a real
+	// multicore we multiplex the N logical processors onto Workers
+	// goroutines SPMD-style.
+	Workers int
+	// SpawnThreshold stops ParallelBA from spawning a goroutine for
+	// subtrees with fewer processors than this, bounding goroutine count
+	// while keeping the recursion tree parallel near the root. Zero means
+	// a sensible default (64).
+	SpawnThreshold int
+}
+
+func (o ParallelOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o ParallelOptions) spawnThreshold() int {
+	if o.SpawnThreshold > 0 {
+		return o.SpawnThreshold
+	}
+	return 64
+}
+
+// ParallelBA executes Algorithm BA with real goroutine parallelism: the two
+// recursive calls after a bisection run concurrently, mirroring the paper's
+// observation that "these recursive calls can be executed in parallel on
+// different processors". The computed partition is identical to BA's
+// (the algorithm is deterministic; only the execution order differs).
+//
+// Free-processor management is the paper's range scheme (Section 3.4): the
+// recursion carries the processor range [base, base+procs), the heavy child
+// keeps the low part of the range on the same processor and the light child
+// is "sent" to processor base+n1. Each leaf therefore has a unique range
+// start, which is used as its slot in the result array — no locks needed.
+func ParallelBA(p bisect.Problem, n int, opt ParallelOptions) (*Result, error) {
+	if err := validate(p, n); err != nil {
+		return nil, err
+	}
+	total := p.Weight()
+	slots := make([]Part, n) // leaf with range [base, …) lands in slots[base]
+	filled := make([]bool, n)
+	var bisections atomic.Int64
+	spawnMin := opt.spawnThreshold()
+
+	var wg sync.WaitGroup
+	var recurse func(q bisect.Problem, base, procs, depth int)
+	recurse = func(q bisect.Problem, base, procs, depth int) {
+		for {
+			if procs == 1 || !q.CanBisect() {
+				slots[base] = Part{Problem: q, Procs: procs, Depth: depth}
+				filled[base] = true
+				return
+			}
+			c1, c2 := q.Bisect()
+			bisections.Add(1)
+			if c1.Weight() < c2.Weight() {
+				c1, c2 = c2, c1
+			}
+			n1, n2 := SplitProcs(c1.Weight(), c2.Weight(), procs)
+			if procs >= spawnMin {
+				wg.Add(1)
+				go func(q2 bisect.Problem, b, pr, d int) {
+					defer wg.Done()
+					recurse(q2, b, pr, d)
+				}(c2, base+n1, n2, depth+1)
+			} else {
+				recurse(c2, base+n1, n2, depth+1)
+			}
+			// Continue with the heavy child on this goroutine (tail call).
+			q, procs, depth = c1, n1, depth+1
+		}
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		recurse(p, 0, n, 0)
+	}()
+	wg.Wait()
+
+	parts := make([]Part, 0, n)
+	for i, ok := range filled {
+		if ok {
+			parts = append(parts, slots[i])
+		}
+	}
+	return finalize("BA", parts, n, total, int(bisections.Load()), recorder{}), nil
+}
+
+// ParallelPHF executes Algorithm PHF with worker goroutines and the
+// collective operations of internal/collective, producing the identical
+// partition to PHF (and hence, by Theorem 3, to HF). The N logical
+// processors of the model are multiplexed onto Workers goroutines: in each
+// synchronous round every worker handles a contiguous chunk of the current
+// subproblem array, and new subproblems are placed via an exclusive prefix
+// sum over per-worker bisection counts — the same primitive the paper uses
+// to number free processors.
+//
+// The returned PHFResult's GlobalOps/ModelTime reflect the collective
+// operations actually performed by the worker group.
+func ParallelPHF(p bisect.Problem, n int, alpha float64, opt ParallelOptions) (*PHFResult, error) {
+	if err := validate(p, n); err != nil {
+		return nil, err
+	}
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	w := opt.workers()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	total := p.Weight()
+	threshold := bounds.HFThreshold(total, alpha, n)
+	logN := bounds.CollectiveCost(n)
+
+	// parts is allocated at full capacity up front; shared.length tracks the
+	// live prefix so workers can write new children into their prefix-sum
+	// slots without growing the slice concurrently.
+	parts := make([]node, n)
+	parts[0] = node{p, 0}
+	// Shared round state, written only by worker 0 between barriers; the
+	// barrier's lock ordering makes the writes visible to all workers.
+	shared := struct {
+		length    int // live prefix of parts
+		free      int // free processors (phase 2)
+		stop      bool
+		phase1    bool
+		rounds    int
+		iters     int
+		bis1      int
+		bis2      int
+		globalOps int64
+		modelTime int64
+		cut       float64 // phase-2 weight cutoff m(1−α)
+		budget    int     // phase-2 per-iteration bisection budget
+	}{length: 1, phase1: true}
+
+	g := collective.NewGroup(w)
+	chunk := func(id, length int) (lo, hi int) {
+		lo = id * length / w
+		hi = (id + 1) * length / w
+		return
+	}
+
+	var wg sync.WaitGroup
+	worker := func(id int) {
+		defer wg.Done()
+		for {
+			g.Barrier()
+			if shared.stop {
+				return
+			}
+			length := shared.length
+			lo, hi := chunk(id, length)
+
+			// Identify this worker's bisection candidates for the round.
+			var local []int
+			if shared.phase1 {
+				for i := lo; i < hi; i++ {
+					if parts[i].p.Weight() > threshold && parts[i].p.CanBisect() {
+						local = append(local, i)
+					}
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					if parts[i].p.Weight() >= shared.cut && parts[i].p.CanBisect() {
+						local = append(local, i)
+					}
+				}
+			}
+			before, totalHeavy := g.PrefixSumInt64(id, int64(len(local)))
+
+			room := n - length
+			budget := shared.budget
+			if shared.phase1 {
+				budget = room
+			}
+			if int(totalHeavy) <= budget && int(totalHeavy) <= room {
+				// Common case: everyone bisects its own candidates; the
+				// prefix sum gives each new child a unique slot, matching
+				// the sequential append order exactly.
+				for k, i := range local {
+					c1, c2 := parts[i].p.Bisect()
+					d := parts[i].depth + 1
+					parts[i] = node{c1, d}
+					parts[length+int(before)+k] = node{c2, d}
+				}
+				g.Barrier()
+				if id == 0 {
+					shared.length = length + int(totalHeavy)
+					if shared.phase1 {
+						shared.bis1 += int(totalHeavy)
+						if totalHeavy > 0 {
+							shared.rounds++
+							shared.modelTime += 2
+						}
+					} else {
+						shared.bis2 += int(totalHeavy)
+						shared.free -= int(totalHeavy)
+						shared.modelTime += 2
+					}
+				}
+			} else {
+				// Rare path (final phase-2 iteration, or a mis-declared α
+				// in phase 1): a global selection of the heaviest
+				// candidates is required; worker 0 performs it after a
+				// gather, exactly as the model's O(log N) parallel
+				// selection would.
+				g.Barrier()
+				if id == 0 {
+					limit := budget
+					if room < limit {
+						limit = room
+					}
+					var all []int
+					for i := 0; i < length; i++ {
+						ok := false
+						if shared.phase1 {
+							ok = parts[i].p.Weight() > threshold && parts[i].p.CanBisect()
+						} else {
+							ok = parts[i].p.Weight() >= shared.cut && parts[i].p.CanBisect()
+						}
+						if ok {
+							all = append(all, i)
+						}
+					}
+					sort.Slice(all, func(a, b int) bool {
+						pa, pb := parts[all[a]].p, parts[all[b]].p
+						if pa.Weight() != pb.Weight() {
+							return pa.Weight() > pb.Weight()
+						}
+						return pa.ID() < pb.ID()
+					})
+					if len(all) > limit {
+						all = all[:limit]
+					}
+					for k, i := range all {
+						c1, c2 := parts[i].p.Bisect()
+						d := parts[i].depth + 1
+						parts[i] = node{c1, d}
+						parts[length+k] = node{c2, d}
+					}
+					shared.length = length + len(all)
+					shared.globalOps++
+					shared.modelTime += logN + 2
+					if shared.phase1 {
+						shared.bis1 += len(all)
+						if len(all) > 0 {
+							shared.rounds++
+						}
+					} else {
+						shared.bis2 += len(all)
+						shared.free -= len(all)
+					}
+				}
+			}
+			g.Barrier()
+
+			// Round bookkeeping and phase transitions (worker 0 decides,
+			// everyone observes after the next barrier at loop top).
+			if id == 0 {
+				if shared.phase1 {
+					done := true
+					for i := 0; i < shared.length; i++ {
+						if parts[i].p.Weight() > threshold && parts[i].p.CanBisect() {
+							done = false
+							break
+						}
+					}
+					if done || shared.length >= n {
+						shared.phase1 = false
+						shared.free = n - shared.length
+						// Step (b)/(c): barrier + free-processor numbering.
+						shared.globalOps += 2
+						shared.modelTime += 2 * logN
+					}
+				}
+				if !shared.phase1 {
+					if shared.free <= 0 {
+						shared.stop = true
+					} else {
+						// Steps (d)/(e): global max and heavy count.
+						m := 0.0
+						for i := 0; i < shared.length; i++ {
+							if w := parts[i].p.Weight(); w > m {
+								m = w
+							}
+						}
+						shared.cut = m * (1 - alpha)
+						shared.budget = shared.free
+						shared.iters++
+						shared.globalOps += 2
+						shared.modelTime += 2 * logN
+						// If nothing is divisible any more, stop.
+						any := false
+						for i := 0; i < shared.length; i++ {
+							if parts[i].p.Weight() >= shared.cut && parts[i].p.CanBisect() {
+								any = true
+								break
+							}
+						}
+						if !any {
+							shared.iters--
+							shared.stop = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for id := 0; id < w; id++ {
+		wg.Add(1)
+		go worker(id)
+	}
+	wg.Wait()
+
+	out := make([]Part, shared.length)
+	for i := 0; i < shared.length; i++ {
+		out[i] = Part{Problem: parts[i].p, Procs: 1, Depth: parts[i].depth}
+	}
+	res := &PHFResult{
+		Threshold:        threshold,
+		Phase1Rounds:     shared.rounds,
+		Phase1Bisections: shared.bis1,
+		Phase2Iterations: shared.iters,
+		Phase2Bisections: shared.bis2,
+		ModelTime:        shared.modelTime,
+		GlobalOps:        shared.globalOps + g.Barriers(),
+	}
+	fin := finalize("PHF", out, n, total, shared.bis1+shared.bis2, recorder{})
+	res.Result = *fin
+	if len(res.Parts) == 0 {
+		return nil, fmt.Errorf("core: ParallelPHF produced no parts")
+	}
+	return res, nil
+}

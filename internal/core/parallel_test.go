@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/xrand"
+)
+
+func TestParallelBAMatchesBA(t *testing.T) {
+	rng := xrand.New(61)
+	for trial := 0; trial < 25; trial++ {
+		seed := rng.Uint64()
+		n := 1 + rng.Intn(2000)
+		seq, err := BA(bisect.MustSynthetic(1, 0.05, 0.5, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ParallelBA(bisect.MustSynthetic(1, 0.05, 0.5, seed), n, ParallelOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePartition(seq, par) {
+			t.Fatalf("trial %d (n=%d): parallel BA differs from BA", trial, n)
+		}
+		if par.Bisections != seq.Bisections {
+			t.Fatalf("trial %d: bisections %d vs %d", trial, par.Bisections, seq.Bisections)
+		}
+	}
+}
+
+func TestParallelBASpawnThresholds(t *testing.T) {
+	seed := uint64(5)
+	n := 777
+	want, err := BA(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, thr := range []int{1, 2, 16, 100000} {
+		got, err := ParallelBA(bisect.MustSynthetic(1, 0.1, 0.5, seed), n,
+			ParallelOptions{SpawnThreshold: thr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePartition(want, got) {
+			t.Fatalf("spawn threshold %d changed the partition", thr)
+		}
+	}
+}
+
+func TestParallelBAIndivisible(t *testing.T) {
+	res, err := ParallelBA(bisect.MustList(6, 0.2, 9), 64, ParallelOptions{SpawnThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) > 6 {
+		t.Fatalf("%d parts from 6 elements", len(res.Parts))
+	}
+	procs := 0
+	for _, pt := range res.Parts {
+		procs += pt.Procs
+	}
+	if procs != 64 {
+		t.Fatalf("processors lost: %d", procs)
+	}
+}
+
+func TestParallelBAErrors(t *testing.T) {
+	if _, err := ParallelBA(nil, 4, ParallelOptions{}); err == nil {
+		t.Fatal("nil accepted")
+	}
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 1)
+	if _, err := ParallelBA(p, 0, ParallelOptions{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestParallelPHFMatchesHF(t *testing.T) {
+	intervals := [][2]float64{{0.05, 0.5}, {0.1, 0.5}, {0.3, 0.3}}
+	ns := []int{1, 2, 7, 64, 500}
+	workers := []int{1, 3, 8}
+	for _, iv := range intervals {
+		for _, n := range ns {
+			for _, w := range workers {
+				seed := uint64(n*1000 + w)
+				hf, err := HF(bisect.MustSynthetic(1, iv[0], iv[1], seed), n, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := ParallelPHF(bisect.MustSynthetic(1, iv[0], iv[1], seed), n, iv[0],
+					ParallelOptions{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !SamePartition(hf, &par.Result) {
+					t.Fatalf("iv=%v n=%d workers=%d: ParallelPHF != HF", iv, n, w)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelPHFMatchesSequentialPHF(t *testing.T) {
+	rng := xrand.New(71)
+	for trial := 0; trial < 15; trial++ {
+		seed := rng.Uint64()
+		n := 1 + rng.Intn(600)
+		seq, err := PHF(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, 0.1, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ParallelPHF(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, 0.1,
+			ParallelOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePartition(&seq.Result, &par.Result) {
+			t.Fatalf("trial %d (n=%d): parallel PHF differs from sequential", trial, n)
+		}
+		if par.Phase1Bisections+par.Phase2Bisections != seq.Bisections {
+			t.Fatalf("trial %d: bisection accounting differs (%d+%d vs %d)",
+				trial, par.Phase1Bisections, par.Phase2Bisections, seq.Bisections)
+		}
+	}
+}
+
+func TestParallelPHFOnLists(t *testing.T) {
+	hf, err := HF(bisect.MustList(2000, 0.2, 17), 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ParallelPHF(bisect.MustList(2000, 0.2, 17), 64, 0.2, ParallelOptions{Workers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SamePartition(hf, &par.Result) {
+		t.Fatal("ParallelPHF != HF on list substrate")
+	}
+}
+
+func TestParallelPHFWorkerClamping(t *testing.T) {
+	// More workers than processors must clamp, not deadlock.
+	par, err := ParallelPHF(bisect.MustSynthetic(1, 0.2, 0.5, 2), 3, 0.2,
+		ParallelOptions{Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Parts) != 3 {
+		t.Fatalf("parts = %d", len(par.Parts))
+	}
+}
+
+func TestParallelPHFErrors(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 1)
+	if _, err := ParallelPHF(nil, 4, 0.1, ParallelOptions{}); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := ParallelPHF(p, 0, 0.1, ParallelOptions{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := ParallelPHF(p, 4, 0.9, ParallelOptions{}); err == nil {
+		t.Fatal("bad α accepted")
+	}
+}

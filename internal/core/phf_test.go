@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/xrand"
+)
+
+// TestPHFEquivalence is the executable Theorem 3: PHF computes exactly the
+// partition of HF, across α intervals, processor counts and seeds.
+func TestPHFEquivalence(t *testing.T) {
+	intervals := [][2]float64{{0.01, 0.5}, {0.1, 0.5}, {0.05, 0.1}, {0.3, 0.3}, {0.5, 0.5}}
+	ns := []int{1, 2, 3, 7, 32, 100, 1000}
+	for _, iv := range intervals {
+		for _, n := range ns {
+			for seed := uint64(0); seed < 5; seed++ {
+				hf, err := HF(bisect.MustSynthetic(1, iv[0], iv[1], seed), n, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				phf, err := PHF(bisect.MustSynthetic(1, iv[0], iv[1], seed), n, iv[0], Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !SamePartition(hf, &phf.Result) {
+					t.Fatalf("interval %v n=%d seed=%d: PHF != HF (hf max %v, phf max %v)",
+						iv, n, seed, hf.Max, phf.Max)
+				}
+			}
+		}
+	}
+}
+
+func TestPHFEquivalenceQuick(t *testing.T) {
+	rng := xrand.New(7)
+	f := func(seed uint64) bool {
+		rng.Reseed(seed)
+		lo := rng.InRange(0.02, 0.45)
+		hi := rng.InRange(lo, 0.5)
+		n := 1 + rng.Intn(800)
+		hf, err := HF(bisect.MustSynthetic(1, lo, hi, seed), n, Options{})
+		if err != nil {
+			return false
+		}
+		phf, err := PHF(bisect.MustSynthetic(1, lo, hi, seed), n, lo, Options{})
+		if err != nil {
+			return false
+		}
+		return SamePartition(hf, &phf.Result)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPHFEquivalenceOnLists(t *testing.T) {
+	// The identity must also hold on a substrate with indivisible atoms.
+	for seed := uint64(0); seed < 10; seed++ {
+		hf, err := HF(bisect.MustList(5000, 0.15, seed), 64, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phf, err := PHF(bisect.MustList(5000, 0.15, seed), 64, 0.15, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePartition(hf, &phf.Result) {
+			t.Fatalf("seed %d: PHF != HF on list substrate", seed)
+		}
+	}
+}
+
+func TestPHFPhaseAccounting(t *testing.T) {
+	alpha := 0.1
+	n := 1024
+	phf, err := PHF(bisect.MustSynthetic(1, alpha, 0.5, 3), n, alpha, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phf.Phase1Bisections+phf.Phase2Bisections != phf.Bisections {
+		t.Fatal("phase bisections do not sum")
+	}
+	if phf.Bisections != n-1 {
+		t.Fatalf("bisections = %d, want %d", phf.Bisections, n-1)
+	}
+	if phf.Phase1Rounds > bounds.PHFPhase1Depth(alpha, n) {
+		t.Fatalf("phase-1 rounds %d exceed depth bound %d",
+			phf.Phase1Rounds, bounds.PHFPhase1Depth(alpha, n))
+	}
+	// Paper: I ≤ (1/α)·ln(1/α) iterations suffice; allow the +1 slack of
+	// the discrete loop.
+	limit := bounds.PHFPhase2Iterations(alpha) + 1
+	if phf.Phase2Iterations > limit {
+		t.Fatalf("phase-2 iterations %d exceed bound %d", phf.Phase2Iterations, limit)
+	}
+	if phf.ModelTime <= 0 || phf.GlobalOps <= 0 {
+		t.Fatal("model accounting missing")
+	}
+}
+
+func TestPHFThresholdSemantics(t *testing.T) {
+	alpha := 0.2
+	n := 256
+	phf, err := PHF(bisect.MustSynthetic(1, alpha, 0.5, 5), n, alpha, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bounds.HFThreshold(1, alpha, n)
+	if math.Abs(phf.Threshold-want) > 1e-12 {
+		t.Fatalf("threshold %v, want %v", phf.Threshold, want)
+	}
+	// Theorem 2 through the PHF path: the final max is at or below the
+	// threshold.
+	if phf.Max > phf.Threshold+1e-12 {
+		t.Fatalf("max %v exceeds threshold %v", phf.Max, phf.Threshold)
+	}
+}
+
+func TestPHFModelTimeLogarithmic(t *testing.T) {
+	// For fixed α the model running time must grow O(log N): going from
+	// N=2^10 to N=2^16 may only add a constant factor ≈ 1.6 plus slack,
+	// nothing close to the 64× a linear algorithm would show.
+	alpha := 0.25
+	t10, err := PHF(bisect.MustSynthetic(1, alpha, 0.5, 1), 1<<10, alpha, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := PHF(bisect.MustSynthetic(1, alpha, 0.5, 1), 1<<16, alpha, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := float64(t16.ModelTime) / float64(t10.ModelTime)
+	if growth > 4 {
+		t.Fatalf("model time grew %vx from 2^10 to 2^16 — not O(log N)", growth)
+	}
+}
+
+func TestPHFErrors(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 1)
+	if _, err := PHF(nil, 4, 0.1, Options{}); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	if _, err := PHF(p, 0, 0.1, Options{}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := PHF(p, 4, 0, Options{}); err == nil {
+		t.Fatal("α=0 accepted")
+	}
+	if _, err := PHF(p, 4, 0.7, Options{}); err == nil {
+		t.Fatal("α=0.7 accepted")
+	}
+}
+
+func TestPHFMisdeclaredAlphaDegradesGracefully(t *testing.T) {
+	// Declare α=0.45 for a class that actually only guarantees 0.05: PHF
+	// may lose the HF identity but must still emit a valid ≤n partition.
+	p := bisect.MustSynthetic(1, 0.05, 0.5, 9)
+	phf, err := PHF(p, 64, 0.45, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phf.CheckPartition(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	if len(phf.Parts) > 64 {
+		t.Fatalf("%d parts exceed processor count", len(phf.Parts))
+	}
+}
+
+func TestPHFSingleProcessor(t *testing.T) {
+	phf, err := PHF(bisect.MustSynthetic(1, 0.1, 0.5, 2), 1, 0.1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phf.Parts) != 1 || phf.Bisections != 0 {
+		t.Fatalf("parts=%d bisections=%d", len(phf.Parts), phf.Bisections)
+	}
+}
+
+func TestPHFTreeRecording(t *testing.T) {
+	phf, err := PHF(bisect.MustSynthetic(1, 0.1, 0.5, 21), 128, 0.1, Options{RecordTree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phf.Tree == nil || phf.Tree.NumLeaves() != 128 {
+		t.Fatal("PHF tree recording broken")
+	}
+	if err := phf.Tree.CheckInvariants(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"bisectlb/internal/bisect"
+)
+
+func mkResult(t *testing.T, n int) *Result {
+	t.Helper()
+	res, err := HF(bisect.MustSynthetic(1, 0.1, 0.5, 99), n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPartIDsSortedAndComplete(t *testing.T) {
+	res := mkResult(t, 17)
+	ids := res.PartIDs()
+	if len(ids) != 17 {
+		t.Fatalf("ids = %d", len(ids))
+	}
+	seen := map[uint64]bool{}
+	for i, id := range ids {
+		if seen[id] {
+			t.Fatal("duplicate id")
+		}
+		seen[id] = true
+		if i > 0 && ids[i-1] >= id {
+			t.Fatal("ids not ascending")
+		}
+	}
+}
+
+func TestWeightsMatchParts(t *testing.T) {
+	res := mkResult(t, 9)
+	ws := res.Weights()
+	if len(ws) != len(res.Parts) {
+		t.Fatal("length mismatch")
+	}
+	for i, w := range ws {
+		if w != res.Parts[i].Problem.Weight() {
+			t.Fatalf("weight %d mismatch", i)
+		}
+	}
+}
+
+func TestSamePartitionEdgeCases(t *testing.T) {
+	a := mkResult(t, 8)
+	if SamePartition(nil, a) || SamePartition(a, nil) || SamePartition(nil, nil) {
+		t.Fatal("nil results compared equal")
+	}
+	b := mkResult(t, 9)
+	if SamePartition(a, b) {
+		t.Fatal("different part counts compared equal")
+	}
+	c := mkResult(t, 8)
+	if !SamePartition(a, c) {
+		t.Fatal("identical runs compared unequal")
+	}
+	// Same count, different instance: IDs differ.
+	d, err := HF(bisect.MustSynthetic(1, 0.1, 0.5, 100), 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SamePartition(a, d) {
+		t.Fatal("different instances compared equal")
+	}
+}
+
+func TestCheckPartitionCatchesTampering(t *testing.T) {
+	res := mkResult(t, 6)
+	if err := res.CheckPartition(1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Too many parts for N.
+	res.N = 3
+	if err := res.CheckPartition(1e-9); err == nil {
+		t.Fatal("part overflow not detected")
+	}
+	res.N = 6
+	// Tampered max.
+	res.Max *= 2
+	if err := res.CheckPartition(1e-9); err == nil {
+		t.Fatal("max tampering not detected")
+	}
+	res.Max /= 2
+	// Tampered total.
+	res.Total *= 2
+	if err := res.CheckPartition(1e-9); err == nil {
+		t.Fatal("total tampering not detected")
+	}
+	res.Total /= 2
+	// Zero-processor part.
+	res.Parts[0].Procs = 0
+	if err := res.CheckPartition(1e-9); err == nil {
+		t.Fatal("zero-proc part not detected")
+	}
+	res.Parts[0].Procs = 1
+	// Empty result.
+	empty := &Result{N: 4, Total: 1}
+	if err := empty.CheckPartition(1e-9); err == nil {
+		t.Fatal("empty result not detected")
+	}
+}
+
+func TestAlgorithmNamesOnResults(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 1)
+	hf, _ := HF(p, 4, Options{})
+	ba, _ := BA(p, 4, Options{})
+	hyb, _ := BAHF(p, 4, 0.1, 2.5, Options{})
+	phf, _ := PHF(p, 4, 0.1, Options{})
+	if hf.Algorithm != "HF" || ba.Algorithm != "BA" || phf.Algorithm != "PHF" {
+		t.Fatalf("names: %q %q %q", hf.Algorithm, ba.Algorithm, phf.Algorithm)
+	}
+	if hyb.Algorithm != "BA-HF(κ=2.5)" {
+		t.Fatalf("hybrid name %q", hyb.Algorithm)
+	}
+}
+
+func TestMaxDepthConsistentWithParts(t *testing.T) {
+	res := mkResult(t, 40)
+	want := 0
+	for _, pt := range res.Parts {
+		if pt.Depth > want {
+			want = pt.Depth
+		}
+	}
+	if res.MaxDepth != want {
+		t.Fatalf("MaxDepth %d, parts say %d", res.MaxDepth, want)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+// Randomized stress validation of the reconstructed worst-case bounds
+// (DESIGN.md §5). These tests hammer the guarantee inequalities of
+// Theorems 2, 7 and 8 far beyond the quick property tests; during
+// development they falsified two mis-readings of the OCR'd formula for r_α
+// before the smooth form survived. They are skipped with -short.
+
+import (
+	"testing"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/xrand"
+)
+
+func TestStressHFGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := xrand.New(1234)
+	for trial := 0; trial < 3000; trial++ {
+		seed := rng.Uint64()
+		lo := rng.InRange(0.02, 0.499)
+		hi := rng.InRange(lo, 0.5)
+		n := 2 + rng.Intn(3000)
+		res, err := HF(bisect.MustSynthetic(1, lo, hi, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := bounds.RHF(lo); res.Ratio > r+1e-9 {
+			t.Fatalf("HF violation: lo=%v hi=%v n=%d ratio=%v > r=%v", lo, hi, n, res.Ratio, r)
+		}
+		// The independent elementary bound must hold as well.
+		if pr := bounds.RHFProvableN(lo, n); res.Ratio > pr+1e-9 {
+			t.Fatalf("HF elementary-bound violation: lo=%v n=%d ratio=%v > %v", lo, n, res.Ratio, pr)
+		}
+	}
+}
+
+func TestStressHFGuaranteeFixedGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for a := 0.02; a <= 0.5; a += 0.01 {
+		p := bisect.MustFixed(1, a)
+		r := bounds.RHF(a)
+		for n := 2; n <= 300; n++ {
+			res, err := HF(p, n, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ratio > r+1e-9 {
+				t.Fatalf("HF fixed violation: a=%v n=%d ratio=%v > r=%v", a, n, res.Ratio, r)
+			}
+		}
+	}
+}
+
+func TestStressBAGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := xrand.New(5678)
+	for trial := 0; trial < 3000; trial++ {
+		seed := rng.Uint64()
+		lo := rng.InRange(0.02, 0.499)
+		hi := rng.InRange(lo, 0.5)
+		n := 2 + rng.Intn(3000)
+		res, err := BA(bisect.MustSynthetic(1, lo, hi, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := bounds.BA(lo, n); res.Ratio > r+1e-9 {
+			t.Fatalf("BA violation: lo=%v hi=%v n=%d ratio=%v > bound=%v", lo, hi, n, res.Ratio, r)
+		}
+	}
+}
+
+func TestStressBAHFGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := xrand.New(9012)
+	for trial := 0; trial < 2000; trial++ {
+		seed := rng.Uint64()
+		lo := rng.InRange(0.02, 0.499)
+		hi := rng.InRange(lo, 0.5)
+		kappa := rng.InRange(0.25, 4)
+		n := 2 + rng.Intn(2000)
+		res, err := BAHF(bisect.MustSynthetic(1, lo, hi, seed), n, lo, kappa, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := bounds.BAHF(lo, kappa)
+		if hf := bounds.RHF(lo); hf > limit {
+			limit = hf // small-N runs are pure HF
+		}
+		if res.Ratio > limit+1e-9 {
+			t.Fatalf("BA-HF violation: lo=%v κ=%v n=%d ratio=%v > bound=%v",
+				lo, kappa, n, res.Ratio, limit)
+		}
+	}
+}
+
+func TestStressPHFIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := xrand.New(3456)
+	for trial := 0; trial < 800; trial++ {
+		seed := rng.Uint64()
+		lo := rng.InRange(0.02, 0.499)
+		hi := rng.InRange(lo, 0.5)
+		n := 1 + rng.Intn(1500)
+		hf, err := HF(bisect.MustSynthetic(1, lo, hi, seed), n, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phf, err := PHF(bisect.MustSynthetic(1, lo, hi, seed), n, lo, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !SamePartition(hf, &phf.Result) {
+			t.Fatalf("PHF identity violation: lo=%v hi=%v n=%d seed=%d", lo, hi, n, seed)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// PartReport is one finished subproblem as received by the coordinator.
+type PartReport struct {
+	Spec     Spec
+	Lo, Hi   int
+	FromNode int
+}
+
+// Result is the outcome of a distributed run.
+type Result struct {
+	Parts []PartReport
+	// MaxWeight and Ratio mirror the core result quality measure.
+	MaxWeight float64
+	Ratio     float64
+	// CrossNodeParts counts parts that were finished by a node other than
+	// the owner of virtual processor 0 — a proxy for how much work
+	// actually travelled.
+	CrossNodeParts int
+}
+
+// Coordinator collects finished parts and detects termination by weight
+// conservation: the run is complete when the received part weights sum to
+// the root weight (within relative tolerance).
+type Coordinator struct {
+	ln     net.Listener
+	partCh chan PartReport
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+// NewCoordinator listens on addr ("127.0.0.1:0" for a free port).
+func NewCoordinator(addr string) (*Coordinator, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
+	}
+	c := &Coordinator{ln: ln, partCh: make(chan PartReport, 1024)}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		c.conns = append(c.conns, conn)
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			dec := json.NewDecoder(conn)
+			for {
+				var m message
+				if err := dec.Decode(&m); err != nil {
+					return
+				}
+				if m.Type != msgPart {
+					continue
+				}
+				c.partCh <- PartReport{Spec: m.Part, Lo: m.PartLo, Hi: m.PartHi, FromNode: m.FromNode}
+			}
+		}()
+	}
+}
+
+// Run injects the root problem into the cluster and blocks until the parts
+// account for the full weight or the timeout expires.
+func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Duration) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dist: n must be ≥ 1, got %d", n)
+	}
+	if len(nodeAddrs) == 0 {
+		return nil, fmt.Errorf("dist: no nodes")
+	}
+	if !(root.Weight > 0) {
+		return nil, fmt.Errorf("dist: root weight %v must be positive", root.Weight)
+	}
+	// The root goes to the owner of virtual processor 0 — always node 0.
+	conn, err := net.Dial("tcp", nodeAddrs[0])
+	if err != nil {
+		return nil, fmt.Errorf("dist: contacting node 0: %w", err)
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(message{Type: msgAssign, Problem: root, Lo: 0, Hi: n}); err != nil {
+		return nil, fmt.Errorf("dist: assigning root: %w", err)
+	}
+
+	res := &Result{}
+	var sum float64
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case part := <-c.partCh:
+			res.Parts = append(res.Parts, part)
+			sum += part.Spec.Weight
+			if part.Spec.Weight > res.MaxWeight {
+				res.MaxWeight = part.Spec.Weight
+			}
+			if part.FromNode != 0 {
+				res.CrossNodeParts++
+			}
+			if math.Abs(sum-root.Weight) <= 1e-9*root.Weight && len(res.Parts) <= n {
+				sort.Slice(res.Parts, func(a, b int) bool { return res.Parts[a].Lo < res.Parts[b].Lo })
+				res.Ratio = res.MaxWeight / (root.Weight / float64(n))
+				return res, nil
+			}
+			if len(res.Parts) > n {
+				return nil, fmt.Errorf("dist: received %d parts for %d processors", len(res.Parts), n)
+			}
+		case <-deadline.C:
+			return nil, fmt.Errorf("dist: timeout after %v with %d parts (weight %v of %v)",
+				timeout, len(res.Parts), sum, root.Weight)
+		}
+	}
+}
+
+// Close shuts the coordinator down.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	_ = c.ln.Close()
+	for _, conn := range c.conns {
+		_ = conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// Cluster is a convenience bundle of K in-process nodes plus a
+// coordinator, for tests, the demo command and benchmarks. A production
+// deployment would run each node as its own OS process with the same
+// wiring.
+type Cluster struct {
+	Coord *Coordinator
+	Nodes []*Node
+}
+
+// StartCluster brings up a fully wired local cluster on loopback TCP.
+func StartCluster(n, k int) (*Cluster, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("dist: need at least one node")
+	}
+	coord, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{Coord: coord}
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		node, err := NewNode(i, n, k, "127.0.0.1:0")
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.Nodes = append(cl.Nodes, node)
+		addrs[i] = node.Addr()
+	}
+	for _, node := range cl.Nodes {
+		if err := node.Start(addrs, coord.Addr()); err != nil {
+			cl.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// Close tears the whole cluster down.
+func (cl *Cluster) Close() {
+	for _, node := range cl.Nodes {
+		node.Close()
+	}
+	if cl.Coord != nil {
+		cl.Coord.Close()
+	}
+}

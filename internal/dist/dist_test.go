@@ -1,0 +1,309 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := bisect.MustSynthetic(3.5, 0.1, 0.5, 77)
+	spec, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Weight() != p.Weight() || back.ID() != p.ID() {
+		t.Fatal("round trip lost identity")
+	}
+	// Bisections after rehydration match the original's.
+	a1, a2 := p.Bisect()
+	b1, b2 := back.Bisect()
+	if a1.Weight() != b1.Weight() || a2.ID() != b2.ID() {
+		t.Fatal("rehydrated problem bisects differently")
+	}
+}
+
+func TestEncodeRejectsForeignTypes(t *testing.T) {
+	if _, err := Encode(bisect.MustFixed(1, 0.3)); err == nil {
+		t.Fatal("foreign type accepted")
+	}
+	if _, err := Decode(Spec{Kind: "martian"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestSegmentOwner(t *testing.T) {
+	// 10 processors over 3 nodes: segments [0,3), [3,6), [6,10).
+	wants := map[int]int{0: 0, 2: 0, 3: 1, 5: 1, 6: 2, 9: 2}
+	for p, want := range wants {
+		if got := segmentOwner(p, 10, 3); got != want {
+			t.Fatalf("owner(%d) = %d, want %d", p, got, want)
+		}
+	}
+	// Exhaustive consistency: every processor owned by exactly the node
+	// whose segment contains it.
+	for n := 1; n <= 40; n++ {
+		for k := 1; k <= n && k <= 8; k++ {
+			for p := 0; p < n; p++ {
+				o := segmentOwner(p, n, k)
+				lo, hi := o*n/k, (o+1)*n/k
+				if p < lo || p >= hi {
+					t.Fatalf("n=%d k=%d: proc %d assigned to node %d with segment [%d,%d)", n, k, p, o, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// runCluster executes one distributed run and returns the result.
+func runCluster(t *testing.T, n, k int, seed uint64) *Result {
+	t.Helper()
+	cl, err := StartCluster(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	root, err := Encode(bisect.MustSynthetic(1, 0.1, 0.5, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Coord.Run(root, n, nodeAddrs(cl), 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func nodeAddrs(cl *Cluster) []string {
+	addrs := make([]string, len(cl.Nodes))
+	for i, nd := range cl.Nodes {
+		addrs[i] = nd.Addr()
+	}
+	return addrs
+}
+
+func TestDistributedBAMatchesLocalBA(t *testing.T) {
+	const n, seed = 64, 42
+	res := runCluster(t, n, 4, seed)
+	local, err := core.BA(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != len(local.Parts) {
+		t.Fatalf("distributed produced %d parts, local %d", len(res.Parts), len(local.Parts))
+	}
+	// Compare the part ID sets — the distributed run must compute exactly
+	// the same partition as the in-process algorithm.
+	localIDs := map[uint64]bool{}
+	for _, pt := range local.Parts {
+		localIDs[pt.Problem.ID()] = true
+	}
+	for _, pt := range res.Parts {
+		if !localIDs[pt.Spec.Seed] {
+			t.Fatalf("distributed part %d not produced by local BA", pt.Spec.Seed)
+		}
+	}
+	if res.Ratio != local.Ratio {
+		t.Fatalf("distributed ratio %v != local %v", res.Ratio, local.Ratio)
+	}
+}
+
+func TestDistributedRangesPartitionProcessors(t *testing.T) {
+	const n = 48
+	res := runCluster(t, n, 3, 7)
+	covered := make([]bool, n)
+	for _, pt := range res.Parts {
+		for i := pt.Lo; i < pt.Hi; i++ {
+			if i < 0 || i >= n || covered[i] {
+				t.Fatalf("range [%d,%d) overlaps or escapes", pt.Lo, pt.Hi)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("processor %d uncovered", i)
+		}
+	}
+}
+
+func TestDistributedWorkActuallyTravels(t *testing.T) {
+	res := runCluster(t, 64, 4, 11)
+	if res.CrossNodeParts == 0 {
+		t.Fatal("all parts finished on node 0 — nothing was distributed")
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	res := runCluster(t, 32, 1, 3)
+	if len(res.Parts) != 32 {
+		t.Fatalf("parts = %d", len(res.Parts))
+	}
+	if res.CrossNodeParts != 0 {
+		t.Fatal("cross-node parts on a single-node cluster")
+	}
+}
+
+func TestManyNodes(t *testing.T) {
+	res := runCluster(t, 128, 8, 13)
+	if len(res.Parts) != 128 {
+		t.Fatalf("parts = %d", len(res.Parts))
+	}
+	// With 8 nodes the majority of parts should come from nodes ≠ 0.
+	if res.CrossNodeParts < 64 {
+		t.Fatalf("only %d of 128 parts travelled", res.CrossNodeParts)
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	coord, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if _, err := coord.Run(Spec{Kind: specKindSynthetic, Weight: 1}, 0, []string{"x"}, time.Second); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := coord.Run(Spec{Kind: specKindSynthetic, Weight: 1}, 4, nil, time.Second); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+	if _, err := coord.Run(Spec{Kind: specKindSynthetic}, 4, []string{"127.0.0.1:1"}, time.Second); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestCoordinatorTimeout(t *testing.T) {
+	// A cluster that never receives the root (node list pointing at a dead
+	// port) must time out, not hang.
+	coord, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	root := Spec{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.5, Seed: 1}
+	if _, err := coord.Run(root, 8, []string{"127.0.0.1:1"}, 300*time.Millisecond); err == nil {
+		t.Fatal("dead cluster did not error")
+	}
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(-1, 8, 4, "127.0.0.1:0"); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := NewNode(4, 8, 4, "127.0.0.1:0"); err == nil {
+		t.Fatal("id ≥ k accepted")
+	}
+	if _, err := NewNode(0, 2, 4, "127.0.0.1:0"); err == nil {
+		t.Fatal("n < k accepted")
+	}
+	nd, err := NewNode(0, 8, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.Start([]string{"a"}, "b"); err == nil {
+		t.Fatal("wrong peer count accepted")
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	cl, err := StartCluster(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close() // must not panic or hang
+}
+
+func TestDistributedPHFMatchesLocalHF(t *testing.T) {
+	for _, tc := range []struct {
+		n, k int
+		seed uint64
+	}{
+		{32, 1, 1}, {32, 2, 2}, {64, 4, 3}, {100, 7, 4}, {200, 4, 5},
+	} {
+		alpha := 0.1
+		root, err := Encode(bisect.MustSynthetic(1, alpha, 0.5, tc.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, err := RunPHFCluster(root, tc.n, tc.k, alpha)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		local, err := core.HF(bisect.MustSynthetic(1, alpha, 0.5, tc.seed), tc.n, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parts) != len(local.Parts) {
+			t.Fatalf("n=%d k=%d: distributed %d parts, local %d", tc.n, tc.k, len(parts), len(local.Parts))
+		}
+		localIDs := map[uint64]bool{}
+		for _, pt := range local.Parts {
+			localIDs[pt.Problem.ID()] = true
+		}
+		for _, pt := range parts {
+			if !localIDs[pt.Spec.Seed] {
+				t.Fatalf("n=%d k=%d: distributed part %d not in HF partition (Theorem 3 over TCP violated)",
+					tc.n, tc.k, pt.Spec.Seed)
+			}
+		}
+	}
+}
+
+func TestDistributedPHFProcessorsUnique(t *testing.T) {
+	root, err := Encode(bisect.MustSynthetic(1, 0.15, 0.5, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	parts, err := RunPHFCluster(root, n, 4, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make([]bool, n)
+	for _, pt := range parts {
+		if pt.Hi != pt.Lo+1 || pt.Lo < 0 || pt.Lo >= n || used[pt.Lo] {
+			t.Fatalf("bad processor assignment [%d, %d)", pt.Lo, pt.Hi)
+		}
+		used[pt.Lo] = true
+	}
+}
+
+func TestDistributedPHFSpreadsWork(t *testing.T) {
+	root, err := Encode(bisect.MustSynthetic(1, 0.1, 0.5, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := RunPHFCluster(root, 64, 4, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[int]int{}
+	for _, pt := range parts {
+		perNode[pt.FromNode]++
+	}
+	for node := 0; node < 4; node++ {
+		if perNode[node] != 16 {
+			t.Fatalf("node %d holds %d parts, want 16: %v", node, perNode[node], perNode)
+		}
+	}
+}
+
+func TestPHFNodeValidation(t *testing.T) {
+	if _, err := NewPHFNode(-1, 8, 2, 0.1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := NewPHFNode(0, 1, 2, 0.1); err == nil {
+		t.Fatal("n < k accepted")
+	}
+	if _, err := NewPHFNode(0, 8, 2, 0.9); err == nil {
+		t.Fatal("bad α accepted")
+	}
+}

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+)
+
+// Node is one cluster member. It owns the virtual-processor segment
+// [id·N/K, (id+1)·N/K), executes the BA recursion for subproblems whose
+// range starts inside its segment, forwards escaping subranges to peers
+// and streams finished parts to the coordinator.
+type Node struct {
+	ID int
+	N  int // virtual processors in the whole cluster
+	K  int // number of nodes
+
+	ln        net.Listener
+	peerAddrs []string // index = node id
+	coordAddr string
+
+	mu    sync.Mutex
+	peers map[int]*json.Encoder
+	conns []net.Conn
+	coord *json.Encoder
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewNode creates a node listening on addr (use "127.0.0.1:0" to pick a
+// free port). Peer and coordinator addresses are supplied via Start once
+// the whole cluster is known.
+func NewNode(id, n, k int, addr string) (*Node, error) {
+	if k < 1 || id < 0 || id >= k {
+		return nil, fmt.Errorf("dist: node id %d outside [0, %d)", id, k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("dist: %d virtual processors cannot cover %d nodes", n, k)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: node %d listen: %w", id, err)
+	}
+	return &Node{
+		ID: id, N: n, K: k,
+		ln:    ln,
+		peers: make(map[int]*json.Encoder),
+	}, nil
+}
+
+// Addr returns the node's listen address.
+func (nd *Node) Addr() string { return nd.ln.Addr().String() }
+
+// segmentOwner returns the node owning virtual processor p. Segments
+// follow the same arithmetic everywhere — node k owns [k·N/K, (k+1)·N/K) —
+// and the owner is found by scanning the boundaries, which is exact even
+// for ragged divisions and cheap for realistic node counts.
+func segmentOwner(p, n, k int) int {
+	for node := 0; node < k; node++ {
+		if p < (node+1)*n/k {
+			return node
+		}
+	}
+	return k - 1
+}
+
+// Start begins serving. peerAddrs[i] must be node i's address; coordAddr
+// the coordinator's.
+func (nd *Node) Start(peerAddrs []string, coordAddr string) error {
+	if len(peerAddrs) != nd.K {
+		return fmt.Errorf("dist: %d peer addresses for %d nodes", len(peerAddrs), nd.K)
+	}
+	nd.peerAddrs = append([]string(nil), peerAddrs...)
+	nd.coordAddr = coordAddr
+	nd.wg.Add(1)
+	go nd.acceptLoop()
+	return nil
+}
+
+func (nd *Node) acceptLoop() {
+	defer nd.wg.Done()
+	for {
+		conn, err := nd.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		nd.mu.Lock()
+		nd.conns = append(nd.conns, conn)
+		nd.mu.Unlock()
+		nd.wg.Add(1)
+		go nd.handleConn(conn)
+	}
+}
+
+func (nd *Node) handleConn(conn net.Conn) {
+	defer nd.wg.Done()
+	dec := json.NewDecoder(conn)
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// A malformed message poisons only this connection.
+				_ = conn.Close()
+			}
+			return
+		}
+		if m.Type != msgAssign {
+			continue // nodes only consume assignments
+		}
+		p, err := Decode(m.Problem)
+		if err != nil {
+			continue // undecodable problems are dropped; coordinator times out
+		}
+		lo, hi := m.Lo, m.Hi
+		nd.wg.Add(1)
+		go func() {
+			defer nd.wg.Done()
+			nd.work(p, lo, hi)
+		}()
+	}
+}
+
+// work runs the BA recursion for [lo, hi), handling ownership hand-offs.
+func (nd *Node) work(p bisect.Problem, lo, hi int) {
+	for {
+		if hi-lo == 1 || !p.CanBisect() {
+			nd.reportPart(p, lo, hi)
+			return
+		}
+		c1, c2 := p.Bisect()
+		if c1.Weight() < c2.Weight() {
+			c1, c2 = c2, c1
+		}
+		n1, n2 := core.SplitProcs(c1.Weight(), c2.Weight(), hi-lo)
+		mid := lo + n1
+		// Light child: local recursion if we own its range start,
+		// otherwise ship it to the owner.
+		if owner := segmentOwner(mid, nd.N, nd.K); owner == nd.ID {
+			nd.wg.Add(1)
+			go func(q bisect.Problem, l, h int) {
+				defer nd.wg.Done()
+				nd.work(q, l, h)
+			}(c2, mid, hi)
+		} else {
+			nd.sendAssign(owner, c2, mid, hi)
+		}
+		p, hi = c1, mid
+		_ = n2
+	}
+}
+
+func (nd *Node) sendAssign(peer int, p bisect.Problem, lo, hi int) {
+	spec, err := Encode(p)
+	if err != nil {
+		return
+	}
+	enc, err := nd.peerEncoder(peer)
+	if err != nil {
+		return
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	_ = enc.Encode(message{Type: msgAssign, Problem: spec, Lo: lo, Hi: hi})
+}
+
+func (nd *Node) reportPart(p bisect.Problem, lo, hi int) {
+	spec, err := Encode(p)
+	if err != nil {
+		return
+	}
+	enc, err := nd.coordEncoder()
+	if err != nil {
+		return
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	_ = enc.Encode(message{Type: msgPart, Part: spec, PartLo: lo, PartHi: hi, FromNode: nd.ID})
+}
+
+func (nd *Node) peerEncoder(peer int) (*json.Encoder, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if enc, ok := nd.peers[peer]; ok {
+		return enc, nil
+	}
+	conn, err := net.Dial("tcp", nd.peerAddrs[peer])
+	if err != nil {
+		return nil, err
+	}
+	nd.conns = append(nd.conns, conn)
+	enc := json.NewEncoder(conn)
+	nd.peers[peer] = enc
+	return enc, nil
+}
+
+func (nd *Node) coordEncoder() (*json.Encoder, error) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.coord != nil {
+		return nd.coord, nil
+	}
+	conn, err := net.Dial("tcp", nd.coordAddr)
+	if err != nil {
+		return nil, err
+	}
+	nd.conns = append(nd.conns, conn)
+	nd.coord = json.NewEncoder(conn)
+	return nd.coord, nil
+}
+
+// Close shuts the node down and waits for in-flight work.
+func (nd *Node) Close() {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return
+	}
+	nd.closed = true
+	_ = nd.ln.Close()
+	for _, c := range nd.conns {
+		_ = c.Close()
+	}
+	nd.mu.Unlock()
+	nd.wg.Wait()
+}

@@ -1,0 +1,491 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/netcoll"
+)
+
+// Distributed PHF: the full Algorithm PHF executed by K nodes over TCP.
+// Where distributed BA (node.go) needs only point-to-point hand-offs, PHF
+// additionally needs the global operations of the model — max-reductions,
+// counts and synchronised rounds — supplied here by internal/netcoll's
+// tree collectives. The result is the network-level demonstration of the
+// paper's communication asymmetry: the same partition as HF, at the price
+// of one collective episode bundle per round.
+//
+// Round structure (identical on every node, collectives as barriers):
+//
+//  1. Every node snapshots its heavy parts and free virtual processors.
+//  2. Vector all-reduces publish per-node heavy and free counts; each node
+//     derives, in id order, the global rank intervals for both.
+//  3. Heavy part with global rank r is bisected; its light child travels
+//     to the free processor with global rank r (local placement when the
+//     owner coincides).
+//  4. Nodes wait for exactly their expected number of incoming transfers,
+//     then re-enter the next collective.
+//
+// The final phase-2 iteration needs the f heaviest subproblems; these are
+// located with a distributed binary search on the weight threshold (~64
+// halvings, each one count-reduce), which resolves exactly for the
+// pairwise-distinct weights of the continuous model.
+type phfTransfer struct {
+	Round   int  `json:"round"`
+	Slot    int  `json:"slot"` // receiver-local free-list index
+	Problem Spec `json:"problem"`
+	Proc    int  `json:"proc"` // the virtual processor the part lands on
+}
+
+// PHFNode is one participant of the distributed PHF.
+type PHFNode struct {
+	id, n, k int
+	alpha    float64
+
+	coll *netcoll.Member
+	ln   net.Listener
+
+	mu       sync.Mutex
+	conns    []net.Conn
+	encoders map[int]*json.Encoder
+	xferAddr []string
+
+	incoming chan phfTransfer
+	wg       sync.WaitGroup
+	closed   bool
+
+	// parts maps virtual processor → problem, for processors this node owns.
+	parts map[int]bisect.Problem
+}
+
+// NewPHFNode creates a node with its collective member and transfer
+// listener on loopback.
+func NewPHFNode(id, n, k int, alpha float64) (*PHFNode, error) {
+	if k < 1 || id < 0 || id >= k {
+		return nil, fmt.Errorf("dist: node id %d outside [0, %d)", id, k)
+	}
+	if n < k {
+		return nil, fmt.Errorf("dist: %d virtual processors cannot cover %d nodes", n, k)
+	}
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	coll, err := netcoll.NewMember(id, k, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		coll.Close()
+		return nil, fmt.Errorf("dist: phf node %d listen: %w", id, err)
+	}
+	return &PHFNode{
+		id: id, n: n, k: k, alpha: alpha,
+		coll:     coll,
+		ln:       ln,
+		encoders: make(map[int]*json.Encoder),
+		incoming: make(chan phfTransfer, 256),
+		parts:    make(map[int]bisect.Problem),
+	}, nil
+}
+
+// CollAddr and XferAddr expose the two listen addresses for cluster wiring.
+func (nd *PHFNode) CollAddr() string { return nd.coll.Addr() }
+
+// XferAddr returns the part-transfer address.
+func (nd *PHFNode) XferAddr() string { return nd.ln.Addr().String() }
+
+// Start wires the node into the cluster.
+func (nd *PHFNode) Start(collAddrs, xferAddrs []string) error {
+	if len(xferAddrs) != nd.k {
+		return fmt.Errorf("dist: %d transfer addresses for %d nodes", len(xferAddrs), nd.k)
+	}
+	if err := nd.coll.Start(collAddrs); err != nil {
+		return err
+	}
+	nd.xferAddr = append([]string(nil), xferAddrs...)
+	nd.wg.Add(1)
+	go nd.acceptLoop()
+	return nil
+}
+
+func (nd *PHFNode) acceptLoop() {
+	defer nd.wg.Done()
+	for {
+		conn, err := nd.ln.Accept()
+		if err != nil {
+			return
+		}
+		nd.mu.Lock()
+		nd.conns = append(nd.conns, conn)
+		nd.mu.Unlock()
+		nd.wg.Add(1)
+		go func() {
+			defer nd.wg.Done()
+			dec := json.NewDecoder(conn)
+			for {
+				var t phfTransfer
+				if err := dec.Decode(&t); err != nil {
+					if !errors.Is(err, io.EOF) {
+						_ = conn.Close()
+					}
+					return
+				}
+				nd.incoming <- t
+			}
+		}()
+	}
+}
+
+func (nd *PHFNode) sendTransfer(to int, t phfTransfer) error {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	enc, ok := nd.encoders[to]
+	if !ok {
+		conn, err := net.Dial("tcp", nd.xferAddr[to])
+		if err != nil {
+			return err
+		}
+		nd.conns = append(nd.conns, conn)
+		enc = json.NewEncoder(conn)
+		nd.encoders[to] = enc
+	}
+	return enc.Encode(t)
+}
+
+// segment returns the node's owned virtual-processor range.
+func (nd *PHFNode) segment() (lo, hi int) {
+	return nd.id * nd.n / nd.k, (nd.id + 1) * nd.n / nd.k
+}
+
+// freeProcs returns the owned processors without parts, ascending.
+func (nd *PHFNode) freeProcs() []int {
+	lo, hi := nd.segment()
+	var out []int
+	for p := lo; p < hi; p++ {
+		if _, busy := nd.parts[p]; !busy {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// heavyProcs returns owned processors whose part satisfies pred, ascending.
+func (nd *PHFNode) heavyProcs(pred func(bisect.Problem) bool) []int {
+	var out []int
+	for p, q := range nd.parts {
+		if pred(q) && q.CanBisect() {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// round executes one synchronous bisection round over the parts selected
+// by pred, bounded by budget (< 0 means unbounded). It returns the number
+// of bisections performed cluster-wide.
+func (nd *PHFNode) round(roundNo int, pred func(bisect.Problem) bool, budget int64) (int64, error) {
+	heavy := nd.heavyProcs(pred)
+	free := nd.freeProcs()
+
+	vec := make([]int64, 2*nd.k)
+	vec[nd.id] = int64(len(heavy))
+	vec[nd.k+nd.id] = int64(len(free))
+	sums, err := nd.coll.AllReduceSumVecInt64(vec)
+	if err != nil {
+		return 0, err
+	}
+	hVec, fVec := sums[:nd.k], sums[nd.k:]
+	var hTotal, fTotal int64
+	for i := 0; i < nd.k; i++ {
+		hTotal += hVec[i]
+		fTotal += fVec[i]
+	}
+	cap64 := hTotal
+	if fTotal < cap64 {
+		cap64 = fTotal
+	}
+	if budget >= 0 && budget < cap64 {
+		cap64 = budget
+	}
+	if cap64 == 0 {
+		return 0, nil
+	}
+	var hBase, fBase int64
+	for i := 0; i < nd.id; i++ {
+		hBase += hVec[i]
+		fBase += fVec[i]
+	}
+
+	// locate maps a global free rank to (node, local slot).
+	locate := func(r int64) (node int, slot int) {
+		var run int64
+		for i := 0; i < nd.k; i++ {
+			if r < run+fVec[i] {
+				return i, int(r - run)
+			}
+			run += fVec[i]
+		}
+		return -1, -1
+	}
+
+	selfPlaced := 0
+	for idx, proc := range heavy {
+		r := hBase + int64(idx)
+		if r >= cap64 {
+			break
+		}
+		q := nd.parts[proc]
+		c1, c2 := q.Bisect()
+		nd.parts[proc] = c1
+		destNode, slot := locate(r)
+		if destNode == nd.id {
+			nd.parts[free[slot]] = c2
+			selfPlaced++
+			continue
+		}
+		spec, err := Encode(c2)
+		if err != nil {
+			return 0, err
+		}
+		if err := nd.sendTransfer(destNode, phfTransfer{Round: roundNo, Slot: slot, Problem: spec}); err != nil {
+			return 0, err
+		}
+	}
+
+	// Expected incoming: ranks in [0, cap) that map into this node's free
+	// interval, minus the ones placed locally above.
+	overlapLo, overlapHi := fBase, fBase+fVec[nd.id]
+	if cap64 < overlapHi {
+		overlapHi = cap64
+	}
+	expected := 0
+	if overlapHi > overlapLo {
+		expected = int(overlapHi - overlapLo)
+	}
+	expected -= selfPlaced
+	deadline := time.After(30 * time.Second)
+	for got := 0; got < expected; {
+		select {
+		case t := <-nd.incoming:
+			if t.Round != roundNo {
+				return 0, fmt.Errorf("dist: node %d got transfer for round %d during round %d",
+					nd.id, t.Round, roundNo)
+			}
+			p, err := Decode(t.Problem)
+			if err != nil {
+				return 0, err
+			}
+			nd.parts[free[t.Slot]] = p
+			got++
+		case <-deadline:
+			return 0, fmt.Errorf("dist: node %d timed out in round %d (%d of %d transfers)",
+				nd.id, roundNo, expected, expected)
+		}
+	}
+	return cap64, nil
+}
+
+// Run executes the distributed PHF. Node 0 must pass the root problem;
+// other nodes pass the zero Spec. It returns the node's local parts.
+func (nd *PHFNode) Run(root Spec) ([]PartReport, error) {
+	// Seed and broadcast the total weight.
+	var rootW float64
+	if nd.id == 0 {
+		p, err := Decode(root)
+		if err != nil {
+			return nil, err
+		}
+		nd.parts[0] = p
+		rootW = p.Weight()
+	}
+	total, err := nd.coll.BroadcastFloat64(rootW)
+	if err != nil {
+		return nil, err
+	}
+	threshold := bounds.HFThreshold(total, nd.alpha, nd.n)
+
+	roundNo := 0
+	// Phase 1: bisect everything above the HF threshold.
+	for {
+		roundNo++
+		did, err := nd.round(roundNo, func(q bisect.Problem) bool {
+			return q.Weight() > threshold
+		}, -1)
+		if err != nil {
+			return nil, err
+		}
+		if did == 0 {
+			break
+		}
+	}
+
+	// Phase 2: synchronised heaviest-band iterations.
+	for {
+		localParts := int64(len(nd.parts))
+		totalParts, err := nd.coll.AllReduceSumInt64(localParts)
+		if err != nil {
+			return nil, err
+		}
+		f := int64(nd.n) - totalParts
+		if f <= 0 {
+			break
+		}
+		localMax := 0.0
+		for _, q := range nd.parts {
+			if w := q.Weight(); w > localMax {
+				localMax = w
+			}
+		}
+		m, err := nd.coll.AllReduceMaxFloat64(localMax)
+		if err != nil {
+			return nil, err
+		}
+		cut := m * (1 - nd.alpha)
+		count := func(t float64) (int64, error) {
+			var c int64
+			for _, q := range nd.parts {
+				if q.Weight() >= t && q.CanBisect() {
+					c++
+				}
+			}
+			return nd.coll.AllReduceSumInt64(c)
+		}
+		h, err := count(cut)
+		if err != nil {
+			return nil, err
+		}
+		if h == 0 {
+			break // nothing divisible at the top band
+		}
+		sel := cut
+		if h > f {
+			// Distributed selection of the f heaviest: binary search the
+			// weight threshold until the count above it fits the budget.
+			// 64 halvings of [cut, m] separate any two distinct float64
+			// weights of the continuous model.
+			lo, hi := cut, m
+			for i := 0; i < 64; i++ {
+				mid := (lo + hi) / 2
+				c, err := count(mid)
+				if err != nil {
+					return nil, err
+				}
+				if c > f {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			sel = hi
+		}
+		roundNo++
+		did, err := nd.round(roundNo, func(q bisect.Problem) bool {
+			return q.Weight() >= sel
+		}, f)
+		if err != nil {
+			return nil, err
+		}
+		if did == 0 {
+			break
+		}
+	}
+
+	var out []PartReport
+	procs := make([]int, 0, len(nd.parts))
+	for p := range nd.parts {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	for _, p := range procs {
+		spec, err := Encode(nd.parts[p])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PartReport{Spec: spec, Lo: p, Hi: p + 1, FromNode: nd.id})
+	}
+	return out, nil
+}
+
+// Close shuts the node down.
+func (nd *PHFNode) Close() {
+	nd.mu.Lock()
+	if nd.closed {
+		nd.mu.Unlock()
+		return
+	}
+	nd.closed = true
+	_ = nd.ln.Close()
+	for _, c := range nd.conns {
+		_ = c.Close()
+	}
+	nd.mu.Unlock()
+	nd.coll.Close()
+	nd.wg.Wait()
+}
+
+// RunPHFCluster is the one-call harness: it brings up k nodes on loopback,
+// runs the distributed PHF on the given root and returns the merged parts
+// sorted by virtual processor.
+func RunPHFCluster(root Spec, n, k int, alpha float64) ([]PartReport, error) {
+	nodes := make([]*PHFNode, k)
+	collAddrs := make([]string, k)
+	xferAddrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		nd, err := NewPHFNode(i, n, k, alpha)
+		if err != nil {
+			for _, prev := range nodes[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		nodes[i] = nd
+		collAddrs[i] = nd.CollAddr()
+		xferAddrs[i] = nd.XferAddr()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Close()
+		}
+	}()
+	for _, nd := range nodes {
+		if err := nd.Start(collAddrs, xferAddrs); err != nil {
+			return nil, err
+		}
+	}
+	results := make([][]PartReport, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i, nd := range nodes {
+		wg.Add(1)
+		go func(i int, nd *PHFNode) {
+			defer wg.Done()
+			seed := Spec{}
+			if i == 0 {
+				seed = root
+			}
+			results[i], errs[i] = nd.Run(seed)
+		}(i, nd)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: phf node %d: %w", i, err)
+		}
+	}
+	var merged []PartReport
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].Lo < merged[b].Lo })
+	return merged, nil
+}

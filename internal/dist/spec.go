@@ -1,0 +1,82 @@
+// Package dist runs Algorithm BA across real operating-system processes
+// (or goroutines) communicating over TCP — a faithful message-passing
+// deployment of the paper's most distribution-friendly algorithm. BA is
+// the natural choice for this role by the paper's own argument: it needs
+// no global communication whatsoever, and its range-based free-processor
+// management means every node can decide locally where a subproblem must
+// travel.
+//
+// The cluster maps the N virtual processors of the model onto K nodes,
+// node k owning the contiguous range [k·N/K, (k+1)·N/K). A node receiving
+// a subproblem with a processor range runs the BA recursion locally for as
+// long as the range stays inside its segment and ships the remainder to
+// the owning peer. Completed parts stream to a coordinator that verifies
+// weight conservation to detect termination.
+package dist
+
+import (
+	"fmt"
+
+	"bisectlb/internal/bisect"
+)
+
+// Spec is the wire representation of a problem. Only the synthetic class
+// is transportable: real substrates (FE-trees, quadrature domains) would
+// ship their own domain data in a production system; the synthetic class
+// exercises the identical control and communication paths.
+type Spec struct {
+	Kind   string  `json:"kind"`
+	Weight float64 `json:"weight"`
+	Seed   uint64  `json:"seed"`
+	ALo    float64 `json:"alo"`
+	AHi    float64 `json:"ahi"`
+	Depth  int     `json:"depth"`
+}
+
+// specKindSynthetic is the only kind currently registered.
+const specKindSynthetic = "synthetic"
+
+// Encode converts a problem into its wire form. Only *bisect.Synthetic is
+// supported; other types return an error.
+func Encode(p bisect.Problem) (Spec, error) {
+	s, ok := p.(*bisect.Synthetic)
+	if !ok {
+		return Spec{}, fmt.Errorf("dist: cannot encode problem of type %T", p)
+	}
+	lo, hi := s.Interval()
+	return Spec{
+		Kind:   specKindSynthetic,
+		Weight: s.Weight(),
+		Seed:   s.ID(),
+		ALo:    lo,
+		AHi:    hi,
+		Depth:  s.Depth(),
+	}, nil
+}
+
+// Decode reconstructs the problem from its wire form.
+func Decode(s Spec) (bisect.Problem, error) {
+	if s.Kind != specKindSynthetic {
+		return nil, fmt.Errorf("dist: unknown problem kind %q", s.Kind)
+	}
+	return bisect.RehydrateSynthetic(s.Weight, s.ALo, s.AHi, s.Seed, s.Depth)
+}
+
+// message is the single wire envelope; Type discriminates.
+type message struct {
+	Type string `json:"type"`
+	// assign
+	Problem Spec `json:"problem,omitempty"`
+	Lo      int  `json:"lo,omitempty"`
+	Hi      int  `json:"hi,omitempty"`
+	// part (node → coordinator)
+	Part     Spec `json:"part,omitempty"`
+	PartLo   int  `json:"part_lo,omitempty"`
+	PartHi   int  `json:"part_hi,omitempty"`
+	FromNode int  `json:"from_node,omitempty"`
+}
+
+const (
+	msgAssign = "assign"
+	msgPart   = "part"
+)

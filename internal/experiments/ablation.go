@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+	"bisectlb/internal/stats"
+	"bisectlb/internal/xrand"
+)
+
+// SplitRuleAblation quantifies the value of BA's best-approximation
+// processor-split rule (paper, Figure 3 and Lemma 4) against the naive
+// floor-only rounding it refines — the quality ablation DESIGN.md §7 calls
+// out. Lower average ratios for the best-approximation rule demonstrate
+// that choosing between ⌊β̂n⌋ and ⌈β̂n⌉ by the realised max(w1/n1, w2/n2)
+// matters, not just asymptotically but at practical sizes.
+type SplitRuleAblation struct {
+	Lo, Hi float64
+	Ns     []int
+	Trials int
+	Seed   uint64
+}
+
+// DefaultSplitRuleAblation covers N = 2^5 … 2^maxLog.
+func DefaultSplitRuleAblation(trials, maxLog int, seed uint64) SplitRuleAblation {
+	return SplitRuleAblation{
+		Lo: 0.1, Hi: 0.5,
+		Ns:     PowersOfTwo(5, maxLog),
+		Trials: trials,
+		Seed:   seed,
+	}
+}
+
+// SplitRuleRow is one processor count's comparison.
+type SplitRuleRow struct {
+	N          int
+	BestApprox stats.Summary
+	NaiveFloor stats.Summary
+	// Regression is avg(naive)/avg(best) − 1: how much quality the naive
+	// rule gives up.
+	Regression float64
+}
+
+// RunSplitRuleAblation executes the comparison on matched instances.
+func RunSplitRuleAblation(cfg SplitRuleAblation) ([]SplitRuleRow, error) {
+	if cfg.Trials < 1 || len(cfg.Ns) == 0 {
+		return nil, fmt.Errorf("experiments: empty ablation configuration")
+	}
+	var out []SplitRuleRow
+	for _, n := range cfg.Ns {
+		best := stats.NewSample(cfg.Trials)
+		naive := stats.NewSample(cfg.Trials)
+		seedGen := xrand.New(cfg.Seed + uint64(n))
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := seedGen.Uint64()
+			a, err := core.BA(bisect.MustSynthetic(1, cfg.Lo, cfg.Hi, seed), n, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			b, err := core.BANaiveSplit(bisect.MustSynthetic(1, cfg.Lo, cfg.Hi, seed), n, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			best.Add(a.Ratio)
+			naive.Add(b.Ratio)
+		}
+		out = append(out, SplitRuleRow{
+			N:          n,
+			BestApprox: best.Summarize(),
+			NaiveFloor: naive.Summarize(),
+			Regression: naive.Mean()/best.Mean() - 1,
+		})
+	}
+	return out, nil
+}
+
+// RenderSplitRuleAblation writes the ablation as a table.
+func RenderSplitRuleAblation(w io.Writer, cfg SplitRuleAblation, rows []SplitRuleRow) error {
+	fmt.Fprintf(w, "Split-rule ablation: BA with best-approximation vs naive floor rounding\n")
+	fmt.Fprintf(w, "(α̂ ~ U[%g, %g], %d trials)\n\n", cfg.Lo, cfg.Hi, cfg.Trials)
+	fmt.Fprintf(w, "log N   best-approx avg   naive-floor avg   regression\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5d   %15.3f   %15.3f   %9.1f%%\n",
+			log2(r.N), r.BestApprox.Mean, r.NaiveFloor.Mean, 100*r.Regression)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+	"bisectlb/internal/stats"
+	"bisectlb/internal/xrand"
+)
+
+// DynamicStudy models the paper's opening scenario — "dynamic load
+// balancing for irregular problems" — one step further: after an initial
+// HF distribution, the per-processor loads drift (a geometric random walk,
+// standing in for work discovered or pruned at run time), and the system
+// rebalances every R steps by running the load balancer afresh on the
+// current total. The study sweeps R and reports the time-averaged
+// imbalance against the rebalancing overhead, exposing the classic
+// rebalance-frequency trade-off.
+type DynamicStudy struct {
+	Lo, Hi float64
+	N      int
+	// Steps is the simulated horizon; Sigma the per-step log-normal drift
+	// of each processor's load.
+	Steps int
+	Sigma float64
+	// Intervals are the rebalance periods R swept (0 = never rebalance).
+	Intervals []int
+	Trials    int
+	Seed      uint64
+}
+
+// DefaultDynamicStudy drifts 1024 processors over 600 steps.
+func DefaultDynamicStudy(trials int, seed uint64) DynamicStudy {
+	return DynamicStudy{
+		Lo: 0.1, Hi: 0.5, N: 1024,
+		Steps: 600, Sigma: 0.05,
+		Intervals: []int{0, 300, 100, 30, 10},
+		Trials:    trials,
+		Seed:      seed,
+	}
+}
+
+// DynamicRow is one rebalance interval's outcome.
+type DynamicRow struct {
+	Interval int
+	// AvgImbalance is the time-averaged max/mean load ratio.
+	AvgImbalance stats.Summary
+	// FinalImbalance is the ratio at the end of the horizon.
+	FinalImbalance stats.Summary
+	// Rebalances is the number of rebalance episodes performed.
+	Rebalances int
+}
+
+// freshRatios runs HF on a fresh instance and returns the resulting
+// normalised part weights (mean 1).
+func freshRatios(lo, hi float64, n int, seed uint64) ([]float64, error) {
+	res, err := core.HF(bisect.MustSynthetic(1, lo, hi, seed), n, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(res.Parts))
+	for i, pt := range res.Parts {
+		out[i] = pt.Problem.Weight() * float64(n)
+	}
+	return out, nil
+}
+
+func imbalance(w []float64) float64 {
+	maxW, sum := 0.0, 0.0
+	for _, x := range w {
+		sum += x
+		if x > maxW {
+			maxW = x
+		}
+	}
+	if sum == 0 {
+		return math.NaN()
+	}
+	return maxW / (sum / float64(len(w)))
+}
+
+// RunDynamicStudy executes the sweep.
+func RunDynamicStudy(cfg DynamicStudy) ([]DynamicRow, error) {
+	if cfg.Trials < 1 || cfg.N < 1 || cfg.Steps < 1 || len(cfg.Intervals) == 0 {
+		return nil, fmt.Errorf("experiments: empty dynamic study configuration")
+	}
+	if !(cfg.Sigma >= 0) {
+		return nil, fmt.Errorf("experiments: invalid drift σ %v", cfg.Sigma)
+	}
+	var out []DynamicRow
+	for _, interval := range cfg.Intervals {
+		if interval < 0 {
+			return nil, fmt.Errorf("experiments: negative rebalance interval %d", interval)
+		}
+		avg := stats.NewSample(cfg.Trials)
+		fin := stats.NewSample(cfg.Trials)
+		rebalances := 0
+		seedGen := xrand.New(cfg.Seed + uint64(interval)*7919)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := xrand.New(seedGen.Uint64())
+			w, err := freshRatios(cfg.Lo, cfg.Hi, cfg.N, rng.Uint64())
+			if err != nil {
+				return nil, err
+			}
+			sum := 0.0
+			count := 0
+			trialRebalances := 0
+			for t := 1; t <= cfg.Steps; t++ {
+				for i := range w {
+					w[i] *= math.Exp(cfg.Sigma * rng.NormFloat64())
+				}
+				if interval > 0 && t%interval == 0 && t < cfg.Steps {
+					// Rebalance the drifted total with a fresh HF run.
+					w, err = freshRatios(cfg.Lo, cfg.Hi, cfg.N, rng.Uint64())
+					if err != nil {
+						return nil, err
+					}
+					trialRebalances++
+				}
+				sum += imbalance(w)
+				count++
+			}
+			avg.Add(sum / float64(count))
+			fin.Add(imbalance(w))
+			rebalances = trialRebalances
+		}
+		out = append(out, DynamicRow{
+			Interval:       interval,
+			AvgImbalance:   avg.Summarize(),
+			FinalImbalance: fin.Summarize(),
+			Rebalances:     rebalances,
+		})
+	}
+	return out, nil
+}
+
+// RenderDynamicStudy writes the sweep as a table.
+func RenderDynamicStudy(w io.Writer, cfg DynamicStudy, rows []DynamicRow) error {
+	fmt.Fprintf(w, "Dynamic-drift study: N = %d, σ = %g per step, horizon %d steps (%d trials)\n",
+		cfg.N, cfg.Sigma, cfg.Steps, cfg.Trials)
+	fmt.Fprintf(w, "(loads follow a geometric random walk; HF rebalances every R steps)\n\n")
+	fmt.Fprintf(w, "%10s  %12s  %14s  %11s\n", "R", "avg max/mean", "final max/mean", "rebalances")
+	for _, r := range rows {
+		label := fmt.Sprintf("%d", r.Interval)
+		if r.Interval == 0 {
+			label = "never"
+		}
+		fmt.Fprintf(w, "%10s  %12.3f  %14.3f  %11d\n",
+			label, r.AvgImbalance.Mean, r.FinalImbalance.Mean, r.Rebalances)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bisectlb/internal/textplot"
+)
+
+// Figure5Config returns the configuration of the paper's Figure 5:
+// α̂ ~ U[0.1, 0.5], κ = 1.0, N = 2^5 … 2^20, 1000 trials.
+func Figure5Config(trials, maxLog int, seed uint64) TripleConfig {
+	return TripleConfig{
+		Lo: 0.1, Hi: 0.5, Kappa: 1.0,
+		Trials: trials, Seed: seed,
+		Ns:          PowersOfTwo(5, maxLog),
+		ScaleTrials: true,
+	}
+}
+
+// Table1Config returns the configuration of the paper's Table 1:
+// α̂ ~ U[0.01, 0.5], κ = 1.0.
+func Table1Config(trials, maxLog int, seed uint64) TripleConfig {
+	return TripleConfig{
+		Lo: 0.01, Hi: 0.5, Kappa: 1.0,
+		Trials: trials, Seed: seed,
+		Ns:          PowersOfTwo(5, maxLog),
+		ScaleTrials: true,
+	}
+}
+
+// RenderFigure5 plots the average ratio of the three algorithms against
+// log2 N, the paper's Figure 5 ("Comparison of the average ratio for
+// α̂ ~ U[0.1, 0.5], κ = 1.0").
+func RenderFigure5(w io.Writer, cfg TripleConfig, rows []TripleRow) error {
+	xs := make([]string, len(rows))
+	ba := make([]float64, len(rows))
+	bahf := make([]float64, len(rows))
+	hf := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = fmt.Sprintf("%d", log2(r.N))
+		ba[i] = r.BA.Stats.Mean
+		bahf[i] = r.BAHF.Stats.Mean
+		hf[i] = r.HF.Stats.Mean
+	}
+	title := fmt.Sprintf("Figure 5: average ratio vs log N for α̂ ~ U[%g, %g], κ = %g",
+		cfg.Lo, cfg.Hi, cfg.Kappa)
+	err := textplot.Plot(w, title, xs, []textplot.Series{
+		{Name: "BA", Ys: ba, Marker: 'B'},
+		{Name: "BA-HF", Ys: bahf, Marker: 'H'},
+		{Name: "HF", Ys: hf, Marker: '*'},
+	}, 72, 16)
+	if err != nil {
+		return err
+	}
+	// Numeric companion so the series can be read off exactly.
+	fmt.Fprintf(w, "\nlog N   avg BA   avg BA-HF   avg HF\n")
+	for i := range rows {
+		fmt.Fprintf(w, "%5s   %6.3f   %9.3f   %6.3f\n", xs[i], ba[i], bahf[i], hf[i])
+	}
+	return nil
+}
+
+// CheckFigure5Shape verifies the qualitative findings the paper reports for
+// Figure 5 and returns a list of violations (empty = the reproduction shows
+// the paper's shape):
+//
+//  1. "In all experiments, Algorithm HF performed best and Algorithm BA-HF
+//     outperformed Algorithm BA" — avg(HF) < avg(BA-HF) < avg(BA) per N.
+//  2. "Usually, the observed ratios differed by no more than a factor of 3
+//     for fixed N" — avg(BA)/avg(HF) ≤ 3.
+//  3. "The average ratio obtained from Algorithm HF was observed to be
+//     almost constant for the whole range" — spread of avg(HF) across N is
+//     small (≤ 15% of its mean).
+func CheckFigure5Shape(rows []TripleRow) []string {
+	var violations []string
+	var hfSum, hfMin, hfMax float64
+	for i, r := range rows {
+		hf, hyb, ba := r.HF.Stats.Mean, r.BAHF.Stats.Mean, r.BA.Stats.Mean
+		if r.N >= 32 {
+			if !(hf <= hyb && hyb <= ba) {
+				violations = append(violations,
+					fmt.Sprintf("N=%d: ordering HF ≤ BA-HF ≤ BA violated (%.3f / %.3f / %.3f)",
+						r.N, hf, hyb, ba))
+			}
+			if ba > 3*hf {
+				violations = append(violations,
+					fmt.Sprintf("N=%d: BA/HF spread %.2f exceeds factor 3", r.N, ba/hf))
+			}
+		}
+		hfSum += hf
+		if i == 0 || hf < hfMin {
+			hfMin = hf
+		}
+		if i == 0 || hf > hfMax {
+			hfMax = hf
+		}
+	}
+	mean := hfSum / float64(len(rows))
+	if len(rows) > 1 && (hfMax-hfMin) > 0.15*mean {
+		violations = append(violations,
+			fmt.Sprintf("HF average ratio not near-constant: min %.3f max %.3f", hfMin, hfMax))
+	}
+	return violations
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+	"bisectlb/internal/stats"
+	"bisectlb/internal/xrand"
+)
+
+// KappaConfig parameterises the κ-influence study of Section 4: "We
+// observed that the improvement of the average ratio was approximately 10%
+// when κ increased from 1.0 to 2.0 and another 5% when κ = 3.0" (for
+// α̂ ~ U[0.1, 0.5]).
+type KappaConfig struct {
+	Lo, Hi float64
+	Kappas []float64
+	Ns     []int
+	Trials int
+	Seed   uint64
+}
+
+// DefaultKappaConfig mirrors the paper's study.
+func DefaultKappaConfig(trials, maxLog int, seed uint64) KappaConfig {
+	return KappaConfig{
+		Lo: 0.1, Hi: 0.5,
+		Kappas: []float64{1.0, 2.0, 3.0},
+		Ns:     PowersOfTwo(5, maxLog),
+		Trials: trials,
+		Seed:   seed,
+	}
+}
+
+// KappaRow is one processor count's BA-HF average ratio per κ.
+type KappaRow struct {
+	N    int
+	Avg  []float64 // parallel to cfg.Kappas
+	Vars []float64
+}
+
+// KappaResult carries the per-N rows plus the aggregate improvements.
+type KappaResult struct {
+	Cfg  KappaConfig
+	Rows []KappaRow
+	// OverallAvg[i] is the mean over all N of the average ratio at κ_i.
+	OverallAvg []float64
+	// Improvement[i] is the relative reduction of OverallAvg from κ_{i-1}
+	// to κ_i (Improvement[0] = 0).
+	Improvement []float64
+}
+
+// RunKappaStudy executes the study with matched instances per κ (identical
+// bisection streams, only κ varies).
+func RunKappaStudy(cfg KappaConfig) (*KappaResult, error) {
+	if !(cfg.Lo > 0) || cfg.Hi < cfg.Lo || cfg.Hi > 0.5 {
+		return nil, fmt.Errorf("experiments: invalid α̂ interval [%v, %v]", cfg.Lo, cfg.Hi)
+	}
+	if len(cfg.Kappas) == 0 || len(cfg.Ns) == 0 || cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiments: empty κ study configuration")
+	}
+	res := &KappaResult{Cfg: cfg}
+	sums := make([]float64, len(cfg.Kappas))
+	count := 0
+	seedGen := xrand.New(cfg.Seed)
+	for _, n := range cfg.Ns {
+		samples := make([]*stats.Sample, len(cfg.Kappas))
+		for i := range samples {
+			samples[i] = stats.NewSample(cfg.Trials)
+		}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := seedGen.Uint64()
+			for i, kappa := range cfg.Kappas {
+				r, err := core.BAHF(bisect.MustSynthetic(1, cfg.Lo, cfg.Hi, seed), n, cfg.Lo, kappa, core.Options{})
+				if err != nil {
+					return nil, err
+				}
+				samples[i].Add(r.Ratio)
+			}
+		}
+		row := KappaRow{N: n}
+		for i := range cfg.Kappas {
+			row.Avg = append(row.Avg, samples[i].Mean())
+			row.Vars = append(row.Vars, samples[i].Variance())
+			sums[i] += samples[i].Mean()
+		}
+		res.Rows = append(res.Rows, row)
+		count++
+	}
+	res.OverallAvg = make([]float64, len(cfg.Kappas))
+	res.Improvement = make([]float64, len(cfg.Kappas))
+	for i := range cfg.Kappas {
+		res.OverallAvg[i] = sums[i] / float64(count)
+		if i > 0 {
+			res.Improvement[i] = -stats.RelativeChange(res.OverallAvg[i-1], res.OverallAvg[i])
+		}
+	}
+	return res, nil
+}
+
+// RenderKappaStudy writes the study in tabular form.
+func RenderKappaStudy(w io.Writer, res *KappaResult) error {
+	fmt.Fprintf(w, "κ-study: BA-HF average ratio for α̂ ~ U[%g, %g], %d trials\n\n",
+		res.Cfg.Lo, res.Cfg.Hi, res.Cfg.Trials)
+	fmt.Fprintf(w, "log N")
+	for _, k := range res.Cfg.Kappas {
+		fmt.Fprintf(w, "   κ=%-5.2f", k)
+	}
+	fmt.Fprintln(w)
+	for _, row := range res.Rows {
+		fmt.Fprintf(w, "%5d", log2(row.N))
+		for _, a := range row.Avg {
+			fmt.Fprintf(w, "   %7.4f", a)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "\noverall")
+	for _, a := range res.OverallAvg {
+		fmt.Fprintf(w, "  %7.4f", a)
+	}
+	fmt.Fprintln(w)
+	for i := 1; i < len(res.Cfg.Kappas); i++ {
+		fmt.Fprintf(w, "improvement κ=%g → κ=%g: %5.1f%%\n",
+			res.Cfg.Kappas[i-1], res.Cfg.Kappas[i], 100*res.Improvement[i])
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// log2 returns ⌊log2 n⌋ as an int label; exact for the powers of two the
+// paper uses.
+func log2(n int) int {
+	return int(math.Round(math.Log2(float64(n))))
+}
+
+// RenderTable1 writes the rows in the layout of the paper's Table 1:
+// worst-case upper bounds (ub) and observed minimum, average and maximum
+// ratios for BA, BA-HF and HF at each processor count.
+func RenderTable1(w io.Writer, cfg TripleConfig, rows []TripleRow) error {
+	fmt.Fprintf(w, "Table 1: worst-case upper bounds (ub) and observed min/avg/max ratios\n")
+	fmt.Fprintf(w, "for α̂ ~ U[%g, %g], κ = %g (%d trials", cfg.Lo, cfg.Hi, cfg.Kappa, cfg.Trials)
+	if cfg.ScaleTrials {
+		fmt.Fprintf(w, ", scaled down above 2^14")
+	}
+	fmt.Fprintf(w, ")\n\n")
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "\tlog N\t|\tBA ub\tmin\tavg\tmax\t|\tBA-HF ub\tmin\tavg\tmax\t|\tHF ub\tmin\tavg\tmax\t\n")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "\t%d\t|\t%.2f\t%.3f\t%.3f\t%.3f\t|\t%.2f\t%.3f\t%.3f\t%.3f\t|\t%.2f\t%.3f\t%.3f\t%.3f\t\n",
+			log2(r.N),
+			r.BA.UB, r.BA.Stats.Min, r.BA.Stats.Mean, r.BA.Stats.Max,
+			r.BAHF.UB, r.BAHF.Stats.Min, r.BAHF.Stats.Mean, r.BAHF.Stats.Max,
+			r.HF.UB, r.HF.Stats.Min, r.HF.Stats.Mean, r.HF.Stats.Max)
+	}
+	return tw.Flush()
+}
+
+// WriteTripleCSV emits the rows as CSV for downstream plotting.
+func WriteTripleCSV(w io.Writer, rows []TripleRow) error {
+	if _, err := fmt.Fprintln(w, "n,log2n,trials,"+
+		"ba_ub,ba_min,ba_avg,ba_max,ba_var,"+
+		"bahf_ub,bahf_min,bahf_avg,bahf_max,bahf_var,"+
+		"hf_ub,hf_min,hf_avg,hf_max,hf_var"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fields := []string{
+			strconv.Itoa(r.N), strconv.Itoa(log2(r.N)), strconv.Itoa(r.Trials),
+			ftoa(r.BA.UB), ftoa(r.BA.Stats.Min), ftoa(r.BA.Stats.Mean), ftoa(r.BA.Stats.Max), ftoa(r.BA.Stats.Variance),
+			ftoa(r.BAHF.UB), ftoa(r.BAHF.Stats.Min), ftoa(r.BAHF.Stats.Mean), ftoa(r.BAHF.Stats.Max), ftoa(r.BAHF.Stats.Variance),
+			ftoa(r.HF.UB), ftoa(r.HF.Stats.Min), ftoa(r.HF.Stats.Mean), ftoa(r.HF.Stats.Max), ftoa(r.HF.Stats.Variance),
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ftoa(v float64) string {
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	return strconv.FormatFloat(v, 'g', 8, 64)
+}

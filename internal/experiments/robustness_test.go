@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRobustnessStudyDegradesGracefully(t *testing.T) {
+	cfg := DefaultRobustnessStudy(30, 4)
+	cfg.N = 256
+	cfg.NoiseLevels = []float64{0, 0.2, 0.5}
+	rows, err := RunRobustnessStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Noise can only hurt (on average): monotone non-decreasing true-load
+	// ratios, with slack for sampling wiggle.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].HF.Mean < rows[i-1].HF.Mean*0.98 {
+			t.Fatalf("HF improved under noise: %v → %v", rows[i-1].HF.Mean, rows[i].HF.Mean)
+		}
+	}
+	// At zero noise the true ratio equals the estimated ratio ordering:
+	// HF best, BA worst.
+	if !(rows[0].HF.Mean <= rows[0].BAHF.Mean && rows[0].BAHF.Mean <= rows[0].BA.Mean) {
+		t.Fatalf("zero-noise ordering violated: %v / %v / %v",
+			rows[0].HF.Mean, rows[0].BAHF.Mean, rows[0].BA.Mean)
+	}
+	// Even at 50% estimation error the balance must not collapse: HF's
+	// true ratio stays within a small factor of its noiseless value.
+	if rows[2].HF.Mean > 2.5*rows[0].HF.Mean {
+		t.Fatalf("HF collapsed under 50%% noise: %v vs %v", rows[2].HF.Mean, rows[0].HF.Mean)
+	}
+	var b strings.Builder
+	if err := RenderRobustnessStudy(&b, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Robustness study") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestRobustnessStudyValidation(t *testing.T) {
+	if _, err := RunRobustnessStudy(RobustnessStudy{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestSplitRuleAblationShowsRegression(t *testing.T) {
+	cfg := DefaultSplitRuleAblation(60, 10, 6)
+	rows, err := RunSplitRuleAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The naive rule must be no better on average at any size, and
+	// strictly worse somewhere.
+	worse := false
+	for _, r := range rows {
+		if r.NaiveFloor.Mean < r.BestApprox.Mean*0.995 {
+			t.Fatalf("N=%d: naive rule beat best-approximation (%v vs %v)",
+				r.N, r.NaiveFloor.Mean, r.BestApprox.Mean)
+		}
+		if r.Regression > 0.01 {
+			worse = true
+		}
+	}
+	if !worse {
+		t.Fatal("ablation shows no measurable regression anywhere — suspicious")
+	}
+	var b strings.Builder
+	if err := RenderSplitRuleAblation(&b, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Split-rule ablation") {
+		t.Fatal("render missing title")
+	}
+}
+
+func TestSplitRuleAblationValidation(t *testing.T) {
+	if _, err := RunSplitRuleAblation(SplitRuleAblation{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestTopologyStudyShape(t *testing.T) {
+	cfg := DefaultTopologyStudy(8, 512, 3)
+	rows, err := RunTopologyStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(topo, alg string) MachineRowLike {
+		for _, r := range rows {
+			if r.Topology == topo && r.Algorithm == alg {
+				return MachineRowLike{r.Makespan.Mean, r.GlobalOps.Mean}
+			}
+		}
+		t.Fatalf("missing %s/%s", topo, alg)
+		return MachineRowLike{}
+	}
+	// BA never uses global operations on any topology.
+	for _, topo := range []string{"complete", "hypercube", "fat-tree", "mesh2d", "ring"} {
+		if get(topo, "BA").GlobalOps != 0 {
+			t.Fatalf("BA charged global ops on %s", topo)
+		}
+	}
+	// PHF's ring makespan dwarfs its complete-graph makespan; BA's ratio
+	// of the same pair stays far smaller.
+	phfBlowup := get("ring", "PHF").Makespan / get("complete", "PHF").Makespan
+	baBlowup := get("ring", "BA").Makespan / get("complete", "BA").Makespan
+	if phfBlowup <= baBlowup {
+		t.Fatalf("PHF blowup %v not larger than BA blowup %v", phfBlowup, baBlowup)
+	}
+	var b strings.Builder
+	if err := RenderTopologyStudy(&b, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Topology study") {
+		t.Fatal("render missing title")
+	}
+}
+
+// MachineRowLike is a tiny projection used by the topology assertions.
+type MachineRowLike struct {
+	Makespan  float64
+	GlobalOps float64
+}
+
+func TestTopologyStudyValidation(t *testing.T) {
+	if _, err := RunTopologyStudy(TopologyStudy{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestEndToEndStudyCrossover(t *testing.T) {
+	cfg := DefaultEndToEndStudy(10, 5)
+	cfg.N = 1024
+	rows, err := RunEndToEndStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Granularities) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At tiny granularity the fastest balancer (BA) must win; at huge
+	// granularity the best balance (PHF = HF's partition, parallel
+	// balancing time) must win; the sequential HF never wins at scale
+	// because its Θ(N) balancing time dwarfs everything at small G and its
+	// ratio ties PHF's at large G while paying more up front.
+	if rows[0].Best != "BA" {
+		t.Fatalf("G=%v winner %s, want BA", rows[0].Granularity, rows[0].Best)
+	}
+	last := rows[len(rows)-1]
+	if last.Best != "PHF" {
+		t.Fatalf("G=%v winner %s, want PHF", last.Granularity, last.Best)
+	}
+	for _, r := range rows {
+		if r.Best == "HF(seq)" {
+			t.Fatalf("sequential HF won at G=%v despite Θ(N) balancing", r.Granularity)
+		}
+	}
+	var b strings.Builder
+	if err := RenderEndToEndStudy(&b, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "winner") {
+		t.Fatal("render missing winner column")
+	}
+}
+
+func TestEndToEndStudyValidation(t *testing.T) {
+	if _, err := RunEndToEndStudy(EndToEndStudy{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestDynamicStudyRebalancingHelps(t *testing.T) {
+	cfg := DefaultDynamicStudy(5, 11)
+	cfg.N = 256
+	cfg.Steps = 300
+	cfg.Intervals = []int{0, 100, 20}
+	rows, err := RunDynamicStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byInterval := map[int]DynamicRow{}
+	for _, r := range rows {
+		byInterval[r.Interval] = r
+	}
+	never := byInterval[0]
+	often := byInterval[20]
+	rare := byInterval[100]
+	// More frequent rebalancing must lower the time-averaged imbalance,
+	// monotonically across the sweep.
+	if !(often.AvgImbalance.Mean < rare.AvgImbalance.Mean &&
+		rare.AvgImbalance.Mean < never.AvgImbalance.Mean) {
+		t.Fatalf("imbalance not monotone in rebalance frequency: never=%.3f rare=%.3f often=%.3f",
+			never.AvgImbalance.Mean, rare.AvgImbalance.Mean, often.AvgImbalance.Mean)
+	}
+	// Without rebalancing the drift must hurt substantially over the
+	// horizon (final far above the fresh-partition ratio ≈ 1.7).
+	if never.FinalImbalance.Mean < 2.2 {
+		t.Fatalf("drift too tame: final imbalance %.3f without rebalancing", never.FinalImbalance.Mean)
+	}
+	if never.Rebalances != 0 || often.Rebalances == 0 {
+		t.Fatal("rebalance accounting wrong")
+	}
+	var b strings.Builder
+	if err := RenderDynamicStudy(&b, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "never") {
+		t.Fatal("render missing never row")
+	}
+}
+
+func TestDynamicStudyValidation(t *testing.T) {
+	if _, err := RunDynamicStudy(DynamicStudy{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := DefaultDynamicStudy(1, 1)
+	bad.Intervals = []int{-3}
+	if _, err := RunDynamicStudy(bad); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+	bad2 := DefaultDynamicStudy(1, 1)
+	bad2.Sigma = math.NaN()
+	if _, err := RunDynamicStudy(bad2); err == nil {
+		t.Fatal("NaN σ accepted")
+	}
+}

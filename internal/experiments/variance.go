@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// VarianceStudy reproduces the variance observations of Section 4: "the
+// sample variance was very small in all cases except if an interval [α, 2α]
+// with very small α was chosen" and "especially for Algorithm HF the
+// observed ratios were sharply concentrated around the sample mean for
+// larger values of N".
+type VarianceStudy struct {
+	// Intervals are the [lo, hi] ranges compared; the paper contrasts
+	// wide ranges with narrow [α, 2α] ranges at small α.
+	Intervals [][2]float64
+	Trials    int
+	Ns        []int
+	Seed      uint64
+}
+
+// DefaultVarianceStudy mirrors the paper's contrast set.
+func DefaultVarianceStudy(trials, maxLog int, seed uint64) VarianceStudy {
+	return VarianceStudy{
+		Intervals: [][2]float64{
+			{0.1, 0.5},   // wide: tiny variance expected
+			{0.01, 0.5},  // Table 1's interval
+			{0.05, 0.1},  // narrow [α, 2α], moderate α
+			{0.01, 0.02}, // narrow [α, 2α], very small α: variance appears
+		},
+		Trials: trials,
+		Ns:     PowersOfTwo(5, maxLog),
+		Seed:   seed,
+	}
+}
+
+// VarianceRow holds one interval's per-N variances for HF.
+type VarianceRow struct {
+	Interval  [2]float64
+	Rows      []TripleRow
+	HFVarBig  float64 // HF variance at the largest N
+	HFVarGeo  float64 // geometric-ish mean of HF variance across N
+	BAVarGeo  float64
+	HybVarGeo float64
+}
+
+// RunVarianceStudy executes the study.
+func RunVarianceStudy(cfg VarianceStudy) ([]VarianceRow, error) {
+	var out []VarianceRow
+	for i, iv := range cfg.Intervals {
+		tc := TripleConfig{
+			Lo: iv[0], Hi: iv[1], Kappa: 1.0,
+			Trials: cfg.Trials, Seed: cfg.Seed + uint64(i),
+			Ns: cfg.Ns, ScaleTrials: true,
+		}
+		rows, err := RunTriple(tc)
+		if err != nil {
+			return nil, err
+		}
+		row := VarianceRow{Interval: iv, Rows: rows}
+		var hfSum, baSum, hybSum float64
+		for _, r := range rows {
+			hfSum += r.HF.Stats.Variance
+			baSum += r.BA.Stats.Variance
+			hybSum += r.BAHF.Stats.Variance
+		}
+		row.HFVarGeo = hfSum / float64(len(rows))
+		row.BAVarGeo = baSum / float64(len(rows))
+		row.HybVarGeo = hybSum / float64(len(rows))
+		row.HFVarBig = rows[len(rows)-1].HF.Stats.Variance
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderVarianceStudy writes per-interval variance summaries.
+func RenderVarianceStudy(w io.Writer, rows []VarianceRow) error {
+	fmt.Fprintf(w, "Variance study: sample variance of the observed ratio\n\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "α̂ ~ U[%g, %g]:\n", row.Interval[0], row.Interval[1])
+		fmt.Fprintf(w, "  log N   var BA      var BA-HF   var HF\n")
+		for _, r := range row.Rows {
+			fmt.Fprintf(w, "  %5d   %-9.3g   %-9.3g   %-9.3g\n",
+				log2(r.N), r.BA.Stats.Variance, r.BAHF.Stats.Variance, r.HF.Stats.Variance)
+		}
+		fmt.Fprintf(w, "  mean variance: BA %.3g, BA-HF %.3g, HF %.3g; HF at largest N: %.3g\n\n",
+			row.BAVarGeo, row.HybVarGeo, row.HFVarGeo, row.HFVarBig)
+	}
+	return nil
+}
+
+// OddNStudy reproduces the aside "experiments with values of N that were
+// not powers of 2 gave very similar results": it compares each odd N
+// against its neighbouring powers of two.
+type OddNStudy struct {
+	Lo, Hi float64
+	Kappa  float64
+	OddNs  []int
+	Trials int
+	Seed   uint64
+}
+
+// DefaultOddNStudy uses primes and round decimal counts between 2^5 and 2^14.
+func DefaultOddNStudy(trials int, seed uint64) OddNStudy {
+	return OddNStudy{
+		Lo: 0.1, Hi: 0.5, Kappa: 1.0,
+		OddNs:  []int{37, 100, 523, 1000, 4999, 10007},
+		Trials: trials,
+		Seed:   seed,
+	}
+}
+
+// RunOddNStudy runs the comparison: for each odd N it also evaluates the
+// bracketing powers of two, all with matched trial counts.
+func RunOddNStudy(cfg OddNStudy) ([]TripleRow, error) {
+	var ns []int
+	seen := map[int]bool{}
+	addUnique := func(n int) {
+		if !seen[n] {
+			seen[n] = true
+			ns = append(ns, n)
+		}
+	}
+	for _, n := range cfg.OddNs {
+		lower := 1
+		for lower*2 <= n {
+			lower *= 2
+		}
+		addUnique(lower)
+		addUnique(n)
+		if lower != n {
+			addUnique(lower * 2)
+		}
+	}
+	tc := TripleConfig{
+		Lo: cfg.Lo, Hi: cfg.Hi, Kappa: cfg.Kappa,
+		Trials: cfg.Trials, Seed: cfg.Seed, Ns: ns, ScaleTrials: true,
+	}
+	return RunTriple(tc)
+}
+
+// RenderOddNStudy prints the odd-N rows next to their bracketing powers.
+func RenderOddNStudy(w io.Writer, cfg OddNStudy, rows []TripleRow) error {
+	fmt.Fprintf(w, "Odd-N study: average ratios for non-power-of-two N, α̂ ~ U[%g, %g]\n\n",
+		cfg.Lo, cfg.Hi)
+	fmt.Fprintf(w, "%8s   avg BA    avg BA-HF   avg HF\n", "N")
+	for _, r := range rows {
+		marker := " "
+		if r.N&(r.N-1) != 0 {
+			marker = "*" // not a power of two
+		}
+		fmt.Fprintf(w, "%7d%s   %7.3f   %9.3f   %7.3f\n",
+			r.N, marker, r.BA.Stats.Mean, r.BAHF.Stats.Mean, r.HF.Stats.Mean)
+	}
+	fmt.Fprintf(w, "(* = not a power of two)\n")
+	return nil
+}

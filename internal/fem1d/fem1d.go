@@ -1,0 +1,231 @@
+// Package fem1d is a small but real finite-element solver used to ground
+// the load-balancing framework in the application the paper's introduction
+// motivates: "a parallel solver for systems of linear equations resulting
+// from the discretization of partial differential equations".
+//
+// It solves the 1-D Poisson problem
+//
+//	−u″(x) = f(x) on (0, 1),   u(0) = u(1) = 0
+//
+// with piecewise-linear elements on an adaptively graded mesh, assembling
+// the standard tridiagonal stiffness system and solving it with the Thomas
+// algorithm. The package exposes a Span problem adapter whose weight is the
+// mesh-dependent work of explicit time integration over an element range
+// (one unit per element per sub-step, sub-steps ∝ 1/h by the CFL
+// condition), giving the heavily imbalanced, bisectable workloads adaptive
+// meshes produce in practice.
+package fem1d
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mesh is a strictly increasing partition 0 = X[0] < … < X[M] = 1 of the
+// unit interval into M elements.
+type Mesh struct {
+	X []float64
+	// workPrefix[i] is the exact total work of elements [0, i); see
+	// ElementWork. Exact prefix sums make Span weights exactly additive.
+	workPrefix []float64
+}
+
+// NewMesh validates the node vector and precomputes work prefixes.
+func NewMesh(x []float64) (*Mesh, error) {
+	if len(x) < 2 {
+		return nil, fmt.Errorf("fem1d: mesh needs at least one element")
+	}
+	if x[0] != 0 || x[len(x)-1] != 1 {
+		return nil, fmt.Errorf("fem1d: mesh must span [0, 1], got [%v, %v]", x[0], x[len(x)-1])
+	}
+	for i := 1; i < len(x); i++ {
+		if !(x[i] > x[i-1]) {
+			return nil, fmt.Errorf("fem1d: mesh nodes not strictly increasing at %d", i)
+		}
+	}
+	m := &Mesh{X: append([]float64(nil), x...)}
+	m.workPrefix = make([]float64, m.Elements()+1)
+	for e := 0; e < m.Elements(); e++ {
+		m.workPrefix[e+1] = m.workPrefix[e] + m.ElementWork(e)
+	}
+	return m, nil
+}
+
+// Elements returns the element count M.
+func (m *Mesh) Elements() int { return len(m.X) - 1 }
+
+// H returns the width of element e.
+func (m *Mesh) H(e int) float64 { return m.X[e+1] - m.X[e] }
+
+// ElementWork models the computational load of element e: explicit time
+// integration to a fixed horizon needs ⌈T/Δt⌉ sub-steps with Δt ∝ h, so
+// the per-element work scales as 1/h. The constant is normalised so a
+// uniform mesh of M elements has total work ≈ M².
+func (m *Mesh) ElementWork(e int) float64 { return 1 / m.H(e) }
+
+// TotalWork returns the work sum over all elements.
+func (m *Mesh) TotalWork() float64 { return m.workPrefix[m.Elements()] }
+
+// SpanWork returns the exact work of elements [lo, hi).
+func (m *Mesh) SpanWork(lo, hi int) float64 { return m.workPrefix[hi] - m.workPrefix[lo] }
+
+// GradedMesh builds a mesh of n elements geometrically refined toward the
+// point s ∈ [0, 1]: element widths shrink by the factor grading ∈ (0, 1]
+// per step toward s. grading = 1 yields the uniform mesh.
+func GradedMesh(n int, s, grading float64) (*Mesh, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fem1d: need at least one element")
+	}
+	if s < 0 || s > 1 || math.IsNaN(s) {
+		return nil, fmt.Errorf("fem1d: singularity %v outside [0, 1]", s)
+	}
+	if !(grading > 0) || grading > 1 {
+		return nil, fmt.Errorf("fem1d: grading %v outside (0, 1]", grading)
+	}
+	// Power-law grading toward s: split the domain at s and, in each half,
+	// place nodes by the classic mapping t ↦ t^β measured from the far
+	// boundary, which makes element widths shrink geometrically as they
+	// approach s. β = 1/grading² gives β = 1 (uniform) at grading = 1 and
+	// increasingly aggressive clustering as grading falls.
+	beta := 1 / (grading * grading)
+	if n == 1 {
+		return NewMesh([]float64{0, 1})
+	}
+	// Element counts per half: proportional to the half lengths, with a
+	// degenerate half (s = 0 or s = 1) receiving zero elements.
+	nl := int(math.Round(float64(n) * s))
+	switch {
+	case s <= 0:
+		nl = 0
+	case s >= 1:
+		nl = n
+	default:
+		if nl == 0 {
+			nl = 1
+		}
+		if nl == n {
+			nl = n - 1
+		}
+	}
+	nr := n - nl
+	x := make([]float64, 0, n+1)
+	x = append(x, 0)
+	for i := 1; i <= nl; i++ {
+		t := float64(i) / float64(nl)
+		x = append(x, s*(1-math.Pow(1-t, beta)))
+	}
+	for j := 1; j <= nr; j++ {
+		t := float64(j) / float64(nr)
+		x = append(x, s+(1-s)*math.Pow(t, beta))
+	}
+	x[n] = 1
+	return NewMesh(x)
+}
+
+// Assemble builds the linear-element stiffness system for −u″ = f with
+// homogeneous Dirichlet conditions: unknowns are the interior nodes
+// X[1..M−1]; diag and off are the tridiagonal coefficients (off[i] couples
+// unknowns i and i+1); rhs uses the trapezoid-exact load ∫ f·φ_i via the
+// midpoint rule on each element.
+func Assemble(m *Mesh, f func(float64) float64) (diag, off, rhs []float64) {
+	unknowns := m.Elements() - 1
+	diag = make([]float64, unknowns)
+	off = make([]float64, maxInt(unknowns-1, 0))
+	rhs = make([]float64, unknowns)
+	for e := 0; e < m.Elements(); e++ {
+		h := m.H(e)
+		k := 1 / h
+		// Element e couples nodes e and e+1 (global), i.e. unknowns e−1, e.
+		left, right := e-1, e
+		if left >= 0 {
+			diag[left] += k
+		}
+		if right < unknowns {
+			diag[right] += k
+		}
+		if left >= 0 && right < unknowns {
+			off[left] -= k
+		}
+		// Load: midpoint rule, hat functions each take half the element
+		// mass.
+		fm := f((m.X[e] + m.X[e+1]) / 2)
+		if left >= 0 {
+			rhs[left] += fm * h / 2
+		}
+		if right < unknowns {
+			rhs[right] += fm * h / 2
+		}
+	}
+	return diag, off, rhs
+}
+
+// SolveThomas solves the symmetric tridiagonal system in place-free form
+// and returns the solution at the interior nodes. It panics on dimension
+// mismatch (programmer error) and returns an error if elimination hits a
+// vanishing pivot (impossible for the SPD stiffness matrix unless the
+// inputs were corrupted).
+func SolveThomas(diag, off, rhs []float64) ([]float64, error) {
+	n := len(diag)
+	if len(rhs) != n || len(off) != maxInt(n-1, 0) {
+		panic("fem1d: tridiagonal dimensions inconsistent")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if diag[0] == 0 {
+		return nil, fmt.Errorf("fem1d: zero pivot at 0")
+	}
+	if n > 1 {
+		cp[0] = off[0] / diag[0]
+	}
+	dp[0] = rhs[0] / diag[0]
+	for i := 1; i < n; i++ {
+		denom := diag[i] - off[i-1]*cp[i-1]
+		if denom == 0 {
+			return nil, fmt.Errorf("fem1d: zero pivot at %d", i)
+		}
+		if i < n-1 {
+			cp[i] = off[i] / denom
+		}
+		dp[i] = (rhs[i] - off[i-1]*dp[i-1]) / denom
+	}
+	u := make([]float64, n)
+	u[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		u[i] = dp[i] - cp[i]*u[i+1]
+	}
+	return u, nil
+}
+
+// Solve assembles and solves the Poisson problem on the mesh, returning
+// the solution values at ALL mesh nodes (boundary zeros included).
+func Solve(m *Mesh, f func(float64) float64) ([]float64, error) {
+	diag, off, rhs := Assemble(m, f)
+	inner, err := SolveThomas(diag, off, rhs)
+	if err != nil {
+		return nil, err
+	}
+	u := make([]float64, len(m.X))
+	copy(u[1:], inner)
+	return u, nil
+}
+
+// MaxNodalError returns max_i |u_i − exact(X_i)|.
+func MaxNodalError(m *Mesh, u []float64, exact func(float64) float64) float64 {
+	worst := 0.0
+	for i, x := range m.X {
+		if d := math.Abs(u[i] - exact(x)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,288 @@
+package fem1d
+
+import (
+	"math"
+	"testing"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+)
+
+func uniform(n int) *Mesh {
+	x := make([]float64, n+1)
+	for i := range x {
+		x[i] = float64(i) / float64(n)
+	}
+	m, err := NewMesh(x)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestNewMeshValidation(t *testing.T) {
+	if _, err := NewMesh([]float64{0}); err == nil {
+		t.Fatal("single node accepted")
+	}
+	if _, err := NewMesh([]float64{0, 0.5, 0.5, 1}); err == nil {
+		t.Fatal("non-increasing nodes accepted")
+	}
+	if _, err := NewMesh([]float64{0.1, 0.5, 1}); err == nil {
+		t.Fatal("wrong left boundary accepted")
+	}
+	if _, err := NewMesh([]float64{0, 0.5, 0.9}); err == nil {
+		t.Fatal("wrong right boundary accepted")
+	}
+}
+
+func TestGradedMeshValidation(t *testing.T) {
+	if _, err := GradedMesh(0, 0.5, 0.9); err == nil {
+		t.Fatal("zero elements accepted")
+	}
+	if _, err := GradedMesh(10, -1, 0.9); err == nil {
+		t.Fatal("singularity outside accepted")
+	}
+	if _, err := GradedMesh(10, 0.5, 0); err == nil {
+		t.Fatal("grading 0 accepted")
+	}
+	if _, err := GradedMesh(10, 0.5, 1.5); err == nil {
+		t.Fatal("grading > 1 accepted")
+	}
+}
+
+func TestGradedMeshRefinesTowardSingularity(t *testing.T) {
+	m, err := GradedMesh(200, 0.25, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The smallest element must sit near the singularity; elements far
+	// away must be much wider.
+	smallest, smallestAt := math.Inf(1), -1
+	for e := 0; e < m.Elements(); e++ {
+		if h := m.H(e); h < smallest {
+			smallest, smallestAt = h, e
+		}
+	}
+	centre := (m.X[smallestAt] + m.X[smallestAt+1]) / 2
+	if math.Abs(centre-0.25) > 0.1 {
+		t.Fatalf("smallest element at %v, singularity at 0.25", centre)
+	}
+	far := m.H(m.Elements() - 1)
+	if far < 5*smallest {
+		t.Fatalf("grading too weak: far width %v vs smallest %v", far, smallest)
+	}
+}
+
+func TestGradedMeshUniformWhenGradingOne(t *testing.T) {
+	m, err := GradedMesh(64, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < m.Elements(); e++ {
+		if math.Abs(m.H(e)-1.0/64) > 1e-12 {
+			t.Fatalf("element %d width %v not uniform", e, m.H(e))
+		}
+	}
+}
+
+func TestSolveThomasAgainstDenseElimination(t *testing.T) {
+	// Small SPD tridiagonal system solved both ways.
+	diag := []float64{4, 4, 4, 4}
+	off := []float64{-1, -1, -1}
+	rhs := []float64{1, 2, 3, 4}
+	u, err := SolveThomas(diag, off, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify residual directly: A·u = rhs.
+	for i := range diag {
+		r := diag[i] * u[i]
+		if i > 0 {
+			r += off[i-1] * u[i-1]
+		}
+		if i < len(off) {
+			r += off[i] * u[i+1]
+		}
+		if math.Abs(r-rhs[i]) > 1e-12 {
+			t.Fatalf("residual at %d: %v", i, r-rhs[i])
+		}
+	}
+}
+
+func TestSolveThomasEdgeCases(t *testing.T) {
+	if u, err := SolveThomas(nil, nil, nil); err != nil || u != nil {
+		t.Fatal("empty system mishandled")
+	}
+	u, err := SolveThomas([]float64{2}, nil, []float64{4})
+	if err != nil || math.Abs(u[0]-2) > 1e-15 {
+		t.Fatalf("1x1 system: %v, %v", u, err)
+	}
+	if _, err := SolveThomas([]float64{0}, nil, []float64{1}); err == nil {
+		t.Fatal("zero pivot accepted")
+	}
+}
+
+func TestPoissonManufacturedSolution(t *testing.T) {
+	// −u″ = π² sin(πx) has exact solution u = sin(πx).
+	f := func(x float64) float64 { return math.Pi * math.Pi * math.Sin(math.Pi*x) }
+	exact := func(x float64) float64 { return math.Sin(math.Pi * x) }
+	m := uniform(128)
+	u, err := Solve(m, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxNodalError(m, u, exact); e > 2e-4 {
+		t.Fatalf("nodal error %v too large for 128 elements", e)
+	}
+}
+
+func TestPoissonConvergenceOrder(t *testing.T) {
+	// Halving h must reduce the error by ≈ 4 (second-order convergence).
+	f := func(x float64) float64 { return math.Pi * math.Pi * math.Sin(math.Pi*x) }
+	exact := func(x float64) float64 { return math.Sin(math.Pi * x) }
+	var errs []float64
+	for _, n := range []int{32, 64, 128} {
+		m := uniform(n)
+		u, err := Solve(m, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs = append(errs, MaxNodalError(m, u, exact))
+	}
+	for i := 1; i < len(errs); i++ {
+		rate := errs[i-1] / errs[i]
+		if rate < 3.5 || rate > 4.5 {
+			t.Fatalf("convergence rate %v at level %d, want ≈ 4", rate, i)
+		}
+	}
+}
+
+func TestPoissonOnGradedMesh(t *testing.T) {
+	f := func(x float64) float64 { return math.Pi * math.Pi * math.Sin(math.Pi*x) }
+	exact := func(x float64) float64 { return math.Sin(math.Pi * x) }
+	m, err := GradedMesh(512, 0.25, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Solve(m, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxNodalError(m, u, exact); e > 1e-3 {
+		t.Fatalf("graded-mesh error %v too large", e)
+	}
+}
+
+func TestSpanWeightAdditivity(t *testing.T) {
+	m, err := GradedMesh(1000, 0.3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RootSpan(m, 1)
+	var walk func(q bisect.Problem, depth int)
+	walk = func(q bisect.Problem, depth int) {
+		if depth == 0 || !q.CanBisect() {
+			return
+		}
+		c1, c2 := q.Bisect()
+		if c1.Weight()+c2.Weight() != q.Weight() {
+			t.Fatalf("span weights not exactly additive: %v + %v != %v",
+				c1.Weight(), c2.Weight(), q.Weight())
+		}
+		if c1.Weight() < c2.Weight() {
+			t.Fatal("heavy span must come first")
+		}
+		walk(c1, depth-1)
+		walk(c2, depth-1)
+	}
+	walk(s, 8)
+}
+
+func TestSpanBisectCutsNearWorkMedian(t *testing.T) {
+	m, err := GradedMesh(4000, 0.2, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RootSpan(m, 2)
+	_, light := s.Bisect()
+	frac := light.Weight() / s.Weight()
+	if frac < 0.45 {
+		t.Fatalf("work-median cut produced fraction %v; prefix resolution should do better", frac)
+	}
+}
+
+func TestSpanIndivisible(t *testing.T) {
+	m := uniform(4)
+	s := &Span{mesh: m, lo: 1, hi: 2}
+	if s.CanBisect() {
+		t.Fatal("single-element span claims divisibility")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bisect on single element did not panic")
+		}
+	}()
+	s.Bisect()
+}
+
+func TestSpanThroughLoadBalancer(t *testing.T) {
+	m, err := GradedMesh(5000, 0.3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 16, 64} {
+		res, err := core.HF(RootSpan(m, 3), n, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.CheckPartition(1e-9); err != nil {
+			t.Fatal(err)
+		}
+		// The spans must tile the element range exactly.
+		covered := make([]bool, m.Elements())
+		for _, pt := range res.Parts {
+			lo, hi := pt.Problem.(*Span).Bounds()
+			for e := lo; e < hi; e++ {
+				if covered[e] {
+					t.Fatalf("element %d in two spans", e)
+				}
+				covered[e] = true
+			}
+		}
+		for e, c := range covered {
+			if !c {
+				t.Fatalf("element %d uncovered", e)
+			}
+		}
+	}
+}
+
+func TestSpanPHFIdentity(t *testing.T) {
+	m, err := GradedMesh(3000, 0.25, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := 0.2 // the work-median cut keeps splits near 1/2
+	hf, err := core.HF(RootSpan(m, 5), 32, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phf, err := core.PHF(RootSpan(m, 5), 32, alpha, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.SamePartition(hf, &phf.Result) {
+		t.Fatal("PHF != HF on FEM spans")
+	}
+}
+
+func TestIntegrateDoesWork(t *testing.T) {
+	m, err := GradedMesh(200, 0.3, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := RootSpan(m, 7)
+	if v := s.Integrate(); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("integration diverged: %v", v)
+	}
+}

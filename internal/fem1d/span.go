@@ -1,0 +1,118 @@
+package fem1d
+
+import (
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/xrand"
+)
+
+// Span is a contiguous element range [Lo, Hi) of a mesh, the unit of load
+// the solver distributes. Its weight is the exact time-integration work of
+// its elements; bisection cuts at the element boundary closest to half the
+// span's work (computed on exact prefix sums, so weights are exactly
+// additive). Identity derives from (mesh, Lo, Hi), keeping the
+// determinism contract of bisect.Problem.
+type Span struct {
+	mesh   *Mesh
+	lo, hi int
+	salt   uint64
+}
+
+var _ bisect.Problem = (*Span)(nil)
+
+// RootSpan covers the whole mesh.
+func RootSpan(m *Mesh, salt uint64) *Span {
+	return &Span{mesh: m, lo: 0, hi: m.Elements(), salt: xrand.Mix(salt, 0xfe1d)}
+}
+
+// Bounds returns the element range [lo, hi).
+func (s *Span) Bounds() (lo, hi int) { return s.lo, s.hi }
+
+// Slice returns the sub-span [lo, hi) of the same mesh. It panics if the
+// range escapes the span — slicing is for building reference partitions in
+// examples and tests, not part of the bisection protocol.
+func (s *Span) Slice(lo, hi int) *Span {
+	if lo < s.lo || hi > s.hi || lo >= hi {
+		panic("fem1d: Slice range escapes span")
+	}
+	return &Span{mesh: s.mesh, lo: lo, hi: hi, salt: s.salt}
+}
+
+// Mesh returns the underlying mesh.
+func (s *Span) Mesh() *Mesh { return s.mesh }
+
+// Weight returns the exact work of the span.
+func (s *Span) Weight() float64 { return s.mesh.SpanWork(s.lo, s.hi) }
+
+// CanBisect reports whether the span holds at least two elements.
+func (s *Span) CanBisect() bool { return s.hi-s.lo >= 2 }
+
+// ID returns the content-derived identifier.
+func (s *Span) ID() uint64 {
+	return xrand.Mix(xrand.Mix(s.salt, uint64(s.lo)+1), uint64(s.hi)+2)
+}
+
+// Bisect cuts at the element boundary whose work prefix is closest to half
+// the span's work (deterministic; heavier side first).
+func (s *Span) Bisect() (bisect.Problem, bisect.Problem) {
+	if !s.CanBisect() {
+		panic("fem1d: Bisect on single-element span")
+	}
+	target := s.mesh.workPrefix[s.lo] + s.Weight()/2
+	// Binary search the boundary nearest the work midpoint.
+	lo, hi := s.lo+1, s.hi-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.mesh.workPrefix[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cut := lo
+	if prev := lo - 1; prev > s.lo {
+		dPrev := target - s.mesh.workPrefix[prev]
+		dCur := s.mesh.workPrefix[cut] - target
+		if dPrev < 0 {
+			dPrev = -dPrev
+		}
+		if dCur < 0 {
+			dCur = -dCur
+		}
+		if dPrev < dCur {
+			cut = prev
+		}
+	}
+	a := &Span{mesh: s.mesh, lo: s.lo, hi: cut, salt: s.salt}
+	b := &Span{mesh: s.mesh, lo: cut, hi: s.hi, salt: s.salt}
+	if a.Weight() >= b.Weight() {
+		return a, b
+	}
+	return b, a
+}
+
+// Integrate performs the actual explicit-integration work of the span: for
+// every element, ⌈work⌉ arithmetic sub-steps on a local state. It returns
+// the final state so the compiler cannot elide the loop; examples use it
+// to demonstrate real wall-clock balance of a partition.
+func (s *Span) Integrate() float64 {
+	state := 1.0
+	for e := s.lo; e < s.hi; e++ {
+		steps := int(s.mesh.ElementWork(e)) + 1
+		h := s.mesh.H(e)
+		for k := 0; k < steps; k++ {
+			state += h * (1 - state*0.5)
+		}
+	}
+	return state
+}
+
+// WorkUnits returns the exact number of integration sub-steps Integrate
+// performs for the span, the deterministic work measure the examples use
+// to report balance independent of machine speed.
+func (s *Span) WorkUnits() int64 {
+	var total int64
+	for e := s.lo; e < s.hi; e++ {
+		total += int64(s.mesh.ElementWork(e)) + 1
+	}
+	return total
+}

@@ -1,0 +1,167 @@
+// Package femtree provides the finite-element substrate that motivated the
+// paper: unbalanced binary trees produced by adaptive recursive
+// substructuring ("FE-trees", refs [1, 6, 7] of the paper), plus a
+// weight-balancing tree bisector so that FE-tree regions participate in the
+// load-balancing framework as bisect.Problem values.
+//
+// Substitution note (DESIGN.md §4): the original system derived FE-trees
+// from a hierarchical FEM solver; this package generates synthetic FE-trees
+// whose shape is controlled by an adaptive-refinement model with a movable
+// singularity. The load-balancing layer only ever observes weights and
+// bisections, so the synthetic trees exercise exactly the same code paths.
+package femtree
+
+import (
+	"fmt"
+	"math"
+
+	"bisectlb/internal/xrand"
+)
+
+// TreeNode is one node of an FE-tree. Indices refer into Tree.Nodes; -1
+// denotes absence.
+type TreeNode struct {
+	Parent, Left, Right int
+	// Dofs is the computational weight attached to the node (degrees of
+	// freedom of the substructure interface).
+	Dofs float64
+	// Depth is the node's distance from the FE-tree root.
+	Depth int
+	// Span is the 1-D domain interval the substructure covers, used only
+	// by the generator to model refinement near a singularity.
+	Span [2]float64
+}
+
+// Tree is an immutable FE-tree. Many Region problems share one Tree.
+type Tree struct {
+	Nodes []TreeNode
+	Root  int
+	// subtreeDofs[i] caches the total weight of the subtree rooted at i.
+	subtreeDofs []float64
+	// idSalt distinguishes regions of different trees in problem IDs.
+	idSalt uint64
+}
+
+// GenConfig controls synthetic FE-tree generation.
+type GenConfig struct {
+	// MaxDepth caps refinement depth (tree height). Must be ≥ 1.
+	MaxDepth int
+	// MinDepth forces refinement for the first MinDepth levels so a tree
+	// never degenerates to a single node.
+	MinDepth int
+	// RefineBias ∈ (0, 1] scales the refinement probability.
+	RefineBias float64
+	// Singularity ∈ [0, 1] is the domain location that attracts
+	// refinement, modelling a corner singularity of the PDE solution.
+	Singularity float64
+	// BaseDofs is the mean per-node weight. Must be positive.
+	BaseDofs float64
+	// Seed drives the generator deterministically.
+	Seed uint64
+}
+
+// DefaultGenConfig returns a configuration producing trees of a few
+// thousand nodes with pronounced depth imbalance.
+func DefaultGenConfig(seed uint64) GenConfig {
+	return GenConfig{
+		MaxDepth:    16,
+		MinDepth:    4,
+		RefineBias:  0.92,
+		Singularity: 0.23,
+		BaseDofs:    10,
+		Seed:        seed,
+	}
+}
+
+// Generate builds a synthetic FE-tree. It returns an error for nonsensical
+// configurations.
+func Generate(cfg GenConfig) (*Tree, error) {
+	if cfg.MaxDepth < 1 {
+		return nil, fmt.Errorf("femtree: MaxDepth %d must be ≥ 1", cfg.MaxDepth)
+	}
+	if cfg.MinDepth < 0 || cfg.MinDepth > cfg.MaxDepth {
+		return nil, fmt.Errorf("femtree: MinDepth %d outside [0, %d]", cfg.MinDepth, cfg.MaxDepth)
+	}
+	if !(cfg.RefineBias > 0) || cfg.RefineBias > 1 {
+		return nil, fmt.Errorf("femtree: RefineBias %v outside (0, 1]", cfg.RefineBias)
+	}
+	if !(cfg.BaseDofs > 0) {
+		return nil, fmt.Errorf("femtree: BaseDofs %v must be positive", cfg.BaseDofs)
+	}
+	t := &Tree{idSalt: xrand.Mix(cfg.Seed, 0xfe3)}
+	rng := xrand.New(cfg.Seed)
+	var build func(depth int, span [2]float64, parent int) int
+	build = func(depth int, span [2]float64, parent int) int {
+		id := len(t.Nodes)
+		dofs := cfg.BaseDofs * (0.5 + rng.Float64())
+		t.Nodes = append(t.Nodes, TreeNode{
+			Parent: parent, Left: -1, Right: -1,
+			Dofs: dofs, Depth: depth, Span: span,
+		})
+		if depth < cfg.MaxDepth {
+			refine := depth < cfg.MinDepth
+			if !refine {
+				center := (span[0] + span[1]) / 2
+				dist := math.Abs(center - cfg.Singularity)
+				// Refinement probability decays with distance from the
+				// singularity and with depth, yielding the unbalanced
+				// trees typical of adaptive substructuring.
+				p := cfg.RefineBias * math.Pow(1-dist, 2) * math.Pow(0.97, float64(depth))
+				refine = rng.Float64() < p
+			}
+			if refine {
+				mid := (span[0] + span[1]) / 2
+				left := build(depth+1, [2]float64{span[0], mid}, id)
+				right := build(depth+1, [2]float64{mid, span[1]}, id)
+				t.Nodes[id].Left = left
+				t.Nodes[id].Right = right
+			}
+		}
+		return id
+	}
+	t.Root = build(0, [2]float64{0, 1}, -1)
+	t.computeSubtreeDofs()
+	return t, nil
+}
+
+// MustGenerate is Generate that panics on error, for tests and examples.
+func MustGenerate(cfg GenConfig) *Tree {
+	t, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *Tree) computeSubtreeDofs() {
+	t.subtreeDofs = make([]float64, len(t.Nodes))
+	// Nodes were appended in preorder, so children always have larger
+	// indices than their parent; a reverse sweep accumulates bottom-up.
+	for i := len(t.Nodes) - 1; i >= 0; i-- {
+		sum := t.Nodes[i].Dofs
+		if l := t.Nodes[i].Left; l >= 0 {
+			sum += t.subtreeDofs[l]
+		}
+		if r := t.Nodes[i].Right; r >= 0 {
+			sum += t.subtreeDofs[r]
+		}
+		t.subtreeDofs[i] = sum
+	}
+}
+
+// Size returns the number of tree nodes.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// TotalDofs returns the whole tree's weight.
+func (t *Tree) TotalDofs() float64 { return t.subtreeDofs[t.Root] }
+
+// MaxDepth returns the height of the tree.
+func (t *Tree) MaxDepth() int {
+	d := 0
+	for _, n := range t.Nodes {
+		if n.Depth > d {
+			d = n.Depth
+		}
+	}
+	return d
+}

@@ -1,0 +1,234 @@
+// Package hetero extends the paper's framework to heterogeneous
+// processors — an extension the paper's uniform-processor model invites:
+// when processor i has speed s_i, the quantity to minimise is the parallel
+// completion time max_i w_i/s_i, and the ideal value is w(p)/S with
+// S = Σ s_i.
+//
+// Two algorithms are provided, mirroring the homogeneous pair:
+//
+//   - BA generalises directly: instead of splitting an integer processor
+//     count proportionally to child weights, the processor *range* is split
+//     at the capacity prefix best approximating the weight ratio.
+//   - HF keeps its heaviest-first bisection until one part per processor
+//     exists and then assigns parts to processors by sorted matching
+//     (heaviest part to fastest processor), which is optimal among
+//     assignments of N parts to N processors by the rearrangement
+//     argument (see AssignSorted).
+package hetero
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+)
+
+// Machine is an ordered set of processors with positive speeds. The order
+// is the range order used by BA's range-based management; callers who want
+// BA to favour fast processors for heavy subtrees should sort speeds in
+// descending order first (SortedMachine does).
+type Machine struct {
+	speeds []float64
+	prefix []float64 // prefix[i] = sum of speeds[0:i]
+}
+
+// NewMachine validates speeds and builds the capacity prefix.
+func NewMachine(speeds []float64) (*Machine, error) {
+	if len(speeds) == 0 {
+		return nil, fmt.Errorf("hetero: no processors")
+	}
+	m := &Machine{
+		speeds: append([]float64(nil), speeds...),
+		prefix: make([]float64, len(speeds)+1),
+	}
+	for i, s := range speeds {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("hetero: speed %v of processor %d must be positive and finite", s, i)
+		}
+		m.prefix[i+1] = m.prefix[i] + s
+	}
+	return m, nil
+}
+
+// SortedMachine builds a machine with speeds sorted in descending order, so
+// the front of every BA range is its fastest processor.
+func SortedMachine(speeds []float64) (*Machine, error) {
+	s := append([]float64(nil), speeds...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	return NewMachine(s)
+}
+
+// N returns the processor count.
+func (m *Machine) N() int { return len(m.speeds) }
+
+// Speed returns processor i's speed.
+func (m *Machine) Speed(i int) float64 { return m.speeds[i] }
+
+// TotalSpeed returns S = Σ s_i.
+func (m *Machine) TotalSpeed() float64 { return m.prefix[len(m.speeds)] }
+
+// capacity returns the total speed of the range [lo, hi).
+func (m *Machine) capacity(lo, hi int) float64 { return m.prefix[hi] - m.prefix[lo] }
+
+// Assignment maps one subproblem to one processor range.
+type Assignment struct {
+	Problem bisect.Problem
+	// Procs is the processor index range [Lo, Hi) serving the problem;
+	// for HF results the range has width 1.
+	Lo, Hi int
+	// Time is the problem's completion time w / capacity(Lo, Hi).
+	Time float64
+}
+
+// Result is a heterogeneous balancing outcome.
+type Result struct {
+	Algorithm   string
+	Assignments []Assignment
+	// Makespan is max over assignments of w/capacity.
+	Makespan float64
+	// Ideal is w(p)/S, the lower bound on any makespan.
+	Ideal float64
+	// Ratio is Makespan/Ideal, the heterogeneous analogue of the paper's
+	// quality measure.
+	Ratio      float64
+	Bisections int
+}
+
+func finish(alg string, as []Assignment, total, totalSpeed float64, bisections int) *Result {
+	mk := 0.0
+	for i := range as {
+		if as[i].Time > mk {
+			mk = as[i].Time
+		}
+	}
+	ideal := total / totalSpeed
+	return &Result{
+		Algorithm:   alg,
+		Assignments: as,
+		Makespan:    mk,
+		Ideal:       ideal,
+		Ratio:       mk / ideal,
+		Bisections:  bisections,
+	}
+}
+
+// BA runs the heterogeneous Best Approximation algorithm: bisect the
+// problem, cut the processor range at the capacity prefix minimising
+// max(w1/cap1, w2/cap2), recurse. Like homogeneous BA it needs no α and no
+// global communication, and the range-based free-processor management
+// carries over verbatim.
+func BA(p bisect.Problem, m *Machine) (*Result, error) {
+	if err := bisect.ValidateRoot(p); err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("hetero: nil machine")
+	}
+	total := p.Weight()
+	var out []Assignment
+	bisections := 0
+	var recurse func(q bisect.Problem, lo, hi int)
+	recurse = func(q bisect.Problem, lo, hi int) {
+		if hi-lo == 1 || !q.CanBisect() {
+			out = append(out, Assignment{
+				Problem: q, Lo: lo, Hi: hi,
+				Time: q.Weight() / m.capacity(lo, hi),
+			})
+			return
+		}
+		c1, c2 := q.Bisect()
+		bisections++
+		if c1.Weight() < c2.Weight() {
+			c1, c2 = c2, c1
+		}
+		cut := bestCut(c1.Weight(), c2.Weight(), m, lo, hi)
+		recurse(c1, lo, cut)
+		recurse(c2, cut, hi)
+	}
+	recurse(p, 0, m.N())
+	return finish("hetero-BA", out, total, m.TotalSpeed(), bisections), nil
+}
+
+// bestCut returns the cut index in (lo, hi) minimising
+// max(w1/cap(lo,cut), w2/cap(cut,hi)). The objective is unimodal in the
+// cut (left term decreases, right term increases), so a binary search over
+// the crossing point followed by a two-candidate comparison finds the
+// optimum in O(log(hi−lo)).
+func bestCut(w1, w2 float64, m *Machine, lo, hi int) int {
+	// Find the smallest cut where w1/cap(lo,cut) ≤ w2/cap(cut,hi);
+	// candidates are that cut and its predecessor.
+	left, right := lo+1, hi-1
+	for left < right {
+		mid := (left + right) / 2
+		if w1/m.capacity(lo, mid) <= w2/m.capacity(mid, hi) {
+			right = mid
+		} else {
+			left = mid + 1
+		}
+	}
+	best := left
+	cost := func(cut int) float64 {
+		return math.Max(w1/m.capacity(lo, cut), w2/m.capacity(cut, hi))
+	}
+	if prev := left - 1; prev > lo && cost(prev) < cost(best) {
+		best = prev
+	}
+	return best
+}
+
+// HF runs the paper's HF to produce one part per processor and then
+// assigns parts to processors with AssignSorted. It returns an error if
+// the underlying HF fails.
+func HF(p bisect.Problem, m *Machine) (*Result, error) {
+	if m == nil {
+		return nil, fmt.Errorf("hetero: nil machine")
+	}
+	res, err := core.HF(p, m.N(), core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]bisect.Problem, len(res.Parts))
+	for i, pt := range res.Parts {
+		parts[i] = pt.Problem
+	}
+	as := AssignSorted(parts, m)
+	out := finish("hetero-HF", as, p.Weight(), m.TotalSpeed(), res.Bisections)
+	return out, nil
+}
+
+// AssignSorted assigns parts to individual processors: the k-th heaviest
+// part goes to the k-th fastest processor. Among all one-to-one
+// assignments of len(parts) parts to the len(parts) fastest processors
+// this minimises max w_i/s_i: in any optimal assignment, swapping two
+// pairs that violate the sorted order can only lower (never raise) the
+// maximum of the two quotients, so sorting is optimal (rearrangement
+// argument). Extra processors idle, as in the paper's model.
+func AssignSorted(parts []bisect.Problem, m *Machine) []Assignment {
+	type idx struct {
+		i int
+		v float64
+	}
+	ps := make([]idx, len(parts))
+	for i, p := range parts {
+		ps[i] = idx{i, p.Weight()}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].v > ps[b].v })
+	procs := make([]idx, m.N())
+	for i := 0; i < m.N(); i++ {
+		procs[i] = idx{i, m.Speed(i)}
+	}
+	sort.Slice(procs, func(a, b int) bool { return procs[a].v > procs[b].v })
+
+	out := make([]Assignment, len(parts))
+	for k, part := range ps {
+		proc := procs[k]
+		out[part.i] = Assignment{
+			Problem: parts[part.i],
+			Lo:      proc.i, Hi: proc.i + 1,
+			Time: parts[part.i].Weight() / proc.v,
+		}
+	}
+	return out
+}

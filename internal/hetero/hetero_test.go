@@ -1,0 +1,302 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+	"bisectlb/internal/xrand"
+)
+
+func TestNewMachineValidation(t *testing.T) {
+	if _, err := NewMachine(nil); err == nil {
+		t.Fatal("empty machine accepted")
+	}
+	if _, err := NewMachine([]float64{1, 0, 2}); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	if _, err := NewMachine([]float64{1, -1}); err == nil {
+		t.Fatal("negative speed accepted")
+	}
+	if _, err := NewMachine([]float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("infinite speed accepted")
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	m, err := NewMachine([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 3 || m.TotalSpeed() != 6 || m.Speed(1) != 1 {
+		t.Fatal("accessors wrong")
+	}
+	if m.capacity(0, 2) != 4 || m.capacity(1, 3) != 3 {
+		t.Fatal("capacity prefix wrong")
+	}
+}
+
+func TestSortedMachine(t *testing.T) {
+	m, err := SortedMachine([]float64{1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Speed(0) != 3 || m.Speed(1) != 2 || m.Speed(2) != 1 {
+		t.Fatal("not sorted descending")
+	}
+}
+
+func TestBestCutIsOptimal(t *testing.T) {
+	rng := xrand.New(3)
+	f := func(seed uint64) bool {
+		rng.Reseed(seed)
+		n := 2 + rng.Intn(40)
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = rng.InRange(0.5, 8)
+		}
+		m, err := NewMachine(speeds)
+		if err != nil {
+			return false
+		}
+		w2 := rng.InRange(0.1, 5)
+		w1 := w2 + rng.InRange(0, 5)
+		got := bestCut(w1, w2, m, 0, n)
+		cost := func(cut int) float64 {
+			return math.Max(w1/m.capacity(0, cut), w2/m.capacity(cut, n))
+		}
+		best := math.Inf(1)
+		for cut := 1; cut < n; cut++ {
+			if c := cost(cut); c < best {
+				best = c
+			}
+		}
+		return cost(got) <= best*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignSortedOptimal(t *testing.T) {
+	// Brute force over all permutations for small instances: the sorted
+	// matching must achieve the minimum possible max w_i/s_i.
+	rng := xrand.New(5)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		speeds := make([]float64, n)
+		for i := range speeds {
+			speeds[i] = rng.InRange(0.5, 4)
+		}
+		m, err := NewMachine(speeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts := make([]bisect.Problem, n)
+		for i := range parts {
+			parts[i] = bisect.MustSynthetic(rng.InRange(0.1, 3), 0.1, 0.5, rng.Uint64())
+		}
+		as := AssignSorted(parts, m)
+		got := 0.0
+		for _, a := range as {
+			if a.Time > got {
+				got = a.Time
+			}
+		}
+		best := math.Inf(1)
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				mk := 0.0
+				for i, pi := range perm {
+					if t := parts[i].Weight() / m.Speed(pi); t > mk {
+						mk = t
+					}
+				}
+				if mk < best {
+					best = mk
+				}
+				return
+			}
+			for j := k; j < n; j++ {
+				perm[k], perm[j] = perm[j], perm[k]
+				rec(k + 1)
+				perm[k], perm[j] = perm[j], perm[k]
+			}
+		}
+		rec(0)
+		if got > best*(1+1e-12) {
+			t.Fatalf("trial %d: sorted matching %v worse than optimum %v", trial, got, best)
+		}
+	}
+}
+
+func TestBAContract(t *testing.T) {
+	m, err := SortedMachine([]float64{8, 4, 4, 2, 2, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 7)
+	res, err := BA(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) > m.N() {
+		t.Fatalf("%d assignments for %d processors", len(res.Assignments), m.N())
+	}
+	// Ranges must partition [0, N).
+	covered := make([]bool, m.N())
+	sum := 0.0
+	for _, a := range res.Assignments {
+		for i := a.Lo; i < a.Hi; i++ {
+			if covered[i] {
+				t.Fatalf("processor %d assigned twice", i)
+			}
+			covered[i] = true
+		}
+		sum += a.Problem.Weight()
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("processor %d unassigned", i)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+	if res.Ratio < 1-1e-9 {
+		t.Fatalf("ratio %v below 1", res.Ratio)
+	}
+}
+
+func TestBAAdaptsToSpeeds(t *testing.T) {
+	// One fast and many slow processors: the fast one must end with a
+	// share well above 1/N of the weight.
+	speeds := []float64{16, 1, 1, 1, 1, 1, 1, 1}
+	m, err := NewMachine(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bisect.MustSynthetic(1, 0.2, 0.5, 9)
+	res, err := BA(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastShare float64
+	for _, a := range res.Assignments {
+		if a.Lo == 0 {
+			fastShare = a.Problem.Weight() / float64(a.Hi-a.Lo)
+			// The range containing processor 0 may span several procs;
+			// what matters is the load landing on the fast range.
+			fastShare = a.Problem.Weight()
+		}
+	}
+	if fastShare < 2.0/8 {
+		t.Fatalf("fast processor range got share %v, expected far above 1/8", fastShare)
+	}
+	// And on average the speed-aware split must clearly beat a
+	// speed-blind one: homogeneous BA parts dealt to processors in index
+	// order on the same machine.
+	var heteroSum, blindSum float64
+	for seed := uint64(0); seed < 50; seed++ {
+		hres, err := BA(bisect.MustSynthetic(1, 0.2, 0.5, seed), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heteroSum += hres.Makespan
+
+		bres, err := core.BA(bisect.MustSynthetic(1, 0.2, 0.5, seed), m.N(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		blind := 0.0
+		for i, pt := range bres.Parts {
+			if tt := pt.Problem.Weight() / m.Speed(i%m.N()); tt > blind {
+				blind = tt
+			}
+		}
+		blindSum += blind
+	}
+	if heteroSum >= 0.7*blindSum {
+		t.Fatalf("speed-aware splitting not clearly better: %v vs speed-blind %v",
+			heteroSum/50, blindSum/50)
+	}
+}
+
+func TestHFSortedAssignment(t *testing.T) {
+	m, err := NewMachine([]float64{1, 5, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 11)
+	res, err := HF(p, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 4 {
+		t.Fatalf("assignments = %d", len(res.Assignments))
+	}
+	// Heaviest part must sit on the fastest processor (index 1).
+	heaviest := res.Assignments[0]
+	for _, a := range res.Assignments[1:] {
+		if a.Problem.Weight() > heaviest.Problem.Weight() {
+			heaviest = a
+		}
+	}
+	if heaviest.Lo != 1 {
+		t.Fatalf("heaviest part on processor %d, want 1 (the fastest)", heaviest.Lo)
+	}
+	if res.Bisections != 3 {
+		t.Fatalf("bisections = %d", res.Bisections)
+	}
+}
+
+func TestUniformSpeedsReduceToHomogeneous(t *testing.T) {
+	// With all speeds equal, hetero-BA's ratio must match homogeneous
+	// BA's on the same instance.
+	speeds := make([]float64, 64)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	m, err := NewMachine(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := BA(bisect.MustSynthetic(1, 0.1, 0.5, 13), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio < 1 || res.Ratio > 20 {
+		t.Fatalf("implausible uniform ratio %v", res.Ratio)
+	}
+	// Ideal = w/N, makespan = max part weight; ratio equals the
+	// homogeneous quality measure.
+	maxW := 0.0
+	for _, a := range res.Assignments {
+		if w := a.Problem.Weight(); w > maxW {
+			maxW = w
+		}
+	}
+	if math.Abs(res.Ratio-maxW*64) > 1e-9 {
+		t.Fatalf("uniform ratio %v != N·max %v", res.Ratio, maxW*64)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	m, _ := NewMachine([]float64{1, 2})
+	if _, err := BA(nil, m); err == nil {
+		t.Fatal("nil problem accepted")
+	}
+	if _, err := BA(bisect.MustSynthetic(1, 0.1, 0.5, 1), nil); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	if _, err := HF(bisect.MustSynthetic(1, 0.1, 0.5, 1), nil); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"fmt"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/core"
+)
+
+// Phase1Mode selects how Algorithm PHF manages free processors during its
+// first phase (paper, Section 3.4).
+type Phase1Mode int
+
+const (
+	// Phase1Oracle assumes a processor "can quickly (in constant time)
+	// acquire the number of a free processor" — the idealised assumption
+	// of Section 3. No management traffic is charged.
+	Phase1Oracle Phase1Mode = iota
+	// Phase1Central routes every free-processor request through processor
+	// P1, which serves one request per time unit. This is the naive
+	// realisation whose contention the paper warns about ("it must be
+	// expected that substantial communication overhead will occur").
+	Phase1Central
+	// Phase1BAPrime bootstraps phase one with Algorithm BA′ and its
+	// zero-overhead range-based management, followed by a constant number
+	// of synchronous sweep iterations — the paper's proposed solution.
+	Phase1BAPrime
+)
+
+// String names the mode for reports.
+func (m Phase1Mode) String() string {
+	switch m {
+	case Phase1Oracle:
+		return "oracle"
+	case Phase1Central:
+		return "central"
+	case Phase1BAPrime:
+		return "ba-prime"
+	default:
+		return fmt.Sprintf("Phase1Mode(%d)", int(m))
+	}
+}
+
+// Metrics reports one simulated run.
+type Metrics struct {
+	Algorithm string
+	N         int
+	// Makespan is the completion time of the load balancing in model units.
+	Makespan int64
+	// Messages counts subproblem transmissions between processors.
+	Messages int64
+	// ManagerMessages counts free-processor-management traffic (requests
+	// and replies); zero under range-based management.
+	ManagerMessages int64
+	// GlobalOps counts global communication operations; GlobalTime is the
+	// model time they consumed (⌈log2 N⌉ each).
+	GlobalOps  int64
+	GlobalTime int64
+	// Bisections counts bisection steps.
+	Bisections int64
+	// Phase accounting (PHF only; zero otherwise).
+	Phase1Time       int64
+	Phase2Time       int64
+	Phase1Rounds     int
+	Phase2Iterations int
+	// Parts and Ratio describe the computed partition.
+	Parts int
+	Ratio float64
+}
+
+// wnode pairs a problem with completion metadata during simulation.
+type wnode struct {
+	p     bisect.Problem
+	depth int
+}
+
+// RunHF simulates the sequential Algorithm HF: processor P1 performs all
+// n−1 bisections back to back and then transmits n−1 subproblems, one per
+// time unit. Makespan is therefore Θ(n) — the baseline the parallel
+// algorithms improve to O(log n).
+func RunHF(p bisect.Problem, n int) (*Metrics, error) {
+	res, err := core.HF(p, n, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	b := int64(res.Bisections)
+	sends := int64(len(res.Parts) - 1)
+	return &Metrics{
+		Algorithm:  "HF",
+		N:          n,
+		Makespan:   b*CostBisect + sends*CostSend,
+		Messages:   sends,
+		Bisections: b,
+		Parts:      len(res.Parts),
+		Ratio:      res.Ratio,
+	}, nil
+}
+
+// RunBA simulates Algorithm BA: after each bisection (one unit) the heavy
+// child continues on the same processor while the light child is sent (one
+// unit) to the first processor of its range — the range-based management of
+// Section 3.4, which needs no management traffic at all. Transmission is
+// asynchronous: the processor starts its next bisection while the send is
+// in flight, so a root-to-leaf path of depth d completes in d·CostBisect
+// plus one CostSend per transfer edge. The recursion's completion times are
+// computed exactly; makespan is the latest leaf.
+func RunBA(p bisect.Problem, n int) (*Metrics, error) {
+	if err := bisect.ValidateRoot(p); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("machine: processor count must be ≥ 1, got %d", n)
+	}
+	m := &Metrics{Algorithm: "BA", N: n}
+	var maxW float64
+	var makespan int64
+	var recurse func(q bisect.Problem, procs int, t int64)
+	recurse = func(q bisect.Problem, procs int, t int64) {
+		if procs == 1 || !q.CanBisect() {
+			if t > makespan {
+				makespan = t
+			}
+			if w := q.Weight(); w > maxW {
+				maxW = w
+			}
+			m.Parts++
+			return
+		}
+		c1, c2 := q.Bisect()
+		m.Bisections++
+		if c1.Weight() < c2.Weight() {
+			c1, c2 = c2, c1
+		}
+		n1, n2 := core.SplitProcs(c1.Weight(), c2.Weight(), procs)
+		t += CostBisect
+		recurse(c1, n1, t)
+		m.Messages++
+		recurse(c2, n2, t+CostSend)
+	}
+	recurse(p, n, 0)
+	m.Makespan = makespan
+	m.Ratio = bisect.Ratio(maxW, p.Weight(), n)
+	return m, nil
+}
+
+// RunBAHF simulates Algorithm BA-HF with the sequential HF as its second
+// stage: the BA part behaves as in RunBA; once a subproblem's processor
+// count drops below κ/α + 1, its processor performs the remaining
+// bisections sequentially and distributes the results within its range.
+func RunBAHF(p bisect.Problem, n int, alpha, kappa float64) (*Metrics, error) {
+	if err := bisect.ValidateRoot(p); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("machine: processor count must be ≥ 1, got %d", n)
+	}
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if err := bounds.ValidateKappa(kappa); err != nil {
+		return nil, err
+	}
+	m := &Metrics{Algorithm: "BA-HF", N: n}
+	cutoff := kappa/alpha + 1
+	var maxW float64
+	var makespan int64
+	bump := func(t int64) {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	var recurse func(q bisect.Problem, procs int, t int64)
+	recurse = func(q bisect.Problem, procs int, t int64) {
+		if procs == 1 || !q.CanBisect() {
+			bump(t)
+			if w := q.Weight(); w > maxW {
+				maxW = w
+			}
+			m.Parts++
+			return
+		}
+		if float64(procs) < cutoff {
+			// Sequential HF on this processor's range.
+			res, err := core.HF(q, procs, core.Options{})
+			if err != nil {
+				// Root validation already passed; a failure here indicates a
+				// broken Problem implementation mid-tree.
+				panic(err)
+			}
+			b := int64(res.Bisections)
+			sends := int64(len(res.Parts) - 1)
+			m.Bisections += b
+			m.Messages += sends
+			m.Parts += len(res.Parts)
+			bump(t + b*CostBisect + sends*CostSend)
+			if res.Max > maxW {
+				maxW = res.Max
+			}
+			return
+		}
+		c1, c2 := q.Bisect()
+		m.Bisections++
+		if c1.Weight() < c2.Weight() {
+			c1, c2 = c2, c1
+		}
+		n1, n2 := core.SplitProcs(c1.Weight(), c2.Weight(), procs)
+		t += CostBisect
+		recurse(c1, n1, t)
+		m.Messages++
+		recurse(c2, n2, t+CostSend)
+	}
+	recurse(p, n, 0)
+	m.Makespan = makespan
+	m.Ratio = bisect.Ratio(maxW, p.Weight(), n)
+	return m, nil
+}

@@ -1,0 +1,237 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/core"
+)
+
+// oracle/central free-processor acquisition during PHF phase one.
+
+// centralServer models processor P1 serving free-processor requests one per
+// time unit, FIFO in request order. Requests cost one unit to reach P1 and
+// the reply one unit to return, so an uncontended acquire costs 3 units; a
+// burst of k simultaneous requests serialises and the last waits k+2.
+type centralServer struct {
+	freeAt int64 // time at which P1 can serve the next request
+	m      *Metrics
+}
+
+func (s *centralServer) acquire(t int64) int64 {
+	s.m.ManagerMessages += 2
+	start := t + CostSend
+	if start < s.freeAt {
+		start = s.freeAt
+	}
+	s.freeAt = start + 1
+	return s.freeAt + CostSend
+}
+
+// RunPHF simulates Algorithm PHF on the machine model with the selected
+// phase-one free-processor management. All modes perform exactly the same
+// bisections and deliver HF's partition (Theorem 3); they differ in timing
+// and management traffic:
+//
+//   - Phase1Oracle charges nothing for acquiring free processors (the
+//     idealised assumption under which Theorem 3's O(log N) holds).
+//   - Phase1Central serialises acquisitions through P1 and exposes the
+//     contention the paper warns about.
+//   - Phase1BAPrime uses Algorithm BA′ with range-based management plus a
+//     constant number of synchronous sweep rounds (Section 3.4), the
+//     paper's remedy.
+func RunPHF(p bisect.Problem, n int, alpha float64, mode Phase1Mode) (*Metrics, error) {
+	if err := bisect.ValidateRoot(p); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("machine: processor count must be ≥ 1, got %d", n)
+	}
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	total := p.Weight()
+	threshold := bounds.HFThreshold(total, alpha, n)
+	logN := bounds.CollectiveCost(n)
+	m := &Metrics{Algorithm: "PHF/" + mode.String(), N: n}
+
+	var parts []wnode
+	var phase1End int64
+
+	switch mode {
+	case Phase1Oracle, Phase1Central:
+		eng := &engine{}
+		server := &centralServer{m: m}
+		acquire := func(t int64) int64 {
+			if mode == Phase1Oracle {
+				return t
+			}
+			return server.acquire(t)
+		}
+		var handle func(q bisect.Problem, depth int, t int64)
+		handle = func(q bisect.Problem, depth int, t int64) {
+			if q.Weight() <= threshold || !q.CanBisect() {
+				parts = append(parts, wnode{q, depth})
+				if t > phase1End {
+					phase1End = t
+				}
+				if depth > m.Phase1Rounds {
+					m.Phase1Rounds = depth
+				}
+				return
+			}
+			eng.at(t+CostBisect, func() {
+				tb := t + CostBisect
+				c1, c2 := q.Bisect()
+				m.Bisections++
+				// The bisecting processor keeps q1 and continues at once;
+				// q2 travels to a free processor as soon as its id is known.
+				handle(c1, depth+1, tb)
+				ready := acquire(tb)
+				m.Messages++
+				arrival := ready + CostSend
+				eng.at(arrival, func() { handle(c2, depth+1, arrival) })
+			})
+		}
+		handle(p, 0, 0)
+		end := eng.run()
+		if end > phase1End {
+			phase1End = end
+		}
+
+	case Phase1BAPrime:
+		// Part one: Algorithm BA′ with range-based management (no manager
+		// traffic at all). The recursion's completion times are exact.
+		var recurse func(q bisect.Problem, procs, depth int, t int64)
+		recurse = func(q bisect.Problem, procs, depth int, t int64) {
+			if procs == 1 || q.Weight() <= threshold || !q.CanBisect() {
+				parts = append(parts, wnode{q, depth})
+				if t > phase1End {
+					phase1End = t
+				}
+				return
+			}
+			c1, c2 := q.Bisect()
+			m.Bisections++
+			if c1.Weight() < c2.Weight() {
+				c1, c2 = c2, c1
+			}
+			n1, n2 := core.SplitProcs(c1.Weight(), c2.Weight(), procs)
+			t += CostBisect
+			recurse(c1, n1, depth+1, t)
+			m.Messages++
+			recurse(c2, n2, depth+1, t+CostSend)
+		}
+		recurse(p, n, 0, 0)
+
+		// Free processors are determined and numbered once (O(log N)).
+		m.GlobalOps++
+		m.GlobalTime += logN
+		phase1End += logN
+
+		// Part two: synchronous sweeps bisecting everything still above the
+		// threshold — a constant number of iterations for fixed α, since
+		// each sweep shrinks the maximum remaining weight by (1−α).
+		for {
+			var heavy []int
+			for i, nd := range parts {
+				if nd.p.Weight() > threshold && nd.p.CanBisect() {
+					heavy = append(heavy, i)
+				}
+			}
+			if len(heavy) == 0 {
+				break
+			}
+			for _, i := range heavy {
+				nd := parts[i]
+				c1, c2 := nd.p.Bisect()
+				m.Bisections++
+				m.Messages++
+				parts[i] = wnode{c1, nd.depth + 1}
+				parts = append(parts, wnode{c2, nd.depth + 1})
+			}
+			m.Phase1Rounds++
+			phase1End += CostBisect + CostSend
+			m.GlobalOps++ // barrier between sweeps
+			m.GlobalTime += logN
+			phase1End += logN
+		}
+
+	default:
+		return nil, fmt.Errorf("machine: unknown phase-1 mode %v", mode)
+	}
+
+	// Barrier (step (b)) and free-processor numbering (step (c)).
+	m.GlobalOps += 2
+	m.GlobalTime += 2 * logN
+	phase1End += 2 * logN
+	m.Phase1Time = phase1End
+
+	// Phase two, identical across modes.
+	var phase2 int64
+	f := n - len(parts)
+	for f > 0 {
+		maxW := 0.0
+		for _, nd := range parts {
+			if w := nd.p.Weight(); w > maxW {
+				maxW = w
+			}
+		}
+		cut := maxW * (1 - alpha)
+		var heavy []int
+		for i, nd := range parts {
+			if nd.p.Weight() >= cut && nd.p.CanBisect() {
+				heavy = append(heavy, i)
+			}
+		}
+		m.GlobalOps += 2 // steps (d) and (e)
+		m.GlobalTime += 2 * logN
+		phase2 += 2 * logN
+		if len(heavy) == 0 {
+			break
+		}
+		if len(heavy) > f {
+			// Step (3b): parallel selection of the f heaviest subproblems.
+			sort.Slice(heavy, func(a, b int) bool {
+				pa, pb := parts[heavy[a]].p, parts[heavy[b]].p
+				if pa.Weight() != pb.Weight() {
+					return pa.Weight() > pb.Weight()
+				}
+				return pa.ID() < pb.ID()
+			})
+			heavy = heavy[:f]
+			m.GlobalOps++
+			m.GlobalTime += logN
+			phase2 += logN
+		}
+		for _, i := range heavy {
+			nd := parts[i]
+			c1, c2 := nd.p.Bisect()
+			m.Bisections++
+			m.Messages++
+			parts[i] = wnode{c1, nd.depth + 1}
+			parts = append(parts, wnode{c2, nd.depth + 1})
+		}
+		phase2 += CostBisect + CostSend
+		f -= len(heavy)
+		m.Phase2Iterations++
+		if f > 0 {
+			m.GlobalOps++ // step (h): barrier
+			m.GlobalTime += logN
+			phase2 += logN
+		}
+	}
+	m.Phase2Time = phase2
+	m.Makespan = m.Phase1Time + m.Phase2Time
+	m.Parts = len(parts)
+	maxW := 0.0
+	for _, nd := range parts {
+		if w := nd.p.Weight(); w > maxW {
+			maxW = w
+		}
+	}
+	m.Ratio = bisect.Ratio(maxW, total, n)
+	return m, nil
+}

@@ -1,0 +1,197 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/core"
+	"bisectlb/internal/topology"
+)
+
+// RunBAOnTopology simulates Algorithm BA on a concrete interconnection
+// network: transmitting a subproblem from processor i to j costs
+// CostSend × Distance(i, j). BA still needs no global operations, and its
+// range-based management gives it strong locality — the light child of a
+// range [base, base+k) travels to base+n1, which is nearby in index space
+// and therefore cheap on meshes and rings.
+func RunBAOnTopology(p bisect.Problem, topo topology.Topology) (*Metrics, error) {
+	if err := bisect.ValidateRoot(p); err != nil {
+		return nil, err
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("machine: nil topology")
+	}
+	n := topo.N()
+	m := &Metrics{Algorithm: "BA@" + topo.Name(), N: n}
+	var maxW float64
+	var makespan int64
+	var recurse func(q bisect.Problem, base, procs int, t int64)
+	recurse = func(q bisect.Problem, base, procs int, t int64) {
+		if procs == 1 || !q.CanBisect() {
+			if t > makespan {
+				makespan = t
+			}
+			if w := q.Weight(); w > maxW {
+				maxW = w
+			}
+			m.Parts++
+			return
+		}
+		c1, c2 := q.Bisect()
+		m.Bisections++
+		if c1.Weight() < c2.Weight() {
+			c1, c2 = c2, c1
+		}
+		n1, n2 := core.SplitProcs(c1.Weight(), c2.Weight(), procs)
+		t += CostBisect
+		recurse(c1, base, n1, t)
+		m.Messages++
+		hop := CostSend * topo.Distance(base, base+n1)
+		recurse(c2, base+n1, n2, t+hop)
+	}
+	recurse(p, 0, n, 0)
+	m.Makespan = makespan
+	m.Ratio = bisect.Ratio(maxW, p.Weight(), n)
+	return m, nil
+}
+
+// RunPHFOnTopology simulates Algorithm PHF (oracle free-processor
+// management) on a concrete network: phase-one transmissions pay the
+// distance from the bisecting processor to the assigned free processor
+// (handed out in acquisition order), and every global operation costs the
+// topology's CollectiveCost instead of the idealised ⌈log2 N⌉. On meshes
+// and rings the collective-heavy structure of PHF pays Θ(√N) or Θ(N) per
+// phase-two iteration, which is exactly the machine-characteristics caveat
+// of the paper's conclusion.
+func RunPHFOnTopology(p bisect.Problem, topo topology.Topology, alpha float64) (*Metrics, error) {
+	if err := bisect.ValidateRoot(p); err != nil {
+		return nil, err
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("machine: nil topology")
+	}
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return nil, err
+	}
+	n := topo.N()
+	total := p.Weight()
+	threshold := bounds.HFThreshold(total, alpha, n)
+	coll := topo.CollectiveCost()
+	m := &Metrics{Algorithm: "PHF@" + topo.Name(), N: n}
+
+	type holder struct {
+		q     bisect.Problem
+		proc  int
+		depth int
+	}
+	var parts []holder
+	nextFree := 1
+	var phase1End int64
+	eng := &engine{}
+	var handle func(q bisect.Problem, proc, depth int, t int64)
+	handle = func(q bisect.Problem, proc, depth int, t int64) {
+		if q.Weight() <= threshold || !q.CanBisect() {
+			parts = append(parts, holder{q, proc, depth})
+			if t > phase1End {
+				phase1End = t
+			}
+			return
+		}
+		eng.at(t+CostBisect, func() {
+			tb := t + CostBisect
+			c1, c2 := q.Bisect()
+			m.Bisections++
+			handle(c1, proc, depth+1, tb)
+			dest := nextFree
+			nextFree++
+			m.Messages++
+			arrival := tb + CostSend*topo.Distance(proc, dest)
+			if arrival == tb {
+				arrival++ // self-delivery still takes a unit in the model
+			}
+			eng.at(arrival, func() { handle(c2, dest, depth+1, arrival) })
+		})
+	}
+	handle(p, 0, 0, 0)
+	end := eng.run()
+	if end > phase1End {
+		phase1End = end
+	}
+	m.GlobalOps += 2
+	m.GlobalTime += 2 * coll
+	phase1End += 2 * coll
+	m.Phase1Time = phase1End
+
+	var phase2 int64
+	f := n - len(parts)
+	for f > 0 {
+		maxW := 0.0
+		for _, h := range parts {
+			if w := h.q.Weight(); w > maxW {
+				maxW = w
+			}
+		}
+		cut := maxW * (1 - alpha)
+		var heavy []int
+		for i, h := range parts {
+			if h.q.Weight() >= cut && h.q.CanBisect() {
+				heavy = append(heavy, i)
+			}
+		}
+		m.GlobalOps += 2
+		m.GlobalTime += 2 * coll
+		phase2 += 2 * coll
+		if len(heavy) == 0 {
+			break
+		}
+		if len(heavy) > f {
+			sort.Slice(heavy, func(a, b int) bool {
+				pa, pb := parts[heavy[a]].q, parts[heavy[b]].q
+				if pa.Weight() != pb.Weight() {
+					return pa.Weight() > pb.Weight()
+				}
+				return pa.ID() < pb.ID()
+			})
+			heavy = heavy[:f]
+			m.GlobalOps++
+			m.GlobalTime += coll
+			phase2 += coll
+		}
+		// The slowest transmission of the iteration gates the barrier.
+		var maxHop int64 = 1
+		for _, i := range heavy {
+			h := parts[i]
+			c1, c2 := h.q.Bisect()
+			m.Bisections++
+			m.Messages++
+			dest := nextFree
+			nextFree++
+			if hop := topo.Distance(h.proc, dest); hop > maxHop {
+				maxHop = hop
+			}
+			parts[i] = holder{c1, h.proc, h.depth + 1}
+			parts = append(parts, holder{c2, dest, h.depth + 1})
+		}
+		phase2 += CostBisect + CostSend*maxHop
+		f -= len(heavy)
+		m.Phase2Iterations++
+		if f > 0 {
+			m.GlobalOps++
+			m.GlobalTime += coll
+			phase2 += coll
+		}
+	}
+	m.Phase2Time = phase2
+	m.Makespan = m.Phase1Time + m.Phase2Time
+	m.Parts = len(parts)
+	maxW := 0.0
+	for _, h := range parts {
+		if w := h.q.Weight(); w > maxW {
+			maxW = w
+		}
+	}
+	m.Ratio = bisect.Ratio(maxW, total, n)
+	return m, nil
+}

@@ -1,0 +1,197 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+)
+
+func TestRunBATraceMatchesRunBA(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 21)
+	plain, err := RunBA(bisect.MustSynthetic(1, 0.1, 0.5, 21), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, tr, err := RunBATrace(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Makespan != plain.Makespan || m.Messages != plain.Messages ||
+		m.Bisections != plain.Bisections || m.Ratio != plain.Ratio {
+		t.Fatalf("traced metrics differ: %+v vs %+v", m, plain)
+	}
+	if tr.Makespan != m.Makespan {
+		t.Fatal("trace makespan inconsistent")
+	}
+	// One bisect and one send event per bisection, one recv per message.
+	var bis, snd, rcv int64
+	for _, e := range tr.Events {
+		switch e.Action {
+		case ActBisect:
+			bis++
+		case ActSend:
+			snd++
+		case ActRecv:
+			rcv++
+		}
+	}
+	if bis != m.Bisections || snd != m.Messages || rcv != m.Messages {
+		t.Fatalf("event counts bis=%d snd=%d rcv=%d vs metrics %d/%d", bis, snd, rcv, m.Bisections, m.Messages)
+	}
+}
+
+func TestRunBATraceNoOverlapPerProcessor(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.15, 0.5, 5)
+	_, tr, err := RunBATrace(p, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per processor and per action kind, busy intervals must not overlap:
+	// the compute unit bisects one problem at a time and the (asynchronous)
+	// send unit transmits one subproblem at a time. A send may overlap the
+	// *next* bisection — the model offloads transmissions.
+	type key struct {
+		proc int
+		act  Action
+	}
+	type span struct{ s, e int64 }
+	byKey := map[key][]span{}
+	for _, ev := range tr.Events {
+		if ev.Duration == 0 {
+			continue
+		}
+		k := key{ev.Proc, ev.Action}
+		byKey[k] = append(byKey[k], span{ev.Start, ev.Start + ev.Duration})
+	}
+	for k, spans := range byKey {
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.s < b.e && b.s < a.e {
+					t.Fatalf("processor %d action %c has overlapping intervals [%d,%d) and [%d,%d)",
+						k.proc, k.act, a.s, a.e, b.s, b.e)
+				}
+			}
+		}
+	}
+}
+
+func TestRunPHFOracleTraceConsistent(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.15, 0.5, 9)
+	plain, err := RunPHF(bisect.MustSynthetic(1, 0.15, 0.5, 9), 128, 0.15, Phase1Oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, tr, err := RunPHFOracleTrace(p, 128, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Bisections != plain.Bisections || m.Parts != plain.Parts || m.Ratio != plain.Ratio {
+		t.Fatalf("traced PHF differs from RunPHF: %+v vs %+v", m, plain)
+	}
+	if m.Makespan != plain.Makespan {
+		t.Fatalf("traced makespan %d != %d", m.Makespan, plain.Makespan)
+	}
+	if tr.Makespan != m.Makespan {
+		t.Fatal("trace makespan inconsistent")
+	}
+	hf, err := core.HF(bisect.MustSynthetic(1, 0.15, 0.5, 9), 128, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ratio != hf.Ratio {
+		t.Fatal("traced PHF ratio differs from HF (Theorem 3)")
+	}
+}
+
+func TestTraceUtilization(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.2, 0.5, 3)
+	_, tr, err := RunBATrace(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := tr.Utilization()
+	if u <= 0 || u > 1 {
+		t.Fatalf("utilization %v outside (0, 1]", u)
+	}
+	busy := tr.BusyTime()
+	if len(busy) != 64 {
+		t.Fatalf("busy slots = %d", len(busy))
+	}
+	if busy[0] == 0 {
+		t.Fatal("processor 1 recorded no work despite holding the root")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.2, 0.5, 7)
+	_, tr, err := RunBATrace(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGantt(&b, tr, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"Gantt", "P1", "B", "utilization"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("gantt missing %q:\n%s", frag, out)
+		}
+	}
+	// Every processor row appears.
+	if strings.Count(out, "\nP") != 16 {
+		t.Fatalf("expected 16 processor rows:\n%s", out)
+	}
+}
+
+func TestRenderGanttTruncation(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.2, 0.5, 7)
+	_, tr, err := RunBATrace(p, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGantt(&b, tr, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "further processors not shown") {
+		t.Fatal("truncation note missing")
+	}
+	if strings.Count(b.String(), "\nP") != 8 {
+		t.Fatal("row cap not applied")
+	}
+}
+
+func TestRenderGanttScalesLongRuns(t *testing.T) {
+	p := bisect.MustSynthetic(1, 0.1, 0.5, 11)
+	_, tr, err := RunPHFOracleTrace(p, 1<<12, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := RenderGantt(&b, tr, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "column = ") {
+		t.Fatal("scale note missing")
+	}
+	// No line may exceed ~140 characters (120 columns + prefix).
+	for _, line := range strings.Split(b.String(), "\n") {
+		if len(line) > 140 {
+			t.Fatalf("line too long (%d chars)", len(line))
+		}
+	}
+}
+
+func TestRenderGanttEmptyTrace(t *testing.T) {
+	var b strings.Builder
+	if err := RenderGantt(&b, nil, 8); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if err := RenderGantt(&b, &Trace{}, 8); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

@@ -1,0 +1,346 @@
+// Package netcoll implements the global communication operations of the
+// paper's machine model — barrier, all-reduce, exclusive prefix sum,
+// broadcast — over real TCP connections between cluster members arranged
+// in a binary reduction tree. It is the network counterpart of
+// internal/collective (which coordinates goroutines in one process) and
+// the substrate for the distributed PHF in internal/dist: PHF's phases
+// need exactly these primitives, which is why the paper charges it
+// Θ(log N) global-communication time that Algorithm BA avoids entirely.
+//
+// All collectives are synchronous and must be invoked by every member in
+// the same order; each carries a sequence number so late or duplicated
+// frames are detected rather than silently misapplied.
+package netcoll
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// frame is the wire message. Dir is "up" (child → parent contribution) or
+// "down" (parent → child result).
+type frame struct {
+	Seq  uint64  `json:"seq"`
+	Dir  string  `json:"dir"`
+	From int     `json:"from"`
+	F    float64 `json:"f"`
+	I    int64   `json:"i"`
+	// Pre carries per-subtree prefix bases during the down-sweep of
+	// prefix sums.
+	Pre int64 `json:"pre"`
+	// Vec carries element-wise-summed vectors (AllReduceSumVecInt64).
+	Vec []int64 `json:"vec,omitempty"`
+}
+
+// Member is one participant, id 0 … K−1, in a binary tree rooted at 0
+// (children of i are 2i+1 and 2i+2).
+type Member struct {
+	id, k int
+	ln    net.Listener
+	addrs []string
+
+	mu       sync.Mutex
+	conns    []net.Conn
+	encoders map[int]*json.Encoder
+
+	inbox   chan frame
+	seq     uint64
+	timeout time.Duration
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewMember creates a member listening on addr. Call Start with the full
+// address list once the cluster is assembled.
+func NewMember(id, k int, addr string) (*Member, error) {
+	if k < 1 || id < 0 || id >= k {
+		return nil, fmt.Errorf("netcoll: member id %d outside [0, %d)", id, k)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcoll: member %d listen: %w", id, err)
+	}
+	return &Member{
+		id: id, k: k, ln: ln,
+		encoders: make(map[int]*json.Encoder),
+		inbox:    make(chan frame, 64),
+		timeout:  30 * time.Second,
+	}, nil
+}
+
+// Addr returns the member's listen address.
+func (m *Member) Addr() string { return m.ln.Addr().String() }
+
+// SetTimeout adjusts the per-collective deadline (default 30s).
+func (m *Member) SetTimeout(d time.Duration) { m.timeout = d }
+
+// Start begins serving; addrs[i] must be member i's address.
+func (m *Member) Start(addrs []string) error {
+	if len(addrs) != m.k {
+		return fmt.Errorf("netcoll: %d addresses for %d members", len(addrs), m.k)
+	}
+	m.addrs = append([]string(nil), addrs...)
+	m.wg.Add(1)
+	go m.acceptLoop()
+	return nil
+}
+
+func (m *Member) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		conn, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		m.mu.Lock()
+		m.conns = append(m.conns, conn)
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			dec := json.NewDecoder(conn)
+			for {
+				var f frame
+				if err := dec.Decode(&f); err != nil {
+					if !errors.Is(err, io.EOF) {
+						_ = conn.Close()
+					}
+					return
+				}
+				select {
+				case m.inbox <- f:
+				default:
+					// A full inbox means the protocol is violated (more
+					// than one outstanding collective); drop the frame and
+					// let the peer time out loudly.
+				}
+			}
+		}()
+	}
+}
+
+func (m *Member) parent() int { return (m.id - 1) / 2 }
+
+func (m *Member) children() []int {
+	var out []int
+	for _, c := range []int{2*m.id + 1, 2*m.id + 2} {
+		if c < m.k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (m *Member) send(to int, f frame) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	enc, ok := m.encoders[to]
+	if !ok {
+		conn, err := net.Dial("tcp", m.addrs[to])
+		if err != nil {
+			return fmt.Errorf("netcoll: member %d dialing %d: %w", m.id, to, err)
+		}
+		m.conns = append(m.conns, conn)
+		enc = json.NewEncoder(conn)
+		m.encoders[to] = enc
+	}
+	return enc.Encode(f)
+}
+
+// recv waits for a frame matching seq, direction and sender.
+func (m *Member) recv(seq uint64, dir string, from int) (frame, error) {
+	deadline := time.After(m.timeout)
+	var stash []frame
+	defer func() {
+		// Re-queue frames that belong to the same collective but were
+		// received out of the order this call wanted.
+		for _, f := range stash {
+			select {
+			case m.inbox <- f:
+			default:
+			}
+		}
+	}()
+	for {
+		select {
+		case f := <-m.inbox:
+			if f.Seq == seq && f.Dir == dir && f.From == from {
+				return f, nil
+			}
+			stash = append(stash, f)
+		case <-deadline:
+			return frame{}, fmt.Errorf("netcoll: member %d timed out waiting for %s/%d seq %d",
+				m.id, dir, from, seq)
+		}
+	}
+}
+
+// reduce runs one up-sweep/down-sweep episode. combine folds child
+// contributions into the local value; the root's final value is broadcast
+// back down and returned by every member.
+func (m *Member) reduce(local frame, combine func(acc, child frame) frame) (frame, error) {
+	m.seq++
+	seq := m.seq
+	local.Seq = seq
+	acc := local
+	for _, c := range m.children() {
+		f, err := m.recv(seq, "up", c)
+		if err != nil {
+			return frame{}, err
+		}
+		acc = combine(acc, f)
+	}
+	if m.id != 0 {
+		acc.Dir = "up"
+		acc.From = m.id
+		if err := m.send(m.parent(), acc); err != nil {
+			return frame{}, err
+		}
+		res, err := m.recv(seq, "down", m.parent())
+		if err != nil {
+			return frame{}, err
+		}
+		acc = res
+	}
+	acc.Dir = "down"
+	for _, c := range m.children() {
+		out := acc
+		out.From = m.id
+		if err := m.send(c, out); err != nil {
+			return frame{}, err
+		}
+	}
+	return acc, nil
+}
+
+// Barrier blocks until every member has entered it.
+func (m *Member) Barrier() error {
+	_, err := m.reduce(frame{}, func(acc, _ frame) frame { return acc })
+	return err
+}
+
+// AllReduceMaxFloat64 returns the maximum of all contributions.
+func (m *Member) AllReduceMaxFloat64(v float64) (float64, error) {
+	res, err := m.reduce(frame{F: v}, func(acc, child frame) frame {
+		if child.F > acc.F {
+			acc.F = child.F
+		}
+		return acc
+	})
+	return res.F, err
+}
+
+// AllReduceSumInt64 returns the sum of all contributions.
+func (m *Member) AllReduceSumInt64(v int64) (int64, error) {
+	res, err := m.reduce(frame{I: v}, func(acc, child frame) frame {
+		acc.I += child.I
+		return acc
+	})
+	return res.I, err
+}
+
+// AllReduceSumVecInt64 sums equal-length vectors element-wise across all
+// members. With each member contributing its value at its own index, the
+// call doubles as an all-gather — the pattern the distributed PHF uses to
+// learn every node's free-processor count.
+func (m *Member) AllReduceSumVecInt64(v []int64) ([]int64, error) {
+	res, err := m.reduce(frame{Vec: append([]int64(nil), v...)}, func(acc, child frame) frame {
+		if len(child.Vec) != len(acc.Vec) {
+			// Length mismatch indicates a protocol violation; poison the
+			// result visibly rather than panicking inside the reduction.
+			acc.Vec = nil
+			return acc
+		}
+		for i := range acc.Vec {
+			acc.Vec[i] += child.Vec[i]
+		}
+		return acc
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Vec == nil {
+		return nil, fmt.Errorf("netcoll: member %d vector length mismatch in all-reduce", m.id)
+	}
+	return res.Vec, nil
+}
+
+// BroadcastFloat64 distributes the root member's value.
+func (m *Member) BroadcastFloat64(v float64) (float64, error) {
+	res, err := m.reduce(frame{F: v}, func(acc, _ frame) frame { return acc })
+	if err != nil {
+		return 0, err
+	}
+	return res.F, nil
+}
+
+// PrefixSumInt64 returns an exclusive prefix sum and the total. The prefix
+// order is the reduction tree's preorder (member 0 first, then the left
+// subtree, then the right), which is fixed and identical for every member
+// and every call — exactly what unique-slot assignment (PHF's
+// free-processor numbering) needs; callers must not assume ascending
+// member-id order. The up-sweep accumulates subtree sums; the down-sweep
+// hands each subtree its base offset.
+func (m *Member) PrefixSumInt64(v int64) (before, total int64, err error) {
+	m.seq++
+	seq := m.seq
+
+	// Up-sweep: collect child subtree sums (order matters: left, right).
+	children := m.children()
+	childSums := make([]int64, len(children))
+	sub := v
+	for i, c := range children {
+		f, e := m.recv(seq, "up", c)
+		if e != nil {
+			return 0, 0, e
+		}
+		childSums[i] = f.I
+		sub += f.I
+	}
+	var base int64
+	if m.id != 0 {
+		if e := m.send(m.parent(), frame{Seq: seq, Dir: "up", From: m.id, I: sub}); e != nil {
+			return 0, 0, e
+		}
+		f, e := m.recv(seq, "down", m.parent())
+		if e != nil {
+			return 0, 0, e
+		}
+		base = f.Pre
+		total = f.I
+	} else {
+		total = sub
+	}
+	// In-order convention: the member's own value precedes its subtrees'.
+	// Left child's base is base+v; right child's is base+v+leftSum.
+	run := base + v
+	for i, c := range children {
+		if e := m.send(c, frame{Seq: seq, Dir: "down", From: m.id, Pre: run, I: total}); e != nil {
+			return 0, 0, e
+		}
+		run += childSums[i]
+	}
+	return base, total, nil
+}
+
+// Close shuts the member down.
+func (m *Member) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	_ = m.ln.Close()
+	for _, c := range m.conns {
+		_ = c.Close()
+	}
+	m.mu.Unlock()
+	m.wg.Wait()
+}

@@ -1,0 +1,221 @@
+package netcoll
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// cluster starts k wired members and returns them with a cleanup.
+func cluster(t *testing.T, k int) []*Member {
+	t.Helper()
+	members := make([]*Member, k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		m, err := NewMember(i, k, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetTimeout(10 * time.Second)
+		members[i] = m
+		addrs[i] = m.Addr()
+	}
+	for _, m := range members {
+		if err := m.Start(addrs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, m := range members {
+			m.Close()
+		}
+	})
+	return members
+}
+
+// spawn runs body on every member concurrently and collects errors.
+func spawn(t *testing.T, members []*Member, body func(m *Member) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(members))
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m *Member) {
+			defer wg.Done()
+			errs[i] = body(m)
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+	}
+}
+
+func TestNewMemberValidation(t *testing.T) {
+	if _, err := NewMember(-1, 4, "127.0.0.1:0"); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := NewMember(4, 4, "127.0.0.1:0"); err == nil {
+		t.Fatal("id ≥ k accepted")
+	}
+	m, err := NewMember(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Start([]string{"only-one"}); err == nil {
+		t.Fatal("wrong address count accepted")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 7, 8} {
+		members := cluster(t, k)
+		for round := 0; round < 5; round++ {
+			spawn(t, members, func(m *Member) error { return m.Barrier() })
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	members := cluster(t, 6)
+	results := make([]float64, 6)
+	spawn(t, members, func(m *Member) error {
+		v, err := m.AllReduceMaxFloat64(float64(m.id * m.id))
+		results[m.id] = v
+		return err
+	})
+	for id, v := range results {
+		if v != 25 {
+			t.Fatalf("member %d got max %v", id, v)
+		}
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	members := cluster(t, 5)
+	results := make([]int64, 5)
+	spawn(t, members, func(m *Member) error {
+		v, err := m.AllReduceSumInt64(int64(m.id + 1))
+		results[m.id] = v
+		return err
+	})
+	for id, v := range results {
+		if v != 15 {
+			t.Fatalf("member %d got sum %v", id, v)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	members := cluster(t, 7)
+	results := make([]float64, 7)
+	spawn(t, members, func(m *Member) error {
+		v := 0.0
+		if m.id == 0 {
+			v = 3.14
+		}
+		out, err := m.BroadcastFloat64(v)
+		results[m.id] = out
+		return err
+	})
+	for id, v := range results {
+		if v != 3.14 {
+			t.Fatalf("member %d got %v", id, v)
+		}
+	}
+}
+
+func TestPrefixSumPartitionsRange(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 6, 9} {
+		members := cluster(t, k)
+		befores := make([]int64, k)
+		totals := make([]int64, k)
+		contribs := make([]int64, k)
+		spawn(t, members, func(m *Member) error {
+			contribs[m.id] = int64(2*m.id + 1)
+			b, tot, err := m.PrefixSumInt64(contribs[m.id])
+			befores[m.id] = b
+			totals[m.id] = tot
+			return err
+		})
+		var want int64
+		for _, c := range contribs {
+			want += c
+		}
+		// Every member must see the same total, and the intervals
+		// [before, before+contrib) must exactly tile [0, total).
+		seen := make([]bool, want)
+		for id := 0; id < k; id++ {
+			if totals[id] != want {
+				t.Fatalf("k=%d: member %d total %d, want %d", k, id, totals[id], want)
+			}
+			for x := befores[id]; x < befores[id]+contribs[id]; x++ {
+				if x < 0 || x >= want || seen[x] {
+					t.Fatalf("k=%d: slot %d double-assigned or out of range", k, x)
+				}
+				seen[x] = true
+			}
+		}
+	}
+}
+
+func TestRepeatedMixedCollectives(t *testing.T) {
+	members := cluster(t, 4)
+	spawn(t, members, func(m *Member) error {
+		for round := 0; round < 30; round++ {
+			mx, err := m.AllReduceMaxFloat64(float64(m.id + round))
+			if err != nil {
+				return err
+			}
+			if mx != float64(3+round) {
+				return fmt.Errorf("round %d: max %v", round, mx)
+			}
+			if _, _, err := m.PrefixSumInt64(1); err != nil {
+				return err
+			}
+			if err := m.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestTimeoutSurfacesAsError(t *testing.T) {
+	// A lone member of a 2-cluster entering a barrier must time out.
+	m0, err := NewMember(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+	m1, err := NewMember(1, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	if err := m0.Start([]string{m0.Addr(), m1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	m0.SetTimeout(200 * time.Millisecond)
+	if err := m0.Barrier(); err == nil {
+		t.Fatal("barrier with absent peer did not time out")
+	}
+}
+
+func TestSingleMemberDegenerate(t *testing.T) {
+	members := cluster(t, 1)
+	spawn(t, members, func(m *Member) error {
+		if v, err := m.AllReduceMaxFloat64(7); err != nil || v != 7 {
+			return fmt.Errorf("lone max: %v, %v", v, err)
+		}
+		b, tot, err := m.PrefixSumInt64(5)
+		if err != nil || b != 0 || tot != 5 {
+			return fmt.Errorf("lone prefix: %d/%d, %v", b, tot, err)
+		}
+		return m.Barrier()
+	})
+}

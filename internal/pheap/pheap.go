@@ -1,0 +1,121 @@
+// Package pheap implements the heaviest-first priority queue that drives
+// Algorithm HF. It is a hand-rolled binary max-heap keyed by (weight, id):
+// weights decide the order and node ids break ties deterministically so that
+// runs are reproducible and the PHF ≡ HF comparison is meaningful even in
+// the presence of equal weights.
+package pheap
+
+// Item is an entry in the heap. ID must be unique within one heap; it is the
+// deterministic tie-breaker (smaller ID wins among equal weights) and the
+// handle used by the experiments to identify subproblems.
+type Item struct {
+	Weight float64
+	ID     uint64
+	Value  interface{}
+}
+
+// Heap is a max-heap of Items ordered by Weight, ties broken by smaller ID.
+// The zero value is an empty heap ready for use.
+type Heap struct {
+	items []Item
+}
+
+// New returns a heap pre-sized for capacity items.
+func New(capacity int) *Heap {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Heap{items: make([]Item, 0, capacity)}
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap) Len() int { return len(h.items) }
+
+// less reports whether the item at index i has priority over the item at j.
+func (h *Heap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	return a.ID < b.ID
+}
+
+// Push inserts an item.
+func (h *Heap) Push(it Item) {
+	h.items = append(h.items, it)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the heaviest item. It panics on an empty heap;
+// callers (Algorithm HF) always know the heap size.
+func (h *Heap) Pop() Item {
+	if len(h.items) == 0 {
+		panic("pheap: Pop from empty heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the heaviest item without removing it.
+func (h *Heap) Peek() Item {
+	if len(h.items) == 0 {
+		panic("pheap: Peek at empty heap")
+	}
+	return h.items[0]
+}
+
+// Drain removes all items and returns them in no particular order. The
+// backing storage is reused, so the heap remains usable afterwards.
+func (h *Heap) Drain() []Item {
+	out := append([]Item(nil), h.items...)
+	h.items = h.items[:0]
+	return out
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		best := left
+		if right := left + 1; right < n && h.less(right, left) {
+			best = right
+		}
+		if !h.less(best, i) {
+			return
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		i = best
+	}
+}
+
+// Verify checks the heap invariant and returns false at the first violation.
+// It exists for tests and costs O(n).
+func (h *Heap) Verify() bool {
+	for i := 1; i < len(h.items); i++ {
+		parent := (i - 1) / 2
+		if h.less(i, parent) {
+			return false
+		}
+	}
+	return true
+}

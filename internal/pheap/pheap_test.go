@@ -1,0 +1,150 @@
+package pheap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bisectlb/internal/xrand"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	h := New(0)
+	if h.Len() != 0 {
+		t.Fatal("new heap not empty")
+	}
+	if !panics(func() { h.Pop() }) {
+		t.Fatal("Pop on empty should panic")
+	}
+	if !panics(func() { h.Peek() }) {
+		t.Fatal("Peek on empty should panic")
+	}
+}
+
+func panics(f func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	f()
+	return
+}
+
+func TestPushPopOrder(t *testing.T) {
+	h := New(4)
+	h.Push(Item{Weight: 1, ID: 1})
+	h.Push(Item{Weight: 5, ID: 2})
+	h.Push(Item{Weight: 3, ID: 3})
+	h.Push(Item{Weight: 4, ID: 4})
+	want := []float64{5, 4, 3, 1}
+	for i, w := range want {
+		if got := h.Pop().Weight; got != w {
+			t.Fatalf("pop %d: got %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestTieBreakByID(t *testing.T) {
+	h := New(3)
+	h.Push(Item{Weight: 2, ID: 30})
+	h.Push(Item{Weight: 2, ID: 10})
+	h.Push(Item{Weight: 2, ID: 20})
+	ids := []uint64{h.Pop().ID, h.Pop().ID, h.Pop().ID}
+	if ids[0] != 10 || ids[1] != 20 || ids[2] != 30 {
+		t.Fatalf("tie-break order wrong: %v", ids)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	h := New(2)
+	h.Push(Item{Weight: 7, ID: 1})
+	if h.Peek().Weight != 7 || h.Len() != 1 {
+		t.Fatal("Peek must not remove")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	h := New(3)
+	for i := 0; i < 3; i++ {
+		h.Push(Item{Weight: float64(i), ID: uint64(i)})
+	}
+	out := h.Drain()
+	if len(out) != 3 || h.Len() != 0 {
+		t.Fatalf("drain returned %d items, heap has %d", len(out), h.Len())
+	}
+	h.Push(Item{Weight: 1, ID: 9})
+	if h.Len() != 1 {
+		t.Fatal("heap unusable after Drain")
+	}
+}
+
+func TestHeapSortsRandomInput(t *testing.T) {
+	rng := xrand.New(42)
+	f := func(seed uint64) bool {
+		rng.Reseed(seed)
+		n := 1 + rng.Intn(300)
+		h := New(n)
+		var ws []float64
+		for i := 0; i < n; i++ {
+			w := rng.InRange(0, 100)
+			ws = append(ws, w)
+			h.Push(Item{Weight: w, ID: uint64(i)})
+		}
+		if !h.Verify() {
+			return false
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+		for _, w := range ws {
+			if h.Pop().Weight != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	rng := xrand.New(7)
+	h := New(0)
+	live := 0
+	for step := 0; step < 10000; step++ {
+		if live == 0 || rng.Float64() < 0.6 {
+			h.Push(Item{Weight: rng.Float64(), ID: uint64(step)})
+			live++
+		} else {
+			prev := h.Pop().Weight
+			live--
+			if live > 0 && h.Peek().Weight > prev {
+				t.Fatalf("heap order violated at step %d", step)
+			}
+		}
+	}
+	if !h.Verify() {
+		t.Fatal("invariant broken after interleaving")
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	h := New(3)
+	h.Push(Item{Weight: 1, ID: 1})
+	h.Push(Item{Weight: 2, ID: 2})
+	h.Push(Item{Weight: 3, ID: 3})
+	h.items[0].Weight = 0 // corrupt the root
+	if h.Verify() {
+		t.Fatal("Verify missed corruption")
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := xrand.New(1)
+	h := New(1024)
+	for i := 0; i < 1024; i++ {
+		h.Push(Item{Weight: rng.Float64(), ID: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := h.Pop()
+		it.Weight *= 0.99
+		h.Push(it)
+	}
+}

@@ -1,0 +1,373 @@
+// Package quadrature provides the multi-dimensional adaptive numerical
+// quadrature substrate the paper lists among the applications of
+// bisection-based load balancing (ref [4], Bonk's adaptive quadrature).
+//
+// A problem is an axis-aligned box together with an integrand difficulty
+// model; its weight is the estimated adaptive-quadrature work for the box
+// (the integral of a local difficulty density). Bisecting a box cuts it
+// with an axis-aligned plane placed at the weighted median of the density
+// along the box's longest axis, so both halves carry close to half the
+// work — a naturally good bisector. A midpoint-splitting mode is provided
+// as the deliberately worse bisector for comparison experiments.
+//
+// Substitution note (DESIGN.md §4): child weights are estimated by
+// deterministic midpoint sampling and then normalised to sum exactly to the
+// parent weight, preserving the additive-weight contract of Definition 1
+// while keeping the difficulty estimate realistic.
+package quadrature
+
+import (
+	"fmt"
+	"math"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/xrand"
+)
+
+// Integrand describes the difficulty density g(x) ≥ 0 over [0,1]^d. The
+// estimated work for a box is ∫_box g.
+type Integrand struct {
+	// Dim is the dimensionality d ≥ 1.
+	Dim int
+	// Peaks are points of concentrated difficulty (e.g. integrable
+	// singularities); each contributes amplitude/(eps + |x−p|²).
+	Peaks [][]float64
+	// Amplitude and Eps control peak strength and sharpness.
+	Amplitude float64
+	Eps       float64
+	// Background is the smooth base density.
+	Background float64
+	// salt folds the integrand identity into problem IDs.
+	salt uint64
+}
+
+// NewIntegrand validates and returns an integrand model.
+func NewIntegrand(dim int, peaks [][]float64, amplitude, eps, background float64, seed uint64) (*Integrand, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("quadrature: dimension %d must be ≥ 1", dim)
+	}
+	for _, p := range peaks {
+		if len(p) != dim {
+			return nil, fmt.Errorf("quadrature: peak %v has wrong dimension", p)
+		}
+	}
+	if !(eps > 0) || amplitude < 0 || !(background > 0) {
+		return nil, fmt.Errorf("quadrature: need eps > 0, amplitude ≥ 0, background > 0")
+	}
+	return &Integrand{
+		Dim: dim, Peaks: peaks, Amplitude: amplitude, Eps: eps,
+		Background: background, salt: xrand.Mix(seed, 0x9ad),
+	}, nil
+}
+
+// DefaultIntegrand is a 2-D model with two off-centre peaks, resembling the
+// corner singularities of the FEM examples.
+func DefaultIntegrand(seed uint64) *Integrand {
+	ig, err := NewIntegrand(2,
+		[][]float64{{0.2, 0.8}, {0.7, 0.3}},
+		50, 0.01, 1, seed)
+	if err != nil {
+		panic(err)
+	}
+	return ig
+}
+
+// OscillatoryIntegrand models a high-frequency oscillatory integrand whose
+// quadrature difficulty is uniform plus a ridge along the diagonal — a
+// second canonical shape from adaptive-quadrature practice. Frequency
+// controls how sharply the ridge concentrates.
+func OscillatoryIntegrand(dim int, frequency float64, seed uint64) (*Integrand, error) {
+	if frequency <= 0 {
+		return nil, fmt.Errorf("quadrature: frequency %v must be positive", frequency)
+	}
+	// Realised as a chain of peaks along the main diagonal, spaced by
+	// 1/frequency; the generic peak machinery then applies unchanged.
+	var peaks [][]float64
+	count := int(frequency)
+	if count < 1 {
+		count = 1
+	}
+	if count > 16 {
+		count = 16
+	}
+	for k := 1; k <= count; k++ {
+		p := make([]float64, dim)
+		for i := range p {
+			p[i] = float64(k) / float64(count+1)
+		}
+		peaks = append(peaks, p)
+	}
+	return NewIntegrand(dim, peaks, 10, 0.02, 1, seed)
+}
+
+// EdgeSingularIntegrand concentrates difficulty along the x₀ = 0 face,
+// modelling boundary-layer integrands. It is built from peaks spread along
+// that face.
+func EdgeSingularIntegrand(dim int, seed uint64) (*Integrand, error) {
+	var peaks [][]float64
+	for k := 1; k <= 5; k++ {
+		p := make([]float64, dim)
+		for i := 1; i < dim; i++ {
+			p[i] = float64(k) / 6
+		}
+		peaks = append(peaks, p)
+	}
+	return NewIntegrand(dim, peaks, 30, 0.02, 1, seed)
+}
+
+// Density evaluates g at x.
+func (ig *Integrand) Density(x []float64) float64 {
+	g := ig.Background
+	for _, p := range ig.Peaks {
+		d2 := 0.0
+		for i := range p {
+			d := x[i] - p[i]
+			d2 += d * d
+		}
+		g += ig.Amplitude / (ig.Eps + d2)
+	}
+	return g
+}
+
+// SplitMode selects the bisection strategy for boxes.
+type SplitMode int
+
+const (
+	// SplitMedian cuts at the weighted median of the density along the
+	// longest axis — the "good bisector".
+	SplitMedian SplitMode = iota
+	// SplitMidpoint cuts at the geometric midpoint — a weaker bisector
+	// whose α̂ degrades near peaks; used in comparison experiments.
+	SplitMidpoint
+)
+
+// samplesPerAxis is the deterministic midpoint-rule resolution used for
+// weight estimation. 8^2 = 64 evaluations per 2-D box keeps estimates
+// stable without dominating run time.
+const samplesPerAxis = 8
+
+// Box is an axis-aligned sub-box of the unit cube with its estimated work.
+// Box implements bisect.Problem; its identity derives from its bounds, so
+// every algorithm bisecting the same box sees identical children.
+type Box struct {
+	ig       *Integrand
+	lo, hi   []float64
+	weight   float64
+	mode     SplitMode
+	minWidth float64
+	id       uint64
+}
+
+var _ bisect.Problem = (*Box)(nil)
+
+// NewRootBox returns the unit cube with its estimated total work.
+// minWidth > 0 bounds how thin a box may become before it is indivisible.
+func NewRootBox(ig *Integrand, mode SplitMode, minWidth float64) (*Box, error) {
+	if ig == nil {
+		return nil, fmt.Errorf("quadrature: nil integrand")
+	}
+	if !(minWidth > 0) || minWidth >= 1 {
+		return nil, fmt.Errorf("quadrature: minWidth %v outside (0, 1)", minWidth)
+	}
+	lo := make([]float64, ig.Dim)
+	hi := make([]float64, ig.Dim)
+	for i := range hi {
+		hi[i] = 1
+	}
+	b := &Box{ig: ig, lo: lo, hi: hi, mode: mode, minWidth: minWidth}
+	b.weight = b.estimate()
+	b.id = b.computeID()
+	return b, nil
+}
+
+// MustRootBox is NewRootBox that panics on error.
+func MustRootBox(ig *Integrand, mode SplitMode, minWidth float64) *Box {
+	b, err := NewRootBox(ig, mode, minWidth)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// estimate integrates the density over the box with a midpoint rule on a
+// fixed samplesPerAxis^d grid (capped grid for high dimensions).
+func (b *Box) estimate() float64 {
+	d := b.ig.Dim
+	per := samplesPerAxis
+	if d > 3 {
+		per = 3 // keep sample counts bounded in high dimensions
+	}
+	x := make([]float64, d)
+	vol := 1.0
+	for i := range b.lo {
+		vol *= b.hi[i] - b.lo[i]
+	}
+	total := 0.0
+	n := 1
+	for i := 0; i < d; i++ {
+		n *= per
+	}
+	for k := 0; k < n; k++ {
+		rem := k
+		for i := 0; i < d; i++ {
+			cell := rem % per
+			rem /= per
+			frac := (float64(cell) + 0.5) / float64(per)
+			x[i] = b.lo[i] + frac*(b.hi[i]-b.lo[i])
+		}
+		total += b.ig.Density(x)
+	}
+	return vol * total / float64(n)
+}
+
+func (b *Box) computeID() uint64 {
+	h := b.ig.salt
+	for i := range b.lo {
+		h = xrand.Mix(h, math.Float64bits(b.lo[i]))
+		h = xrand.Mix(h, math.Float64bits(b.hi[i]))
+	}
+	return h
+}
+
+// Weight returns the box's estimated quadrature work.
+func (b *Box) Weight() float64 { return b.weight }
+
+// ID returns the bounds-derived identifier.
+func (b *Box) ID() uint64 { return b.id }
+
+// Bounds returns copies of the box bounds.
+func (b *Box) Bounds() (lo, hi []float64) {
+	return append([]float64(nil), b.lo...), append([]float64(nil), b.hi...)
+}
+
+// longestAxis returns the axis of maximal extent (smallest index on ties).
+func (b *Box) longestAxis() int {
+	best, bestExt := 0, b.hi[0]-b.lo[0]
+	for i := 1; i < len(b.lo); i++ {
+		if ext := b.hi[i] - b.lo[i]; ext > bestExt {
+			best, bestExt = i, ext
+		}
+	}
+	return best
+}
+
+// CanBisect reports whether the longest axis still exceeds the width floor.
+func (b *Box) CanBisect() bool {
+	ax := b.longestAxis()
+	return b.hi[ax]-b.lo[ax] > 2*b.minWidth
+}
+
+// Bisect cuts the box along its longest axis. In SplitMedian mode the cut
+// sits at the weighted median of the 1-D marginal density (clamped so both
+// halves keep at least minWidth); in SplitMidpoint mode at the centre.
+// Child work estimates are normalised to sum exactly to the parent weight.
+func (b *Box) Bisect() (bisect.Problem, bisect.Problem) {
+	if !b.CanBisect() {
+		panic("quadrature: Bisect on indivisible box")
+	}
+	ax := b.longestAxis()
+	var cut float64
+	if b.mode == SplitMidpoint {
+		cut = (b.lo[ax] + b.hi[ax]) / 2
+	} else {
+		cut = b.medianAlong(ax)
+	}
+	// Clamp so no degenerate slivers appear.
+	min := b.lo[ax] + b.minWidth
+	max := b.hi[ax] - b.minWidth
+	if cut < min {
+		cut = min
+	}
+	if cut > max {
+		cut = max
+	}
+	left := b.child(ax, b.lo[ax], cut)
+	right := b.child(ax, cut, b.hi[ax])
+	// Normalise: the midpoint-rule estimates of the halves do not add up
+	// exactly to the parent's estimate; scale them so Definition 1's
+	// additivity holds exactly.
+	sum := left.weight + right.weight
+	left.weight = b.weight * (left.weight / sum)
+	right.weight = b.weight - left.weight
+	if left.weight >= right.weight {
+		return left, right
+	}
+	return right, left
+}
+
+func (b *Box) child(ax int, lo, hi float64) *Box {
+	c := &Box{
+		ig:       b.ig,
+		lo:       append([]float64(nil), b.lo...),
+		hi:       append([]float64(nil), b.hi...),
+		mode:     b.mode,
+		minWidth: b.minWidth,
+	}
+	c.lo[ax], c.hi[ax] = lo, hi
+	c.weight = c.estimate()
+	c.id = c.computeID()
+	return c
+}
+
+// medianAlong locates the coordinate where the cumulative marginal density
+// along axis ax reaches half the box's mass, via sampling and linear
+// interpolation.
+func (b *Box) medianAlong(ax int) float64 {
+	const slices = 32
+	masses := make([]float64, slices)
+	total := 0.0
+	for s := 0; s < slices; s++ {
+		lo := b.lo[ax] + float64(s)/slices*(b.hi[ax]-b.lo[ax])
+		hi := b.lo[ax] + float64(s+1)/slices*(b.hi[ax]-b.lo[ax])
+		m := b.sliceMass(ax, lo, hi)
+		masses[s] = m
+		total += m
+	}
+	half := total / 2
+	run := 0.0
+	for s := 0; s < slices; s++ {
+		if run+masses[s] >= half {
+			frac := 0.5
+			if masses[s] > 0 {
+				frac = (half - run) / masses[s]
+			}
+			return b.lo[ax] + (float64(s)+frac)/slices*(b.hi[ax]-b.lo[ax])
+		}
+		run += masses[s]
+	}
+	return (b.lo[ax] + b.hi[ax]) / 2
+}
+
+// sliceMass estimates the density mass of the sub-box with axis ax
+// restricted to [lo, hi], using a coarse midpoint rule.
+func (b *Box) sliceMass(ax int, lo, hi float64) float64 {
+	d := b.ig.Dim
+	per := 4
+	x := make([]float64, d)
+	n := 1
+	for i := 0; i < d; i++ {
+		n *= per
+	}
+	total := 0.0
+	for k := 0; k < n; k++ {
+		rem := k
+		for i := 0; i < d; i++ {
+			cell := rem % per
+			rem /= per
+			frac := (float64(cell) + 0.5) / float64(per)
+			if i == ax {
+				x[i] = lo + frac*(hi-lo)
+			} else {
+				x[i] = b.lo[i] + frac*(b.hi[i]-b.lo[i])
+			}
+		}
+		total += b.ig.Density(x)
+	}
+	vol := hi - lo
+	for i := 0; i < d; i++ {
+		if i != ax {
+			vol *= b.hi[i] - b.lo[i]
+		}
+	}
+	return vol * total / float64(n)
+}

@@ -1,0 +1,257 @@
+// Package searchtree provides the backtrack-search / branch-and-bound
+// substrate the paper cites as an application domain (ref [9], Karp &
+// Zhang, "Randomized parallel algorithms for backtrack search and
+// branch-and-bound computation").
+//
+// A synthetic search tree stands in for the implicit tree a solver would
+// explore. A load-balancing problem is a *frontier*: a set of open search
+// nodes whose subtrees remain to be explored. Its weight is the number of
+// descendant leaves (the candidate evaluations left), which is exactly
+// additive under any partition of the frontier. Bisecting a frontier
+// splits it into two frontiers of near-equal estimated work using a
+// longest-processing-time greedy partition; single-node frontiers are first
+// expanded into their children, mirroring how work splitting actually
+// proceeds in parallel backtrack search.
+package searchtree
+
+import (
+	"fmt"
+	"sort"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/xrand"
+)
+
+// Node is one node of the synthetic search tree.
+type Node struct {
+	Parent   int
+	Children []int
+	Depth    int
+	// Leaves is the number of leaves in the node's subtree (≥ 1).
+	Leaves int64
+}
+
+// Tree is an immutable synthetic search tree.
+type Tree struct {
+	Nodes  []Node
+	Root   int
+	idSalt uint64
+}
+
+// GenConfig controls search-tree generation: a depth-capped Galton–Watson
+// process with depth-decaying branching, which produces the irregular,
+// heavy-tailed subtree sizes typical of pruned backtrack search.
+type GenConfig struct {
+	// MaxDepth caps the tree height. Must be ≥ 1.
+	MaxDepth int
+	// MaxBranch is the largest number of children a node may have (≥ 2).
+	MaxBranch int
+	// ExpandProb is the probability that a node has children at all,
+	// before depth decay. Must be in (0, 1].
+	ExpandProb float64
+	// Seed drives generation deterministically.
+	Seed uint64
+}
+
+// DefaultGenConfig returns a configuration yielding trees of a few
+// thousand nodes with strong imbalance.
+func DefaultGenConfig(seed uint64) GenConfig {
+	return GenConfig{MaxDepth: 18, MaxBranch: 4, ExpandProb: 0.9, Seed: seed}
+}
+
+// Generate builds a synthetic search tree. The root is always expanded so
+// the tree never consists of a single node.
+func Generate(cfg GenConfig) (*Tree, error) {
+	if cfg.MaxDepth < 1 {
+		return nil, fmt.Errorf("searchtree: MaxDepth %d must be ≥ 1", cfg.MaxDepth)
+	}
+	if cfg.MaxBranch < 2 {
+		return nil, fmt.Errorf("searchtree: MaxBranch %d must be ≥ 2", cfg.MaxBranch)
+	}
+	if !(cfg.ExpandProb > 0) || cfg.ExpandProb > 1 {
+		return nil, fmt.Errorf("searchtree: ExpandProb %v outside (0, 1]", cfg.ExpandProb)
+	}
+	t := &Tree{idSalt: xrand.Mix(cfg.Seed, 0x5ea)}
+	rng := xrand.New(cfg.Seed)
+	var build func(depth, parent int) int
+	build = func(depth, parent int) int {
+		id := len(t.Nodes)
+		t.Nodes = append(t.Nodes, Node{Parent: parent, Depth: depth})
+		expand := depth == 0 // force a branching root
+		if !expand && depth < cfg.MaxDepth {
+			p := cfg.ExpandProb * (1 - float64(depth)/float64(cfg.MaxDepth+1))
+			expand = rng.Float64() < p
+		}
+		if expand {
+			k := 2 + rng.Intn(cfg.MaxBranch-1)
+			for c := 0; c < k; c++ {
+				child := build(depth+1, id)
+				t.Nodes[id].Children = append(t.Nodes[id].Children, child)
+			}
+		}
+		return id
+	}
+	t.Root = build(0, -1)
+	// Bottom-up leaf counts; preorder construction means children have
+	// larger indices.
+	for i := len(t.Nodes) - 1; i >= 0; i-- {
+		if len(t.Nodes[i].Children) == 0 {
+			t.Nodes[i].Leaves = 1
+			continue
+		}
+		var sum int64
+		for _, c := range t.Nodes[i].Children {
+			sum += t.Nodes[c].Leaves
+		}
+		t.Nodes[i].Leaves = sum
+	}
+	return t, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg GenConfig) *Tree {
+	t, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Size returns the number of tree nodes.
+func (t *Tree) Size() int { return len(t.Nodes) }
+
+// TotalLeaves returns the root's leaf count.
+func (t *Tree) TotalLeaves() int64 { return t.Nodes[t.Root].Leaves }
+
+// Frontier is a set of open search nodes, the unit of load distribution.
+// Frontiers are immutable; identity derives from the (sorted) node set.
+type Frontier struct {
+	tree   *Tree
+	nodes  []int // sorted, disjoint subtrees
+	weight float64
+	id     uint64
+}
+
+var _ bisect.Problem = (*Frontier)(nil)
+
+// NewFrontier returns the root frontier {root}.
+func NewFrontier(t *Tree) *Frontier {
+	f := &Frontier{tree: t, nodes: []int{t.Root}}
+	f.finish()
+	return f
+}
+
+func (f *Frontier) finish() {
+	var w int64
+	for _, v := range f.nodes {
+		w += f.tree.Nodes[v].Leaves
+	}
+	f.weight = float64(w)
+	h := f.tree.idSalt
+	for _, v := range f.nodes {
+		h = xrand.Mix(h, uint64(v)+1)
+	}
+	f.id = h
+}
+
+// Weight returns the number of unexplored leaves under the frontier.
+func (f *Frontier) Weight() float64 { return f.weight }
+
+// ID returns the content-derived identifier.
+func (f *Frontier) ID() uint64 { return f.id }
+
+// Nodes returns a copy of the frontier's node set.
+func (f *Frontier) Nodes() []int { return append([]int(nil), f.nodes...) }
+
+// CanBisect reports whether the frontier covers at least two leaves.
+func (f *Frontier) CanBisect() bool { return f.weight >= 2 }
+
+// expanded returns the frontier's node set with single-node frontiers
+// repeatedly expanded until at least two entries exist (or no expansion is
+// possible, which CanBisect excludes).
+func (f *Frontier) expanded() []int {
+	nodes := f.nodes
+	for len(nodes) == 1 {
+		children := f.tree.Nodes[nodes[0]].Children
+		if len(children) == 0 {
+			return nodes
+		}
+		nodes = append([]int(nil), children...)
+		sort.Ints(nodes)
+	}
+	return nodes
+}
+
+// Bisect splits the frontier into two frontiers of near-equal leaf counts
+// via a deterministic longest-processing-time greedy assignment. The
+// heavier frontier is returned first.
+func (f *Frontier) Bisect() (bisect.Problem, bisect.Problem) {
+	if !f.CanBisect() {
+		panic("searchtree: Bisect on exhausted frontier")
+	}
+	nodes := f.expanded()
+	// Sort by subtree size descending, node id ascending on ties.
+	order := append([]int(nil), nodes...)
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		la, lb := f.tree.Nodes[a].Leaves, f.tree.Nodes[b].Leaves
+		if la != lb {
+			return la > lb
+		}
+		return a < b
+	})
+	var setA, setB []int
+	var wA, wB int64
+	for _, v := range order {
+		l := f.tree.Nodes[v].Leaves
+		// Assign to the lighter bin; ties to A. Both bins end non-empty:
+		// the first node goes to A and the second necessarily to B.
+		if wA <= wB {
+			setA = append(setA, v)
+			wA += l
+		} else {
+			setB = append(setB, v)
+			wB += l
+		}
+	}
+	sort.Ints(setA)
+	sort.Ints(setB)
+	a := &Frontier{tree: f.tree, nodes: setA}
+	a.finish()
+	b := &Frontier{tree: f.tree, nodes: setB}
+	b.finish()
+	if a.weight >= b.weight {
+		return a, b
+	}
+	return b, a
+}
+
+// ProbeAlpha expands the frontier heaviest-first into up to maxParts pieces
+// and returns the smallest split fraction observed, an empirical α estimate
+// for declaring to PHF or BA-HF.
+func ProbeAlpha(f *Frontier, maxParts int) float64 {
+	if maxParts < 2 || !f.CanBisect() {
+		return 0.5
+	}
+	worst := 0.5
+	pool := []*Frontier{f}
+	for len(pool) < maxParts {
+		best := -1
+		for i, q := range pool {
+			if q.CanBisect() && (best == -1 || q.weight > pool[best].weight) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		q := pool[best]
+		a, b := q.Bisect()
+		if frac := b.Weight() / q.Weight(); frac < worst {
+			worst = frac
+		}
+		pool[best] = a.(*Frontier)
+		pool = append(pool, b.(*Frontier))
+	}
+	return worst
+}

@@ -1,0 +1,216 @@
+// Package stats implements the summary statistics used by the simulation
+// study in Section 4 of the paper: sample mean, sample variance, minimum,
+// maximum, quantiles and simple histograms over observed load-balance ratios.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations in a numerically stable way (Welford's
+// online algorithm) while also retaining the raw values for quantiles.
+type Sample struct {
+	values []float64
+	mean   float64
+	m2     float64
+	min    float64
+	max    float64
+}
+
+// NewSample returns an empty sample. An optional capacity hint avoids
+// re-allocation for experiments with a known trial count.
+func NewSample(capacity int) *Sample {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Sample{
+		values: make([]float64, 0, capacity),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.values = append(s.values, x)
+	delta := x - s.mean
+	s.mean += delta / float64(len(s.values))
+	s.m2 += delta * (x - s.mean)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+}
+
+// N returns the number of observations recorded so far.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the sample mean, or NaN for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Variance returns the unbiased sample variance (divisor n−1), or NaN when
+// fewer than two observations exist.
+func (s *Sample) Variance() float64 {
+	if len(s.values) < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(len(s.values)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or +Inf for an empty sample.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or −Inf for an empty sample.
+func (s *Sample) Max() float64 { return s.max }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) using linear interpolation
+// between closest ranks. It panics on an empty sample or a q outside [0,1].
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic("stats: Quantile argument outside [0,1]")
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Values returns a copy of the raw observations in insertion order.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.values...) }
+
+// Summary is an immutable snapshot of a sample's headline statistics, in the
+// shape the paper's Table 1 reports them (min / avg / max plus variance).
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64
+	Min      float64
+	Max      float64
+}
+
+// Summarize captures the sample's current statistics.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:        s.N(),
+		Mean:     s.Mean(),
+		Variance: s.Variance(),
+		Min:      s.Min(),
+		Max:      s.Max(),
+	}
+}
+
+// String renders the summary compactly for logs and CLI output.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.4f avg=%.4f max=%.4f var=%.3g",
+		s.N, s.Min, s.Mean, s.Max, s.Variance)
+}
+
+// Histogram is a fixed-bin histogram over a closed interval.
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // observations below Lo
+	Over     int // observations above Hi
+	binWidth float64
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [lo, hi].
+// It panics for a non-positive bin count or an empty interval.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if !(hi > lo) {
+		panic("stats: histogram interval must be non-empty")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), binWidth: (hi - lo) / float64(bins)}
+}
+
+// Add records one observation, clamping boundary values into the last bin.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x > h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.binWidth)
+		if i == len(h.Counts) { // x == Hi
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Mode returns the index of the fullest bin (first one on ties).
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// GeometricMean returns the geometric mean of strictly positive values.
+// It returns NaN if the slice is empty or contains a non-positive value.
+// The experiment harness uses it to aggregate ratios across processor counts.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// RelativeChange returns (b−a)/a, the relative improvement the paper quotes
+// for the κ-study ("approximately 10% when κ increased from 1.0 to 2.0").
+func RelativeChange(a, b float64) float64 {
+	if a == 0 {
+		return math.NaN()
+	}
+	return (b - a) / a
+}

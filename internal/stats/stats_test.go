@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bisectlb/internal/xrand"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSampleEmpty(t *testing.T) {
+	s := NewSample(0)
+	if s.N() != 0 {
+		t.Fatal("empty sample has observations")
+	}
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Variance()) {
+		t.Fatal("empty sample mean/variance should be NaN")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty sample min/max sentinels wrong")
+	}
+}
+
+func TestSampleKnownValues(t *testing.T) {
+	s := NewSample(5)
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if !almost(s.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almost(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleSingleValueVariance(t *testing.T) {
+	s := NewSample(1)
+	s.Add(3)
+	if !math.IsNaN(s.Variance()) {
+		t.Fatal("variance of a single observation should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := NewSample(0)
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.Median(); !almost(got, 50.5, 1e-12) {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	s := NewSample(0)
+	if !panics(func() { s.Quantile(0.5) }) {
+		t.Fatal("empty quantile should panic")
+	}
+	s.Add(1)
+	if !panics(func() { s.Quantile(-0.1) }) || !panics(func() { s.Quantile(1.5) }) {
+		t.Fatal("out-of-range quantile should panic")
+	}
+}
+
+func panics(f func()) (p bool) {
+	defer func() { p = recover() != nil }()
+	f()
+	return
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(seed uint64) bool {
+		rng.Reseed(seed)
+		n := 2 + rng.Intn(500)
+		s := NewSample(n)
+		var vals []float64
+		for i := 0; i < n; i++ {
+			v := rng.InRange(-100, 100)
+			vals = append(vals, v)
+			s.Add(v)
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, v := range vals {
+			ss += (v - mean) * (v - mean)
+		}
+		variance := ss / float64(n-1)
+		return almost(s.Mean(), mean, 1e-9*(1+math.Abs(mean))) &&
+			almost(s.Variance(), variance, 1e-7*(1+variance))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := NewSample(0)
+	s.Add(1)
+	s.Add(3)
+	out := s.Summarize().String()
+	if out == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	h.Add(10) // boundary clamps into last bin
+	if h.Under != 1 || h.Over != 1 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 11 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[9] != 2 {
+		t.Fatalf("last bin = %d, want 2", h.Counts[9])
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(0, 3, 3)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	if h.Mode() != 1 {
+		t.Fatalf("mode = %d", h.Mode())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	if !panics(func() { NewHistogram(0, 1, 0) }) {
+		t.Fatal("zero bins should panic")
+	}
+	if !panics(func() { NewHistogram(1, 1, 3) }) {
+		t.Fatal("empty interval should panic")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{2, 8}); !almost(got, 4, 1e-12) {
+		t.Fatalf("gm = %v", got)
+	}
+	if !math.IsNaN(GeometricMean(nil)) {
+		t.Fatal("gm of empty should be NaN")
+	}
+	if !math.IsNaN(GeometricMean([]float64{1, -1})) {
+		t.Fatal("gm with negative should be NaN")
+	}
+}
+
+func TestRelativeChange(t *testing.T) {
+	if got := RelativeChange(2, 1.8); !almost(got, -0.1, 1e-12) {
+		t.Fatalf("rel change = %v", got)
+	}
+	if !math.IsNaN(RelativeChange(0, 1)) {
+		t.Fatal("zero base should be NaN")
+	}
+}

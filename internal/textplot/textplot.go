@@ -1,0 +1,147 @@
+// Package textplot renders simple ASCII line charts so the experiment
+// harness can reproduce the paper's figures directly in a terminal (or a
+// log file) without any graphics dependency.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	// Name appears in the legend.
+	Name string
+	// Ys are the series values; len(Ys) must equal len(xs) passed to Plot.
+	Ys []float64
+	// Marker is the character drawn for the series' points.
+	Marker byte
+}
+
+// Plot renders the series over the common x values into w. Width and height
+// describe the plotting area in characters (sensible minimums are
+// enforced). X values are treated as ordinal positions with their labels
+// printed beneath the axis, which matches the paper's log2 N axes.
+func Plot(w io.Writer, title string, xLabels []string, series []Series, width, height int) error {
+	if len(xLabels) == 0 {
+		return fmt.Errorf("textplot: no x values")
+	}
+	for _, s := range series {
+		if len(s.Ys) != len(xLabels) {
+			return fmt.Errorf("textplot: series %q has %d values for %d x positions",
+				s.Name, len(s.Ys), len(xLabels))
+		}
+	}
+	if width < 2*len(xLabels) {
+		width = 2 * len(xLabels)
+	}
+	if width < 40 {
+		width = 40
+	}
+	if height < 8 {
+		height = 8
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("textplot: no finite values")
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// A little headroom keeps extreme points off the frame.
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(i int) int {
+		if len(xLabels) == 1 {
+			return width / 2
+		}
+		return i * (width - 1) / (len(xLabels) - 1)
+	}
+	row := func(y float64) int {
+		frac := (y - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, s := range series {
+		for i, y := range s.Ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			grid[row(y)][col(i)] = s.Marker
+		}
+		// Connect consecutive points with light interpolation dots.
+		for i := 1; i < len(s.Ys); i++ {
+			y0, y1 := s.Ys[i-1], s.Ys[i]
+			if math.IsNaN(y0) || math.IsNaN(y1) {
+				continue
+			}
+			c0, c1 := col(i-1), col(i)
+			for c := c0 + 1; c < c1; c++ {
+				frac := float64(c-c0) / float64(c1-c0)
+				r := row(y0 + frac*(y1-y0))
+				if grid[r][c] == ' ' {
+					grid[r][c] = '.'
+				}
+			}
+		}
+	}
+
+	if title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", title); err != nil {
+			return err
+		}
+	}
+	for r := 0; r < height; r++ {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		if _, err := fmt.Fprintf(w, "%8.3f |%s\n", yVal, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	// X labels: print each under its column where space allows.
+	lab := []byte(strings.Repeat(" ", width))
+	for i, l := range xLabels {
+		c := col(i)
+		for j := 0; j < len(l) && c+j < width; j++ {
+			lab[c+j] = l[j]
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %s\n", "", string(lab)); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%8s  [%s]\n", "", strings.Join(legend, "  "))
+	return err
+}

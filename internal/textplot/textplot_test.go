@@ -1,0 +1,85 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	var b strings.Builder
+	err := Plot(&b, "demo", []string{"1", "2", "3"}, []Series{
+		{Name: "up", Ys: []float64{1, 2, 3}, Marker: 'u'},
+		{Name: "down", Ys: []float64{3, 2, 1}, Marker: 'd'},
+	}, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, frag := range []string{"demo", "u", "d", "u=up", "d=down", "---"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Plot(&b, "", nil, nil, 40, 10); err == nil {
+		t.Fatal("empty x accepted")
+	}
+	if err := Plot(&b, "", []string{"1", "2"}, []Series{{Name: "x", Ys: []float64{1}, Marker: 'x'}}, 40, 10); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := Plot(&b, "", []string{"1"}, []Series{{Name: "x", Ys: []float64{math.NaN()}, Marker: 'x'}}, 40, 10); err == nil {
+		t.Fatal("all-NaN series accepted")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	var b strings.Builder
+	err := Plot(&b, "flat", []string{"a", "b"}, []Series{
+		{Name: "c", Ys: []float64{5, 5}, Marker: 'c'},
+	}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "c") {
+		t.Fatal("flat series not drawn")
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	var b strings.Builder
+	if err := Plot(&b, "one", []string{"x"}, []Series{
+		{Name: "p", Ys: []float64{1}, Marker: 'p'},
+	}, 40, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotNaNGapsSkipped(t *testing.T) {
+	var b strings.Builder
+	err := Plot(&b, "gap", []string{"1", "2", "3"}, []Series{
+		{Name: "g", Ys: []float64{1, math.NaN(), 3}, Marker: 'g'},
+	}, 40, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "g") < 2 { // two points plus legend
+		t.Fatal("NaN gap dropped real points")
+	}
+}
+
+func TestMinimumDimensionsEnforced(t *testing.T) {
+	var b strings.Builder
+	if err := Plot(&b, "", []string{"1", "2"}, []Series{
+		{Name: "s", Ys: []float64{1, 2}, Marker: 's'},
+	}, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("height floor not enforced: %d lines", len(lines))
+	}
+}

@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bisectlb/internal/xrand"
+)
+
+func TestMetricAxioms(t *testing.T) {
+	rng := xrand.New(1)
+	for _, topo := range All(64) {
+		f := func(seed uint64) bool {
+			rng.Reseed(seed)
+			i := rng.Intn(topo.N())
+			j := rng.Intn(topo.N())
+			k := rng.Intn(topo.N())
+			dij := topo.Distance(i, j)
+			// Identity, symmetry, triangle inequality, diameter.
+			if topo.Distance(i, i) != 0 {
+				return false
+			}
+			if dij != topo.Distance(j, i) {
+				return false
+			}
+			if i != j && dij < 1 {
+				return false
+			}
+			if dij > topo.Diameter() {
+				return false
+			}
+			return topo.Distance(i, k) <= dij+topo.Distance(j, k)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+	}
+}
+
+func TestKnownDistances(t *testing.T) {
+	h := NewHypercube(16)
+	if h.Distance(0b0000, 0b1111) != 4 {
+		t.Fatal("hypercube distance wrong")
+	}
+	if h.Distance(5, 4) != 1 {
+		t.Fatal("hypercube neighbour wrong")
+	}
+	m := NewMesh2D(16) // 4×4
+	if m.Distance(0, 15) != 6 {
+		t.Fatalf("mesh corner distance = %d, want 6", m.Distance(0, 15))
+	}
+	if m.Distance(0, 1) != 1 || m.Distance(0, 4) != 1 {
+		t.Fatal("mesh neighbours wrong")
+	}
+	r := NewRing(10)
+	if r.Distance(0, 9) != 1 || r.Distance(0, 5) != 5 {
+		t.Fatal("ring distances wrong")
+	}
+	ft := NewFatTree(8)
+	if ft.Distance(0, 1) != 2 {
+		t.Fatalf("fat-tree sibling distance = %d, want 2", ft.Distance(0, 1))
+	}
+	if ft.Distance(0, 7) != 6 {
+		t.Fatalf("fat-tree cross distance = %d, want 6", ft.Distance(0, 7))
+	}
+	c := NewComplete(8)
+	if c.Distance(3, 5) != 1 || c.Distance(2, 2) != 0 {
+		t.Fatal("complete distances wrong")
+	}
+}
+
+func TestCollectiveCostOrdering(t *testing.T) {
+	const n = 1024
+	complete := NewComplete(n).CollectiveCost()
+	cube := NewHypercube(n).CollectiveCost()
+	tree := NewFatTree(n).CollectiveCost()
+	mesh := NewMesh2D(n).CollectiveCost()
+	ring := NewRing(n).CollectiveCost()
+	if complete != 10 || cube != 10 {
+		t.Fatalf("log-collectives wrong: complete=%d cube=%d", complete, cube)
+	}
+	if tree != 20 {
+		t.Fatalf("fat-tree collective = %d, want 20", tree)
+	}
+	if mesh != 62 {
+		t.Fatalf("mesh collective = %d, want 62", mesh)
+	}
+	if ring != 512 {
+		t.Fatalf("ring collective = %d, want 512", ring)
+	}
+	if !(complete <= tree && tree < mesh && mesh < ring) {
+		t.Fatal("collective cost ordering broken")
+	}
+}
+
+func TestAllCoversEverything(t *testing.T) {
+	names := map[string]bool{}
+	for _, topo := range All(32) {
+		if topo.N() != 32 {
+			t.Fatalf("%s has N=%d", topo.Name(), topo.N())
+		}
+		names[topo.Name()] = true
+	}
+	for _, want := range []string{"complete", "hypercube", "fat-tree", "mesh2d", "ring"} {
+		if !names[want] {
+			t.Fatalf("All missing %s", want)
+		}
+	}
+}
+
+func TestSingleProcessorDegenerate(t *testing.T) {
+	for _, topo := range All(1) {
+		if topo.Diameter() != 0 || topo.CollectiveCost() < 0 {
+			t.Fatalf("%s: degenerate size broken", topo.Name())
+		}
+		if topo.Distance(0, 0) != 0 {
+			t.Fatalf("%s: self distance nonzero", topo.Name())
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range pair accepted")
+		}
+	}()
+	NewMesh2D(9).Distance(0, 9)
+}

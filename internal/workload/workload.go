@@ -1,0 +1,127 @@
+// Package workload is the registry of problem generators used by the
+// experiment harness, the integration tests and the examples. Every
+// generator is deterministic in its seed and produces a bisect.Problem
+// root, together with the α the generated class guarantees (or a probed
+// empirical estimate where no a-priori guarantee exists).
+package workload
+
+import (
+	"fmt"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/femtree"
+	"bisectlb/internal/quadrature"
+	"bisectlb/internal/searchtree"
+)
+
+// Factory describes one workload family.
+type Factory struct {
+	// Name identifies the family in reports.
+	Name string
+	// New generates the root problem for the given seed.
+	New func(seed uint64) bisect.Problem
+	// Alpha is the α to declare to α-aware algorithms (PHF, BA-HF). For
+	// synthetic families it is the guaranteed interval bound; for tree
+	// and frontier families it is a probed, conservative estimate.
+	Alpha float64
+	// Synthetic marks families whose α is an a-priori guarantee rather
+	// than a probe.
+	Synthetic bool
+}
+
+// Uniform returns the paper's stochastic model: α̂ ~ U[lo, hi] i.i.d.
+// across bisections (Section 4).
+func Uniform(lo, hi float64) Factory {
+	return Factory{
+		Name: fmt.Sprintf("uniform[%g,%g]", lo, hi),
+		New: func(seed uint64) bisect.Problem {
+			return bisect.MustSynthetic(1, lo, hi, seed)
+		},
+		Alpha:     lo,
+		Synthetic: true,
+	}
+}
+
+// Fixed returns the adversarial family that always splits (α, 1−α).
+func Fixed(alpha float64) Factory {
+	return Factory{
+		Name: fmt.Sprintf("fixed[%g]", alpha),
+		New: func(seed uint64) bisect.Problem {
+			return bisect.MustFixed(1, alpha)
+		},
+		Alpha:     alpha,
+		Synthetic: true,
+	}
+}
+
+// List returns the pivot-partitioned list model with guard α.
+func List(n int, alpha float64) Factory {
+	return Factory{
+		Name: fmt.Sprintf("list[%d,α=%g]", n, alpha),
+		New: func(seed uint64) bisect.Problem {
+			return bisect.MustList(n, alpha, seed)
+		},
+		Alpha:     alpha,
+		Synthetic: true,
+	}
+}
+
+// FEM returns the FE-tree family. Alpha is probed once on the seed-0
+// instance; FE-trees carry no a-priori guarantee.
+func FEM() Factory {
+	probe := femtree.NewRegion(femtree.MustGenerate(femtree.DefaultGenConfig(0)))
+	alpha := femtree.ProbeAlpha(probe, 256)
+	if alpha <= 0 || alpha > 0.5 {
+		alpha = 0.05
+	}
+	return Factory{
+		Name: "fem-tree",
+		New: func(seed uint64) bisect.Problem {
+			return femtree.NewRegion(femtree.MustGenerate(femtree.DefaultGenConfig(seed)))
+		},
+		Alpha: alpha * 0.9, // conservative margin below the probe
+	}
+}
+
+// Quadrature returns the adaptive-quadrature family with median splitting.
+func Quadrature() Factory {
+	return Factory{
+		Name: "quadrature",
+		New: func(seed uint64) bisect.Problem {
+			return quadrature.MustRootBox(quadrature.DefaultIntegrand(seed), quadrature.SplitMedian, 1e-4)
+		},
+		// The weighted-median cut lands close to one half; 0.3 is a
+		// comfortably conservative declaration verified by the tests.
+		Alpha: 0.3,
+	}
+}
+
+// SearchTree returns the branch-and-bound frontier family. Alpha is probed
+// on the seed-0 instance.
+func SearchTree() Factory {
+	probe := searchtree.NewFrontier(searchtree.MustGenerate(searchtree.DefaultGenConfig(0)))
+	alpha := searchtree.ProbeAlpha(probe, 256)
+	if alpha <= 0 || alpha > 0.5 {
+		alpha = 0.05
+	}
+	return Factory{
+		Name: "search-frontier",
+		New: func(seed uint64) bisect.Problem {
+			return searchtree.NewFrontier(searchtree.MustGenerate(searchtree.DefaultGenConfig(seed)))
+		},
+		Alpha: alpha * 0.9,
+	}
+}
+
+// All returns one representative of every family, for integration tests.
+func All() []Factory {
+	return []Factory{
+		Uniform(0.1, 0.5),
+		Uniform(0.01, 0.5),
+		Fixed(0.25),
+		List(5000, 0.2),
+		FEM(),
+		Quadrature(),
+		SearchTree(),
+	}
+}

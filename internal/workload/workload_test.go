@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+
+	"bisectlb/internal/bistree"
+	"bisectlb/internal/core"
+)
+
+// TestAllFamiliesBalanceAcrossAlgorithms is the cross-substrate integration
+// test: every workload family must flow through every algorithm and produce
+// a structurally valid partition, and PHF must reproduce HF's partition on
+// every family (Theorem 3 is substrate-independent).
+func TestAllFamiliesBalanceAcrossAlgorithms(t *testing.T) {
+	for _, f := range All() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			if f.Alpha <= 0 || f.Alpha > 0.5 {
+				t.Fatalf("family α = %v", f.Alpha)
+			}
+			for _, n := range []int{1, 2, 16, 64} {
+				hf, err := core.HF(f.New(42), n, core.Options{})
+				if err != nil {
+					t.Fatalf("HF n=%d: %v", n, err)
+				}
+				if err := hf.CheckPartition(1e-9); err != nil {
+					t.Fatalf("HF n=%d: %v", n, err)
+				}
+				ba, err := core.BA(f.New(42), n, core.Options{})
+				if err != nil {
+					t.Fatalf("BA n=%d: %v", n, err)
+				}
+				if err := ba.CheckPartition(1e-9); err != nil {
+					t.Fatalf("BA n=%d: %v", n, err)
+				}
+				hyb, err := core.BAHF(f.New(42), n, f.Alpha, 1.0, core.Options{})
+				if err != nil {
+					t.Fatalf("BA-HF n=%d: %v", n, err)
+				}
+				if err := hyb.CheckPartition(1e-9); err != nil {
+					t.Fatalf("BA-HF n=%d: %v", n, err)
+				}
+				phf, err := core.PHF(f.New(42), n, f.Alpha, core.Options{})
+				if err != nil {
+					t.Fatalf("PHF n=%d: %v", n, err)
+				}
+				if f.Name == "fixed[0.25]" {
+					// The fixed class produces exactly tied weights, under
+					// which HF's tie-break and PHF's rounds may resolve
+					// differently (see core.PHF doc). Check the weaker,
+					// tie-independent guarantees instead.
+					if len(phf.Parts) != len(hf.Parts) || phf.Bisections != hf.Bisections {
+						t.Fatalf("PHF structure differs from HF on %s with n=%d", f.Name, n)
+					}
+					if n > 1 && phf.Max > phf.Threshold+1e-12 {
+						t.Fatalf("PHF max %v above threshold %v", phf.Max, phf.Threshold)
+					}
+				} else if !core.SamePartition(hf, &phf.Result) {
+					t.Fatalf("PHF != HF on %s with n=%d", f.Name, n)
+				}
+			}
+		})
+	}
+}
+
+func TestFactoriesDeterministic(t *testing.T) {
+	for _, f := range All() {
+		a, b := f.New(7), f.New(7)
+		if a.ID() != b.ID() || a.Weight() != b.Weight() {
+			t.Fatalf("%s: same seed gave different roots", f.Name)
+		}
+	}
+}
+
+func TestSyntheticFlagsAndNames(t *testing.T) {
+	if !Uniform(0.1, 0.5).Synthetic || !Fixed(0.3).Synthetic || !List(10, 0.2).Synthetic {
+		t.Fatal("synthetic families not marked")
+	}
+	if FEM().Synthetic || Quadrature().Synthetic || SearchTree().Synthetic {
+		t.Fatal("application families wrongly marked synthetic")
+	}
+	seen := map[string]bool{}
+	for _, f := range All() {
+		if f.Name == "" || seen[f.Name] {
+			t.Fatalf("bad or duplicate family name %q", f.Name)
+		}
+		seen[f.Name] = true
+	}
+}
+
+func TestProbedAlphasHold(t *testing.T) {
+	// The declared α of the probed families was measured on the seed-0
+	// instance over a 256-part heaviest-first expansion with a 0.9 safety
+	// margin; a 64-part HF expansion of the same instance performs a
+	// subset of those bisections, so every split fraction must clear the
+	// declared α.
+	for _, f := range []Factory{FEM(), SearchTree()} {
+		res, err := core.HF(f.New(0), 64, core.Options{RecordTree: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Tree.Walk(func(n *bistree.Node) {
+			if n.IsLeaf() {
+				return
+			}
+			light := n.Children[0].Weight
+			if c := n.Children[1].Weight; c < light {
+				light = c
+			}
+			if frac := light / n.Weight; frac < f.Alpha {
+				t.Fatalf("%s: split fraction %v below declared α=%v", f.Name, frac, f.Alpha)
+			}
+		})
+	}
+}

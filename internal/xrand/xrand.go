@@ -1,0 +1,164 @@
+// Package xrand provides small, allocation-free, deterministic random number
+// generators with cheap stream splitting.
+//
+// The load-balancing algorithms in this repository must be able to bisect the
+// *same* logical problem node in different algorithms (HF, PHF, BA, BA-HF)
+// and obtain the *same* two children; otherwise the PHF ≡ HF partition
+// identity (paper, Theorem 3) could not be checked experimentally. To make
+// that possible every problem node carries its own RNG seed, and bisecting a
+// node derives the child seeds from the node seed alone. Package xrand
+// supplies the splitmix64 mixing function used for that derivation and a
+// xoshiro256**-based Source for bulk random draws.
+package xrand
+
+import "math"
+
+// SplitMix64 advances the splitmix64 state and returns the next output.
+// It is the canonical generator from Steele, Lea & Flood (2014), used here
+// both as a standalone generator and as the seeding function for Source.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix returns a well-scrambled function of the two inputs. It is used to
+// derive child stream seeds from a parent seed and a branch index so that
+// sibling streams are statistically independent.
+func Mix(a, b uint64) uint64 {
+	s := a ^ (b * 0x9e3779b97f4a7c15)
+	return SplitMix64(&s)
+}
+
+// Source is a xoshiro256** pseudo random generator. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, per the xoshiro
+// authors' recommendation.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the source to the stream identified by seed.
+func (s *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range s.s {
+		s.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not be seeded with an all-zero state; splitmix64 cannot
+	// produce four consecutive zeros, so no further check is necessary.
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Split returns a seed for an independent child stream. Successive calls
+// return distinct seeds. The parent stream advances by one draw.
+func (s *Source) Split() uint64 {
+	return Mix(s.Uint64(), 0xd1b54a32d192ed03)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// InRange returns a uniform float64 in [lo, hi). It panics if hi < lo or if
+// either bound is not finite, because a silent fallback would corrupt the
+// stochastic model underlying every experiment.
+func (s *Source) InRange(lo, hi float64) float64 {
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		panic("xrand: InRange bounds must be finite")
+	}
+	if hi < lo {
+		panic("xrand: InRange bounds inverted")
+	}
+	if hi == lo {
+		return lo
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	w0 := a0 * b0
+	t := a1*b0 + w0>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// NormFloat64 returns a standard normal variate using the polar
+// (Marsaglia) method. It is used by workload generators that need mild
+// weight noise; the load-balancing algorithms themselves never draw normals.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (s *Source) ExpFloat64() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

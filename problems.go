@@ -1,0 +1,133 @@
+package bisectlb
+
+import (
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/femtree"
+	"bisectlb/internal/quadrature"
+	"bisectlb/internal/searchtree"
+)
+
+// NewSyntheticProblem returns a root problem of weight w following the
+// paper's stochastic model: every bisection draws α̂ ~ U[lo, hi]
+// independently (0 < lo ≤ hi ≤ 1/2). The class has lo-bisectors.
+func NewSyntheticProblem(w, lo, hi float64, seed uint64) (Problem, error) {
+	return bisect.NewSynthetic(w, lo, hi, seed)
+}
+
+// NewFixedProblem returns a root problem whose every bisection splits
+// exactly (1−alpha, alpha) — the adversarial extreme of an alpha-bisector
+// class.
+func NewFixedProblem(w, alpha float64) (Problem, error) {
+	return bisect.NewFixed(w, alpha)
+}
+
+// NewListProblem returns an n-element list problem bisected by random
+// pivots guarded to rank window [⌈alpha·n⌉, ⌊(1−alpha)·n⌋], the concrete
+// model the paper cites to justify its uniform-α̂ assumption.
+func NewListProblem(n int, alpha float64, seed uint64) (Problem, error) {
+	return bisect.NewList(n, alpha, seed)
+}
+
+// FEMTreeConfig mirrors femtree.GenConfig for public use.
+type FEMTreeConfig struct {
+	MaxDepth    int
+	MinDepth    int
+	RefineBias  float64
+	Singularity float64
+	BaseDofs    float64
+	Seed        uint64
+}
+
+// NewFEMTreeProblem generates a synthetic adaptive-substructuring FE-tree
+// and returns the whole tree as a region problem. FE-trees carry no
+// a-priori α guarantee; probe with ProbeAlpha before declaring one.
+func NewFEMTreeProblem(cfg FEMTreeConfig) (Problem, error) {
+	t, err := femtree.Generate(femtree.GenConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return femtree.NewRegion(t), nil
+}
+
+// DefaultFEMTreeProblem generates an FE-tree problem with the default
+// configuration for the given seed.
+func DefaultFEMTreeProblem(seed uint64) Problem {
+	return femtree.NewRegion(femtree.MustGenerate(femtree.DefaultGenConfig(seed)))
+}
+
+// QuadratureSplit selects the box-bisection strategy.
+type QuadratureSplit int
+
+const (
+	// QuadratureMedianSplit cuts at the weighted median of the difficulty
+	// density — the good bisector.
+	QuadratureMedianSplit QuadratureSplit = iota
+	// QuadratureMidpointSplit cuts at the geometric midpoint — the weaker
+	// comparison bisector.
+	QuadratureMidpointSplit
+)
+
+// NewQuadratureProblem returns the unit square (with the default two-peak
+// integrand) as an adaptive-quadrature work problem.
+func NewQuadratureProblem(split QuadratureSplit, seed uint64) (Problem, error) {
+	mode := quadrature.SplitMedian
+	if split == QuadratureMidpointSplit {
+		mode = quadrature.SplitMidpoint
+	}
+	return quadrature.NewRootBox(quadrature.DefaultIntegrand(seed), mode, 1e-4)
+}
+
+// SearchTreeConfig mirrors searchtree.GenConfig for public use.
+type SearchTreeConfig struct {
+	MaxDepth   int
+	MaxBranch  int
+	ExpandProb float64
+	Seed       uint64
+}
+
+// NewSearchTreeProblem generates a synthetic backtrack-search tree and
+// returns its root frontier as a load-balancing problem.
+func NewSearchTreeProblem(cfg SearchTreeConfig) (Problem, error) {
+	t, err := searchtree.Generate(searchtree.GenConfig(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return searchtree.NewFrontier(t), nil
+}
+
+// DefaultSearchTreeProblem generates a search-frontier problem with the
+// default configuration for the given seed.
+func DefaultSearchTreeProblem(seed uint64) Problem {
+	return searchtree.NewFrontier(searchtree.MustGenerate(searchtree.DefaultGenConfig(seed)))
+}
+
+// ProbeAlpha expands p heaviest-first into up to maxParts pieces and
+// returns the smallest split fraction min(w1, w2)/w observed — a
+// conservative empirical α estimate for substrates without an a-priori
+// guarantee. Declare something strictly below the returned value.
+func ProbeAlpha(p Problem, maxParts int) float64 {
+	if maxParts < 2 || p == nil || !p.CanBisect() {
+		return 0.5
+	}
+	worst := 0.5
+	pool := []Problem{p}
+	for len(pool) < maxParts {
+		best := -1
+		for i, q := range pool {
+			if q.CanBisect() && (best == -1 || q.Weight() > pool[best].Weight()) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		q := pool[best]
+		a, b := q.Bisect()
+		if frac := b.Weight() / q.Weight(); frac < worst {
+			worst = frac
+		}
+		pool[best] = a
+		pool = append(pool, b)
+	}
+	return worst
+}
