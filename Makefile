@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race chaos clean
+
+all: build test
+
+# Tier-1 verification: everything compiles and the full suite passes.
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent runtime packages (the
+# distributed BA/PHF runtime, the TCP collectives and the in-process
+# collectives), preceded by vet over the whole module.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/dist ./internal/netcoll ./internal/collective
+
+# Regenerate the X7 chaos-study table.
+chaos:
+	mkdir -p results
+	$(GO) run ./cmd/lbsim -exp chaos -trials 600 -seed 1999 | tee results/chaos.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,8 +1,9 @@
 // Command lbsim runs the remaining simulation studies of the paper's
 // Section 4 — the κ-influence study, the variance study and the
-// non-power-of-two processor-count study — plus two studies this
-// reproduction adds: the weight-estimation robustness sweep and the BA
-// split-rule quality ablation. -exp all runs every study.
+// non-power-of-two processor-count study — plus studies this
+// reproduction adds: the weight-estimation robustness sweep, the BA
+// split-rule quality ablation and the chaos study of the fault-tolerant
+// distributed runtime. -exp all runs every study.
 package main
 
 import (
@@ -87,12 +88,21 @@ func main() {
 		}
 		return experiments.RenderEndToEndStudy(os.Stdout, cfg, rows)
 	})
+	run("chaos", func() error {
+		// Each chaos trial is a full TCP cluster run; scale the count down.
+		cfg := experiments.DefaultChaosStudy(*trials/300+1, *seed)
+		rows, err := experiments.RunChaosStudy(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderChaosStudy(os.Stdout, cfg, rows)
+	})
 
 	switch *exp {
-	case "all", "kappa", "variance", "oddn", "robustness", "splitrule", "endtoend", "dynamic":
+	case "all", "kappa", "variance", "oddn", "robustness", "splitrule", "endtoend", "dynamic", "chaos":
 	default:
 		fmt.Fprintf(os.Stderr,
-			"lbsim: unknown experiment %q (want kappa, variance, oddn, robustness, splitrule, endtoend, dynamic or all)\n", *exp)
+			"lbsim: unknown experiment %q (want kappa, variance, oddn, robustness, splitrule, endtoend, dynamic, chaos or all)\n", *exp)
 		os.Exit(2)
 	}
 }

@@ -2,12 +2,25 @@ package dist
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net"
 	"sort"
 	"sync"
 	"time"
+)
+
+// Typed outcomes of a distributed run, for callers that must distinguish
+// "completed on survivors" from "failed".
+var (
+	// ErrIncomplete wraps a timeout: the returned Result carries the
+	// parts recovered so far, but weight conservation never closed.
+	ErrIncomplete = errors.New("dist: incomplete run")
+	// ErrDegraded wraps a *successful* run that lost at least one node:
+	// the partition is complete and valid (weight conserves exactly),
+	// but survivor nodes adopted the dead nodes' processor intervals.
+	ErrDegraded = errors.New("dist: completed degraded on survivors")
 )
 
 // PartReport is one finished subproblem as received by the coordinator.
@@ -27,19 +40,68 @@ type Result struct {
 	// the owner of virtual processor 0 — a proxy for how much work
 	// actually travelled.
 	CrossNodeParts int
+	// Degraded reports that at least one node died and its leases were
+	// reassigned to survivors; the partition itself is unaffected.
+	Degraded  bool
+	DeadNodes []int
+	// Reassigned counts lease re-issues (orphan adoption + expiry).
+	Reassigned int
+	// RecoveryLatency is the time from the first death declaration to
+	// run completion (zero when nothing died).
+	RecoveryLatency time.Duration
+}
+
+// lease is one outstanding subproblem obligation. Its remaining weight is
+// discharged by parts completed under it and by claims of hand-off
+// children split from it; a lease that stays undischarged past expiry —
+// or whose owner dies — is re-issued, which is safe because re-execution
+// is deterministic and every receiver dedups on message ID.
+type lease struct {
+	spec   Spec
+	lo, hi int
+	owner  int
+	rem    float64
+	debits int
+	issued time.Time
+	// gen counts re-issues. Each re-issue carries the new generation, and
+	// nodes re-execute when it advances past the last generation they ran,
+	// so a lease whose effects were lost (receiver acked, then died before
+	// its parts got through) is re-executed until its weight is accounted.
+	gen uint64
+}
+
+// weightsConserved reports whether sum matches total within the float
+// accumulation tolerance for the given number of summands. The tolerance
+// is relative and scales with the summand count, so deep recursions
+// (hundreds of thousands of parts) don't trip an exact-compare check.
+func weightsConserved(sum, total float64, terms int) bool {
+	tol := total * 1e-12 * float64(terms+2)
+	if minTol := total * 1e-9; tol < minTol {
+		tol = minTol
+	}
+	return math.Abs(sum-total) <= tol
 }
 
 // Coordinator collects finished parts and detects termination by weight
-// conservation: the run is complete when the received part weights sum to
-// the root weight (within relative tolerance).
+// conservation. It additionally runs the cluster's failure detector
+// (missed-heartbeat threshold) and the lease table that makes the run
+// survive node deaths: orphaned leases are re-issued to the survivor
+// adopting the dead node's processor interval.
 type Coordinator struct {
-	ln     net.Listener
-	partCh chan PartReport
-	wg     sync.WaitGroup
+	ln   net.Listener
+	tm   Timing
+	plan *FaultPlan
+	fs   *faultState
+	acks *ackWaiters
+	evCh chan message
+	done chan struct{}
+	wg   sync.WaitGroup
 
-	mu     sync.Mutex
-	conns  []net.Conn
-	closed bool
+	mu       sync.Mutex
+	links    map[int]*link
+	conns    []net.Conn
+	receipts map[uint64]uint64
+	closed   bool
 }
 
 // NewCoordinator listens on addr ("127.0.0.1:0" for a free port).
@@ -48,10 +110,38 @@ func NewCoordinator(addr string) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
 	}
-	c := &Coordinator{ln: ln, partCh: make(chan PartReport, 1024)}
+	c := &Coordinator{
+		ln:       ln,
+		tm:       DefaultTiming(),
+		fs:       newFaultState(nil, linkCoord, nil),
+		acks:     newAckWaiters(),
+		evCh:     make(chan message, 8192),
+		done:     make(chan struct{}),
+		links:    make(map[int]*link),
+		receipts: make(map[uint64]uint64),
+	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
+}
+
+// SetFault installs a fault plan. Must be called before nodes connect.
+func (c *Coordinator) SetFault(plan *FaultPlan) {
+	c.mu.Lock()
+	c.plan = plan
+	c.fs = newFaultState(plan, linkCoord, nil)
+	c.mu.Unlock()
+}
+
+// SetTiming overrides the protocol clocks. Must be called before Run.
+func (c *Coordinator) SetTiming(tm Timing) { c.tm = tm.withDefaults() }
+
+// Stats returns the coordinator's fault-layer counters.
+func (c *Coordinator) Stats() FaultStats {
+	c.mu.Lock()
+	fs := c.fs
+	c.mu.Unlock()
+	return fs.Stats()
 }
 
 // Addr returns the coordinator's listen address.
@@ -65,28 +155,136 @@ func (c *Coordinator) acceptLoop() {
 			return
 		}
 		c.mu.Lock()
+		lk := newLink(conn, c.fs)
+		if c.closed {
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
 		c.conns = append(c.conns, conn)
-		c.mu.Unlock()
 		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			dec := json.NewDecoder(conn)
-			for {
-				var m message
-				if err := dec.Decode(&m); err != nil {
-					return
-				}
-				if m.Type != msgPart {
-					continue
-				}
-				c.partCh <- PartReport{Spec: m.Part, Lo: m.PartLo, Hi: m.PartHi, FromNode: m.FromNode}
-			}
-		}()
+		c.mu.Unlock()
+		go c.readLoop(conn, lk)
 	}
 }
 
-// Run injects the root problem into the cluster and blocks until the parts
-// account for the full weight or the timeout expires.
+// readLoop consumes one connection: parts and claims are acked on the
+// same connection and forwarded to the Run loop, beats are forwarded
+// unacked, acks resolve pending coordinator sends.
+func (c *Coordinator) readLoop(conn net.Conn, lk *link) {
+	defer c.wg.Done()
+	dec := json.NewDecoder(conn)
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			_ = conn.Close()
+			return
+		}
+		switch m.Type {
+		case msgAck:
+			c.acks.resolve(m.ID)
+			continue
+		case msgPart, msgClaim:
+			c.mu.Lock()
+			att := c.receipts[m.ID]
+			c.receipts[m.ID]++
+			c.mu.Unlock()
+			_ = lk.send(message{Type: msgAck, ID: ackID(m.ID)}, att)
+		case msgBeat:
+			// fall through to forward
+		default:
+			continue
+		}
+		select {
+		case c.evCh <- m:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// linkToNode returns (dialling if necessary) the coordinator's link to a
+// node; the reverse direction carries the node's acks.
+func (c *Coordinator) linkToNode(target int, addr string) (*link, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	if lk, ok := c.links[target]; ok {
+		c.mu.Unlock()
+		return lk, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	lk := newLink(conn, c.fs)
+	if c.closed {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return nil, net.ErrClosed
+	}
+	if prev, ok := c.links[target]; ok {
+		c.mu.Unlock()
+		_ = conn.Close()
+		return prev, nil
+	}
+	c.links[target] = lk
+	c.conns = append(c.conns, conn)
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go c.readLoop(conn, lk)
+	return lk, nil
+}
+
+func (c *Coordinator) dropLink(target int) {
+	c.mu.Lock()
+	if lk, ok := c.links[target]; ok {
+		delete(c.links, target)
+		_ = lk.conn.Close()
+	}
+	c.mu.Unlock()
+}
+
+// reliableToNode delivers m to a node with retry and backoff until
+// acknowledged, the run ends, or the coordinator closes.
+func (c *Coordinator) reliableToNode(target int, addr string, m message, runDone chan struct{}) {
+	ch := c.acks.waiter(ackID(m.ID))
+	var attempt uint64
+	for {
+		if lk, err := c.linkToNode(target, addr); err == nil {
+			if attempt > 0 {
+				c.fs.addRetry()
+			}
+			if err := lk.send(m, attempt); err != nil {
+				c.dropLink(target)
+			}
+		}
+		t := time.NewTimer(c.tm.backoff(m.ID, attempt))
+		select {
+		case <-ch:
+			t.Stop()
+			return
+		case <-runDone:
+			t.Stop()
+			return
+		case <-c.done:
+			t.Stop()
+			return
+		case <-t.C:
+			attempt++
+		}
+	}
+}
+
+// Run injects the root problem into the cluster and blocks until the
+// parts account for the full weight or the timeout expires. On success
+// with no faults the error is nil; if nodes died but the run completed on
+// the survivors, the full Result is returned together with ErrDegraded;
+// on timeout the partial Result is returned with ErrIncomplete.
 func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Duration) (*Result, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dist: n must be ≥ 1, got %d", n)
@@ -97,42 +295,241 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 	if !(root.Weight > 0) {
 		return nil, fmt.Errorf("dist: root weight %v must be positive", root.Weight)
 	}
-	// The root goes to the owner of virtual processor 0 — always node 0.
-	conn, err := net.Dial("tcp", nodeAddrs[0])
-	if err != nil {
-		return nil, fmt.Errorf("dist: contacting node 0: %w", err)
+	k := len(nodeAddrs)
+	runDone := make(chan struct{})
+	defer close(runDone)
+
+	now := time.Now()
+	lastBeat := make([]time.Time, k)
+	alive := make([]bool, k)
+	for i := range alive {
+		alive[i] = true
+		lastBeat[i] = now
 	}
-	defer conn.Close()
-	if err := json.NewEncoder(conn).Encode(message{Type: msgAssign, Problem: root, Lo: 0, Hi: n}); err != nil {
-		return nil, fmt.Errorf("dist: assigning root: %w", err)
+	adopt := make(map[int]int)
+	resolveOwner := func(o int) int {
+		for i := 0; i < k; i++ {
+			a, ok := adopt[o]
+			if !ok {
+				break
+			}
+			o = a
+		}
+		return o
+	}
+	// chooseAdopter picks the survivor owning the adjacent processor
+	// range: the nearest live lower-id node, else the nearest live
+	// higher-id node.
+	chooseAdopter := func(dead int) (int, bool) {
+		for i := dead - 1; i >= 0; i-- {
+			if alive[i] {
+				return i, true
+			}
+		}
+		for i := dead + 1; i < k; i++ {
+			if alive[i] {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+
+	leases := make(map[uint64]*lease)
+	claimSeen := make(map[uint64]bool)
+	partSeen := make(map[uint64]bool)
+	pendingDebit := make(map[uint64]float64)
+	pendingCount := make(map[uint64]int)
+	debit := func(leaseID uint64, w float64) {
+		if leaseID == 0 {
+			return
+		}
+		if l, ok := leases[leaseID]; ok {
+			l.rem -= w
+			l.debits++
+			if weightsConserved(l.spec.Weight-l.rem, l.spec.Weight, l.debits) {
+				delete(leases, leaseID)
+			}
+			return
+		}
+		pendingDebit[leaseID] += w
+		pendingCount[leaseID]++
+	}
+	// Re-executions can report a part or claim a child under a different
+	// covering lease than the original execution did (the hand-off
+	// topology depends on which nodes were alive at the time). A globally
+	// duplicate message must therefore still discharge the lease it
+	// names — once per (lease, message) pair — or that lease would starve
+	// and be re-issued forever.
+	debited := make(map[[2]uint64]bool)
+	debitOnce := func(leaseID, msgID uint64, w float64) {
+		if leaseID == 0 {
+			return
+		}
+		pair := [2]uint64{leaseID, msgID}
+		if debited[pair] {
+			return
+		}
+		debited[pair] = true
+		debit(leaseID, w)
 	}
 
 	res := &Result{}
+	var firstDeath time.Time
 	var sum float64
+
+	issue := func(l *lease, leaseID uint64, parent uint64, reissue bool) {
+		target := l.owner
+		addr := nodeAddrs[target]
+		m := message{
+			Type: msgAssign, ID: leaseID, Lease: leaseID, Parent: parent,
+			Problem: l.spec, Lo: l.lo, Hi: l.hi, Reissue: reissue, Gen: l.gen,
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.reliableToNode(target, addr, m, runDone)
+		}()
+	}
+
+	// The root goes to the owner of virtual processor 0 — always node 0.
+	rootID := idFor(roleAssign, root.Seed)
+	rootLease := &lease{spec: root, lo: 0, hi: n, owner: 0, rem: root.Weight, issued: now}
+	leases[rootID] = rootLease
+	issue(rootLease, rootID, 0, false)
+
+	declareDead := func(d int, when time.Time) {
+		alive[d] = false
+		res.DeadNodes = append(res.DeadNodes, d)
+		if firstDeath.IsZero() {
+			firstDeath = when
+		}
+		adopter, ok := chooseAdopter(d)
+		if !ok {
+			return // no survivors; the run will time out
+		}
+		adopt[d] = adopter
+		// Broadcast the adoption so in-flight hand-offs reroute. One
+		// message per live destination, each with its own ID so acks
+		// don't cross-resolve.
+		for j := 0; j < k; j++ {
+			if !alive[j] {
+				continue
+			}
+			m := message{
+				Type: msgOwner,
+				ID:   idFor(roleOwner, uint64(d)<<32|uint64(adopter)<<16|uint64(j)),
+				Dead: d, Adopter: adopter,
+			}
+			target, addr := j, nodeAddrs[j]
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.reliableToNode(target, addr, m, runDone)
+			}()
+		}
+	}
+
+	tickEvery := c.tm.Heartbeat * 2
+	if tickEvery > c.tm.DeadAfter/3 {
+		tickEvery = c.tm.DeadAfter / 3
+	}
+	if tickEvery <= 0 {
+		tickEvery = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tickEvery)
+	defer ticker.Stop()
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
+
+	finishTimeout := func() (*Result, error) {
+		return res, fmt.Errorf("dist: timeout after %v with %d parts (weight %v of %v): %w",
+			timeout, len(res.Parts), sum, root.Weight, ErrIncomplete)
+	}
+
 	for {
 		select {
-		case part := <-c.partCh:
-			res.Parts = append(res.Parts, part)
-			sum += part.Spec.Weight
-			if part.Spec.Weight > res.MaxWeight {
-				res.MaxWeight = part.Spec.Weight
+		case m := <-c.evCh:
+			switch m.Type {
+			case msgBeat:
+				if m.FromNode >= 0 && m.FromNode < k && alive[m.FromNode] {
+					lastBeat[m.FromNode] = time.Now()
+				}
+			case msgClaim:
+				debitOnce(m.Parent, m.ID, m.Problem.Weight)
+				l, ok := leases[m.Lease]
+				if !claimSeen[m.ID] && !ok {
+					l = &lease{spec: m.Problem, lo: m.Lo, hi: m.Hi, rem: m.Problem.Weight}
+					if pd, has := pendingDebit[m.Lease]; has {
+						l.rem -= pd
+						l.debits += pendingCount[m.Lease]
+						delete(pendingDebit, m.Lease)
+						delete(pendingCount, m.Lease)
+					}
+					if !weightsConserved(l.spec.Weight-l.rem, l.spec.Weight, l.debits) {
+						leases[m.Lease] = l
+						ok = true
+					}
+				}
+				claimSeen[m.ID] = true
+				if ok && l != nil {
+					l.owner = m.FromNode
+					l.issued = time.Now()
+				}
+			case msgPart:
+				debitOnce(m.Lease, m.ID, m.Part.Weight)
+				if partSeen[m.ID] {
+					continue
+				}
+				partSeen[m.ID] = true
+				part := PartReport{Spec: m.Part, Lo: m.PartLo, Hi: m.PartHi, FromNode: m.FromNode}
+				res.Parts = append(res.Parts, part)
+				sum += part.Spec.Weight
+				if part.Spec.Weight > res.MaxWeight {
+					res.MaxWeight = part.Spec.Weight
+				}
+				if part.FromNode != 0 {
+					res.CrossNodeParts++
+				}
+				if len(res.Parts) > n {
+					return nil, fmt.Errorf("dist: received %d parts for %d processors", len(res.Parts), n)
+				}
+				if weightsConserved(sum, root.Weight, len(res.Parts)) {
+					sort.Slice(res.Parts, func(a, b int) bool { return res.Parts[a].Lo < res.Parts[b].Lo })
+					res.Ratio = res.MaxWeight / (root.Weight / float64(n))
+					if len(res.DeadNodes) > 0 {
+						res.Degraded = true
+						res.RecoveryLatency = time.Since(firstDeath)
+						return res, fmt.Errorf("dist: %d of %d nodes died, completed on survivors: %w",
+							len(res.DeadNodes), k, ErrDegraded)
+					}
+					return res, nil
+				}
 			}
-			if part.FromNode != 0 {
-				res.CrossNodeParts++
+		case <-ticker.C:
+			tnow := time.Now()
+			for i := 0; i < k; i++ {
+				if alive[i] && tnow.Sub(lastBeat[i]) > c.tm.DeadAfter {
+					declareDead(i, tnow)
+				}
 			}
-			if math.Abs(sum-root.Weight) <= 1e-9*root.Weight && len(res.Parts) <= n {
-				sort.Slice(res.Parts, func(a, b int) bool { return res.Parts[a].Lo < res.Parts[b].Lo })
-				res.Ratio = res.MaxWeight / (root.Weight / float64(n))
-				return res, nil
-			}
-			if len(res.Parts) > n {
-				return nil, fmt.Errorf("dist: received %d parts for %d processors", len(res.Parts), n)
+			for id, l := range leases {
+				eff := resolveOwner(l.owner)
+				if eff == l.owner && tnow.Sub(l.issued) <= c.tm.LeaseExpiry {
+					continue
+				}
+				if !alive[eff] {
+					continue // no live owner reachable; wait for detector/timeout
+				}
+				l.owner = eff
+				l.issued = tnow
+				l.gen++
+				res.Reassigned++
+				issue(l, id, 0, true)
 			}
 		case <-deadline.C:
-			return nil, fmt.Errorf("dist: timeout after %v with %d parts (weight %v of %v)",
-				timeout, len(res.Parts), sum, root.Weight)
+			return finishTimeout()
+		case <-c.done:
+			return finishTimeout()
 		}
 	}
 }
@@ -145,10 +542,12 @@ func (c *Coordinator) Close() {
 		return
 	}
 	c.closed = true
+	close(c.done)
 	_ = c.ln.Close()
 	for _, conn := range c.conns {
 		_ = conn.Close()
 	}
+	c.links = make(map[int]*link)
 	c.mu.Unlock()
 	c.wg.Wait()
 }
@@ -162,14 +561,27 @@ type Cluster struct {
 	Nodes []*Node
 }
 
-// StartCluster brings up a fully wired local cluster on loopback TCP.
+// StartCluster brings up a fully wired local cluster on loopback TCP with
+// no fault injection and default timing.
 func StartCluster(n, k int) (*Cluster, error) {
+	return StartClusterWith(n, k, nil, Timing{})
+}
+
+// StartClusterWith brings up a cluster with a fault plan and protocol
+// clocks. Error paths stop every already-started node and close the
+// coordinator listener, so partial startups leak no goroutines or
+// sockets.
+func StartClusterWith(n, k int, plan *FaultPlan, tm Timing) (*Cluster, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("dist: need at least one node")
 	}
 	coord, err := NewCoordinator("127.0.0.1:0")
 	if err != nil {
 		return nil, err
+	}
+	coord.SetTiming(tm)
+	if plan != nil {
+		coord.SetFault(plan)
 	}
 	cl := &Cluster{Coord: coord}
 	addrs := make([]string, k)
@@ -178,6 +590,10 @@ func StartCluster(n, k int) (*Cluster, error) {
 		if err != nil {
 			cl.Close()
 			return nil, err
+		}
+		node.SetTiming(tm)
+		if plan != nil {
+			node.SetFault(plan)
 		}
 		cl.Nodes = append(cl.Nodes, node)
 		addrs[i] = node.Addr()
@@ -189,6 +605,30 @@ func StartCluster(n, k int) (*Cluster, error) {
 		}
 	}
 	return cl, nil
+}
+
+// Addrs returns the node addresses in id order.
+func (cl *Cluster) Addrs() []string {
+	addrs := make([]string, len(cl.Nodes))
+	for i, nd := range cl.Nodes {
+		addrs[i] = nd.Addr()
+	}
+	return addrs
+}
+
+// TotalStats sums the fault-layer counters over the coordinator and all
+// nodes.
+func (cl *Cluster) TotalStats() FaultStats {
+	t := cl.Coord.Stats()
+	for _, nd := range cl.Nodes {
+		s := nd.Stats()
+		t.Sends += s.Sends
+		t.Drops += s.Drops
+		t.Dups += s.Dups
+		t.Delays += s.Delays
+		t.Retries += s.Retries
+	}
+	return t
 }
 
 // Close tears the whole cluster down.

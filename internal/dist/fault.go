@@ -1,0 +1,327 @@
+package dist
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+
+	"bisectlb/internal/xrand"
+)
+
+// FaultPlan describes deterministic fault injection for a cluster run.
+// Every per-message decision is a pure function of (Seed, message ID,
+// attempt number), so a chaos run is reproducible: the same plan against
+// the same root problem drops, duplicates and delays the same logical
+// messages regardless of goroutine scheduling. The zero value (or a nil
+// plan) injects nothing.
+//
+// Knobs:
+//
+//   - DropRate: probability an individual send attempt is silently lost.
+//     Retransmissions are fresh attempts and re-roll the dice, so a
+//     dropped message is recovered by the ack/retry protocol.
+//   - DupRate: probability a send is delivered twice. Receivers dedup on
+//     message ID, so duplicates must be (and are) harmless.
+//   - DelayRate/MaxDelay: probability a send is held back, and the upper
+//     bound for the uniformly drawn latency spike.
+//   - Crash: node ID → number of outbound data messages after which the
+//     node abruptly dies (listener and connections torn down, in-flight
+//     work abandoned), exercising lease reassignment and degradation.
+type FaultPlan struct {
+	Seed      uint64
+	DropRate  float64
+	DupRate   float64
+	DelayRate float64
+	MaxDelay  time.Duration
+	Crash     map[int]int
+}
+
+// Decide returns the fate of one send attempt. It implements the
+// netcoll.FaultInjector interface so the same plan drives both the BA
+// hand-off fabric and the PHF collective tree.
+func (p *FaultPlan) Decide(msgID, attempt uint64) (drop, dup bool, delay time.Duration) {
+	if p == nil {
+		return false, false, 0
+	}
+	src := xrand.New(xrand.Mix(p.Seed, xrand.Mix(msgID, attempt)))
+	drop = src.Float64() < p.DropRate
+	dup = src.Float64() < p.DupRate
+	if p.DelayRate > 0 && p.MaxDelay > 0 && src.Float64() < p.DelayRate {
+		delay = time.Duration(src.Float64() * float64(p.MaxDelay))
+	}
+	return drop, dup, delay
+}
+
+// active reports whether the plan can inject anything at all.
+func (p *FaultPlan) active() bool {
+	return p != nil && (p.DropRate > 0 || p.DupRate > 0 || p.DelayRate > 0 || len(p.Crash) > 0)
+}
+
+// FaultStats counts what the fault layer and the recovery protocol
+// actually did at one endpoint.
+type FaultStats struct {
+	Sends   int // send attempts that reached the wire (incl. retries)
+	Drops   int // attempts swallowed by the plan
+	Dups    int // attempts delivered twice
+	Delays  int // attempts held back by a latency spike
+	Retries int // reliable-send retransmissions after a missed ack
+}
+
+// faultState is the per-endpoint injection state: the shared plan plus
+// this endpoint's counters and crash trigger.
+type faultState struct {
+	plan *FaultPlan
+
+	mu         sync.Mutex
+	stats      FaultStats
+	dataSends  int // assign/part/claim/owner messages, for the crash trigger
+	crashAfter int // <= 0 means never
+	crashed    bool
+	onCrash    func()
+}
+
+func newFaultState(plan *FaultPlan, nodeID int, onCrash func()) *faultState {
+	fs := &faultState{plan: plan, onCrash: onCrash}
+	if plan != nil {
+		if after, ok := plan.Crash[nodeID]; ok && after > 0 {
+			fs.crashAfter = after
+		}
+	}
+	return fs
+}
+
+func (fs *faultState) addRetry() {
+	if fs == nil {
+		return
+	}
+	fs.mu.Lock()
+	fs.stats.Retries++
+	fs.mu.Unlock()
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (fs *faultState) Stats() FaultStats {
+	if fs == nil {
+		return FaultStats{}
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// countData advances the crash trigger for one outbound data message and
+// reports whether the endpoint just died.
+func (fs *faultState) countData() bool {
+	if fs.crashAfter <= 0 {
+		return false
+	}
+	fs.mu.Lock()
+	fs.dataSends++
+	trigger := !fs.crashed && fs.dataSends >= fs.crashAfter
+	if trigger {
+		fs.crashed = true
+	}
+	cb := fs.onCrash
+	fs.mu.Unlock()
+	if trigger && cb != nil {
+		go cb()
+	}
+	return trigger
+}
+
+// link is one bidirectional JSON message stream with fault injection on
+// the send side. Both sides of every connection (dialer and acceptor)
+// wrap it in a link so acks can travel the reverse path of the messages
+// they acknowledge.
+type link struct {
+	conn net.Conn
+	mu   sync.Mutex
+	enc  *json.Encoder
+	fs   *faultState
+}
+
+func newLink(conn net.Conn, fs *faultState) *link {
+	return &link{conn: conn, enc: json.NewEncoder(conn), fs: fs}
+}
+
+// send transmits one message through the fault layer. A dropped message
+// returns nil: the loss is indistinguishable from the network eating it,
+// which is the point.
+func (l *link) send(m message, attempt uint64) error {
+	var drop, dup bool
+	var delay time.Duration
+	if l.fs != nil && l.fs.plan.active() {
+		drop, dup, delay = l.fs.plan.Decide(m.ID, attempt)
+		l.fs.mu.Lock()
+		if drop {
+			l.fs.stats.Drops++
+		} else {
+			l.fs.stats.Sends++
+			if dup {
+				l.fs.stats.Dups++
+			}
+			if delay > 0 {
+				l.fs.stats.Delays++
+			}
+		}
+		l.fs.mu.Unlock()
+		if isDataMessage(m.Type) {
+			if l.fs.countData() {
+				return net.ErrClosed // the crash beat the send
+			}
+		}
+	} else if l.fs != nil {
+		l.fs.mu.Lock()
+		l.fs.stats.Sends++
+		l.fs.mu.Unlock()
+	}
+	if drop {
+		return nil
+	}
+	if delay > 0 {
+		// A latency spike must not block the caller's retry clock.
+		go func() {
+			time.Sleep(delay)
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			_ = l.enc.Encode(m)
+		}()
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.enc.Encode(m); err != nil {
+		return err
+	}
+	if dup {
+		return l.enc.Encode(m)
+	}
+	return nil
+}
+
+func isDataMessage(t string) bool {
+	switch t {
+	case msgAssign, msgPart, msgClaim, msgOwner:
+		return true
+	}
+	return false
+}
+
+// ackWaiters tracks pending acknowledgements by message ID. Multiple
+// senders of the same logical message share one completion channel.
+type ackWaiters struct {
+	mu      sync.Mutex
+	pending map[uint64]chan struct{}
+}
+
+func newAckWaiters() *ackWaiters {
+	return &ackWaiters{pending: make(map[uint64]chan struct{})}
+}
+
+// waiter returns the completion channel for id, creating it if needed.
+func (a *ackWaiters) waiter(id uint64) chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ch, ok := a.pending[id]
+	if !ok {
+		ch = make(chan struct{})
+		a.pending[id] = ch
+	}
+	return ch
+}
+
+// resolve completes the waiters for id, if any.
+func (a *ackWaiters) resolve(id uint64) {
+	a.mu.Lock()
+	ch, ok := a.pending[id]
+	if ok {
+		delete(a.pending, id)
+	}
+	a.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
+// Timing bundles the protocol clocks. Zero fields fall back to the
+// defaults, so Timing{} behaves like DefaultTiming().
+type Timing struct {
+	// Heartbeat is the node → coordinator beat interval.
+	Heartbeat time.Duration
+	// DeadAfter is how long a node may stay silent before the
+	// coordinator's failure detector declares it dead.
+	DeadAfter time.Duration
+	// LeaseExpiry re-issues a lease that has not been discharged within
+	// this window (safety net for messages lost together with a node).
+	LeaseExpiry time.Duration
+	// RetryBase is the first ack deadline of a reliable send; subsequent
+	// attempts back off exponentially with seeded jitter up to RetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+}
+
+// DefaultTiming returns clocks suitable for loopback clusters, generous
+// enough to stay quiet under the race detector.
+func DefaultTiming() Timing {
+	return Timing{
+		Heartbeat:   25 * time.Millisecond,
+		DeadAfter:   600 * time.Millisecond,
+		LeaseExpiry: 2 * time.Second,
+		RetryBase:   60 * time.Millisecond,
+		RetryMax:    500 * time.Millisecond,
+	}
+}
+
+func (t Timing) withDefaults() Timing {
+	d := DefaultTiming()
+	if t.Heartbeat <= 0 {
+		t.Heartbeat = d.Heartbeat
+	}
+	if t.DeadAfter <= 0 {
+		t.DeadAfter = d.DeadAfter
+	}
+	if t.LeaseExpiry <= 0 {
+		t.LeaseExpiry = d.LeaseExpiry
+	}
+	if t.RetryBase <= 0 {
+		t.RetryBase = d.RetryBase
+	}
+	if t.RetryMax <= 0 {
+		t.RetryMax = d.RetryMax
+	}
+	return t
+}
+
+// backoff returns the ack deadline for the given attempt with
+// deterministic jitter derived from the message ID.
+func (t Timing) backoff(msgID, attempt uint64) time.Duration {
+	d := t.RetryBase
+	for i := uint64(0); i < attempt && d < t.RetryMax; i++ {
+		d *= 2
+	}
+	if d > t.RetryMax {
+		d = t.RetryMax
+	}
+	// ±25% jitter keeps retry storms of many messages from synchronising.
+	j := xrand.Mix(msgID, 0xBACC0FF+attempt)%512 | 1
+	return d + d*time.Duration(j)/1024 - d/4
+}
+
+// Message-ID derivation. IDs are stable across re-execution: a subproblem
+// is identified by its bisection-tree seed, so a survivor recomputing a
+// dead node's work emits byte-identical IDs and every receiver dedups the
+// second copy. The role constants keep assign/part/claim/ack IDs for the
+// same subproblem distinct.
+const (
+	roleAssign uint64 = 0xA551
+	rolePart   uint64 = 0x9A47
+	roleClaim  uint64 = 0xC1A1
+	roleOwner  uint64 = 0x0DED
+	roleAck    uint64 = 0xACC
+	roleBeat   uint64 = 0xBEA7
+)
+
+func idFor(role, seed uint64) uint64 { return xrand.Mix(seed, role) }
+
+func ackID(of uint64) uint64 { return xrand.Mix(of, roleAck) }

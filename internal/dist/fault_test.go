@@ -1,0 +1,301 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+)
+
+// chaosTiming keeps fault tests fast while staying quiet under -race.
+func chaosTiming() Timing {
+	return Timing{
+		Heartbeat:   15 * time.Millisecond,
+		DeadAfter:   400 * time.Millisecond,
+		LeaseExpiry: 900 * time.Millisecond,
+		RetryBase:   40 * time.Millisecond,
+		RetryMax:    250 * time.Millisecond,
+	}
+}
+
+// runFaulty executes one distributed run under a fault plan.
+func runFaulty(t *testing.T, n, k int, seed uint64, plan *FaultPlan) (*Result, error, *Cluster) {
+	t.Helper()
+	cl, err := StartClusterWith(n, k, plan, chaosTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	root, err := Encode(bisect.MustSynthetic(1, 0.1, 0.5, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Coord.Run(root, n, cl.Addrs(), 25*time.Second)
+	return res, err, cl
+}
+
+// partIDs returns the set of part identities of a result.
+func partIDs(t *testing.T, res *Result) map[uint64]bool {
+	t.Helper()
+	ids := make(map[uint64]bool, len(res.Parts))
+	for _, pt := range res.Parts {
+		if ids[pt.Spec.Seed] {
+			t.Fatalf("duplicate part %d in result", pt.Spec.Seed)
+		}
+		ids[pt.Spec.Seed] = true
+	}
+	return ids
+}
+
+// requireLocalBAMatch checks the distributed partition against the
+// in-process algorithm: same part set, same ratio — full weight
+// conservation and byte-identical quality.
+func requireLocalBAMatch(t *testing.T, res *Result, n int, seed uint64) {
+	t.Helper()
+	local, err := core.BA(bisect.MustSynthetic(1, 0.1, 0.5, seed), n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != len(local.Parts) {
+		t.Fatalf("distributed produced %d parts, local %d", len(res.Parts), len(local.Parts))
+	}
+	ids := partIDs(t, res)
+	for _, pt := range local.Parts {
+		if !ids[pt.Problem.ID()] {
+			t.Fatalf("local part %d missing from distributed result", pt.Problem.ID())
+		}
+	}
+	if res.Ratio != local.Ratio {
+		t.Fatalf("ratio %v != local %v", res.Ratio, local.Ratio)
+	}
+}
+
+func TestMessageDropRecovered(t *testing.T) {
+	const n, k, seed = 64, 4, 42
+	plan := &FaultPlan{Seed: 7, DropRate: 0.10}
+	res, err, cl := runFaulty(t, n, k, seed, plan)
+	if err != nil {
+		t.Fatalf("10%% drop did not complete: %v", err)
+	}
+	requireLocalBAMatch(t, res, n, seed)
+	if st := cl.TotalStats(); st.Retries == 0 {
+		t.Fatalf("no retries observed under 10%% drop: %+v", st)
+	}
+}
+
+func TestDuplicateDeliveryIdempotent(t *testing.T) {
+	const n, k, seed = 64, 4, 42
+	plan := &FaultPlan{Seed: 11, DupRate: 0.5}
+	res, err, cl := runFaulty(t, n, k, seed, plan)
+	if err != nil {
+		t.Fatalf("duplicate-heavy run failed: %v", err)
+	}
+	requireLocalBAMatch(t, res, n, seed)
+	if st := cl.TotalStats(); st.Dups == 0 {
+		t.Fatalf("plan injected no duplicates: %+v", st)
+	}
+}
+
+func TestNodeCrashReassignedToSurvivor(t *testing.T) {
+	const n, k, seed = 64, 4, 42
+	// Node 3 dies after its 4th outbound data message — mid-run, after
+	// receiving work but before finishing its 16 parts.
+	plan := &FaultPlan{Seed: 3, Crash: map[int]int{3: 4}}
+	res, err, _ := runFaulty(t, n, k, seed, plan)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	if !res.Degraded || len(res.DeadNodes) != 1 || res.DeadNodes[0] != 3 {
+		t.Fatalf("degradation not reported: %+v", res)
+	}
+	if res.Reassigned == 0 {
+		t.Fatal("no lease was reassigned")
+	}
+	if res.RecoveryLatency <= 0 {
+		t.Fatal("recovery latency not measured")
+	}
+	// Graceful degradation: the partition is still the exact BA
+	// partition — full weight conservation, identical ratio.
+	requireLocalBAMatch(t, res, n, seed)
+	// The dead node's parts must have been recomputed by survivors. Parts
+	// reported before the crash may legitimately carry FromNode 3, but at
+	// least some of the tail range has to come from a survivor.
+	survivorTail := 0
+	for _, pt := range res.Parts {
+		if pt.Lo >= 3*n/4 && pt.FromNode != 3 {
+			survivorTail++
+		}
+	}
+	if survivorTail == 0 {
+		t.Fatal("no part of the dead node's interval was finished by a survivor")
+	}
+}
+
+func TestChaosOutcomeDeterministic(t *testing.T) {
+	const n, k, seed = 48, 3, 9
+	plan := &FaultPlan{Seed: 21, DropRate: 0.08, DupRate: 0.05, DelayRate: 0.1, MaxDelay: 2 * time.Millisecond}
+	resA, errA, _ := runFaulty(t, n, k, seed, plan)
+	resB, errB, _ := runFaulty(t, n, k, seed, plan)
+	if errA != nil || errB != nil {
+		t.Fatalf("chaos runs failed: %v / %v", errA, errB)
+	}
+	if resA.Ratio != resB.Ratio || len(resA.Parts) != len(resB.Parts) {
+		t.Fatalf("same plan, different outcome: %v/%d vs %v/%d",
+			resA.Ratio, len(resA.Parts), resB.Ratio, len(resB.Parts))
+	}
+	idsB := partIDs(t, resB)
+	for _, pt := range resA.Parts {
+		if !idsB[pt.Spec.Seed] {
+			t.Fatalf("part %d only in first run", pt.Spec.Seed)
+		}
+	}
+}
+
+func TestFaultPlanDecideDeterministic(t *testing.T) {
+	plan := &FaultPlan{Seed: 5, DropRate: 0.3, DupRate: 0.2, DelayRate: 0.5, MaxDelay: time.Millisecond}
+	sawDrop, sawDup := false, false
+	for id := uint64(0); id < 500; id++ {
+		d1, u1, l1 := plan.Decide(id, 0)
+		d2, u2, l2 := plan.Decide(id, 0)
+		if d1 != d2 || u1 != u2 || l1 != l2 {
+			t.Fatalf("Decide(%d, 0) not deterministic", id)
+		}
+		sawDrop = sawDrop || d1
+		sawDup = sawDup || u1
+	}
+	if !sawDrop || !sawDup {
+		t.Fatal("plan with positive rates never dropped or duplicated")
+	}
+	// Attempts re-roll: a dropped first attempt must not doom retries.
+	stuck := 0
+	for id := uint64(0); id < 500; id++ {
+		if d, _, _ := plan.Decide(id, 0); d {
+			if d1, _, _ := plan.Decide(id, 1); d1 {
+				if d2, _, _ := plan.Decide(id, 2); d2 {
+					stuck++
+				}
+			}
+		}
+	}
+	if stuck > 60 { // ≈ 500·0.3³ ≈ 13 expected; 60 means attempts don't re-roll
+		t.Fatalf("%d messages dropped on three consecutive attempts", stuck)
+	}
+	// A nil plan injects nothing.
+	var nilPlan *FaultPlan
+	if d, u, l := nilPlan.Decide(1, 0); d || u || l != 0 {
+		t.Fatal("nil plan injected a fault")
+	}
+}
+
+func TestWeightsConserved(t *testing.T) {
+	if !weightsConserved(1.0, 1.0, 1) {
+		t.Fatal("exact sum rejected")
+	}
+	if weightsConserved(0.5, 1.0, 1) {
+		t.Fatal("half weight accepted")
+	}
+	// Deep recursion: sum the leaf weights of a large BA partition in
+	// arrival (non-tree) order; the accumulated float error must stay
+	// inside the tolerance.
+	const n = 4096
+	res, err := core.BA(bisect.MustSynthetic(1, 0.01, 0.5, 77), n, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, pt := range res.Parts {
+		sum += pt.Problem.Weight()
+	}
+	if !weightsConserved(sum, 1.0, len(res.Parts)) {
+		t.Fatalf("deep-recursion sum %v rejected (%d parts)", sum, len(res.Parts))
+	}
+	// A missing leaf must still be detected: drop the lightest part.
+	light := res.Parts[0].Problem.Weight()
+	for _, pt := range res.Parts {
+		if w := pt.Problem.Weight(); w < light {
+			light = w
+		}
+	}
+	if weightsConserved(sum-light, 1.0, len(res.Parts)-1) {
+		t.Fatalf("missing part of weight %v not detected", light)
+	}
+	// Millions of tiny summands: tolerance scales with the term count.
+	const m = 1 << 20
+	sum = 0.0
+	for i := 0; i < m; i++ {
+		sum += 1.0 / m
+	}
+	if !weightsConserved(sum, 1.0, m) {
+		t.Fatalf("2^20-term accumulation %v rejected", sum)
+	}
+}
+
+func TestRunTimeoutReturnsErrIncomplete(t *testing.T) {
+	coord, err := NewCoordinator("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	root := Spec{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.5, Seed: 1}
+	res, err := coord.Run(root, 8, []string{"127.0.0.1:1"}, 250*time.Millisecond)
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("want ErrIncomplete, got %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result not returned alongside ErrIncomplete")
+	}
+	if errors.Is(err, ErrDegraded) {
+		t.Fatal("timeout must not read as degraded completion")
+	}
+}
+
+func TestPHFCollectivesSurviveDrops(t *testing.T) {
+	const n, k, alpha, seed = 32, 4, 0.3, 5
+	root, err := Encode(bisect.MustSynthetic(1, 0.1, 0.45, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunPHFCluster(root, n, k, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := RunPHFClusterWith(root, n, k, alpha, &FaultPlan{Seed: 17, DropRate: 0.08, DupRate: 0.05})
+	if err != nil {
+		t.Fatalf("PHF under collective drops failed: %v", err)
+	}
+	if len(faulty) != len(clean) {
+		t.Fatalf("faulty run has %d parts, clean %d", len(faulty), len(clean))
+	}
+	for i := range clean {
+		if clean[i].Spec.Seed != faulty[i].Spec.Seed || clean[i].Lo != faulty[i].Lo {
+			t.Fatalf("part %d differs: clean %+v faulty %+v", i, clean[i], faulty[i])
+		}
+	}
+}
+
+func TestSpecErrorPaths(t *testing.T) {
+	// Encode on a non-synthetic problem.
+	if _, err := Encode(bisect.MustFixed(1, 0.25)); err == nil {
+		t.Fatal("Encode accepted a Fixed problem")
+	}
+	// Decode on an unknown kind.
+	if _, err := Decode(Spec{Kind: "martian", Weight: 1, ALo: 0.1, AHi: 0.5}); err == nil {
+		t.Fatal("Decode accepted unknown kind")
+	}
+	// Malformed specs of the right kind.
+	bad := []Spec{
+		{Kind: specKindSynthetic, Weight: 0, ALo: 0.1, AHi: 0.5},   // zero weight
+		{Kind: specKindSynthetic, Weight: -1, ALo: 0.1, AHi: 0.5},  // negative weight
+		{Kind: specKindSynthetic, Weight: 1, ALo: 0, AHi: 0.5},     // lo = 0
+		{Kind: specKindSynthetic, Weight: 1, ALo: 0.4, AHi: 0.2},   // inverted interval
+		{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.9},   // hi > 1/2
+		{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.5, Depth: -3}, // negative depth
+	}
+	for i, s := range bad {
+		if _, err := Decode(s); err == nil {
+			t.Fatalf("malformed spec %d accepted: %+v", i, s)
+		}
+	}
+}

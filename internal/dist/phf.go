@@ -58,9 +58,10 @@ type PHFNode struct {
 	encoders map[int]*json.Encoder
 	xferAddr []string
 
-	incoming chan phfTransfer
-	wg       sync.WaitGroup
-	closed   bool
+	incoming    chan phfTransfer
+	xferTimeout time.Duration
+	wg          sync.WaitGroup
+	closed      bool
 
 	// parts maps virtual processor → problem, for processors this node owns.
 	parts map[int]bisect.Problem
@@ -87,15 +88,36 @@ func NewPHFNode(id, n, k int, alpha float64) (*PHFNode, error) {
 		coll.Close()
 		return nil, fmt.Errorf("dist: phf node %d listen: %w", id, err)
 	}
+	// A dead peer should surface as a typed error within seconds, not
+	// stall the whole cluster for half a minute.
+	coll.SetTimeout(8 * time.Second)
 	return &PHFNode{
 		id: id, n: n, k: k, alpha: alpha,
-		coll:     coll,
-		ln:       ln,
-		encoders: make(map[int]*json.Encoder),
-		incoming: make(chan phfTransfer, 256),
-		parts:    make(map[int]bisect.Problem),
+		coll:        coll,
+		ln:          ln,
+		encoders:    make(map[int]*json.Encoder),
+		incoming:    make(chan phfTransfer, 256),
+		xferTimeout: 10 * time.Second,
+		parts:       make(map[int]bisect.Problem),
 	}, nil
 }
+
+// SetFault installs a fault plan on the node's collective tree. Call
+// before Start. Part transfers themselves stay clean: the collective
+// fabric is where PHF's global communication — and thus its exposure to
+// faults — lives.
+func (nd *PHFNode) SetFault(plan *FaultPlan) {
+	if plan != nil {
+		nd.coll.SetFault(plan)
+		// Lossy loopback links recover fastest with an aggressive
+		// retransmit clock; the default 250ms is tuned for real networks.
+		nd.coll.SetRetry(40 * time.Millisecond)
+	}
+}
+
+// SetTransferTimeout adjusts how long a round waits for its expected
+// incoming part transfers (default 10s).
+func (nd *PHFNode) SetTransferTimeout(d time.Duration) { nd.xferTimeout = d }
 
 // CollAddr and XferAddr expose the two listen addresses for cluster wiring.
 func (nd *PHFNode) CollAddr() string { return nd.coll.Addr() }
@@ -273,7 +295,7 @@ func (nd *PHFNode) round(roundNo int, pred func(bisect.Problem) bool, budget int
 		expected = int(overlapHi - overlapLo)
 	}
 	expected -= selfPlaced
-	deadline := time.After(30 * time.Second)
+	deadline := time.After(nd.xferTimeout)
 	for got := 0; got < expected; {
 		select {
 		case t := <-nd.incoming:
@@ -288,8 +310,8 @@ func (nd *PHFNode) round(roundNo int, pred func(bisect.Problem) bool, budget int
 			nd.parts[free[t.Slot]] = p
 			got++
 		case <-deadline:
-			return 0, fmt.Errorf("dist: node %d timed out in round %d (%d of %d transfers)",
-				nd.id, roundNo, expected, expected)
+			return 0, fmt.Errorf("dist: node %d round %d stalled at %d of %d transfers: %w",
+				nd.id, roundNo, got, expected, ErrIncomplete)
 		}
 	}
 	return cap64, nil
@@ -437,6 +459,12 @@ func (nd *PHFNode) Close() {
 // runs the distributed PHF on the given root and returns the merged parts
 // sorted by virtual processor.
 func RunPHFCluster(root Spec, n, k int, alpha float64) ([]PartReport, error) {
+	return RunPHFClusterWith(root, n, k, alpha, nil)
+}
+
+// RunPHFClusterWith is RunPHFCluster with deterministic fault injection
+// on the collective fabric.
+func RunPHFClusterWith(root Spec, n, k int, alpha float64, plan *FaultPlan) ([]PartReport, error) {
 	nodes := make([]*PHFNode, k)
 	collAddrs := make([]string, k)
 	xferAddrs := make([]string, k)
@@ -448,6 +476,7 @@ func RunPHFCluster(root Spec, n, k int, alpha float64) ([]PartReport, error) {
 			}
 			return nil, err
 		}
+		nd.SetFault(plan)
 		nodes[i] = nd
 		collAddrs[i] = nd.CollAddr()
 		xferAddrs[i] = nd.XferAddr()

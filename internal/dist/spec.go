@@ -62,21 +62,47 @@ func Decode(s Spec) (bisect.Problem, error) {
 	return bisect.RehydrateSynthetic(s.Weight, s.ALo, s.AHi, s.Seed, s.Depth)
 }
 
-// message is the single wire envelope; Type discriminates.
+// message is the single wire envelope; Type discriminates. Every data
+// message carries an ID derived from the subproblem's bisection seed
+// (fault.go); receivers acknowledge and dedup on it, which makes delivery
+// at-least-once on the wire but exactly-once in effect.
 type message struct {
 	Type string `json:"type"`
+	// ID identifies the message for acks, dedup and fault decisions.
+	ID uint64 `json:"id,omitempty"`
 	// assign
 	Problem Spec `json:"problem,omitempty"`
 	Lo      int  `json:"lo,omitempty"`
 	Hi      int  `json:"hi,omitempty"`
+	// Lease is the lease the assignment (re-)creates — equal to ID for
+	// assigns; for parts and claims it is the covering lease being
+	// discharged or split.
+	Lease uint64 `json:"lease,omitempty"`
+	// Parent is the lease the new lease was split from (claims/assigns).
+	Parent uint64 `json:"parent,omitempty"`
+	// Reissue marks a coordinator re-issue of an expired or orphaned
+	// lease; Gen is its re-issue generation. A node re-executes a lease
+	// it has seen before whenever the generation advances past the last
+	// one it executed, so the coordinator can always force another
+	// (deterministic, hence safe) re-execution of an undischarged lease.
+	Reissue bool   `json:"reissue,omitempty"`
+	Gen     uint64 `json:"gen,omitempty"`
 	// part (node → coordinator)
 	Part     Spec `json:"part,omitempty"`
 	PartLo   int  `json:"part_lo,omitempty"`
 	PartHi   int  `json:"part_hi,omitempty"`
 	FromNode int  `json:"from_node,omitempty"`
+	// owner updates (coordinator → nodes): Dead's interval is adopted by
+	// Adopter, so hand-offs for Dead's processors reroute.
+	Dead    int `json:"dead,omitempty"`
+	Adopter int `json:"adopter,omitempty"`
 }
 
 const (
 	msgAssign = "assign"
 	msgPart   = "part"
+	msgAck    = "ack"
+	msgClaim  = "claim"
+	msgBeat   = "beat"
+	msgOwner  = "owner"
 )

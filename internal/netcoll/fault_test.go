@@ -1,0 +1,177 @@
+package netcoll
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bisectlb/internal/xrand"
+)
+
+// testInjector is a deterministic FaultInjector mirroring dist.FaultPlan
+// (not imported to keep the package dependency one-way).
+type testInjector struct {
+	seed     uint64
+	dropRate float64
+	dupRate  float64
+}
+
+func (p *testInjector) Decide(msgID, attempt uint64) (drop, dup bool, delay time.Duration) {
+	src := xrand.New(xrand.Mix(p.seed, xrand.Mix(msgID, attempt)))
+	drop = src.Float64() < p.dropRate
+	dup = src.Float64() < p.dupRate
+	return drop, dup, 0
+}
+
+// faultyCluster wires k members with the same injector and tight retry.
+func faultyCluster(t *testing.T, k int, fi FaultInjector) []*Member {
+	t.Helper()
+	members := cluster(t, k)
+	for _, m := range members {
+		m.SetFault(fi)
+		m.SetRetry(60 * time.Millisecond)
+	}
+	return members
+}
+
+func TestCollectivesSurviveFrameDrops(t *testing.T) {
+	members := faultyCluster(t, 7, &testInjector{seed: 13, dropRate: 0.15})
+	// Several rounds of mixed collectives: retransmission and down-frame
+	// replay must mask every loss.
+	spawn(t, members, func(m *Member) error {
+		for round := 0; round < 5; round++ {
+			mx, err := m.AllReduceMaxFloat64(float64(m.id + round))
+			if err != nil {
+				return err
+			}
+			if want := float64(6 + round); mx != want {
+				return fmt.Errorf("round %d max %v, want %v", round, mx, want)
+			}
+			before, total, err := m.PrefixSumInt64(int64(m.id))
+			if err != nil {
+				return err
+			}
+			if total != 21 {
+				return fmt.Errorf("round %d total %d, want 21", round, total)
+			}
+			if before < 0 || before > 21 {
+				return fmt.Errorf("round %d base %d out of range", round, before)
+			}
+			if err := m.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestCollectivesSurviveDuplicates(t *testing.T) {
+	members := faultyCluster(t, 5, &testInjector{seed: 4, dupRate: 0.6})
+	spawn(t, members, func(m *Member) error {
+		for round := 0; round < 4; round++ {
+			s, err := m.AllReduceSumInt64(int64(m.id + 1))
+			if err != nil {
+				return err
+			}
+			// Duplicated frames must not be double-counted: 1+2+3+4+5.
+			if s != 15 {
+				return fmt.Errorf("round %d sum %d, want 15", round, s)
+			}
+		}
+		return m.Barrier()
+	})
+}
+
+func TestTimeoutIsTyped(t *testing.T) {
+	m0, err := NewMember(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+	m1, err := NewMember(1, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	if err := m0.Start([]string{m0.Addr(), m1.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	m0.SetTimeout(150 * time.Millisecond)
+	start := time.Now()
+	if err := m0.Barrier(); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("fail-fast took %v", elapsed)
+	}
+}
+
+func TestRebuildOnSurvivors(t *testing.T) {
+	members := cluster(t, 5)
+	// Member 3 dies; survivors agree on the set and keep computing.
+	members[3].Close()
+	survivors := []int{0, 1, 2, 4}
+	alive := []*Member{members[0], members[1], members[2], members[4]}
+	for _, m := range alive {
+		if err := m.Rebuild(survivors); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spawn(t, alive, func(m *Member) error {
+		s, err := m.AllReduceSumInt64(int64(m.id))
+		if err != nil {
+			return err
+		}
+		if s != 7 { // 0+1+2+4
+			return fmt.Errorf("survivor sum %d, want 7", s)
+		}
+		before, total, err := m.PrefixSumInt64(1)
+		if err != nil {
+			return err
+		}
+		if total != 4 {
+			return fmt.Errorf("survivor prefix total %d, want 4", total)
+		}
+		if before < 0 || before >= 4 {
+			return fmt.Errorf("survivor base %d out of range", before)
+		}
+		return m.Barrier()
+	})
+
+	// Rebuild input validation.
+	if err := members[0].Rebuild([]int{1, 2}); err == nil {
+		t.Fatal("rebuild without own id accepted")
+	}
+	if err := members[0].Rebuild([]int{0, 0, 1}); err == nil {
+		t.Fatal("duplicate survivor accepted")
+	}
+	if err := members[0].Rebuild([]int{0, 99}); err == nil {
+		t.Fatal("out-of-range survivor accepted")
+	}
+}
+
+func TestRebuildSeqEpochJump(t *testing.T) {
+	members := cluster(t, 3)
+	spawn(t, members, func(m *Member) error { return m.Barrier() })
+	before := members[0].seq
+	for _, m := range members {
+		if err := m.Rebuild([]int{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := members[0].seq; after <= before || after%(1<<20) != 0 {
+		t.Fatalf("seq %d -> %d: not a fresh epoch", before, after)
+	}
+	// Collectives still work after an identity rebuild.
+	spawn(t, members, func(m *Member) error {
+		s, err := m.AllReduceSumInt64(1)
+		if err != nil {
+			return err
+		}
+		if s != 3 {
+			return fmt.Errorf("post-rebuild sum %d", s)
+		}
+		return nil
+	})
+}

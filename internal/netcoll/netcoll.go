@@ -10,6 +10,18 @@
 // All collectives are synchronous and must be invoked by every member in
 // the same order; each carries a sequence number so late or duplicated
 // frames are detected rather than silently misapplied.
+//
+// The tree tolerates lossy links: a member waiting for its parent's
+// down-frame retransmits its up-contribution on a sub-timeout, parents
+// cache the down-frames of completed collectives and replay them when a
+// duplicate up-frame reveals the child never got the result, and
+// receivers dedup on (seq, dir, from). Faults are injected through the
+// pluggable FaultInjector hook (dist.FaultPlan implements it), and a
+// collective that cannot complete fails with an error wrapping
+// ErrTimeout. After a member death the survivors call Rebuild with the
+// common survivor set; ranks are remapped over the live members and the
+// sequence space jumps to a fresh epoch so frames from the old topology
+// can never alias the new one.
 package netcoll
 
 import (
@@ -18,9 +30,24 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
+
+	"bisectlb/internal/xrand"
 )
+
+// ErrTimeout marks a collective that did not complete within the
+// member's deadline — typically because a peer died and Rebuild has not
+// been called yet. Test with errors.Is.
+var ErrTimeout = errors.New("netcoll: collective timed out")
+
+// FaultInjector decides the fate of individual frame transmissions.
+// Implementations must be pure functions of (msgID, attempt) so a chaos
+// run is reproducible; *dist.FaultPlan satisfies the interface.
+type FaultInjector interface {
+	Decide(msgID, attempt uint64) (drop, dup bool, delay time.Duration)
+}
 
 // frame is the wire message. Dir is "up" (child → parent contribution) or
 // "down" (parent → child result).
@@ -37,8 +64,30 @@ type frame struct {
 	Vec []int64 `json:"vec,omitempty"`
 }
 
-// Member is one participant, id 0 … K−1, in a binary tree rooted at 0
-// (children of i are 2i+1 and 2i+2).
+const (
+	dirUp   = "up"
+	dirDown = "down"
+)
+
+// downCacheSeqs bounds how many completed collectives keep their
+// down-frames around for replay.
+const downCacheSeqs = 8
+
+// frameID derives the fault-decision identity of a frame transmission.
+// The destination is mixed in because prefix-sum down-frames differ per
+// child; the direction keeps an up/down pair from sharing a fate.
+func frameID(f frame, to int) uint64 {
+	d := uint64(1)
+	if f.Dir == dirUp {
+		d = 2
+	}
+	return xrand.Mix(f.Seq, uint64(f.From)<<20|uint64(to)<<4|d)
+}
+
+// Member is one participant, id 0 … K−1. Initially the reduction tree is
+// a binary tree over ids rooted at 0 (children of rank i are 2i+1 and
+// 2i+2); after Rebuild the same shape is laid over the sorted survivor
+// ranks. Collectives and Rebuild must be called from a single goroutine.
 type Member struct {
 	id, k int
 	ln    net.Listener
@@ -47,10 +96,22 @@ type Member struct {
 	mu       sync.Mutex
 	conns    []net.Conn
 	encoders map[int]*json.Encoder
+	// downCache holds the down-frames of recently completed collectives,
+	// seq → destination id → frame, for replay to children that lost the
+	// result. cacheSeqs is its FIFO eviction order.
+	downCache map[uint64]map[int]frame
+	cacheSeqs []uint64
+	replayN   uint64
 
 	inbox   chan frame
 	seq     uint64
 	timeout time.Duration
+	retry   time.Duration
+	fault   FaultInjector
+
+	// live maps rank → member id; rank is this member's own position.
+	live []int
+	rank int
 
 	wg     sync.WaitGroup
 	closed bool
@@ -66,11 +127,19 @@ func NewMember(id, k int, addr string) (*Member, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netcoll: member %d listen: %w", id, err)
 	}
+	live := make([]int, k)
+	for i := range live {
+		live[i] = i
+	}
 	return &Member{
 		id: id, k: k, ln: ln,
-		encoders: make(map[int]*json.Encoder),
-		inbox:    make(chan frame, 64),
-		timeout:  30 * time.Second,
+		encoders:  make(map[int]*json.Encoder),
+		downCache: make(map[uint64]map[int]frame),
+		inbox:     make(chan frame, 64),
+		timeout:   30 * time.Second,
+		retry:     250 * time.Millisecond,
+		live:      live,
+		rank:      id,
 	}, nil
 }
 
@@ -79,6 +148,15 @@ func (m *Member) Addr() string { return m.ln.Addr().String() }
 
 // SetTimeout adjusts the per-collective deadline (default 30s).
 func (m *Member) SetTimeout(d time.Duration) { m.timeout = d }
+
+// SetRetry adjusts the retransmission sub-timeout (default 250ms): how
+// long a member waits for its parent's down-frame before re-sending its
+// up-contribution.
+func (m *Member) SetRetry(d time.Duration) { m.retry = d }
+
+// SetFault installs a fault injector on the member's outbound frames.
+// Call before the first collective.
+func (m *Member) SetFault(fi FaultInjector) { m.fault = fi }
 
 // Start begins serving; addrs[i] must be member i's address.
 func (m *Member) Start(addrs []string) error {
@@ -102,44 +180,113 @@ func (m *Member) acceptLoop() {
 		m.conns = append(m.conns, conn)
 		m.mu.Unlock()
 		m.wg.Add(1)
-		go func() {
-			defer m.wg.Done()
-			dec := json.NewDecoder(conn)
-			for {
-				var f frame
-				if err := dec.Decode(&f); err != nil {
-					if !errors.Is(err, io.EOF) {
-						_ = conn.Close()
-					}
-					return
-				}
-				select {
-				case m.inbox <- f:
-				default:
-					// A full inbox means the protocol is violated (more
-					// than one outstanding collective); drop the frame and
-					// let the peer time out loudly.
-				}
-			}
-		}()
+		go m.readConn(conn)
 	}
 }
 
-func (m *Member) parent() int { return (m.id - 1) / 2 }
+func (m *Member) readConn(conn net.Conn) {
+	defer m.wg.Done()
+	dec := json.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			if !errors.Is(err, io.EOF) {
+				_ = conn.Close()
+			}
+			return
+		}
+		// An up-frame for a collective this member already finished means
+		// the child lost our down-frame; replay it from the cache instead
+		// of enqueueing a stale contribution. Replays happen here, in the
+		// reader, so they work even while the member sits idle between
+		// collectives.
+		if f.Dir == dirUp {
+			m.mu.Lock()
+			cached, ok := m.downCache[f.Seq][f.From]
+			var attempt uint64
+			if ok {
+				m.replayN++
+				attempt = m.replayN
+			}
+			m.mu.Unlock()
+			if ok {
+				_ = m.sendFrame(f.From, cached, attempt)
+				continue
+			}
+		}
+		select {
+		case m.inbox <- f:
+		default:
+			// A full inbox means the protocol is violated (more than one
+			// outstanding collective); drop the frame and let the peer
+			// time out loudly.
+		}
+	}
+}
 
-func (m *Member) children() []int {
+// parentID and childIDs express the binary tree in rank space and map the
+// ranks back to member ids.
+func (m *Member) parentID() int { return m.live[(m.rank-1)/2] }
+
+func (m *Member) childIDs() []int {
 	var out []int
-	for _, c := range []int{2*m.id + 1, 2*m.id + 2} {
-		if c < m.k {
-			out = append(out, c)
+	for _, c := range []int{2*m.rank + 1, 2*m.rank + 2} {
+		if c < len(m.live) {
+			out = append(out, m.live[c])
 		}
 	}
 	return out
 }
 
-func (m *Member) send(to int, f frame) error {
+// Rebuild shrinks the reduction tree to the given survivor set. Every
+// survivor must call it with the same set before the next collective;
+// the member's own id must be included. The sequence counter jumps to a
+// fresh epoch so frames of the old topology can never match a collective
+// of the new one.
+func (m *Member) Rebuild(survivors []int) error {
+	live := append([]int(nil), survivors...)
+	sort.Ints(live)
+	rank := -1
+	for i, id := range live {
+		if id == m.id {
+			rank = i
+		}
+		if id < 0 || id >= m.k {
+			return fmt.Errorf("netcoll: survivor %d outside [0, %d)", id, m.k)
+		}
+		if i > 0 && live[i-1] == id {
+			return fmt.Errorf("netcoll: duplicate survivor %d", id)
+		}
+	}
+	if rank < 0 {
+		return fmt.Errorf("netcoll: member %d not in survivor set %v", m.id, live)
+	}
+	m.live = live
+	m.rank = rank
+	m.seq = ((m.seq >> 20) + 1) << 20
+	return nil
+}
+
+// sendFrame transmits one frame through the fault layer. A dropped frame
+// returns nil — the loss is indistinguishable from the network eating it.
+func (m *Member) sendFrame(to int, f frame, attempt uint64) error {
+	var dup bool
+	var delay time.Duration
+	if m.fault != nil {
+		var drop bool
+		drop, dup, delay = m.fault.Decide(frameID(f, to), attempt)
+		if drop {
+			return nil
+		}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return net.ErrClosed
+	}
 	enc, ok := m.encoders[to]
 	if !ok {
 		conn, err := net.Dial("tcp", m.addrs[to])
@@ -150,16 +297,44 @@ func (m *Member) send(to int, f frame) error {
 		enc = json.NewEncoder(conn)
 		m.encoders[to] = enc
 	}
-	return enc.Encode(f)
+	if err := enc.Encode(f); err != nil {
+		return err
+	}
+	if dup {
+		return enc.Encode(f)
+	}
+	return nil
 }
 
-// recv waits for a frame matching seq, direction and sender.
-func (m *Member) recv(seq uint64, dir string, from int) (frame, error) {
-	deadline := time.After(m.timeout)
+// sendDown caches a down-frame for replay, then transmits it.
+func (m *Member) sendDown(to int, f frame) error {
+	m.mu.Lock()
+	cache, ok := m.downCache[f.Seq]
+	if !ok {
+		cache = make(map[int]frame)
+		m.downCache[f.Seq] = cache
+		m.cacheSeqs = append(m.cacheSeqs, f.Seq)
+		for len(m.cacheSeqs) > downCacheSeqs {
+			delete(m.downCache, m.cacheSeqs[0])
+			m.cacheSeqs = m.cacheSeqs[1:]
+		}
+	}
+	cache[to] = f
+	m.mu.Unlock()
+	return m.sendFrame(to, f, 0)
+}
+
+// recv waits for a frame matching seq, direction and sender. Frames from
+// earlier collectives are discarded; frames of the current collective
+// that this call did not want are re-queued. If resend is non-nil it is
+// invoked on every retransmission sub-timeout with an increasing attempt
+// number — the caller's way of nudging a parent whose frame (or whose
+// view of ours) was lost.
+func (m *Member) recv(seq uint64, dir string, from int, resend func(attempt uint64) error) (frame, error) {
+	overall := time.After(m.timeout)
+	attempt := uint64(0)
 	var stash []frame
 	defer func() {
-		// Re-queue frames that belong to the same collective but were
-		// received out of the order this call wanted.
 		for _, f := range stash {
 			select {
 			case m.inbox <- f:
@@ -168,15 +343,28 @@ func (m *Member) recv(seq uint64, dir string, from int) (frame, error) {
 		}
 	}()
 	for {
+		var sub <-chan time.Time
+		if resend != nil {
+			sub = time.After(m.retry)
+		}
 		select {
 		case f := <-m.inbox:
 			if f.Seq == seq && f.Dir == dir && f.From == from {
 				return f, nil
 			}
-			stash = append(stash, f)
-		case <-deadline:
-			return frame{}, fmt.Errorf("netcoll: member %d timed out waiting for %s/%d seq %d",
-				m.id, dir, from, seq)
+			if f.Seq >= seq {
+				stash = append(stash, f)
+			}
+			// Frames with older sequence numbers are stale retransmits or
+			// duplicates of finished collectives: drop them.
+		case <-sub:
+			attempt++
+			if err := resend(attempt); err != nil {
+				return frame{}, err
+			}
+		case <-overall:
+			return frame{}, fmt.Errorf("netcoll: member %d waiting for %s/%d seq %d: %w",
+				m.id, dir, from, seq, ErrTimeout)
 		}
 	}
 }
@@ -189,30 +377,33 @@ func (m *Member) reduce(local frame, combine func(acc, child frame) frame) (fram
 	seq := m.seq
 	local.Seq = seq
 	acc := local
-	for _, c := range m.children() {
-		f, err := m.recv(seq, "up", c)
+	for _, c := range m.childIDs() {
+		f, err := m.recv(seq, dirUp, c, nil)
 		if err != nil {
 			return frame{}, err
 		}
 		acc = combine(acc, f)
 	}
-	if m.id != 0 {
-		acc.Dir = "up"
+	if m.rank != 0 {
+		acc.Dir = dirUp
 		acc.From = m.id
-		if err := m.send(m.parent(), acc); err != nil {
+		parent := m.parentID()
+		if err := m.sendFrame(parent, acc, 0); err != nil {
 			return frame{}, err
 		}
-		res, err := m.recv(seq, "down", m.parent())
+		res, err := m.recv(seq, dirDown, parent, func(attempt uint64) error {
+			return m.sendFrame(parent, acc, attempt)
+		})
 		if err != nil {
 			return frame{}, err
 		}
 		acc = res
 	}
-	acc.Dir = "down"
-	for _, c := range m.children() {
+	acc.Dir = dirDown
+	for _, c := range m.childIDs() {
 		out := acc
 		out.From = m.id
-		if err := m.send(c, out); err != nil {
+		if err := m.sendDown(c, out); err != nil {
 			return frame{}, err
 		}
 	}
@@ -281,7 +472,7 @@ func (m *Member) BroadcastFloat64(v float64) (float64, error) {
 }
 
 // PrefixSumInt64 returns an exclusive prefix sum and the total. The prefix
-// order is the reduction tree's preorder (member 0 first, then the left
+// order is the reduction tree's preorder (rank 0 first, then the left
 // subtree, then the right), which is fixed and identical for every member
 // and every call — exactly what unique-slot assignment (PHF's
 // free-processor numbering) needs; callers must not assume ascending
@@ -292,11 +483,11 @@ func (m *Member) PrefixSumInt64(v int64) (before, total int64, err error) {
 	seq := m.seq
 
 	// Up-sweep: collect child subtree sums (order matters: left, right).
-	children := m.children()
+	children := m.childIDs()
 	childSums := make([]int64, len(children))
 	sub := v
 	for i, c := range children {
-		f, e := m.recv(seq, "up", c)
+		f, e := m.recv(seq, dirUp, c, nil)
 		if e != nil {
 			return 0, 0, e
 		}
@@ -304,11 +495,15 @@ func (m *Member) PrefixSumInt64(v int64) (before, total int64, err error) {
 		sub += f.I
 	}
 	var base int64
-	if m.id != 0 {
-		if e := m.send(m.parent(), frame{Seq: seq, Dir: "up", From: m.id, I: sub}); e != nil {
+	if m.rank != 0 {
+		up := frame{Seq: seq, Dir: dirUp, From: m.id, I: sub}
+		parent := m.parentID()
+		if e := m.sendFrame(parent, up, 0); e != nil {
 			return 0, 0, e
 		}
-		f, e := m.recv(seq, "down", m.parent())
+		f, e := m.recv(seq, dirDown, parent, func(attempt uint64) error {
+			return m.sendFrame(parent, up, attempt)
+		})
 		if e != nil {
 			return 0, 0, e
 		}
@@ -321,7 +516,7 @@ func (m *Member) PrefixSumInt64(v int64) (before, total int64, err error) {
 	// Left child's base is base+v; right child's is base+v+leftSum.
 	run := base + v
 	for i, c := range children {
-		if e := m.send(c, frame{Seq: seq, Dir: "down", From: m.id, Pre: run, I: total}); e != nil {
+		if e := m.sendDown(c, frame{Seq: seq, Dir: dirDown, From: m.id, Pre: run, I: total}); e != nil {
 			return 0, 0, e
 		}
 		run += childSums[i]
