@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos clean
+.PHONY: all build test race ci chaos clean
 
 all: build test
 
@@ -12,11 +12,15 @@ test: build
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent runtime packages (the
-# distributed BA/PHF runtime, the TCP collectives and the in-process
-# collectives), preceded by vet over the whole module.
+# distributed BA/PHF runtime, the TCP collectives, the in-process
+# collectives and the metrics substrate), preceded by vet over the
+# whole module.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/dist ./internal/netcoll ./internal/collective
+	$(GO) test -race ./internal/dist ./internal/netcoll ./internal/collective ./internal/obs
+
+# Everything CI runs, in order: vet, the full suite, the race pass.
+ci: test race
 
 # Regenerate the X7 chaos-study table.
 chaos:

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"bisectlb/internal/bisect"
 	"bisectlb/internal/core"
 	"bisectlb/internal/dist"
+	"bisectlb/internal/obs"
 )
 
 func main() {
@@ -25,6 +27,7 @@ func main() {
 		hi      = flag.Float64("hi", 0.5, "upper α̂ bound")
 		seed    = flag.Uint64("seed", 1999, "instance seed")
 		timeout = flag.Duration("timeout", 30*time.Second, "run deadline")
+		metrics = flag.Bool("metrics", false, "dump node-local metric registries as JSON on exit")
 	)
 	flag.Parse()
 
@@ -80,6 +83,22 @@ func main() {
 	}
 	match := len(res.Parts) == len(local.Parts) && res.Ratio == local.Ratio
 	fmt.Printf("\nidentical to in-process BA: %v (local ratio %.4f)\n", match, local.Ratio)
+
+	if *metrics {
+		// One snapshot per endpoint, keyed like a fleet dashboard would.
+		snaps := map[string]obs.Snapshot{"coord": cl.Coord.Metrics().Snapshot()}
+		for i, nd := range cl.Nodes {
+			snaps[fmt.Sprintf("node%d", i)] = nd.Metrics().Snapshot()
+		}
+		fmt.Printf("\nmetrics:\n")
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snaps); err != nil {
+			fmt.Fprintln(os.Stderr, "lbdist:", err)
+			os.Exit(1)
+		}
+	}
+
 	if !match {
 		os.Exit(1)
 	}

@@ -16,12 +16,22 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "study to run: kappa | variance | oddn | all")
+		exp    = flag.String("exp", "all", "study to run: kappa | variance | oddn | robustness | splitrule | dynamic | endtoend | chaos | all")
 		trials = flag.Int("trials", 1000, "trials per configuration")
 		maxLog = flag.Int("maxlog", 14, "largest log2 N for the sweeps")
 		seed   = flag.Uint64("seed", 1999, "random seed")
 	)
 	flag.Parse()
+
+	// Reject unknown experiment names before any study runs, so a typo
+	// exits immediately instead of after minutes of sweeps.
+	switch *exp {
+	case "all", "kappa", "variance", "oddn", "robustness", "splitrule", "endtoend", "dynamic", "chaos":
+	default:
+		fmt.Fprintf(os.Stderr,
+			"lbsim: unknown experiment %q (want kappa, variance, oddn, robustness, splitrule, endtoend, dynamic, chaos or all)\n", *exp)
+		os.Exit(2)
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -86,7 +96,14 @@ func main() {
 		if err != nil {
 			return err
 		}
-		return experiments.RenderEndToEndStudy(os.Stdout, cfg, rows)
+		if err := experiments.RenderEndToEndStudy(os.Stdout, cfg, rows); err != nil {
+			return err
+		}
+		reg, err := experiments.RunExecutorProbe(cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderExecutorAppendix(os.Stdout, cfg, reg)
 	})
 	run("chaos", func() error {
 		// Each chaos trial is a full TCP cluster run; scale the count down.
@@ -97,12 +114,4 @@ func main() {
 		}
 		return experiments.RenderChaosStudy(os.Stdout, cfg, rows)
 	})
-
-	switch *exp {
-	case "all", "kappa", "variance", "oddn", "robustness", "splitrule", "endtoend", "dynamic", "chaos":
-	default:
-		fmt.Fprintf(os.Stderr,
-			"lbsim: unknown experiment %q (want kappa, variance, oddn, robustness, splitrule, endtoend, dynamic, chaos or all)\n", *exp)
-		os.Exit(2)
-	}
 }

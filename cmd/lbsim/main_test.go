@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestUnknownExperimentExitsTwo re-executes the test binary as lbsim with
+// a misspelled -exp and checks the contract of the early validation: exit
+// code 2, a diagnostic naming the bad value, and no study output — the
+// typo is rejected before any sweep starts.
+func TestUnknownExperimentExitsTwo(t *testing.T) {
+	if os.Getenv("LBSIM_RUN_MAIN") == "1" {
+		os.Args = []string{"lbsim", "-exp", "kapa"} // typo for "kappa"
+		main()
+		return
+	}
+	start := time.Now()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestUnknownExperimentExitsTwo")
+	cmd.Env = append(os.Environ(), "LBSIM_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error, got %v (output %q)", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (output %q)", code, out)
+	}
+	if !strings.Contains(string(out), `unknown experiment "kapa"`) {
+		t.Fatalf("diagnostic missing from output %q", out)
+	}
+	if strings.Contains(string(out), "study") {
+		t.Fatalf("a study ran before validation: %q", out)
+	}
+	// The default trials value would keep a sweep busy for minutes; a
+	// rejected typo must return essentially immediately.
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("validation took %v — work ran before the exit", el)
+	}
+}

@@ -6,10 +6,25 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bisectlb/internal/bisect"
 	"bisectlb/internal/bounds"
 	"bisectlb/internal/collective"
+	"bisectlb/internal/obs"
+)
+
+// Metric names recorded by the parallel executors when
+// ParallelOptions.Metrics is set.
+const (
+	mBABisections = "core.ba.bisections"
+	mBASpawns     = "core.ba.goroutine_spawns"
+	mBAWallNs     = "core.ba.wall_ns"
+	mPHFWorkers   = "core.phf.workers"
+	mPHFBis1      = "core.phf.phase1_bisections"
+	mPHFBis2      = "core.phf.phase2_bisections"
+	mPHFPhase1Ns  = "core.phf.phase1_ns"
+	mPHFPhase2Ns  = "core.phf.phase2_ns"
 )
 
 // ParallelOptions configure the goroutine-parallel executions.
@@ -24,6 +39,11 @@ type ParallelOptions struct {
 	// while keeping the recursion tree parallel near the root. Zero means
 	// a sensible default (64).
 	SpawnThreshold int
+	// Metrics, when non-nil, receives the executor's counters and
+	// per-phase wall-time histograms (bisections, goroutine spawns, PHF
+	// phase 1/2 durations). A nil registry costs one atomic add per
+	// instrumented event — the instruments are shared discards.
+	Metrics *obs.Registry
 }
 
 func (o ParallelOptions) workers() int {
@@ -58,8 +78,9 @@ func ParallelBA(p bisect.Problem, n int, opt ParallelOptions) (*Result, error) {
 	total := p.Weight()
 	slots := make([]Part, n) // leaf with range [base, …) lands in slots[base]
 	filled := make([]bool, n)
-	var bisections atomic.Int64
+	var bisections, spawns atomic.Int64
 	spawnMin := opt.spawnThreshold()
+	wallStart := time.Now()
 
 	var wg sync.WaitGroup
 	var recurse func(q bisect.Problem, base, procs, depth int)
@@ -78,6 +99,7 @@ func ParallelBA(p bisect.Problem, n int, opt ParallelOptions) (*Result, error) {
 			n1, n2 := SplitProcs(c1.Weight(), c2.Weight(), procs)
 			if procs >= spawnMin {
 				wg.Add(1)
+				spawns.Add(1)
 				go func(q2 bisect.Problem, b, pr, d int) {
 					defer wg.Done()
 					recurse(q2, b, pr, d)
@@ -90,11 +112,16 @@ func ParallelBA(p bisect.Problem, n int, opt ParallelOptions) (*Result, error) {
 		}
 	}
 	wg.Add(1)
+	spawns.Add(1)
 	go func() {
 		defer wg.Done()
 		recurse(p, 0, n, 0)
 	}()
 	wg.Wait()
+
+	opt.Metrics.Counter(mBABisections).Add(bisections.Load())
+	opt.Metrics.Counter(mBASpawns).Add(spawns.Load())
+	opt.Metrics.Histogram(mBAWallNs).ObserveSince(wallStart)
 
 	parts := make([]Part, 0, n)
 	for i, ok := range filled {
@@ -133,6 +160,9 @@ func ParallelPHF(p bisect.Problem, n int, alpha float64, opt ParallelOptions) (*
 	total := p.Weight()
 	threshold := bounds.HFThreshold(total, alpha, n)
 	logN := bounds.CollectiveCost(n)
+	opt.Metrics.Gauge(mPHFWorkers).Set(int64(w))
+	wallStart := time.Now()
+	var phase1End time.Time // set by worker 0 at the phase transition
 
 	// parts is allocated at full capacity up front; shared.length tracks the
 	// live prefix so workers can write new children into their prefix-sum
@@ -291,6 +321,7 @@ func ParallelPHF(p bisect.Problem, n int, alpha float64, opt ParallelOptions) (*
 					if done || shared.length >= n {
 						shared.phase1 = false
 						shared.free = n - shared.length
+						phase1End = time.Now()
 						// Step (b)/(c): barrier + free-processor numbering.
 						shared.globalOps += 2
 						shared.modelTime += 2 * logN
@@ -335,6 +366,15 @@ func ParallelPHF(p bisect.Problem, n int, alpha float64, opt ParallelOptions) (*
 		go worker(id)
 	}
 	wg.Wait()
+
+	end := time.Now()
+	if phase1End.IsZero() {
+		phase1End = end // degenerate run: never left phase 1
+	}
+	opt.Metrics.Counter(mPHFBis1).Add(int64(shared.bis1))
+	opt.Metrics.Counter(mPHFBis2).Add(int64(shared.bis2))
+	opt.Metrics.Histogram(mPHFPhase1Ns).Observe(int64(phase1End.Sub(wallStart)))
+	opt.Metrics.Histogram(mPHFPhase2Ns).Observe(int64(end.Sub(phase1End)))
 
 	out := make([]Part, shared.length)
 	for i := 0; i < shared.length; i++ {

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"bisectlb/internal/obs"
 )
 
 // Typed outcomes of a distributed run, for callers that must distinguish
@@ -30,6 +32,38 @@ type PartReport struct {
 	FromNode int
 }
 
+// RunStats is the coordinator's protocol-level account of one Run: how
+// much recovery work the fault-tolerance machinery actually performed.
+// It is returned inside Result so callers and tests can assert on retry
+// and re-issue counts instead of only on the final partition.
+type RunStats struct {
+	// Elapsed is the wall time of the Run call.
+	Elapsed time.Duration
+	// Faults snapshots the coordinator endpoint's fault-layer counters
+	// (sends, drops, dups, delays, retries).
+	Faults FaultStats
+	// DedupParts and DedupClaims count duplicate part/claim deliveries
+	// that were discarded by message-ID dedup.
+	DedupParts  int
+	DedupClaims int
+	// HeartbeatMisses counts failure-detector checks that found a live
+	// node overdue (beat older than twice the heartbeat interval).
+	HeartbeatMisses int
+	// Deaths is the number of nodes the detector declared dead.
+	Deaths int
+	// LeaseReissues counts lease re-issues (orphan adoption + expiry);
+	// ReissuesByGen[g] is how many re-issues advanced a lease to
+	// generation g.
+	LeaseReissues int
+	ReissuesByGen map[uint64]int
+	// AckRTTp50/p99/max summarise the coordinator's reliable-send round
+	// trips (log-bucketed; p-values are bucket upper bounds).
+	AckRTTp50, AckRTTp99, AckRTTMax time.Duration
+	// Degraded and Incomplete mirror the run outcome.
+	Degraded   bool
+	Incomplete bool
+}
+
 // Result is the outcome of a distributed run.
 type Result struct {
 	Parts []PartReport
@@ -49,6 +83,9 @@ type Result struct {
 	// RecoveryLatency is the time from the first death declaration to
 	// run completion (zero when nothing died).
 	RecoveryLatency time.Duration
+	// Stats is the protocol-level account of the run (retries,
+	// re-issues, dedup hits, ack round-trips), snapshotted at return.
+	Stats RunStats
 }
 
 // lease is one outstanding subproblem obligation. Its remaining weight is
@@ -93,6 +130,7 @@ type Coordinator struct {
 	plan *FaultPlan
 	fs   *faultState
 	acks *ackWaiters
+	reg  *obs.Registry
 	evCh chan message
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -110,11 +148,13 @@ func NewCoordinator(addr string) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dist: coordinator listen: %w", err)
 	}
+	reg := obs.NewRegistry()
 	c := &Coordinator{
 		ln:       ln,
 		tm:       DefaultTiming(),
-		fs:       newFaultState(nil, linkCoord, nil),
+		fs:       newFaultState(nil, linkCoord, nil, reg),
 		acks:     newAckWaiters(),
+		reg:      reg,
 		evCh:     make(chan message, 8192),
 		done:     make(chan struct{}),
 		links:    make(map[int]*link),
@@ -129,9 +169,14 @@ func NewCoordinator(addr string) (*Coordinator, error) {
 func (c *Coordinator) SetFault(plan *FaultPlan) {
 	c.mu.Lock()
 	c.plan = plan
-	c.fs = newFaultState(plan, linkCoord, nil)
+	c.fs = newFaultState(plan, linkCoord, nil, c.reg)
 	c.mu.Unlock()
 }
+
+// Metrics returns the coordinator's metric registry: protocol counters
+// (retries, re-issues, dedup hits, heartbeat misses) and the ack
+// round-trip latency histogram.
+func (c *Coordinator) Metrics() *obs.Registry { return c.reg }
 
 // SetTiming overrides the protocol clocks. Must be called before Run.
 func (c *Coordinator) SetTiming(tm Timing) { c.tm = tm.withDefaults() }
@@ -250,10 +295,14 @@ func (c *Coordinator) dropLink(target int) {
 }
 
 // reliableToNode delivers m to a node with retry and backoff until
-// acknowledged, the run ends, or the coordinator closes.
+// acknowledged, the run ends, or the coordinator closes. The backoff
+// timer is allocated once and Reset per attempt.
 func (c *Coordinator) reliableToNode(target int, addr string, m message, runDone chan struct{}) {
 	ch := c.acks.waiter(ackID(m.ID))
+	start := time.Now()
 	var attempt uint64
+	t := time.NewTimer(c.tm.backoff(m.ID, 0))
+	defer t.Stop()
 	for {
 		if lk, err := c.linkToNode(target, addr); err == nil {
 			if attempt > 0 {
@@ -263,19 +312,18 @@ func (c *Coordinator) reliableToNode(target int, addr string, m message, runDone
 				c.dropLink(target)
 			}
 		}
-		t := time.NewTimer(c.tm.backoff(m.ID, attempt))
 		select {
 		case <-ch:
-			t.Stop()
+			c.reg.Histogram(mAckRTT).ObserveSince(start)
 			return
 		case <-runDone:
-			t.Stop()
 			return
 		case <-c.done:
-			t.Stop()
 			return
 		case <-t.C:
+			c.reg.Histogram(mBackoff).Observe(int64(c.tm.backoff(m.ID, attempt)))
 			attempt++
+			t.Reset(c.tm.backoff(m.ID, attempt))
 		}
 	}
 }
@@ -298,6 +346,20 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 	k := len(nodeAddrs)
 	runDone := make(chan struct{})
 	defer close(runDone)
+
+	runStart := time.Now()
+	stats := RunStats{ReissuesByGen: make(map[uint64]int)}
+	// snapStats finalises the protocol account into the result just
+	// before Run returns, on every exit path that has a result.
+	snapStats := func(res *Result) {
+		stats.Elapsed = time.Since(runStart)
+		stats.Faults = c.fs.Stats()
+		h := c.reg.Histogram(mAckRTT)
+		stats.AckRTTp50 = time.Duration(h.Quantile(0.50))
+		stats.AckRTTp99 = time.Duration(h.Quantile(0.99))
+		stats.AckRTTMax = time.Duration(h.Max())
+		res.Stats = stats
+	}
 
 	now := time.Now()
 	lastBeat := make([]time.Time, k)
@@ -400,6 +462,9 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 	declareDead := func(d int, when time.Time) {
 		alive[d] = false
 		res.DeadNodes = append(res.DeadNodes, d)
+		stats.Deaths++
+		c.reg.Counter(mDeaths).Inc()
+		c.reg.Emit("dist.death", fmt.Sprintf("node %d declared dead", d))
 		if firstDeath.IsZero() {
 			firstDeath = when
 		}
@@ -442,6 +507,9 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 	defer deadline.Stop()
 
 	finishTimeout := func() (*Result, error) {
+		stats.Incomplete = true
+		c.reg.Counter(mOutcomeIncomplete).Inc()
+		snapStats(res)
 		return res, fmt.Errorf("dist: timeout after %v with %d parts (weight %v of %v): %w",
 			timeout, len(res.Parts), sum, root.Weight, ErrIncomplete)
 	}
@@ -455,6 +523,10 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 					lastBeat[m.FromNode] = time.Now()
 				}
 			case msgClaim:
+				if claimSeen[m.ID] {
+					stats.DedupClaims++
+					c.reg.Counter(mDedupClaims).Inc()
+				}
 				debitOnce(m.Parent, m.ID, m.Problem.Weight)
 				l, ok := leases[m.Lease]
 				if !claimSeen[m.ID] && !ok {
@@ -478,6 +550,8 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 			case msgPart:
 				debitOnce(m.Lease, m.ID, m.Part.Weight)
 				if partSeen[m.ID] {
+					stats.DedupParts++
+					c.reg.Counter(mDedupParts).Inc()
 					continue
 				}
 				partSeen[m.ID] = true
@@ -499,17 +573,29 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 					if len(res.DeadNodes) > 0 {
 						res.Degraded = true
 						res.RecoveryLatency = time.Since(firstDeath)
+						stats.Degraded = true
+						c.reg.Counter(mOutcomeDegraded).Inc()
+						snapStats(res)
 						return res, fmt.Errorf("dist: %d of %d nodes died, completed on survivors: %w",
 							len(res.DeadNodes), k, ErrDegraded)
 					}
+					c.reg.Counter(mOutcomeOK).Inc()
+					snapStats(res)
 					return res, nil
 				}
 			}
 		case <-ticker.C:
 			tnow := time.Now()
 			for i := 0; i < k; i++ {
-				if alive[i] && tnow.Sub(lastBeat[i]) > c.tm.DeadAfter {
-					declareDead(i, tnow)
+				if !alive[i] {
+					continue
+				}
+				if silent := tnow.Sub(lastBeat[i]); silent > 2*c.tm.Heartbeat {
+					stats.HeartbeatMisses++
+					c.reg.Counter(mHeartbeatMisses).Inc()
+					if silent > c.tm.DeadAfter {
+						declareDead(i, tnow)
+					}
 				}
 			}
 			for id, l := range leases {
@@ -524,6 +610,11 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 				l.issued = tnow
 				l.gen++
 				res.Reassigned++
+				stats.LeaseReissues++
+				stats.ReissuesByGen[l.gen]++
+				c.reg.Counter(mLeaseReissues).Inc()
+				c.reg.Histogram(mReissueGen).Observe(int64(l.gen))
+				c.reg.Emit("dist.lease_reissue", fmt.Sprintf("lease %d gen %d -> node %d", id, l.gen, eff))
 				issue(l, id, 0, true)
 			}
 		case <-deadline.C:

@@ -6,7 +6,32 @@ import (
 	"sync"
 	"time"
 
+	"bisectlb/internal/obs"
 	"bisectlb/internal/xrand"
+)
+
+// Metric names recorded in the coordinator's and each node's
+// obs.Registry (see Coordinator.Metrics / Node.Metrics).
+const (
+	mSends           = "dist.sends"
+	mDrops           = "dist.drops"
+	mDups            = "dist.dups"
+	mDelays          = "dist.delays"
+	mRetries         = "dist.retries"
+	mAckRTT          = "dist.ack_rtt_ns"  // reliable-send round-trip latency
+	mBackoff         = "dist.backoff_ns"  // backoff waits that expired into a retry
+	mDedupAssigns    = "dist.dedup_assigns"
+	mDedupParts      = "dist.dedup_parts"
+	mDedupClaims     = "dist.dedup_claims"
+	mHeartbeatMisses = "dist.heartbeat_misses"
+	mDeaths          = "dist.deaths"
+	mLeaseReissues   = "dist.lease_reissues"
+	mReissueGen      = "dist.lease_reissue_gen" // histogram over re-issue generations
+	mReissueExecs    = "dist.reissue_execs"     // node re-executions forced by a generation advance
+	mCrashes         = "dist.crash_triggered"
+	mOutcomeOK         = "dist.outcome_ok"
+	mOutcomeDegraded   = "dist.outcome_degraded"
+	mOutcomeIncomplete = "dist.outcome_incomplete"
 )
 
 // FaultPlan describes deterministic fault injection for a cluster run.
@@ -69,9 +94,12 @@ type FaultStats struct {
 }
 
 // faultState is the per-endpoint injection state: the shared plan plus
-// this endpoint's counters and crash trigger.
+// this endpoint's counters and crash trigger. The legacy FaultStats
+// counters are mirrored into the endpoint's obs registry so they show
+// up in metric snapshots alongside the protocol counters.
 type faultState struct {
 	plan *FaultPlan
+	reg  *obs.Registry
 
 	mu         sync.Mutex
 	stats      FaultStats
@@ -81,8 +109,8 @@ type faultState struct {
 	onCrash    func()
 }
 
-func newFaultState(plan *FaultPlan, nodeID int, onCrash func()) *faultState {
-	fs := &faultState{plan: plan, onCrash: onCrash}
+func newFaultState(plan *FaultPlan, nodeID int, onCrash func(), reg *obs.Registry) *faultState {
+	fs := &faultState{plan: plan, onCrash: onCrash, reg: reg}
 	if plan != nil {
 		if after, ok := plan.Crash[nodeID]; ok && after > 0 {
 			fs.crashAfter = after
@@ -98,6 +126,7 @@ func (fs *faultState) addRetry() {
 	fs.mu.Lock()
 	fs.stats.Retries++
 	fs.mu.Unlock()
+	fs.reg.Counter(mRetries).Inc()
 }
 
 // Stats returns a snapshot of the endpoint's counters.
@@ -124,8 +153,12 @@ func (fs *faultState) countData() bool {
 	}
 	cb := fs.onCrash
 	fs.mu.Unlock()
-	if trigger && cb != nil {
-		go cb()
+	if trigger {
+		fs.reg.Counter(mCrashes).Inc()
+		fs.reg.Emit("dist.crash", "crash trigger fired")
+		if cb != nil {
+			go cb()
+		}
 	}
 	return trigger
 }
@@ -166,6 +199,17 @@ func (l *link) send(m message, attempt uint64) error {
 			}
 		}
 		l.fs.mu.Unlock()
+		if drop {
+			l.fs.reg.Counter(mDrops).Inc()
+		} else {
+			l.fs.reg.Counter(mSends).Inc()
+			if dup {
+				l.fs.reg.Counter(mDups).Inc()
+			}
+			if delay > 0 {
+				l.fs.reg.Counter(mDelays).Inc()
+			}
+		}
 		if isDataMessage(m.Type) {
 			if l.fs.countData() {
 				return net.ErrClosed // the crash beat the send
@@ -175,6 +219,7 @@ func (l *link) send(m message, attempt uint64) error {
 		l.fs.mu.Lock()
 		l.fs.stats.Sends++
 		l.fs.mu.Unlock()
+		l.fs.reg.Counter(mSends).Inc()
 	}
 	if drop {
 		return nil

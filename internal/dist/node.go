@@ -9,6 +9,7 @@ import (
 
 	"bisectlb/internal/bisect"
 	"bisectlb/internal/core"
+	"bisectlb/internal/obs"
 )
 
 // Node is one cluster member. It owns the virtual-processor segment
@@ -36,6 +37,7 @@ type Node struct {
 	tm   Timing
 	fs   *faultState
 	acks *ackWaiters
+	reg  *obs.Registry
 
 	mu    sync.Mutex
 	links map[int]*link // dialled links; coordinator is linkCoord
@@ -74,6 +76,7 @@ func NewNode(id, n, k int, addr string) (*Node, error) {
 		ln:       ln,
 		tm:       DefaultTiming(),
 		acks:     newAckWaiters(),
+		reg:      obs.NewRegistry(),
 		links:    make(map[int]*link),
 		seen:     make(map[uint64]uint64),
 		receipts: make(map[uint64]uint64),
@@ -90,6 +93,10 @@ func (nd *Node) SetTiming(tm Timing) { nd.tm = tm.withDefaults() }
 
 // Stats returns the node's fault-layer counters.
 func (nd *Node) Stats() FaultStats { return nd.fs.Stats() }
+
+// Metrics returns the node's metric registry: send/retry/dedup counters
+// and the ack round-trip and backoff latency histograms.
+func (nd *Node) Metrics() *obs.Registry { return nd.reg }
 
 // Addr returns the node's listen address.
 func (nd *Node) Addr() string { return nd.ln.Addr().String() }
@@ -132,7 +139,7 @@ func (nd *Node) Start(peerAddrs []string, coordAddr string) error {
 	}
 	nd.peerAddrs = append([]string(nil), peerAddrs...)
 	nd.coordAddr = coordAddr
-	nd.fs = newFaultState(nd.plan, nd.ID, func() { nd.Kill() })
+	nd.fs = newFaultState(nd.plan, nd.ID, func() { nd.Kill() }, nd.reg)
 	nd.wg.Add(2)
 	go nd.acceptLoop()
 	go nd.heartbeatLoop()
@@ -224,13 +231,20 @@ func (nd *Node) handleAssign(m message, lk *link) {
 	nd.mu.Lock()
 	att := nd.receipts[m.ID]
 	nd.receipts[m.ID]++
-	execute := nd.seen[m.ID] == 0 || (m.Reissue && nd.seen[m.ID] < m.Gen+1)
+	seenBefore := nd.seen[m.ID] > 0
+	execute := !seenBefore || (m.Reissue && nd.seen[m.ID] < m.Gen+1)
 	if execute {
 		nd.seen[m.ID] = m.Gen + 1
 	}
 	closed := nd.closed
 	nd.mu.Unlock()
 	_ = lk.send(message{Type: msgAck, ID: ackID(m.ID), FromNode: nd.ID}, att)
+	if !execute {
+		nd.reg.Counter(mDedupAssigns).Inc()
+	} else if seenBefore {
+		nd.reg.Counter(mReissueExecs).Inc()
+		nd.reg.Emit("dist.reissue_exec", fmt.Sprintf("node %d re-executes lease %d at gen %d", nd.ID, m.Lease, m.Gen))
+	}
 	if closed || !execute {
 		return
 	}
@@ -330,10 +344,14 @@ func (nd *Node) reportPart(p bisect.Problem, lo, hi int, leaseID uint64) {
 // reliableSend delivers m at-least-once: send, await ack with a
 // per-attempt deadline, back off exponentially with seeded jitter and
 // retransmit until acknowledged or the node shuts down. dest re-resolves
-// the target node per attempt; nil means the coordinator.
+// the target node per attempt; nil means the coordinator. The backoff
+// timer is allocated once and Reset per attempt.
 func (nd *Node) reliableSend(dest func() int, m message) error {
 	ch := nd.acks.waiter(ackID(m.ID))
+	start := time.Now()
 	var attempt uint64
+	t := time.NewTimer(nd.tm.backoff(m.ID, 0))
+	defer t.Stop()
 	for {
 		target := linkCoord
 		if dest != nil {
@@ -347,16 +365,16 @@ func (nd *Node) reliableSend(dest func() int, m message) error {
 				nd.dropLink(target)
 			}
 		}
-		t := time.NewTimer(nd.tm.backoff(m.ID, attempt))
 		select {
 		case <-ch:
-			t.Stop()
+			nd.reg.Histogram(mAckRTT).ObserveSince(start)
 			return nil
 		case <-nd.done:
-			t.Stop()
 			return net.ErrClosed
 		case <-t.C:
+			nd.reg.Histogram(mBackoff).Observe(int64(nd.tm.backoff(m.ID, attempt)))
 			attempt++
+			t.Reset(nd.tm.backoff(m.ID, attempt))
 		}
 	}
 }

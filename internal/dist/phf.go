@@ -13,6 +13,7 @@ import (
 	"bisectlb/internal/bisect"
 	"bisectlb/internal/bounds"
 	"bisectlb/internal/netcoll"
+	"bisectlb/internal/obs"
 )
 
 // Distributed PHF: the full Algorithm PHF executed by K nodes over TCP.
@@ -118,6 +119,12 @@ func (nd *PHFNode) SetFault(plan *FaultPlan) {
 // SetTransferTimeout adjusts how long a round waits for its expected
 // incoming part transfers (default 10s).
 func (nd *PHFNode) SetTransferTimeout(d time.Duration) { nd.xferTimeout = d }
+
+// Metrics returns the metric registry of the node's collective member:
+// frame, retransmit and replay counters plus the per-collective latency
+// histogram — PHF's entire fault exposure lives in the collective
+// fabric, so that is where its metrics live too.
+func (nd *PHFNode) Metrics() *obs.Registry { return nd.coll.Metrics() }
 
 // CollAddr and XferAddr expose the two listen addresses for cluster wiring.
 func (nd *PHFNode) CollAddr() string { return nd.coll.Addr() }
@@ -295,7 +302,8 @@ func (nd *PHFNode) round(roundNo int, pred func(bisect.Problem) bool, budget int
 		expected = int(overlapHi - overlapLo)
 	}
 	expected -= selfPlaced
-	deadline := time.After(nd.xferTimeout)
+	deadline := time.NewTimer(nd.xferTimeout)
+	defer deadline.Stop()
 	for got := 0; got < expected; {
 		select {
 		case t := <-nd.incoming:
@@ -309,7 +317,7 @@ func (nd *PHFNode) round(roundNo int, pred func(bisect.Problem) bool, budget int
 			}
 			nd.parts[free[t.Slot]] = p
 			got++
-		case <-deadline:
+		case <-deadline.C:
 			return 0, fmt.Errorf("dist: node %d round %d stalled at %d of %d transfers: %w",
 				nd.id, roundNo, got, expected, ErrIncomplete)
 		}

@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bisectlb/internal/bisect"
+)
+
+// TestRunStatsLeaseReissueMatchesCrashes pins the protocol account to the
+// injected fault plan: with n = k = 2 the hand-off topology is a single
+// edge, so node 1 holds exactly one lease (the claimed child) when its
+// crash trigger fires, and the death must produce exactly one
+// generation-1 re-issue — one per injected crash, deterministically.
+func TestRunStatsLeaseReissueMatchesCrashes(t *testing.T) {
+	const n, k, seed = 2, 2, 42
+	// Node 1's outbound data messages are its claim and its part; crashing
+	// on the 2nd loses the part, so its lease stays undischarged.
+	plan := &FaultPlan{Seed: 5, Crash: map[int]int{1: 2}}
+	// LeaseExpiry far beyond the run length: the only re-issue path left
+	// is death-triggered adoption, making the count exact.
+	tm := Timing{
+		Heartbeat:   15 * time.Millisecond,
+		DeadAfter:   300 * time.Millisecond,
+		LeaseExpiry: 30 * time.Second,
+		RetryBase:   40 * time.Millisecond,
+		RetryMax:    250 * time.Millisecond,
+	}
+	cl, err := StartClusterWith(n, k, plan, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	root, err := Encode(bisect.MustSynthetic(1, 0.1, 0.5, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Coord.Run(root, n, cl.Addrs(), 25*time.Second)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("want ErrDegraded, got %v", err)
+	}
+	st := res.Stats
+	if st.LeaseReissues != len(plan.Crash) {
+		t.Fatalf("LeaseReissues = %d, want %d (one per injected crash)", st.LeaseReissues, len(plan.Crash))
+	}
+	if st.Deaths != 1 {
+		t.Fatalf("Deaths = %d, want 1", st.Deaths)
+	}
+	if st.ReissuesByGen[1] != 1 {
+		t.Fatalf("ReissuesByGen = %v, want {1:1}", st.ReissuesByGen)
+	}
+	if !st.Degraded || st.Incomplete {
+		t.Fatalf("outcome flags wrong: %+v", st)
+	}
+	if st.HeartbeatMisses == 0 {
+		t.Fatal("a detected death implies missed heartbeats")
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("Elapsed not measured")
+	}
+	// The re-issued lease was re-executed by the survivor: the partition
+	// still matches the in-process run exactly.
+	requireLocalBAMatch(t, res, n, seed)
+	// The counters mirror into the coordinator's registry.
+	if v := cl.Coord.Metrics().Counter(mLeaseReissues).Value(); v != int64(st.LeaseReissues) {
+		t.Fatalf("registry lease_reissues = %d, stats say %d", v, st.LeaseReissues)
+	}
+	if v := cl.Coord.Metrics().Counter(mDeaths).Value(); v != 1 {
+		t.Fatalf("registry deaths = %d, want 1", v)
+	}
+}
+
+// TestRunStatsCleanRunHasZeroFaultCounters checks the other direction:
+// with no fault plan, the injected-fault columns of RunStats must all be
+// zero — the observability layer never invents protocol activity.
+func TestRunStatsCleanRunHasZeroFaultCounters(t *testing.T) {
+	const n, k, seed = 32, 2, 7
+	cl, err := StartCluster(n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	root, err := Encode(bisect.MustSynthetic(1, 0.1, 0.5, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Coord.Run(root, n, cl.Addrs(), 25*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	if st.Faults.Drops != 0 || st.Faults.Dups != 0 || st.Faults.Delays != 0 {
+		t.Fatalf("fault-free run reports injected faults: %+v", st.Faults)
+	}
+	if st.Deaths != 0 || st.LeaseReissues != 0 || len(st.ReissuesByGen) != 0 {
+		t.Fatalf("fault-free run reports recovery work: %+v", st)
+	}
+	if st.Degraded || st.Incomplete {
+		t.Fatalf("fault-free run reports bad outcome: %+v", st)
+	}
+	if st.Elapsed <= 0 {
+		t.Fatal("Elapsed not measured")
+	}
+}

@@ -64,6 +64,24 @@ type ChaosRow struct {
 	// AvgRecovery averages, over degraded completions, the time from the
 	// first death declaration to run completion.
 	AvgRecovery time.Duration
+	// Metrics holds the cell's protocol-counter totals, summed over every
+	// trial (completed or not); rendered as the metrics appendix.
+	Metrics ChaosCellMetrics
+}
+
+// ChaosCellMetrics totals the fault-layer and recovery-protocol counters
+// of one sweep cell. In the fault-free cell the injected columns (drops,
+// dups, deaths, re-issues) are all zero — the appendix doubles as a
+// sanity check that the fault layer only acts when asked.
+type ChaosCellMetrics struct {
+	Sends           int // send attempts that reached the wire
+	Drops           int // attempts swallowed by the fault plan
+	Dups            int // attempts delivered twice
+	Retries         int // reliable-send retransmissions
+	DedupHits       int // duplicate parts/claims discarded by ID dedup
+	HeartbeatMisses int // overdue-beat detector checks
+	Deaths          int // nodes declared dead
+	LeaseReissues   int // leases re-issued to survivors
 }
 
 // chaosTiming is tightened relative to the runtime defaults so crash
@@ -135,6 +153,16 @@ func RunChaosStudy(cfg ChaosStudy) ([]ChaosRow, error) {
 					res, err := cl.Coord.Run(root, cfg.N, cl.Addrs(), cfg.Timeout)
 					st := cl.TotalStats()
 					cl.Close()
+					row.Metrics.Sends += st.Sends
+					row.Metrics.Drops += st.Drops
+					row.Metrics.Dups += st.Dups
+					row.Metrics.Retries += st.Retries
+					if res != nil {
+						row.Metrics.DedupHits += res.Stats.DedupParts + res.Stats.DedupClaims
+						row.Metrics.HeartbeatMisses += res.Stats.HeartbeatMisses
+						row.Metrics.Deaths += res.Stats.Deaths
+						row.Metrics.LeaseReissues += res.Stats.LeaseReissues
+					}
 					if err != nil && !errors.Is(err, dist.ErrDegraded) {
 						continue // incomplete: counted against the completion rate
 					}
@@ -183,6 +211,20 @@ func RenderChaosStudy(w io.Writer, cfg ChaosStudy, rows []ChaosRow) error {
 		fmt.Fprintf(w, "%3d  %4.0f%%  %7d   %4d/%-4d  %9s  %8.1f  %9.1f  %10s\n",
 			r.K, 100*r.DropRate, r.Crashes, r.Completed, r.Trials, ratio,
 			r.AvgRetries, r.AvgReassigned, recov)
+	}
+
+	// Metrics appendix: raw protocol-counter totals per cell. The
+	// fault-free cells (drop 0%, crashes 0) must show zero in every
+	// injected column; faulted cells must show the recovery machinery at
+	// work (retries under drops, re-issues and dedup hits under crashes).
+	fmt.Fprintf(w, "\nMetrics appendix (protocol counters, summed over all trials in the cell)\n\n")
+	fmt.Fprintf(w, "%3s  %5s  %7s  %8s  %7s  %6s  %8s  %7s  %8s  %7s  %9s\n",
+		"K", "drop", "crashes", "sends", "drops", "dups", "retries", "dedup", "hb_miss", "deaths", "reissues")
+	for _, r := range rows {
+		m := r.Metrics
+		fmt.Fprintf(w, "%3d  %4.0f%%  %7d  %8d  %7d  %6d  %8d  %7d  %8d  %7d  %9d\n",
+			r.K, 100*r.DropRate, r.Crashes, m.Sends, m.Drops, m.Dups,
+			m.Retries, m.DedupHits, m.HeartbeatMisses, m.Deaths, m.LeaseReissues)
 	}
 	return nil
 }

@@ -5,7 +5,9 @@ import (
 	"io"
 
 	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
 	"bisectlb/internal/machine"
+	"bisectlb/internal/obs"
 	"bisectlb/internal/stats"
 	"bisectlb/internal/xrand"
 )
@@ -105,6 +107,31 @@ func RunEndToEndStudy(cfg EndToEndStudy) ([]EndToEndRow, error) {
 		out = append(out, row)
 	}
 	return out, nil
+}
+
+// RunExecutorProbe runs one representative instance of the study's
+// distribution through the real goroutine-parallel executors (ParallelBA
+// and ParallelPHF) with a metrics registry attached. The model-time table
+// above predicts cost; the probe measures what the executors actually do
+// on this machine — bisection counts, goroutine spawns, and the wall time
+// of PHF's two phases — for the metrics appendix.
+func RunExecutorProbe(cfg EndToEndStudy) (*obs.Registry, error) {
+	reg := obs.NewRegistry()
+	opt := core.ParallelOptions{Metrics: reg}
+	seed := xrand.New(cfg.Seed).Uint64()
+	if _, err := core.ParallelBA(bisect.MustSynthetic(1, cfg.Lo, cfg.Hi, seed), cfg.N, opt); err != nil {
+		return nil, err
+	}
+	if _, err := core.ParallelPHF(bisect.MustSynthetic(1, cfg.Lo, cfg.Hi, seed), cfg.N, cfg.Alpha, opt); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// RenderExecutorAppendix writes the probe registry as a metrics appendix.
+func RenderExecutorAppendix(w io.Writer, cfg EndToEndStudy, reg *obs.Registry) error {
+	fmt.Fprintf(w, "\nMetrics appendix: parallel executors on one representative instance (N = %d)\n\n", cfg.N)
+	return reg.WriteText(w)
 }
 
 // RenderEndToEndStudy writes the sweep as a table with the winner column.

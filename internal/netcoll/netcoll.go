@@ -34,7 +34,25 @@ import (
 	"sync"
 	"time"
 
+	"bisectlb/internal/obs"
 	"bisectlb/internal/xrand"
+)
+
+// Metric names recorded in a member's obs.Registry (see Metrics).
+const (
+	mFramesSent   = "netcoll.frames_sent"
+	mFramesDrop   = "netcoll.frames_dropped" // swallowed by the fault plan
+	mFramesDup    = "netcoll.frames_duped"
+	mFramesDelay  = "netcoll.frames_delayed"
+	mRetransmits  = "netcoll.retransmits" // up-contribution re-sends on sub-timeout
+	mReplays      = "netcoll.replays"     // down-frame replays to children
+	mStaleDrops   = "netcoll.stale_drops" // frames of finished collectives discarded
+	mInboxDrops   = "netcoll.inbox_drops" // protocol-violation drops on a full inbox
+	mTimeouts     = "netcoll.timeouts"    // collectives that hit ErrTimeout
+	mRebuilds     = "netcoll.rebuilds"    // tree rebuilds after member deaths
+	mDials        = "netcoll.dials"
+	mCollectives  = "netcoll.collectives"
+	mCollectiveNs = "netcoll.collective_ns" // per-collective latency histogram
 )
 
 // ErrTimeout marks a collective that did not complete within the
@@ -108,6 +126,20 @@ type Member struct {
 	timeout time.Duration
 	retry   time.Duration
 	fault   FaultInjector
+	reg     *obs.Registry
+
+	// dial opens the transport connection to a peer; a test hook so the
+	// no-head-of-line-blocking property of sendFrame is verifiable with
+	// a deterministically slow peer.
+	dial func(addr string) (net.Conn, error)
+
+	// pending holds frames of the current or a future collective that a
+	// recv call pulled from the inbox but did not want. It is scanned
+	// before the inbox, so a stashed frame can never be lost — unlike
+	// the bounded-channel re-queue it replaces, which silently dropped
+	// frames when the inbox was full. Guarded by the same single-
+	// goroutine collective contract as seq.
+	pending []frame
 
 	// live maps rank → member id; rank is this member's own position.
 	live []int
@@ -138,6 +170,8 @@ func NewMember(id, k int, addr string) (*Member, error) {
 		inbox:     make(chan frame, 64),
 		timeout:   30 * time.Second,
 		retry:     250 * time.Millisecond,
+		reg:       obs.NewRegistry(),
+		dial:      func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
 		live:      live,
 		rank:      id,
 	}, nil
@@ -145,6 +179,10 @@ func NewMember(id, k int, addr string) (*Member, error) {
 
 // Addr returns the member's listen address.
 func (m *Member) Addr() string { return m.ln.Addr().String() }
+
+// Metrics returns the member's metric registry: frame/retransmit/replay
+// counters and the per-collective latency histogram.
+func (m *Member) Metrics() *obs.Registry { return m.reg }
 
 // SetTimeout adjusts the per-collective deadline (default 30s).
 func (m *Member) SetTimeout(d time.Duration) { m.timeout = d }
@@ -210,6 +248,7 @@ func (m *Member) readConn(conn net.Conn) {
 			}
 			m.mu.Unlock()
 			if ok {
+				m.reg.Counter(mReplays).Inc()
 				_ = m.sendFrame(f.From, cached, attempt)
 				continue
 			}
@@ -220,6 +259,7 @@ func (m *Member) readConn(conn net.Conn) {
 			// A full inbox means the protocol is violated (more than one
 			// outstanding collective); drop the frame and let the peer
 			// time out loudly.
+			m.reg.Counter(mInboxDrops).Inc()
 		}
 	}
 }
@@ -264,6 +304,8 @@ func (m *Member) Rebuild(survivors []int) error {
 	m.live = live
 	m.rank = rank
 	m.seq = ((m.seq >> 20) + 1) << 20
+	m.reg.Counter(mRebuilds).Inc()
+	m.reg.Emit("netcoll.rebuild", fmt.Sprintf("member %d: %d survivors, rank %d", m.id, len(live), rank))
 	return nil
 }
 
@@ -276,34 +318,71 @@ func (m *Member) sendFrame(to int, f frame, attempt uint64) error {
 		var drop bool
 		drop, dup, delay = m.fault.Decide(frameID(f, to), attempt)
 		if drop {
+			m.reg.Counter(mFramesDrop).Inc()
 			return nil
 		}
 	}
 	if delay > 0 {
+		m.reg.Counter(mFramesDelay).Inc()
 		time.Sleep(delay)
+	}
+	enc, err := m.encoderFor(to)
+	if err != nil {
+		return err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return net.ErrClosed
 	}
-	enc, ok := m.encoders[to]
-	if !ok {
-		conn, err := net.Dial("tcp", m.addrs[to])
-		if err != nil {
-			return fmt.Errorf("netcoll: member %d dialing %d: %w", m.id, to, err)
-		}
-		m.conns = append(m.conns, conn)
-		enc = json.NewEncoder(conn)
-		m.encoders[to] = enc
-	}
+	m.reg.Counter(mFramesSent).Inc()
 	if err := enc.Encode(f); err != nil {
 		return err
 	}
 	if dup {
+		m.reg.Counter(mFramesDup).Inc()
 		return enc.Encode(f)
 	}
 	return nil
+}
+
+// encoderFor returns the cached encoder for a peer, dialling it first
+// if necessary. The dial happens OUTSIDE the member lock so one slow or
+// unreachable peer cannot head-of-line-block every other send from this
+// member; when two goroutines race to dial the same peer, the loser
+// closes its connection and adopts the winner's encoder.
+func (m *Member) encoderFor(to int) (*json.Encoder, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, net.ErrClosed
+	}
+	if enc, ok := m.encoders[to]; ok {
+		m.mu.Unlock()
+		return enc, nil
+	}
+	addr := m.addrs[to]
+	m.mu.Unlock()
+
+	m.reg.Counter(mDials).Inc()
+	conn, err := m.dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcoll: member %d dialing %d: %w", m.id, to, err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		_ = conn.Close()
+		return nil, net.ErrClosed
+	}
+	if enc, ok := m.encoders[to]; ok {
+		_ = conn.Close()
+		return enc, nil
+	}
+	m.conns = append(m.conns, conn)
+	enc := json.NewEncoder(conn)
+	m.encoders[to] = enc
+	return enc, nil
 }
 
 // sendDown caches a down-frame for replay, then transmits it.
@@ -325,44 +404,85 @@ func (m *Member) sendDown(to int, f frame) error {
 }
 
 // recv waits for a frame matching seq, direction and sender. Frames from
-// earlier collectives are discarded; frames of the current collective
-// that this call did not want are re-queued. If resend is non-nil it is
-// invoked on every retransmission sub-timeout with an increasing attempt
-// number — the caller's way of nudging a parent whose frame (or whose
-// view of ours) was lost.
+// earlier collectives are discarded; frames of the current (or a future)
+// collective that this call did not want are stashed in m.pending, which
+// is scanned before the inbox on every call — unlike the old bounded
+// channel re-queue, the stash cannot overflow, so a diverted frame is
+// never lost. If resend is non-nil it is invoked on every retransmission
+// sub-timeout with an increasing attempt number — the caller's way of
+// nudging a parent whose frame (or whose view of ours) was lost.
 func (m *Member) recv(seq uint64, dir string, from int, resend func(attempt uint64) error) (frame, error) {
-	overall := time.After(m.timeout)
-	attempt := uint64(0)
-	var stash []frame
-	defer func() {
-		for _, f := range stash {
+	// A previous recv may already have pulled the wanted frame out of
+	// the inbox; stale entries are pruned on the way through.
+	kept := m.pending[:0]
+	var match frame
+	found := false
+	for i := range m.pending {
+		f := m.pending[i]
+		switch {
+		case !found && f.Seq == seq && f.Dir == dir && f.From == from:
+			match, found = f, true
+		case f.Seq >= seq:
+			kept = append(kept, f)
+		default:
+			m.reg.Counter(mStaleDrops).Inc()
+		}
+	}
+	m.pending = kept
+	if found {
+		return match, nil
+	}
+
+	// One timer per role, reused across iterations: the per-iteration
+	// time.After this replaces leaked a timer per loop turn, which
+	// accumulates under chaos-level retransmit counts.
+	overall := time.NewTimer(m.timeout)
+	defer overall.Stop()
+	var sub *time.Timer
+	var subC <-chan time.Time
+	if resend != nil {
+		sub = time.NewTimer(m.retry)
+		defer sub.Stop()
+		subC = sub.C
+	}
+	resetSub := func(drain bool) {
+		if sub == nil {
+			return
+		}
+		if drain && !sub.Stop() {
 			select {
-			case m.inbox <- f:
+			case <-sub.C:
 			default:
 			}
 		}
-	}()
+		sub.Reset(m.retry)
+	}
+	attempt := uint64(0)
 	for {
-		var sub <-chan time.Time
-		if resend != nil {
-			sub = time.After(m.retry)
-		}
 		select {
 		case f := <-m.inbox:
 			if f.Seq == seq && f.Dir == dir && f.From == from {
 				return f, nil
 			}
 			if f.Seq >= seq {
-				stash = append(stash, f)
+				m.pending = append(m.pending, f)
+			} else {
+				// Frames with older sequence numbers are stale retransmits
+				// or duplicates of finished collectives: drop them.
+				m.reg.Counter(mStaleDrops).Inc()
 			}
-			// Frames with older sequence numbers are stale retransmits or
-			// duplicates of finished collectives: drop them.
-		case <-sub:
+			// Any received frame is progress; restart the retransmission
+			// clock as the per-iteration timer construction used to.
+			resetSub(true)
+		case <-subC:
 			attempt++
+			m.reg.Counter(mRetransmits).Inc()
 			if err := resend(attempt); err != nil {
 				return frame{}, err
 			}
-		case <-overall:
+			resetSub(false)
+		case <-overall.C:
+			m.reg.Counter(mTimeouts).Inc()
 			return frame{}, fmt.Errorf("netcoll: member %d waiting for %s/%d seq %d: %w",
 				m.id, dir, from, seq, ErrTimeout)
 		}
@@ -373,6 +493,9 @@ func (m *Member) recv(seq uint64, dir string, from int, resend func(attempt uint
 // contributions into the local value; the root's final value is broadcast
 // back down and returned by every member.
 func (m *Member) reduce(local frame, combine func(acc, child frame) frame) (frame, error) {
+	m.reg.Counter(mCollectives).Inc()
+	start := time.Now()
+	defer func() { m.reg.Histogram(mCollectiveNs).ObserveSince(start) }()
 	m.seq++
 	seq := m.seq
 	local.Seq = seq
@@ -479,6 +602,9 @@ func (m *Member) BroadcastFloat64(v float64) (float64, error) {
 // member-id order. The up-sweep accumulates subtree sums; the down-sweep
 // hands each subtree its base offset.
 func (m *Member) PrefixSumInt64(v int64) (before, total int64, err error) {
+	m.reg.Counter(mCollectives).Inc()
+	start := time.Now()
+	defer func() { m.reg.Histogram(mCollectiveNs).ObserveSince(start) }()
 	m.seq++
 	seq := m.seq
 

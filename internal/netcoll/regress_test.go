@@ -1,0 +1,146 @@
+package netcoll
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// TestStashedFramesSurviveFullInbox regresses the lossy re-queue bug:
+// recv used to divert unwanted frames back into the bounded inbox with a
+// non-blocking send, so a diverted frame racing a full inbox was silently
+// dropped and the collective that needed it timed out. The stash must
+// keep diverted frames through arbitrary inbox pressure.
+func TestStashedFramesSurviveFullInbox(t *testing.T) {
+	m, err := NewMember(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetTimeout(500 * time.Millisecond)
+
+	// A frame of the NEXT collective arrives early, ahead of the frame
+	// this collective wants — recv must divert it, not drop it.
+	early := frame{Seq: 2, Dir: dirUp, From: 1, I: 42}
+	m.inbox <- early
+	m.inbox <- frame{Seq: 1, Dir: dirDown, From: 1, I: 7}
+	got, err := m.recv(1, dirDown, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != 7 {
+		t.Fatalf("recv returned wrong frame: %+v", got)
+	}
+
+	// Now saturate the inbox completely. Under the old re-queue the early
+	// frame would have been pushed back into this full channel and lost.
+	for i := 0; i < cap(m.inbox); i++ {
+		m.inbox <- frame{Seq: 3, Dir: dirUp, From: 1}
+	}
+	got, err = m.recv(2, dirUp, 1, nil)
+	if err != nil {
+		t.Fatalf("stashed frame lost: %v", err)
+	}
+	if got.I != 42 {
+		t.Fatalf("recv returned wrong stashed frame: %+v", got)
+	}
+}
+
+// TestStaleStashedFramesPruned checks that frames of finished collectives
+// do not accumulate in the stash forever: a recv for a later sequence
+// prunes them (and counts the drops) instead of keeping them alive.
+func TestStaleStashedFramesPruned(t *testing.T) {
+	m, err := NewMember(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetTimeout(200 * time.Millisecond)
+
+	m.pending = append(m.pending, frame{Seq: 1, Dir: dirUp, From: 1}) // stale
+	m.pending = append(m.pending, frame{Seq: 5, Dir: dirUp, From: 1}) // wanted
+	got, err := m.recv(5, dirUp, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 5 {
+		t.Fatalf("recv returned %+v", got)
+	}
+	if len(m.pending) != 0 {
+		t.Fatalf("stale frame kept in stash: %+v", m.pending)
+	}
+	if n := m.Metrics().Counter("netcoll.stale_drops").Value(); n != 1 {
+		t.Fatalf("stale_drops = %d, want 1", n)
+	}
+}
+
+// TestDialDoesNotBlockOtherSends regresses the head-of-line-blocking bug:
+// sendFrame used to hold the member lock across net.Dial, so one slow or
+// unreachable peer stalled every other outbound frame. With the dial
+// outside the lock, a send to a healthy peer completes while another
+// goroutine is stuck dialling.
+func TestDialDoesNotBlockOtherSends(t *testing.T) {
+	members := cluster(t, 3)
+	m0 := members[0]
+	slowAddr := members[2].Addr()
+	base := m0.dial
+	m0.dial = func(addr string) (net.Conn, error) {
+		if addr == slowAddr {
+			time.Sleep(1500 * time.Millisecond)
+		}
+		return base(addr)
+	}
+
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		_ = m0.sendFrame(2, frame{Seq: 1, Dir: dirUp, From: 0}, 0)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow dial get underway
+
+	start := time.Now()
+	if err := m0.sendFrame(1, frame{Seq: 1, Dir: dirUp, From: 0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 700*time.Millisecond {
+		t.Fatalf("send to healthy peer took %v behind a slow dial", el)
+	}
+	<-slowDone
+}
+
+// TestDialRaceAdoptsWinner checks the post-dial re-check: when two
+// goroutines race to dial the same peer, both must end up on the same
+// encoder (the loser closes its own connection), so frames to one peer
+// never interleave across two sockets.
+func TestDialRaceAdoptsWinner(t *testing.T) {
+	members := cluster(t, 2)
+	m0 := members[0]
+
+	const racers = 8
+	encs := make([]chan interface{}, racers)
+	for i := range encs {
+		encs[i] = make(chan interface{}, 1)
+		go func(ch chan interface{}) {
+			enc, err := m0.encoderFor(1)
+			if err != nil {
+				ch <- err
+				return
+			}
+			ch <- enc
+		}(encs[i])
+	}
+	var first interface{}
+	for i, ch := range encs {
+		got := <-ch
+		if err, ok := got.(error); ok {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatal("racing dials produced different encoders for the same peer")
+		}
+	}
+}

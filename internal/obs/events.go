@@ -1,0 +1,97 @@
+package obs
+
+import "time"
+
+// DefaultRingCapacity bounds a registry's event ring: once full, the
+// oldest events are overwritten and counted as dropped.
+const DefaultRingCapacity = 256
+
+// Event is one timestamped trace record.
+type Event struct {
+	At     time.Time `json:"at"`
+	Name   string    `json:"name"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// ring is a fixed-capacity overwrite-oldest event buffer. Guarded by
+// the owning registry's mutex.
+type ring struct {
+	cap     int
+	buf     []Event
+	next    int // insertion index once buf is at capacity
+	dropped int64
+}
+
+func (r *ring) add(e Event) {
+	if r.cap <= 0 {
+		r.cap = DefaultRingCapacity
+	}
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % r.cap
+	r.dropped++
+}
+
+// ordered returns the buffered events oldest-first.
+func (r *ring) ordered() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Emit appends one event to the registry's ring. Nil-safe no-op.
+func (r *Registry) Emit(name, detail string) {
+	if r == nil {
+		return
+	}
+	e := Event{At: time.Now(), Name: name, Detail: detail}
+	r.mu.Lock()
+	r.ring.add(e)
+	r.mu.Unlock()
+}
+
+// SetRingCapacity resizes the event ring (existing events are kept up
+// to the new capacity, oldest dropped first). Nil-safe no-op.
+func (r *Registry) SetRingCapacity(n int) {
+	if r == nil || n < 1 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.ring.ordered()
+	if len(old) > n {
+		r.ring.dropped += int64(len(old) - n)
+		old = old[len(old)-n:]
+	}
+	r.ring = ring{cap: n, buf: old, dropped: r.ring.dropped}
+	if len(old) == n {
+		r.ring.next = 0
+	}
+}
+
+// Span measures one operation from StartSpan to End.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a span. Ending it records the latency into the
+// histogram named after the span and emits a trace event. Nil-safe.
+func (r *Registry) StartSpan(name string) Span {
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// End closes the span and returns its duration.
+func (s Span) End() time.Duration {
+	if s.r == nil {
+		return 0
+	}
+	d := s.r.Histogram(s.name).ObserveSince(s.start)
+	s.r.Emit(s.name, d.String())
+	return d
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two buckets: bucket i counts
+// observations v with 2^(i-1) ≤ v < 2^i (bucket 0 counts v ≤ 0). With
+// nanosecond latencies this spans sub-nanosecond to ~584 years.
+const histBuckets = 65
+
+// Histogram is a log-bucketed histogram of int64 observations —
+// typically latencies in nanoseconds. Buckets are powers of two, so
+// Observe is a bit-length computation plus one atomic add; quantiles
+// are approximate (bucket upper bound), which is the right fidelity
+// for "where did the time go" questions.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketFor maps an observation to its bucket index.
+func bucketFor(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the exclusive upper bound of bucket i, i.e. the
+// largest value class the bucket represents.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 + (int64(1)<<62 - 1) // avoid overflow; effectively +inf
+	}
+	return int64(1) << i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) time.Duration {
+	d := time.Since(start)
+	h.Observe(int64(d))
+	return d
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1): the
+// upper edge of the first bucket whose cumulative count reaches q·n.
+// The answer is within a factor of two of the true quantile, by
+// construction of the power-of-two buckets.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return BucketUpper(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// HistogramSnapshot is the renderable state of a histogram. Buckets
+// holds only the nonzero buckets as (upper bound, count) pairs.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Mean    float64       `json:"mean"`
+	Max     int64         `json:"max"`
+	P50     int64         `json:"p50"`
+	P90     int64         `json:"p90"`
+	P99     int64         `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one nonzero histogram bucket.
+type BucketCount struct {
+	Le int64 `json:"le"` // exclusive upper bound of the bucket
+	N  int64 `json:"n"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	sn := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			sn.Buckets = append(sn.Buckets, BucketCount{Le: BucketUpper(i), N: n})
+		}
+	}
+	return sn
+}

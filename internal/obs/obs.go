@@ -1,0 +1,134 @@
+// Package obs is the runtime observability substrate: dependency-free
+// metrics (atomic counters, gauges, log-bucketed histograms) and a
+// bounded in-memory event ring, grouped under named registries with
+// text and JSON renderers.
+//
+// The package exists because the fault-tolerant runtime (internal/dist,
+// internal/netcoll) and the parallel executors (internal/core) do real
+// recovery work — retries, backoffs, lease re-issues, retransmits —
+// that is invisible in their final results. Every such event increments
+// a named metric here, so experiments can print a measurement appendix
+// and tests can assert on protocol behaviour instead of only outcomes.
+//
+// All metric operations are safe for concurrent use and allocation-free
+// on the hot path. Every accessor on *Registry is nil-safe: a nil
+// registry hands out shared discard instruments, so instrumented code
+// never needs to guard `if reg != nil`.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (may go up and down).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a namespace of named instruments plus one event ring.
+// Instruments are created on first use and live for the registry's
+// lifetime; looking one up twice returns the same instrument.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	ring     ring
+}
+
+// NewRegistry returns an empty registry whose event ring keeps the most
+// recent DefaultRingCapacity events.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		ring:     ring{cap: DefaultRingCapacity},
+	}
+}
+
+// Shared discard instruments handed out by nil registries. Writes to
+// them are harmless (and cheap); they are never rendered.
+var (
+	discardCounter   Counter
+	discardGauge     Gauge
+	discardHistogram Histogram
+)
+
+// Counter returns the named counter, creating it if needed. Safe on a
+// nil registry (returns a shared discard counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &discardCounter
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &discardGauge
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it if needed. Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return &discardHistogram
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// names returns the sorted instrument names of one kind; used by the
+// renderers for stable output.
+func sortedKeys[T any](m map[string]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

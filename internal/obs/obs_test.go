@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},            // [1, 2)
+		{2, 2}, {3, 2},    // [2, 4)
+		{4, 3}, {7, 3},    // [4, 8)
+		{1023, 10}, {1024, 11},
+		{1 << 40, 41},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.v); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Bucket bounds are consistent with bucketFor: every positive value
+	// is strictly below its bucket's upper bound and at least the
+	// previous bucket's.
+	for _, v := range []int64{1, 2, 3, 17, 1000, 1 << 30} {
+		b := bucketFor(v)
+		if v >= BucketUpper(b) {
+			t.Errorf("value %d not below its bucket bound %d", v, BucketUpper(b))
+		}
+		if b > 1 && v < BucketUpper(b-1) {
+			t.Errorf("value %d below previous bucket bound %d", v, BucketUpper(b-1))
+		}
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 1000*1001/2 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if m := h.Mean(); m < 500 || m > 501 {
+		t.Fatalf("mean = %v", m)
+	}
+	// The p50 of 1…1000 is ~500; the log-bucket answer must be the
+	// bucket bound just above it (512), and within 2× of the truth.
+	if q := h.Quantile(0.5); q != 512 {
+		t.Fatalf("p50 = %d, want 512", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Fatalf("p100 = %d, want ≥ 1000", q)
+	}
+	if q := h.Quantile(0.0); q == 0 {
+		t.Fatal("q=0 on a non-empty histogram returned 0")
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// TestConcurrentInstruments hammers one registry from many goroutines;
+// run under -race this is the package's data-race proof.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("gauge").Add(1)
+				r.Histogram("lat").Observe(int64(i + 1))
+				if i%100 == 0 {
+					r.Emit("tick", "")
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(3)
+	r.Histogram("z").Observe(7)
+	r.Emit("e", "detail")
+	r.StartSpan("span").End()
+	if sn := r.Snapshot(); len(sn.Counters) != 0 || len(sn.Events) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", sn)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRegistry()
+	r.SetRingCapacity(4)
+	for i := 0; i < 10; i++ {
+		r.Emit("e", string(rune('a'+i)))
+	}
+	sn := r.Snapshot()
+	if len(sn.Events) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(sn.Events))
+	}
+	if sn.DroppedEvents != 6 {
+		t.Fatalf("dropped = %d, want 6", sn.DroppedEvents)
+	}
+	// Oldest-first ordering of the survivors g, h, i, j.
+	for i, want := range []string{"g", "h", "i", "j"} {
+		if sn.Events[i].Detail != want {
+			t.Fatalf("event %d = %q, want %q", i, sn.Events[i].Detail, want)
+		}
+	}
+}
+
+func TestSpanRecordsHistogramAndEvent(t *testing.T) {
+	r := NewRegistry()
+	sp := r.StartSpan("op")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d < time.Millisecond {
+		t.Fatalf("span duration %v too short", d)
+	}
+	sn := r.Snapshot()
+	h, ok := sn.Histograms["op"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("span histogram missing: %+v", sn.Histograms)
+	}
+	if len(sn.Events) != 1 || sn.Events[0].Name != "op" {
+		t.Fatalf("span event missing: %+v", sn.Events)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dist.sends").Add(42)
+	r.Gauge("dist.inflight").Set(3)
+	r.Histogram("dist.ack_rtt_ns").Observe(1_500_000)
+
+	var txt bytes.Buffer
+	if err := r.WriteText(&txt); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dist.sends", "42", "dist.inflight", "dist.ack_rtt_ns", "n=1"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var sn Snapshot
+	if err := json.Unmarshal(js.Bytes(), &sn); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if sn.Counters["dist.sends"] != 42 {
+		t.Fatalf("JSON counters = %+v", sn.Counters)
+	}
+	if sn.Histograms["dist.ack_rtt_ns"].Count != 1 {
+		t.Fatalf("JSON histograms = %+v", sn.Histograms)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("c").Add(2)
+	b.Counter("c").Add(3)
+	b.Counter("only_b").Inc()
+	a.Histogram("h").Observe(10)
+	b.Histogram("h").Observe(30)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Counters["c"] != 5 || sa.Counters["only_b"] != 1 {
+		t.Fatalf("merged counters = %+v", sa.Counters)
+	}
+	h := sa.Histograms["h"]
+	if h.Count != 2 || h.Sum != 40 || h.Max != 30 {
+		t.Fatalf("merged histogram = %+v", h)
+	}
+}

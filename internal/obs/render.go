@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of a registry, suitable for JSON
+// encoding or diffing across a run.
+type Snapshot struct {
+	Counters      map[string]int64             `json:"counters,omitempty"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Events        []Event                      `json:"events,omitempty"`
+	DroppedEvents int64                        `json:"dropped_events,omitempty"`
+}
+
+// Snapshot captures every instrument and the event ring. Nil-safe
+// (returns the zero snapshot).
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sn := Snapshot{
+		Counters:      make(map[string]int64, len(r.counters)),
+		Gauges:        make(map[string]int64, len(r.gauges)),
+		Histograms:    make(map[string]HistogramSnapshot, len(r.hists)),
+		Events:        r.ring.ordered(),
+		DroppedEvents: r.ring.dropped,
+	}
+	for name, c := range r.counters {
+		sn.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		sn.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		sn.Histograms[name] = h.Snapshot()
+	}
+	return sn
+}
+
+// Merge adds another snapshot's counters and gauges into this one and
+// concatenates histogram totals (count/sum/max; quantiles are kept from
+// the larger-count side). Used to aggregate per-node snapshots into a
+// cluster view.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = make(map[string]int64)
+	}
+	for k, v := range o.Counters {
+		s.Counters[k] += v
+	}
+	if s.Gauges == nil {
+		s.Gauges = make(map[string]int64)
+	}
+	for k, v := range o.Gauges {
+		s.Gauges[k] += v
+	}
+	if s.Histograms == nil {
+		s.Histograms = make(map[string]HistogramSnapshot)
+	}
+	for k, h := range o.Histograms {
+		cur, ok := s.Histograms[k]
+		if !ok {
+			s.Histograms[k] = h
+			continue
+		}
+		keepQ := cur
+		if h.Count > cur.Count {
+			keepQ = h
+		}
+		merged := HistogramSnapshot{
+			Count: cur.Count + h.Count,
+			Sum:   cur.Sum + h.Sum,
+			Max:   cur.Max,
+			P50:   keepQ.P50, P90: keepQ.P90, P99: keepQ.P99,
+		}
+		if h.Max > merged.Max {
+			merged.Max = h.Max
+		}
+		if merged.Count > 0 {
+			merged.Mean = float64(merged.Sum) / float64(merged.Count)
+		}
+		s.Histograms[k] = merged
+	}
+	s.DroppedEvents += o.DroppedEvents
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WriteText renders the snapshot as an aligned, sorted text block —
+// the format of the experiment metrics appendices.
+func (r *Registry) WriteText(w io.Writer) error {
+	return r.Snapshot().WriteText(w)
+}
+
+// WriteText renders a snapshot as text: counters and gauges one per
+// line, histograms with count/mean/p50/p99/max (durations humanised).
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%-46s %12d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%-46s %12d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		if _, err := fmt.Fprintf(w, "%-46s n=%-7d mean=%-10s p50=%-10s p99=%-10s max=%s\n",
+			name, h.Count,
+			fmtDur(int64(h.Mean)), fmtDur(h.P50), fmtDur(h.P99), fmtDur(h.Max)); err != nil {
+			return err
+		}
+	}
+	if s.DroppedEvents > 0 {
+		if _, err := fmt.Fprintf(w, "%-46s %12d\n", "events.dropped", s.DroppedEvents); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fmtDur renders a nanosecond quantity as a rounded duration. All the
+// repo's histograms record nanoseconds, so the text renderer may assume
+// the unit.
+func fmtDur(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+	return d.String()
+}
