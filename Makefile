@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race ci chaos clean
+.PHONY: all build test race bench ci chaos sweep serve clean
 
 all: build test
 
@@ -13,19 +13,38 @@ test: build
 
 # Race-detector pass over the concurrent runtime packages (the
 # distributed BA/PHF runtime, the TCP collectives, the in-process
-# collectives and the metrics substrate), preceded by vet over the
-# whole module.
+# collectives, the metrics substrate and the serving layer), preceded by
+# vet over the whole module.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/dist ./internal/netcoll ./internal/collective ./internal/obs
+	$(GO) test -race ./internal/dist ./internal/netcoll ./internal/collective ./internal/obs ./internal/service
 
-# Everything CI runs, in order: vet, the full suite, the race pass.
-ci: test race
+# Serving-perf trajectory: the service micro-benchmarks plus a short
+# open-loop lbload smoke against an in-process server. Rewrites
+# BENCH_service.json and results/service_load.txt so the perf file
+# cannot silently rot.
+bench:
+	$(GO) test -run '^$$' -bench Service -benchtime 200x ./internal/service
+	mkdir -p results
+	$(GO) run ./cmd/lbload -inprocess -rps 200 -duration 3s -out results/service_load.txt -json BENCH_service.json
+
+# Everything CI runs, in order: vet, the full suite, the race pass, the
+# serving-perf smoke.
+ci: test race bench
 
 # Regenerate the X7 chaos-study table.
 chaos:
 	mkdir -p results
 	$(GO) run ./cmd/lbsim -exp chaos -trials 600 -seed 1999 | tee results/chaos.txt
+
+# Regenerate the X8 service sweep (workers × cache on/off).
+sweep:
+	mkdir -p results
+	$(GO) run ./cmd/lbload -sweep -rps 300 -duration 2s -seed 1999 -out results/service_sweep.txt -json ""
+
+# Run the balancing service locally.
+serve:
+	$(GO) run ./cmd/lbserve
 
 clean:
 	$(GO) clean ./...

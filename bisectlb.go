@@ -26,11 +26,33 @@
 package bisectlb
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"bisectlb/internal/bisect"
 	"bisectlb/internal/bounds"
 	"bisectlb/internal/core"
+)
+
+// Typed errors returned by Balance for invalid input. Callers that hand
+// user-supplied requests to Balance (the lbserve service does exactly
+// this) can map them to client-error responses with errors.Is.
+var (
+	// ErrNilProblem is returned when the root problem is nil.
+	ErrNilProblem = bisect.ErrNilProblem
+	// ErrBadN is returned when the processor count is < 1.
+	ErrBadN = errors.New("bisectlb: processor count must be ≥ 1")
+	// ErrAlphaRequired is returned when an α-aware algorithm (PHF, BA-HF,
+	// parallel PHF) is selected without declaring Alpha.
+	ErrAlphaRequired = errors.New("bisectlb: algorithm requires Alpha (0 < α ≤ 1/2)")
+	// ErrBadAlpha is returned when a declared Alpha lies outside (0, 1/2].
+	ErrBadAlpha = errors.New("bisectlb: Alpha must satisfy 0 < α ≤ 1/2")
+	// ErrBadKappa is returned when BA-HF's Kappa is negative.
+	ErrBadKappa = errors.New("bisectlb: Kappa must be positive")
+	// ErrUnknownAlgorithm is returned for an Algorithm value outside the
+	// declared constants.
+	ErrUnknownAlgorithm = errors.New("bisectlb: unknown algorithm")
 )
 
 // Problem is the unit of divisible load. See the documentation of
@@ -94,6 +116,28 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm maps an algorithm name (as produced by Algorithm.String,
+// case-insensitively and accepting "BAHF"/"PBA"/"PPHF" shorthands) back to
+// its constant. Unknown names return ErrUnknownAlgorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "HF":
+		return HFAlgorithm, nil
+	case "BA":
+		return BAAlgorithm, nil
+	case "BA-HF", "BAHF":
+		return BAHFAlgorithm, nil
+	case "PHF":
+		return PHFAlgorithm, nil
+	case "PARALLEL-BA", "PBA":
+		return ParallelBAAlgorithm, nil
+	case "PARALLEL-PHF", "PPHF":
+		return ParallelPHFAlgorithm, nil
+	default:
+		return 0, fmt.Errorf("%w %q", ErrUnknownAlgorithm, s)
+	}
+}
+
 // Config selects and parameterises an algorithm for Balance.
 type Config struct {
 	// Algorithm picks the strategy; the zero value is HF.
@@ -109,9 +153,42 @@ type Config struct {
 	Parallel ParallelOptions
 }
 
+// validateConfig checks Balance's inputs up front so every rejection is a
+// typed error regardless of which algorithm would have received it.
+func validateConfig(p Problem, n int, cfg Config) error {
+	if p == nil {
+		return ErrNilProblem
+	}
+	if n < 1 {
+		return fmt.Errorf("%w, got %d", ErrBadN, n)
+	}
+	switch cfg.Algorithm {
+	case HFAlgorithm, BAAlgorithm, ParallelBAAlgorithm:
+		// α-oblivious algorithms.
+	case PHFAlgorithm, ParallelPHFAlgorithm, BAHFAlgorithm:
+		if cfg.Alpha == 0 {
+			return fmt.Errorf("%w: %s needs it", ErrAlphaRequired, cfg.Algorithm)
+		}
+		if !(cfg.Alpha > 0 && cfg.Alpha <= 0.5) {
+			return fmt.Errorf("%w, got %v", ErrBadAlpha, cfg.Alpha)
+		}
+		if cfg.Algorithm == BAHFAlgorithm && cfg.Kappa < 0 {
+			return fmt.Errorf("%w, got %v", ErrBadKappa, cfg.Kappa)
+		}
+	default:
+		return fmt.Errorf("%w %v", ErrUnknownAlgorithm, cfg.Algorithm)
+	}
+	return nil
+}
+
 // Balance partitions p into at most n subproblems with the configured
-// algorithm.
+// algorithm. Invalid input — a nil problem, n < 1, a missing or
+// out-of-range Alpha for an α-aware algorithm, a negative Kappa, or an
+// unknown Algorithm — is rejected with one of the typed errors above.
 func Balance(p Problem, n int, cfg Config) (*Result, error) {
+	if err := validateConfig(p, n, cfg); err != nil {
+		return nil, err
+	}
 	switch cfg.Algorithm {
 	case HFAlgorithm:
 		return core.HF(p, n, cfg.Options)
@@ -138,7 +215,7 @@ func Balance(p Problem, n int, cfg Config) (*Result, error) {
 		}
 		return &r.Result, nil
 	default:
-		return nil, fmt.Errorf("bisectlb: unknown algorithm %v", cfg.Algorithm)
+		return nil, fmt.Errorf("%w %v", ErrUnknownAlgorithm, cfg.Algorithm)
 	}
 }
 

@@ -1,0 +1,380 @@
+// Command lbload is an open-loop load generator for the lbserve service.
+// It fires POST /v1/balance requests at a target rate (never waiting for
+// responses before sending the next — the open-loop discipline that
+// exposes queueing collapse), drawing each request from a mixed
+// distribution of algorithms, processor counts and problem specs with a
+// bounded spec pool so repeated identities exercise the plan cache.
+//
+// It reports throughput, latency quantiles (client-observed, via the obs
+// histogram substrate) and cache hit rates (from the server's /metricz),
+// writes a human-readable report to -out and a machine-readable
+// BENCH_service.json to -json — the repo's serving-perf trajectory file.
+//
+// Modes:
+//
+//	lbload -rps 200 -duration 5s            # against a running lbserve
+//	lbload -inprocess ...                   # spin up the service in-process
+//	lbload -sweep -inprocess ...            # X8: workers × cache on/off grid
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bisectlb/internal/obs"
+	"bisectlb/internal/service"
+	"bisectlb/internal/xrand"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8733", "lbserve base URL")
+		rps       = flag.Int("rps", 200, "target request rate (open loop)")
+		duration  = flag.Duration("duration", 5*time.Second, "load duration")
+		seed      = flag.Uint64("seed", 1999, "mix-sampling seed")
+		specPool  = flag.Int("spec-pool", 8, "distinct problem specs in the mix (smaller = more cache hits)")
+		outPath   = flag.String("out", "results/service_load.txt", "human-readable report file (empty disables)")
+		jsonPath  = flag.String("json", "BENCH_service.json", "machine-readable report file (empty disables)")
+		inprocess = flag.Bool("inprocess", false, "start the service in-process and load it over loopback")
+		workers   = flag.Int("workers", 0, "in-process server worker-pool size (0 = GOMAXPROCS)")
+		cacheCap  = flag.Int("cache", 1024, "in-process server cache capacity (negative disables)")
+		sweep     = flag.Bool("sweep", false, "X8 study: sweep worker-pool size × cache on/off in-process")
+	)
+	flag.Parse()
+
+	if *sweep {
+		runSweep(*rps, *duration, *seed, *specPool, *outPath, *jsonPath)
+		return
+	}
+
+	target := *url
+	var shutdown func()
+	if *inprocess {
+		target, shutdown = startInProcess(*workers, *cacheCap)
+		defer shutdown()
+	}
+	rep, err := runLoad(target, *rps, *duration, *seed, *specPool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload:", err)
+		os.Exit(1)
+	}
+	text := rep.table()
+	fmt.Print(text)
+	writeFile(*outPath, text)
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, rep)
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// startInProcess boots a service.Server on a loopback listener.
+func startInProcess(workers, cacheCap int) (url string, shutdown func()) {
+	srv := service.New(service.Config{Workers: workers, CacheCapacity: cacheCap})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload: in-process server:", err)
+		os.Exit(1)
+	}
+	return "http://" + addr.String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+}
+
+// report is the outcome of one load run, in both renderable and
+// JSON-encodable form. Durations are nanoseconds.
+type report struct {
+	Target      string  `json:"target"`
+	TargetRPS   int     `json:"target_rps"`
+	DurationSec float64 `json:"duration_s"`
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Failed      int64   `json:"failed"`
+	Rejected429 int64   `json:"rejected_429"`
+	Rejected503 int64   `json:"rejected_503"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Latency     latSumm `json:"latency_ns"`
+	HitLatency  latSumm `json:"hit_latency_ns"`
+	MissLatency latSumm `json:"miss_latency_ns"`
+	Cache       cacheRp `json:"cache"`
+}
+
+type latSumm struct {
+	P50  int64   `json:"p50"`
+	P90  int64   `json:"p90"`
+	P99  int64   `json:"p99"`
+	Max  int64   `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+type cacheRp struct {
+	ClientHits int64   `json:"client_observed_hits"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	HitRate    float64 `json:"hit_rate"`
+	Coalesced  int64   `json:"coalesced"`
+}
+
+func summ(h obs.HistogramSnapshot) latSumm {
+	return latSumm{P50: h.P50, P90: h.P90, P99: h.P99, Max: h.Max, Mean: h.Mean}
+}
+
+// mix holds the request distribution: a bounded pool of spec bodies so
+// identities repeat, crossed with algorithm and N draws.
+type mix struct {
+	rng    *xrand.Source
+	bodies []string
+}
+
+func newMix(seed uint64, pool int) *mix {
+	if pool < 1 {
+		pool = 1
+	}
+	rng := xrand.New(seed)
+	algs := []string{"HF", "HF", "BA", "PHF", "BA-HF"} // HF-weighted, all α-aware paths covered
+	ns := []int{16, 64, 256, 1024}
+	bodies := make([]string, pool)
+	for i := range bodies {
+		alg := algs[rng.Intn(len(algs))]
+		n := ns[rng.Intn(len(ns))]
+		if rng.Intn(4) == 0 {
+			bodies[i] = fmt.Sprintf(
+				`{"spec":{"family":"list","elems":%d,"split_alpha":0.2,"seed":%d},"n":%d,"algorithm":%q,"alpha":0.2}`,
+				1000+rng.Intn(4000), rng.Intn(1000), n, alg)
+		} else {
+			bodies[i] = fmt.Sprintf(
+				`{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":%d},"n":%d,"algorithm":%q,"alpha":0.1}`,
+				rng.Intn(1000), n, alg)
+		}
+	}
+	return &mix{rng: rng, bodies: bodies}
+}
+
+// runLoad drives the open-loop generator and assembles the report.
+func runLoad(target string, rps int, duration time.Duration, seed uint64, specPool int) (*report, error) {
+	if rps < 1 {
+		return nil, fmt.Errorf("rps must be ≥ 1, got %d", rps)
+	}
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		},
+	}
+	before, err := fetchMetrics(client, target)
+	if err != nil {
+		return nil, fmt.Errorf("server not reachable at %s: %w (start lbserve first, or pass -inprocess)", target, err)
+	}
+
+	m := newMix(seed, specPool)
+	reg := obs.NewRegistry()
+	latAll := reg.Histogram("load.latency_ns")
+	latHit := reg.Histogram("load.latency_hit_ns")
+	latMiss := reg.Histogram("load.latency_miss_ns")
+	var sent, okCnt, failed, r429, r503, clientHits atomic.Int64
+
+	// Pre-draw the request sequence so the hot loop does no RNG work and
+	// the mix is deterministic in the seed regardless of scheduling.
+	total := int(float64(rps) * duration.Seconds())
+	seq := make([]string, total)
+	for i := range seq {
+		seq[i] = m.bodies[m.rng.Intn(len(m.bodies))]
+	}
+
+	interval := time.Second / time.Duration(rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		<-ticker.C
+		body := seq[i]
+		wg.Add(1)
+		sent.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Post(target+"/v1/balance", "application/json", strings.NewReader(body))
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lat := time.Since(t0).Nanoseconds()
+			latAll.Observe(lat)
+			switch resp.StatusCode {
+			case http.StatusOK:
+				okCnt.Add(1)
+				if resp.Header.Get("X-Lbserve-Cache") == "hit" {
+					clientHits.Add(1)
+					latHit.Observe(lat)
+				} else {
+					latMiss.Observe(lat)
+				}
+			case http.StatusTooManyRequests:
+				r429.Add(1)
+				failed.Add(1)
+			case http.StatusServiceUnavailable:
+				r503.Add(1)
+				failed.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchMetrics(client, target)
+	if err != nil {
+		return nil, fmt.Errorf("fetching /metricz after the run: %w", err)
+	}
+	hits := after.Counters["service.cache_hits"] - before.Counters["service.cache_hits"]
+	misses := after.Counters["service.cache_misses"] - before.Counters["service.cache_misses"]
+	coalesced := after.Counters["service.singleflight_coalesced"] - before.Counters["service.singleflight_coalesced"]
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+
+	sn := reg.Snapshot()
+	return &report{
+		Target:      target,
+		TargetRPS:   rps,
+		DurationSec: duration.Seconds(),
+		Requests:    sent.Load(),
+		OK:          okCnt.Load(),
+		Failed:      failed.Load(),
+		Rejected429: r429.Load(),
+		Rejected503: r503.Load(),
+		AchievedRPS: float64(okCnt.Load()) / elapsed.Seconds(),
+		Latency:     summ(sn.Histograms["load.latency_ns"]),
+		HitLatency:  summ(sn.Histograms["load.latency_hit_ns"]),
+		MissLatency: summ(sn.Histograms["load.latency_miss_ns"]),
+		Cache: cacheRp{
+			ClientHits: clientHits.Load(),
+			Hits:       hits,
+			Misses:     misses,
+			HitRate:    hitRate,
+			Coalesced:  coalesced,
+		},
+	}, nil
+}
+
+func fetchMetrics(client *http.Client, target string) (obs.Snapshot, error) {
+	resp, err := client.Get(target + "/metricz")
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	var sn obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+		return obs.Snapshot{}, err
+	}
+	return sn, nil
+}
+
+func d(ns int64) string { return time.Duration(ns).Round(time.Microsecond).String() }
+
+func (r *report) table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lbload: %d rps for %.0fs against %s (open loop)\n", r.TargetRPS, r.DurationSec, r.Target)
+	fmt.Fprintf(&b, "  requests   %-7d ok %-7d failed %-5d (429=%d 503=%d)  achieved %.1f rps\n",
+		r.Requests, r.OK, r.Failed, r.Rejected429, r.Rejected503, r.AchievedRPS)
+	fmt.Fprintf(&b, "  latency    p50=%-9s p90=%-9s p99=%-9s max=%-9s mean=%s\n",
+		d(r.Latency.P50), d(r.Latency.P90), d(r.Latency.P99), d(r.Latency.Max), d(int64(r.Latency.Mean)))
+	fmt.Fprintf(&b, "   ├ hit     p50=%-9s p99=%-9s (%d served from plan cache)\n",
+		d(r.HitLatency.P50), d(r.HitLatency.P99), r.Cache.ClientHits)
+	fmt.Fprintf(&b, "   └ miss    p50=%-9s p99=%-9s\n", d(r.MissLatency.P50), d(r.MissLatency.P99))
+	fmt.Fprintf(&b, "  cache      hits %-6d misses %-6d hit-rate %.1f%%  coalesced %d\n",
+		r.Cache.Hits, r.Cache.Misses, 100*r.Cache.HitRate, r.Cache.Coalesced)
+	return b.String()
+}
+
+// runSweep is experiment X8: serving throughput and latency as a
+// function of worker-pool size and plan caching, on a fresh in-process
+// server per cell.
+func runSweep(rps int, duration time.Duration, seed uint64, specPool int, outPath, jsonPath string) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "X8 — service throughput/latency vs worker-pool size and plan cache\n")
+	fmt.Fprintf(&b, "open-loop %d rps per cell for %v, mix seed %d, spec pool %d\n\n", rps, duration, seed, specPool)
+	fmt.Fprintf(&b, "| workers | cache | ok | failed | achieved rps | p50 | p99 | hit-rate |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|---|\n")
+	type cell struct {
+		Workers int  `json:"workers"`
+		Cache   bool `json:"cache"`
+		report
+	}
+	var cells []cell
+	for _, w := range []int{1, 2, 4, 8} {
+		for _, cached := range []bool{true, false} {
+			cap := 1024
+			if !cached {
+				cap = -1
+			}
+			url, shutdown := startInProcess(w, cap)
+			rep, err := runLoad(url, rps, duration, seed, specPool)
+			shutdown()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lbload sweep:", err)
+				os.Exit(1)
+			}
+			onoff := "on"
+			if !cached {
+				onoff = "off"
+			}
+			fmt.Fprintf(&b, "| %d | %s | %d | %d | %.1f | %s | %s | %.1f%% |\n",
+				w, onoff, rep.OK, rep.Failed, rep.AchievedRPS,
+				d(rep.Latency.P50), d(rep.Latency.P99), 100*rep.Cache.HitRate)
+			cells = append(cells, cell{Workers: w, Cache: cached, report: *rep})
+		}
+	}
+	text := b.String()
+	fmt.Print(text)
+	writeFile(outPath, text)
+	if jsonPath != "" {
+		writeJSON(jsonPath, cells)
+	}
+}
+
+func writeFile(path, text string) {
+	if path == "" {
+		return
+	}
+	os.MkdirAll(filepath.Dir(path), 0o755)
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lbload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func writeJSON(path string, v any) {
+	if dir := filepath.Dir(path); dir != "." {
+		os.MkdirAll(dir, 0o755)
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,85 @@
+// Command lbserve runs the load-balancing service: a stdlib-only
+// HTTP/JSON daemon that turns problem specs into partition plans with
+// their guarantee bounds.
+//
+//	POST /v1/balance  {"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":7},
+//	                   "n":64,"algorithm":"BA-HF","alpha":0.1,"kappa":2}
+//	GET  /healthz
+//	GET  /metricz
+//
+// Identical requests are answered from a sharded LRU plan cache (specs
+// are deterministic, so plans are immutable facts), concurrent identical
+// misses coalesce onto one computation, and a bounded worker pool sheds
+// overload with typed 429/503 rejections. SIGTERM/SIGINT drain
+// gracefully: the listener closes, in-flight requests finish, and the
+// final metrics snapshot is flushed to stderr.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bisectlb/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8733", "listen address")
+		workers  = flag.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4×workers)")
+		cache    = flag.Int("cache", 1024, "plan cache capacity in entries (negative disables)")
+		shards   = flag.Int("cache-shards", 16, "plan cache shard count")
+		deadline = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheCapacity:   *cache,
+		CacheShards:     *shards,
+		DefaultDeadline: *deadline,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("lbserve: listening on http://%s (workers=%d cache=%d)\n",
+		ln.Addr(), srv.Registry().Gauge("service.workers").Value(), *cache)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		fmt.Fprintf(os.Stderr, "lbserve: %v — draining (finishing in-flight requests)\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "lbserve: drain:", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "lbserve:", err)
+			os.Exit(1)
+		}
+	}
+
+	// Flush the final metrics snapshot so a supervised process leaves a
+	// record of what it served.
+	fmt.Fprintln(os.Stderr, "lbserve: final metrics")
+	srv.Registry().WriteText(os.Stderr)
+}

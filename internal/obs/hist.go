@@ -129,6 +129,35 @@ type BucketCount struct {
 	N  int64 `json:"n"`
 }
 
+// QuantileFromBuckets computes the q-quantile upper bound from an
+// ascending (upper bound, count) bucket list totalling count observations,
+// with the same semantics as Histogram.Quantile. It is what Snapshot.Merge
+// uses to keep merged quantiles exact, and what consumers of rendered
+// JSON (e.g. the lbload report) use to re-derive quantiles.
+func QuantileFromBuckets(buckets []BucketCount, count int64, q float64) int64 {
+	if count <= 0 || len(buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range buckets {
+		cum += b.N
+		if cum >= target {
+			return b.Le
+		}
+	}
+	return buckets[len(buckets)-1].Le
+}
+
 // Snapshot captures the histogram's current state.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	sn := HistogramSnapshot{

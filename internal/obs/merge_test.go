@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestMergeQuantilesExact merges two histograms with disjoint bucket
+// ranges and checks the merged quantiles equal those of one histogram
+// that observed every value — the contract that per-bucket counts in
+// HistogramSnapshot buy over the old larger-count-side heuristic.
+func TestMergeQuantilesExact(t *testing.T) {
+	lowReg, highReg, allReg := NewRegistry(), NewRegistry(), NewRegistry()
+	// 90 small observations on one node, 10 large ones on another: the
+	// true p99 lives entirely on the small-count side, which the old
+	// heuristic would have discarded.
+	for i := 0; i < 90; i++ {
+		lowReg.Histogram("lat").Observe(100) // bucket le=128
+		allReg.Histogram("lat").Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		highReg.Histogram("lat").Observe(1 << 20) // bucket le=2^21
+		allReg.Histogram("lat").Observe(1 << 20)
+	}
+
+	merged := lowReg.Snapshot()
+	merged.Merge(highReg.Snapshot())
+	got := merged.Histograms["lat"]
+	want := allReg.Snapshot().Histograms["lat"]
+
+	if got.Count != want.Count || got.Sum != want.Sum || got.Max != want.Max {
+		t.Fatalf("merged totals = (%d,%d,%d), want (%d,%d,%d)",
+			got.Count, got.Sum, got.Max, want.Count, want.Sum, want.Max)
+	}
+	if got.P50 != want.P50 || got.P90 != want.P90 || got.P99 != want.P99 {
+		t.Fatalf("merged quantiles p50/p90/p99 = %d/%d/%d, want %d/%d/%d",
+			got.P50, got.P90, got.P99, want.P50, want.P90, want.P99)
+	}
+	// The regression the fix targets: p99 must come from the large-value
+	// side even though it holds the smaller count.
+	if got.P99 < 1<<20 {
+		t.Fatalf("merged p99 = %d ignores the 10 large observations", got.P99)
+	}
+	if len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged buckets = %v, want %v", got.Buckets, want.Buckets)
+	}
+	for i := range got.Buckets {
+		if got.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got.Buckets[i], want.Buckets[i])
+		}
+	}
+}
+
+// TestMergeOverlappingBuckets checks counts sum where bucket bounds
+// coincide on both sides.
+func TestMergeOverlappingBuckets(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	for i := 0; i < 5; i++ {
+		a.Histogram("h").Observe(100)
+		b.Histogram("h").Observe(100)
+	}
+	b.Histogram("h").Observe(5000)
+	sn := a.Snapshot()
+	sn.Merge(b.Snapshot())
+	h := sn.Histograms["h"]
+	if h.Count != 11 {
+		t.Fatalf("count = %d, want 11", h.Count)
+	}
+	var total int64
+	for _, bc := range h.Buckets {
+		total += bc.N
+	}
+	if total != 11 {
+		t.Fatalf("bucket counts sum to %d, want 11", total)
+	}
+}
+
+// TestMergeFallbackWithoutBuckets keeps the larger-count side's quantiles
+// when a snapshot (e.g. external JSON) carries no bucket list.
+func TestMergeFallbackWithoutBuckets(t *testing.T) {
+	s := Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 10, Sum: 100, Max: 16, P50: 8, P90: 16, P99: 16},
+	}}
+	s.Merge(Snapshot{Histograms: map[string]HistogramSnapshot{
+		"h": {Count: 2, Sum: 10, Max: 8, P50: 4, P90: 8, P99: 8},
+	}})
+	h := s.Histograms["h"]
+	if h.Count != 12 || h.P99 != 16 {
+		t.Fatalf("fallback merge = %+v, want count 12 and larger-side p99 16", h)
+	}
+}
+
+func TestQuantileFromBuckets(t *testing.T) {
+	buckets := []BucketCount{{Le: 2, N: 1}, {Le: 8, N: 2}, {Le: 32, N: 1}}
+	if got := QuantileFromBuckets(buckets, 4, 0.5); got != 8 {
+		t.Fatalf("p50 = %d, want 8", got)
+	}
+	if got := QuantileFromBuckets(buckets, 4, 1.0); got != 32 {
+		t.Fatalf("p100 = %d, want 32", got)
+	}
+	if got := QuantileFromBuckets(nil, 0, 0.5); got != 0 {
+		t.Fatalf("empty = %d, want 0", got)
+	}
+}

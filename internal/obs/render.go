@@ -45,9 +45,11 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // Merge adds another snapshot's counters and gauges into this one and
-// concatenates histogram totals (count/sum/max; quantiles are kept from
-// the larger-count side). Used to aggregate per-node snapshots into a
-// cluster view.
+// merges histograms bucket-by-bucket, so the merged quantiles are exactly
+// what one histogram holding all observations would report. Snapshots that
+// lost their bucket lists (e.g. hand-built or truncated JSON) fall back to
+// keeping the larger-count side's quantiles. Used to aggregate per-node
+// snapshots into a cluster view.
 func (s *Snapshot) Merge(o Snapshot) {
 	if s.Counters == nil {
 		s.Counters = make(map[string]int64)
@@ -70,25 +72,61 @@ func (s *Snapshot) Merge(o Snapshot) {
 			s.Histograms[k] = h
 			continue
 		}
-		keepQ := cur
-		if h.Count > cur.Count {
-			keepQ = h
-		}
-		merged := HistogramSnapshot{
-			Count: cur.Count + h.Count,
-			Sum:   cur.Sum + h.Sum,
-			Max:   cur.Max,
-			P50:   keepQ.P50, P90: keepQ.P90, P99: keepQ.P99,
-		}
-		if h.Max > merged.Max {
-			merged.Max = h.Max
-		}
-		if merged.Count > 0 {
-			merged.Mean = float64(merged.Sum) / float64(merged.Count)
-		}
-		s.Histograms[k] = merged
+		s.Histograms[k] = mergeHistograms(cur, h)
 	}
 	s.DroppedEvents += o.DroppedEvents
+}
+
+// mergeHistograms combines two histogram snapshots. When both sides carry
+// their bucket counts (true for every snapshot this package produces), the
+// buckets are summed by upper bound and the quantiles recomputed from the
+// merged distribution.
+func mergeHistograms(a, b HistogramSnapshot) HistogramSnapshot {
+	merged := HistogramSnapshot{
+		Count: a.Count + b.Count,
+		Sum:   a.Sum + b.Sum,
+		Max:   a.Max,
+	}
+	if b.Max > merged.Max {
+		merged.Max = b.Max
+	}
+	if merged.Count > 0 {
+		merged.Mean = float64(merged.Sum) / float64(merged.Count)
+	}
+	hasBuckets := (a.Count == 0 || len(a.Buckets) > 0) && (b.Count == 0 || len(b.Buckets) > 0)
+	if !hasBuckets {
+		keepQ := a
+		if b.Count > a.Count {
+			keepQ = b
+		}
+		merged.P50, merged.P90, merged.P99 = keepQ.P50, keepQ.P90, keepQ.P99
+		return merged
+	}
+	merged.Buckets = mergeBuckets(a.Buckets, b.Buckets)
+	merged.P50 = QuantileFromBuckets(merged.Buckets, merged.Count, 0.50)
+	merged.P90 = QuantileFromBuckets(merged.Buckets, merged.Count, 0.90)
+	merged.P99 = QuantileFromBuckets(merged.Buckets, merged.Count, 0.99)
+	return merged
+}
+
+// mergeBuckets sums two ascending (upper bound, count) lists by bound.
+func mergeBuckets(a, b []BucketCount) []BucketCount {
+	out := make([]BucketCount, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i].Le < b[j].Le):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j].Le < a[i].Le:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, BucketCount{Le: a[i].Le, N: a[i].N + b[j].N})
+			i, j = i+1, j+1
+		}
+	}
+	return out
 }
 
 // WriteJSON writes the registry snapshot as indented JSON.

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func benchPost(b *testing.B, url, body string) {
+	b.Helper()
+	resp, err := http.Post(url+"/v1/balance", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// BenchmarkServiceBalanceCached measures the full HTTP round trip for a
+// plan served from the cache — the hot path of a stable workload mix.
+func BenchmarkServiceBalanceCached(b *testing.B) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	body := `{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":1},"n":256,"algorithm":"HF","alpha":0.1}`
+	benchPost(b, ts.URL, body) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL, body)
+	}
+}
+
+// BenchmarkServiceBalanceUncached measures the round trip when every
+// request needs a fresh computation (distinct seeds defeat the cache).
+func BenchmarkServiceBalanceUncached(b *testing.B) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts.URL, fmt.Sprintf(
+			`{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":%d},"n":256,"algorithm":"HF","alpha":0.1}`, i))
+	}
+}
+
+// BenchmarkServiceCacheGet isolates the sharded LRU under concurrent
+// readers.
+func BenchmarkServiceCacheGet(b *testing.B) {
+	c := newPlanCache(1024, 16, nil)
+	for i := 0; i < 512; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &Plan{})
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Get(fmt.Sprintf("k%d", i%512))
+			i++
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package service
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+
+	"bisectlb/internal/obs"
+)
+
+// planCache is a sharded LRU over canonical request keys. Sharding keeps
+// lock hold times short under concurrent load: a key hashes to one shard
+// and only that shard's mutex is taken. Plans are immutable, so Get hands
+// out shared pointers.
+type planCache struct {
+	shards []cacheShard
+	mask   uint64
+	reg    *obs.Registry
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+// newPlanCache builds a cache of roughly capacity entries spread over
+// shards (rounded up to a power of two). capacity < 1 returns nil — the
+// handler treats a nil cache as "caching disabled".
+func newPlanCache(capacity, shards int, reg *obs.Registry) *planCache {
+	if capacity < 1 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 16
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if n > capacity {
+		n = 1
+	}
+	perShard := (capacity + n - 1) / n
+	c := &planCache{shards: make([]cacheShard, n), mask: uint64(n - 1), reg: reg}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: perShard, ll: list.New(), m: make(map[string]*list.Element)}
+	}
+	return c
+}
+
+func (c *planCache) shard(key string) *cacheShard {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum64()&c.mask]
+}
+
+// Get returns the cached plan for key, promoting it to most recently
+// used. Nil-safe: a nil cache always misses.
+func (c *planCache) Get(key string) (*Plan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		c.reg.Counter(mCacheMisses).Inc()
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	c.reg.Counter(mCacheHits).Inc()
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// Put inserts or refreshes a plan, evicting the shard's least recently
+// used entry when full. Nil-safe no-op.
+func (c *planCache) Put(key string, plan *Plan) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[key]; ok {
+		el.Value.(*cacheEntry).plan = plan
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.m[key] = s.ll.PushFront(&cacheEntry{key: key, plan: plan})
+	if s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.m, oldest.Value.(*cacheEntry).key)
+		c.reg.Counter(mCacheEvictions).Inc()
+	}
+}
+
+// Len returns the total number of cached plans. Nil-safe.
+func (c *planCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return total
+}

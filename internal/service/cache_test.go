@@ -1,0 +1,105 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+
+	"bisectlb/internal/obs"
+)
+
+func TestCacheHitAfterPut(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newPlanCache(64, 4, reg)
+	plan := &Plan{Algorithm: "HF", N: 4, Signature: "abc"}
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("k1", plan)
+	got, ok := c.Get("k1")
+	if !ok || got != plan {
+		t.Fatalf("Get = %v, %v; want the stored plan", got, ok)
+	}
+	sn := reg.Snapshot()
+	if sn.Counters[mCacheHits] != 1 || sn.Counters[mCacheMisses] != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", sn.Counters[mCacheHits], sn.Counters[mCacheMisses])
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	// One shard of capacity 3 makes the recency order directly observable.
+	c := newPlanCache(3, 1, reg)
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), &Plan{Signature: fmt.Sprintf("%d", i)})
+	}
+	// Touch k0 so k1 becomes the LRU entry, then overflow.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 should be cached")
+	}
+	c.Put("k3", &Plan{Signature: "3"})
+	if _, ok := c.Get("k1"); ok {
+		t.Fatal("k1 should have been evicted as least recently used")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should have survived eviction", k)
+		}
+	}
+	if n := reg.Snapshot().Counters[mCacheEvictions]; n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+}
+
+func TestCacheSharding(t *testing.T) {
+	c := newPlanCache(1024, 16, nil)
+	if len(c.shards) != 16 {
+		t.Fatalf("shards = %d, want 16", len(c.shards))
+	}
+	// Keys must spread: with 200 distinct keys all 16 shards should see
+	// at least one (probability of an empty shard is negligible; the
+	// test pins the hash actually distributing, not a distribution tail).
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), &Plan{})
+	}
+	for i := range c.shards {
+		if c.shards[i].ll.Len() == 0 {
+			t.Fatalf("shard %d received no keys — hash not distributing", i)
+		}
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newPlanCache(-1, 16, nil)
+	if c != nil {
+		t.Fatal("negative capacity should disable the cache")
+	}
+	// All operations must be nil-safe.
+	c.Put("k", &Plan{})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache must always miss")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache Len must be 0")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := newPlanCache(128, 8, nil)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%64)
+				c.Put(k, &Plan{})
+				c.Get(k)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,27 @@
+package service
+
+// Metric names recorded into the server's obs.Registry under the
+// service.* namespace. /metricz renders the registry as JSON; lbload
+// reads the cache counters back from it to report hit rates.
+const (
+	mRequests          = "service.requests"
+	mOK                = "service.ok"
+	mBadRequest        = "service.bad_request"
+	mRejectedQueueFull = "service.rejected_queue_full"
+	mRejectedDraining  = "service.rejected_draining"
+	mDeadlineExceeded  = "service.deadline_exceeded"
+	mInternalErrors    = "service.internal_errors"
+
+	mCacheHits      = "service.cache_hits"
+	mCacheMisses    = "service.cache_misses"
+	mCacheEvictions = "service.cache_evictions"
+	mCoalesced      = "service.singleflight_coalesced"
+
+	mLatencyNs = "service.latency_ns"
+	mComputeNs = "service.compute_ns"
+
+	mQueueDepth = "service.queue_depth"
+	mInflight   = "service.inflight"
+	mWorkers    = "service.workers"
+	mDraining   = "service.draining"
+)

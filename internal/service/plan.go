@@ -1,0 +1,116 @@
+package service
+
+import (
+	"time"
+
+	"bisectlb"
+	"bisectlb/internal/obs"
+)
+
+// PartPlan is one subproblem of a served partition plan.
+type PartPlan struct {
+	ID     uint64  `json:"id"`
+	Weight float64 `json:"weight"`
+	Procs  int     `json:"procs"`
+	Depth  int     `json:"depth"`
+}
+
+// Plan is the cacheable body of a balance response: the partition plus
+// its quality certificate. Plans are immutable once computed; cached
+// plans are shared by reference across responses.
+type Plan struct {
+	Algorithm string     `json:"algorithm"`
+	N         int        `json:"n"`
+	Parts     []PartPlan `json:"parts"`
+	Total     float64    `json:"total"`
+	Max       float64    `json:"max"`
+	// Ratio is the paper's quality measure Max/(Total/N) for this plan.
+	Ratio float64 `json:"ratio"`
+	// Guarantee is the algorithm's worst-case ratio bound for the
+	// declared α (Theorems 2/7/8) — the certificate that makes a cached
+	// plan trustworthy without recomputation. Omitted when no α was
+	// declared (HF/BA run α-obliviously).
+	Guarantee  float64 `json:"guarantee,omitempty"`
+	Bisections int     `json:"bisections"`
+	MaxDepth   int     `json:"max_depth"`
+	// Signature is the short hex digest of the request's canonical key.
+	Signature string `json:"signature"`
+}
+
+// BalanceResponse wraps a plan with per-request serving metadata.
+type BalanceResponse struct {
+	Plan
+	// Cached is true when the plan was served from the plan cache.
+	Cached bool `json:"cached"`
+	// Coalesced is true when this request piggybacked on an identical
+	// in-flight computation instead of occupying a worker.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// computePlan builds the problem from the spec, runs the facade and maps
+// the result into a Plan. alg must already be parsed from req.Algorithm.
+func computePlan(req *BalanceRequest, alg bisectlb.Algorithm, sig string, reg *obs.Registry) (*Plan, error) {
+	p, err := req.buildProblem()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := bisectlb.Balance(p, req.N, bisectlb.Config{
+		Algorithm: alg,
+		Alpha:     req.Alpha,
+		Kappa:     req.Kappa,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg.Histogram(mComputeNs).ObserveSince(start)
+	plan := &Plan{
+		Algorithm:  res.Algorithm,
+		N:          res.N,
+		Parts:      make([]PartPlan, len(res.Parts)),
+		Total:      res.Total,
+		Max:        res.Max,
+		Ratio:      res.Ratio,
+		Guarantee:  guaranteeFor(alg, req.Alpha, req.Kappa, req.N),
+		Bisections: res.Bisections,
+		MaxDepth:   res.MaxDepth,
+		Signature:  sig,
+	}
+	for i, pt := range res.Parts {
+		plan.Parts[i] = PartPlan{
+			ID:     pt.Problem.ID(),
+			Weight: pt.Problem.Weight(),
+			Procs:  pt.Procs,
+			Depth:  pt.Depth,
+		}
+	}
+	return plan, nil
+}
+
+// guaranteeFor returns the worst-case ratio bound for the algorithm at
+// the declared α, or 0 when no α was declared (or the bound is
+// undefined for the parameters).
+func guaranteeFor(alg bisectlb.Algorithm, alpha, kappa float64, n int) float64 {
+	if alpha <= 0 {
+		return 0
+	}
+	var (
+		bound float64
+		err   error
+	)
+	switch alg {
+	case bisectlb.HFAlgorithm, bisectlb.PHFAlgorithm, bisectlb.ParallelPHFAlgorithm:
+		bound, err = bisectlb.GuaranteeHF(alpha)
+	case bisectlb.BAAlgorithm, bisectlb.ParallelBAAlgorithm:
+		bound, err = bisectlb.GuaranteeBA(alpha, n)
+	case bisectlb.BAHFAlgorithm:
+		if kappa == 0 {
+			kappa = 1
+		}
+		bound, err = bisectlb.GuaranteeBAHF(alpha, kappa)
+	}
+	if err != nil {
+		return 0
+	}
+	return bound
+}

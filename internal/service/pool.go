@@ -1,0 +1,139 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"bisectlb/internal/obs"
+)
+
+// Typed admission errors. The handler maps them to 429 (queue full) and
+// 503 (draining / deadline) responses.
+var (
+	// ErrQueueFull is returned when the admission queue has no room; the
+	// caller should shed the request immediately (HTTP 429).
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining is returned for work submitted after Stop began.
+	ErrDraining = errors.New("service: server is draining")
+)
+
+// workerPool executes submitted functions on a fixed number of worker
+// goroutines behind a bounded admission queue. Run blocks the caller
+// until its task finishes or the caller's context expires; tasks whose
+// context is already dead when a worker picks them up are skipped, so an
+// abandoned queue entry costs no compute.
+type workerPool struct {
+	queue chan *poolTask
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	reg   *obs.Registry
+
+	mu      sync.Mutex
+	stopped bool
+}
+
+type poolTask struct {
+	ctx      context.Context
+	fn       func()
+	executed bool // written by the worker before close(done)
+	done     chan struct{}
+}
+
+func newWorkerPool(workers, depth int, reg *obs.Registry) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &workerPool{
+		queue: make(chan *poolTask, depth),
+		quit:  make(chan struct{}),
+		reg:   reg,
+	}
+	reg.Gauge(mWorkers).Set(int64(workers))
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case t := <-p.queue:
+			p.exec(t)
+		case <-p.quit:
+			// Drain whatever is still queued (abandoned tasks whose
+			// callers already gave up) so their contexts are observed.
+			for {
+				select {
+				case t := <-p.queue:
+					p.exec(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *workerPool) exec(t *poolTask) {
+	p.reg.Gauge(mQueueDepth).Set(int64(len(p.queue)))
+	if t.ctx.Err() == nil {
+		t.fn()
+		t.executed = true
+	}
+	close(t.done)
+}
+
+// Run admits fn to the queue (rejecting with ErrQueueFull when it is at
+// capacity) and waits for it to execute. If ctx expires first, Run
+// returns ctx's error; the queued task is skipped when reached.
+func (p *workerPool) Run(ctx context.Context, fn func()) error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return ErrDraining
+	}
+	t := &poolTask{ctx: ctx, fn: fn, done: make(chan struct{})}
+	select {
+	case p.queue <- t:
+		p.mu.Unlock()
+	default:
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+	p.reg.Gauge(mQueueDepth).Set(int64(len(p.queue)))
+	select {
+	case <-t.done:
+		if !t.executed {
+			// The worker observed our dead context and skipped the task.
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return ErrDraining
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stop rejects new submissions and waits for the workers to finish the
+// queue. Call after the HTTP server has drained so no caller is left
+// waiting on an unexecuted task.
+func (p *workerPool) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolAdmissionRejection fills every worker and queue slot, then
+// checks the next submission is shed immediately with ErrQueueFull.
+func TestPoolAdmissionRejection(t *testing.T) {
+	p := newWorkerPool(1, 2, nil)
+	defer p.Stop()
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	var wg sync.WaitGroup
+	// One task occupies the worker; two fill the queue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Run(context.Background(), func() { close(running); <-gate })
+	}()
+	<-running
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Run(context.Background(), func() {})
+		}()
+	}
+	// Wait until both fillers are actually queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(p.queue) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	err := p.Run(context.Background(), func() { t.Error("overflow task must not run") })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Run = %v, want ErrQueueFull", err)
+	}
+
+	close(gate)
+	wg.Wait()
+}
+
+// TestPoolDeadlineWhileQueued checks a task whose context expires in the
+// queue returns DeadlineExceeded to its caller and is skipped (never
+// executed) by the worker.
+func TestPoolDeadlineWhileQueued(t *testing.T) {
+	p := newWorkerPool(1, 2, nil)
+	defer p.Stop()
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	go p.Run(context.Background(), func() { close(running); <-gate })
+	<-running
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	executed := make(chan struct{}, 1)
+	err := p.Run(ctx, func() { executed <- struct{}{} })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = %v, want DeadlineExceeded", err)
+	}
+
+	close(gate)
+	p.Stop() // waits for the worker to drain the abandoned task
+	select {
+	case <-executed:
+		t.Fatal("expired task was executed")
+	default:
+	}
+}
+
+// TestPoolRunsQueuedWork is the happy path: more tasks than workers all
+// complete.
+func TestPoolRunsQueuedWork(t *testing.T) {
+	p := newWorkerPool(2, 8, nil)
+	defer p.Stop()
+	var mu sync.Mutex
+	ran := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Run(context.Background(), func() {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+			}); err != nil {
+				t.Errorf("Run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran != 8 {
+		t.Fatalf("ran = %d, want 8", ran)
+	}
+}
+
+// TestPoolStopRejectsNewWork checks submissions after Stop get the typed
+// draining error.
+func TestPoolStopRejectsNewWork(t *testing.T) {
+	p := newWorkerPool(1, 1, nil)
+	p.Stop()
+	if err := p.Run(context.Background(), func() {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Run after Stop = %v, want ErrDraining", err)
+	}
+}

@@ -1,0 +1,326 @@
+// Package service is the network serving surface over the bisectlb
+// facade: a stdlib-only HTTP/JSON daemon that turns problem specs into
+// partition plans with their guarantee bounds.
+//
+// The paper frames its algorithms as the kernel of a load-balancing
+// service invoked repeatedly as workloads drift; this package supplies
+// the systems half of that framing. Every request canonicalises to a
+// deterministic key (problem specs are pure functions of their
+// parameters), which feeds a sharded LRU plan cache and singleflight
+// coalescing of concurrent identical requests. Admission control is a
+// bounded worker pool behind a bounded queue with typed 429/503
+// rejections and per-request deadlines, and SIGTERM triggers a graceful
+// drain: stop accepting, finish in-flight work, flush metrics.
+//
+// Endpoints:
+//
+//	POST /v1/balance  — problem spec + N + algorithm → partition plan
+//	GET  /healthz     — liveness and drain state
+//	GET  /metricz     — the obs registry (service.* namespace) as JSON
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"bisectlb"
+	"bisectlb/internal/obs"
+)
+
+// Config parameterises a Server. The zero value gets sensible defaults.
+type Config struct {
+	// Workers is the compute pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue (default 4×Workers).
+	QueueDepth int
+	// CacheCapacity is the plan cache size in entries; negative disables
+	// caching, 0 means the default (1024).
+	CacheCapacity int
+	// CacheShards is the shard count (default 16, rounded to a power of
+	// two).
+	CacheShards int
+	// DefaultDeadline caps queue+compute time for requests that do not
+	// set deadline_ms (default 2s).
+	DefaultDeadline time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// Registry receives the service.* metrics (default: a fresh one).
+	Registry *obs.Registry
+	// Hooks are test seams; zero in production.
+	Hooks Hooks
+}
+
+// Hooks expose deterministic test seams into the serving path.
+type Hooks struct {
+	// PreCompute, when set, runs at the start of every pool-executed
+	// computation. Tests use it to hold a request in flight across a
+	// Shutdown or to fill the pool deterministically.
+	PreCompute func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 1024
+	}
+	if c.CacheShards < 1 {
+		c.CacheShards = 16
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the balancing service. Create with New, expose via Handler
+// (for tests and in-process use) or Start/Serve (real listener), and
+// stop with Shutdown.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	cache    *planCache
+	sf       sfGroup
+	pool     *workerPool
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	draining atomic.Bool
+	started  time.Time
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		cache:   newPlanCache(cfg.CacheCapacity, cfg.CacheShards, cfg.Registry),
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth, cfg.Registry),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/v1/balance", s.handleBalance)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	return s
+}
+
+// Registry returns the server's metric registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Handler returns the server's HTTP handler (for httptest and
+// in-process serving).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go s.httpSrv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Serve runs the server on ln, blocking until Shutdown. It returns
+// http.ErrServerClosed after a clean drain, matching net/http.
+func (s *Server) Serve(ln net.Listener) error {
+	s.httpSrv = &http.Server{Handler: s.mux}
+	return s.httpSrv.Serve(ln)
+}
+
+// Shutdown drains the server gracefully: new requests are refused (the
+// listener closes; requests racing in get 503), in-flight requests run
+// to completion, then the worker pool stops. The context bounds how long
+// to wait for stragglers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.reg.Gauge(mDraining).Set(1)
+	s.reg.Emit("service.drain", "refusing new work")
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	s.pool.Stop()
+	s.reg.Emit("service.drained", "in-flight work complete")
+	return err
+}
+
+// errorBody is the typed rejection envelope of every non-200 response.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func (s *Server) reject(w http.ResponseWriter, status int, code, msg string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":    status,
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+		"inflight":  s.reg.Gauge(mInflight).Value(),
+		"cached":    s.cache.Len(),
+	})
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.WriteJSON(w)
+}
+
+func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter(mRequests).Inc()
+	s.reg.Gauge(mInflight).Add(1)
+	defer s.reg.Gauge(mInflight).Add(-1)
+	start := time.Now()
+	defer s.reg.Histogram(mLatencyNs).ObserveSince(start)
+
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
+		return
+	}
+	if s.draining.Load() {
+		s.reg.Counter(mRejectedDraining).Inc()
+		s.reject(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+
+	var req BalanceRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "bad_request", "invalid JSON: "+err.Error())
+		return
+	}
+	req.normalize()
+	if err := req.validate(); err != nil {
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "bad_spec", err.Error())
+		return
+	}
+	alg, err := bisectlb.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "unknown_algorithm", err.Error())
+		return
+	}
+
+	key := req.cacheKey()
+	sig := signature(key)
+	if plan, ok := s.cache.Get(key); ok {
+		s.respondPlan(w, BalanceResponse{Plan: *plan, Cached: true}, "hit")
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	plan, shared, err := s.sf.Do(ctx, key, func() (*Plan, error) {
+		var (
+			p    *Plan
+			cerr error
+		)
+		rerr := s.pool.Run(ctx, func() {
+			if s.cfg.Hooks.PreCompute != nil {
+				s.cfg.Hooks.PreCompute()
+			}
+			p, cerr = computePlan(&req, alg, sig, s.reg)
+			if cerr == nil {
+				s.cache.Put(key, p)
+			}
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		return p, cerr
+	})
+	if shared {
+		s.reg.Counter(mCoalesced).Inc()
+	}
+	if err != nil {
+		s.rejectComputeError(w, err)
+		return
+	}
+	s.respondPlan(w, BalanceResponse{Plan: *plan, Coalesced: shared}, "miss")
+}
+
+// rejectComputeError maps admission, deadline and facade errors to typed
+// HTTP rejections.
+func (s *Server) rejectComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.reg.Counter(mRejectedQueueFull).Inc()
+		s.reject(w, http.StatusTooManyRequests, "queue_full", err.Error())
+	case errors.Is(err, ErrDraining):
+		s.reg.Counter(mRejectedDraining).Inc()
+		s.reject(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.reg.Counter(mDeadlineExceeded).Inc()
+		s.reject(w, http.StatusServiceUnavailable, "deadline_exceeded",
+			"request deadline expired before the plan was computed")
+	case errors.Is(err, bisectlb.ErrAlphaRequired):
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "alpha_required", err.Error())
+	case errors.Is(err, bisectlb.ErrBadAlpha):
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "bad_alpha", err.Error())
+	case errors.Is(err, bisectlb.ErrBadKappa):
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "bad_kappa", err.Error())
+	case errors.Is(err, bisectlb.ErrBadN):
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "bad_n", err.Error())
+	case errors.Is(err, bisectlb.ErrNilProblem), errors.Is(err, bisectlb.ErrUnknownAlgorithm):
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "bad_request", err.Error())
+	default:
+		s.reg.Counter(mInternalErrors).Inc()
+		s.reject(w, http.StatusInternalServerError, "internal", fmt.Sprintf("balance failed: %v", err))
+	}
+}
+
+func (s *Server) respondPlan(w http.ResponseWriter, resp BalanceResponse, cacheState string) {
+	s.reg.Counter(mOK).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Lbserve-Cache", cacheState)
+	json.NewEncoder(w).Encode(resp)
+}

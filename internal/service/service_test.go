@@ -1,0 +1,394 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bisectlb/internal/obs"
+)
+
+func postBalance(t *testing.T, url string, body string) (*http.Response, BalanceResponse, errorBody) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/balance", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	var ok BalanceResponse
+	var bad errorBody
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), &ok); err != nil {
+			t.Fatalf("decode OK body %q: %v", buf.String(), err)
+		}
+	} else {
+		if err := json.Unmarshal(buf.Bytes(), &bad); err != nil {
+			t.Fatalf("decode error body %q: %v", buf.String(), err)
+		}
+	}
+	return resp, ok, bad
+}
+
+const uniformReq = `{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":%d},"n":%d,"algorithm":%q,"alpha":0.1}`
+
+func TestBalanceEndToEnd(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	for _, alg := range []string{"HF", "BA", "BA-HF", "PHF"} {
+		resp, plan, _ := postBalance(t, ts.URL, fmt.Sprintf(uniformReq, 7, 64, alg))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", alg, resp.StatusCode)
+		}
+		if len(plan.Parts) == 0 || len(plan.Parts) > 64 {
+			t.Fatalf("%s: %d parts", alg, len(plan.Parts))
+		}
+		var sum float64
+		for _, pt := range plan.Parts {
+			sum += pt.Weight
+		}
+		if diff := sum - plan.Total; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: parts sum %g, total %g", alg, sum, plan.Total)
+		}
+		if plan.Guarantee <= 0 {
+			t.Fatalf("%s: missing guarantee bound with declared alpha", alg)
+		}
+		if plan.Ratio > plan.Guarantee {
+			t.Fatalf("%s: ratio %g exceeds guarantee %g", alg, plan.Ratio, plan.Guarantee)
+		}
+		if plan.Signature == "" {
+			t.Fatalf("%s: missing signature", alg)
+		}
+	}
+}
+
+func TestBalanceCacheHit(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	body := fmt.Sprintf(uniformReq, 42, 128, "HF")
+	resp1, plan1, _ := postBalance(t, ts.URL, body)
+	if resp1.StatusCode != http.StatusOK || plan1.Cached {
+		t.Fatalf("first request: status %d cached %v", resp1.StatusCode, plan1.Cached)
+	}
+	if resp1.Header.Get("X-Lbserve-Cache") != "miss" {
+		t.Fatalf("first request cache header = %q", resp1.Header.Get("X-Lbserve-Cache"))
+	}
+	resp2, plan2, _ := postBalance(t, ts.URL, body)
+	if resp2.StatusCode != http.StatusOK || !plan2.Cached {
+		t.Fatalf("second request: status %d cached %v, want cache hit", resp2.StatusCode, plan2.Cached)
+	}
+	if resp2.Header.Get("X-Lbserve-Cache") != "hit" {
+		t.Fatalf("second request cache header = %q", resp2.Header.Get("X-Lbserve-Cache"))
+	}
+	if plan1.Signature != plan2.Signature || plan1.Ratio != plan2.Ratio {
+		t.Fatal("cached plan differs from computed plan")
+	}
+	sn := srv.Registry().Snapshot()
+	if sn.Counters[mCacheHits] < 1 {
+		t.Fatalf("cache_hits = %d, want ≥ 1", sn.Counters[mCacheHits])
+	}
+	// A request that differs only in elided defaults must still hit.
+	resp3, plan3, _ := postBalance(t, ts.URL,
+		`{"spec":{"family":"uniform","weight":1,"lo":0.1,"hi":0.5,"seed":42},"n":128,"algorithm":"hf","alpha":0.1}`)
+	if resp3.StatusCode != http.StatusOK || !plan3.Cached {
+		t.Fatal("canonicalisation failed: equivalent request missed the cache")
+	}
+}
+
+func TestBalanceTypedRejections(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"invalid json", `{"spec":`, 400, "bad_request"},
+		{"unknown field", `{"zpec":{}}`, 400, "bad_request"},
+		{"missing family", `{"spec":{},"n":4}`, 400, "bad_spec"},
+		{"unknown family", `{"spec":{"family":"warp"},"n":4}`, 400, "bad_spec"},
+		{"bad uniform bounds", `{"spec":{"family":"uniform","lo":0.6,"hi":0.7},"n":4}`, 400, "bad_spec"},
+		{"unknown algorithm", fmt.Sprintf(uniformReq, 1, 4, "quantum"), 400, "unknown_algorithm"},
+		{"phf without alpha", `{"spec":{"family":"uniform","lo":0.1,"hi":0.5},"n":4,"algorithm":"PHF"}`, 400, "alpha_required"},
+		{"bad alpha", `{"spec":{"family":"uniform","lo":0.1,"hi":0.5},"n":4,"algorithm":"PHF","alpha":0.9}`, 400, "bad_alpha"},
+		{"bad kappa", `{"spec":{"family":"uniform","lo":0.1,"hi":0.5},"n":4,"algorithm":"BA-HF","alpha":0.2,"kappa":-1}`, 400, "bad_kappa"},
+		{"bad n", `{"spec":{"family":"uniform","lo":0.1,"hi":0.5},"n":0}`, 400, "bad_n"},
+		{"negative deadline", `{"spec":{"family":"uniform","lo":0.1,"hi":0.5},"n":4,"deadline_ms":-1}`, 400, "bad_spec"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, _, bad := postBalance(t, ts.URL, tc.body)
+			if resp.StatusCode != tc.status || bad.Error.Code != tc.code {
+				t.Fatalf("status/code = %d/%q, want %d/%q (%s)",
+					resp.StatusCode, bad.Error.Code, tc.status, tc.code, bad.Error.Message)
+			}
+		})
+	}
+	if resp, err := http.Get(ts.URL + "/v1/balance"); err != nil || resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/balance = %v, %v; want 405", resp.StatusCode, err)
+	}
+}
+
+// TestAdmissionQueueFull saturates a 1-worker, depth-1 pool through the
+// HTTP surface and checks the overflow request is shed with a typed 429.
+func TestAdmissionQueueFull(t *testing.T) {
+	gate := make(chan struct{})
+	var computes atomic.Int64
+	srv := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Hooks:      Hooks{PreCompute: func() { computes.Add(1); <-gate }},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	var wg sync.WaitGroup
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			resp, _, _ := postBalance(t, ts.URL, fmt.Sprintf(uniformReq, seed, 32, "HF"))
+			results <- resp.StatusCode
+		}(i)
+	}
+	// Wait until one request holds the worker and the other fills the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for computes.Load() < 1 || len(srv.pool.queue) < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("saturation never reached: computes=%d queued=%d", computes.Load(), len(srv.pool.queue))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, _, bad := postBalance(t, ts.URL, fmt.Sprintf(uniformReq, 99, 32, "HF"))
+	if resp.StatusCode != http.StatusTooManyRequests || bad.Error.Code != "queue_full" {
+		t.Fatalf("overflow = %d/%q, want 429/queue_full", resp.StatusCode, bad.Error.Code)
+	}
+
+	close(gate)
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("admitted request finished %d, want 200", code)
+		}
+	}
+	if n := srv.Registry().Snapshot().Counters[mRejectedQueueFull]; n != 1 {
+		t.Fatalf("rejected_queue_full = %d, want 1", n)
+	}
+}
+
+// TestSingleflightCoalescingHTTP holds one computation in flight and
+// fires identical requests at it; every duplicate must coalesce onto the
+// single compute.
+func TestSingleflightCoalescingHTTP(t *testing.T) {
+	gate := make(chan struct{})
+	var computes atomic.Int64
+	var once sync.Once
+	entered := make(chan struct{})
+	srv := New(Config{
+		Workers:    2,
+		QueueDepth: 8,
+		Hooks: Hooks{PreCompute: func() {
+			computes.Add(1)
+			once.Do(func() { close(entered) })
+			<-gate
+		}},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	body := fmt.Sprintf(uniformReq, 5, 64, "BA")
+	var wg sync.WaitGroup
+	statuses := make(chan int, 6)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, _, _ := postBalance(t, ts.URL, body)
+		statuses <- resp.StatusCode
+	}()
+	<-entered
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _, _ := postBalance(t, ts.URL, body)
+			statuses <- resp.StatusCode
+		}()
+	}
+	// Give the followers time to join the flight, then release it.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Registry().Counter(mRequests).Value() < 6 {
+		if time.Now().After(deadline) {
+			t.Fatal("followers never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(statuses)
+	for code := range statuses {
+		if code != http.StatusOK {
+			t.Fatalf("status %d, want 200", code)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("computes = %d, want 1 (singleflight should coalesce)", got)
+	}
+	if n := srv.Registry().Snapshot().Counters[mCoalesced]; n < 1 {
+		t.Fatalf("coalesced = %d, want ≥ 1", n)
+	}
+}
+
+// TestGracefulDrain is the shutdown contract: a request in flight when
+// SIGTERM-equivalent Shutdown arrives completes with 200, while the
+// listener refuses new connections and late requests get typed 503s.
+func TestGracefulDrain(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	srv := New(Config{
+		Workers: 2,
+		Hooks:   Hooks{PreCompute: func() { once.Do(func() { close(entered) }); <-gate }},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	// Put one request in flight and hold it there.
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _, _ := postBalance(t, base, fmt.Sprintf(uniformReq, 3, 64, "HF"))
+		inflight <- resp.StatusCode
+	}()
+	<-entered
+
+	// Begin the drain; it must block on the in-flight request.
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+
+	// The listener must start refusing new connections.
+	refused := false
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		conn, err := net.DialTimeout("tcp", addr.String(), 100*time.Millisecond)
+		if err != nil {
+			refused = true
+			break
+		}
+		conn.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !refused {
+		t.Fatal("listener still accepting connections during drain")
+	}
+	select {
+	case err := <-shutdownDone:
+		t.Fatalf("Shutdown returned %v before the in-flight request finished", err)
+	default:
+	}
+
+	// A request reaching the handler during the drain gets a typed 503.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/balance",
+		strings.NewReader(fmt.Sprintf(uniformReq, 4, 16, "HF"))))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining balance = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "draining") {
+		t.Fatalf("draining healthz = %d %q, want 503 draining", rec.Code, rec.Body.String())
+	}
+
+	// Release the held computation: the in-flight request must complete
+	// with 200 and Shutdown must then return cleanly.
+	close(gate)
+	if code := <-inflight; code != http.StatusOK {
+		t.Fatalf("in-flight request finished %d, want 200", code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+}
+
+func TestHealthzAndMetricz(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %v, %v", resp, err)
+	}
+	resp.Body.Close()
+
+	postBalance(t, ts.URL, fmt.Sprintf(uniformReq, 1, 16, "HF"))
+	resp, err = http.Get(ts.URL + "/metricz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricz = %v, %v", resp, err)
+	}
+	var sn obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&sn); err != nil {
+		t.Fatalf("metricz decode: %v", err)
+	}
+	resp.Body.Close()
+	if sn.Counters[mRequests] < 1 || sn.Counters[mOK] < 1 {
+		t.Fatalf("metricz counters = %v, want requests and ok ≥ 1", sn.Counters)
+	}
+	if _, ok := sn.Histograms[mLatencyNs]; !ok {
+		t.Fatal("metricz missing service.latency_ns histogram")
+	}
+}
+
+// TestAllFamiliesServe exercises every spec family once through the HTTP
+// surface.
+func TestAllFamiliesServe(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	bodies := []string{
+		`{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":1},"n":32}`,
+		`{"spec":{"family":"fixed","split_alpha":0.25},"n":32}`,
+		`{"spec":{"family":"list","elems":2000,"split_alpha":0.2,"seed":1},"n":32}`,
+		`{"spec":{"family":"fem","seed":1},"n":32}`,
+		`{"spec":{"family":"quadrature","seed":1},"n":32}`,
+		`{"spec":{"family":"searchtree","seed":1},"n":32}`,
+	}
+	for _, body := range bodies {
+		resp, plan, bad := postBalance(t, ts.URL, body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s → %d (%s)", body, resp.StatusCode, bad.Error.Message)
+		}
+		if len(plan.Parts) == 0 {
+			t.Fatalf("%s → empty plan", body)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// sfGroup coalesces concurrent computations of the same canonical key:
+// the first caller (the leader) runs fn; callers that arrive while it is
+// in flight wait for the leader's result instead of occupying queue
+// slots and workers. A follower whose context expires stops waiting, but
+// the leader's computation continues and still populates the cache.
+type sfGroup struct {
+	mu sync.Mutex
+	m  map[string]*sfCall
+}
+
+type sfCall struct {
+	done chan struct{}
+	val  *Plan
+	err  error
+}
+
+// Do executes fn for key, coalescing concurrent duplicates. The boolean
+// reports whether this caller shared a leader's flight (true for
+// followers, false for the leader).
+func (g *sfGroup) Do(ctx context.Context, key string, fn func() (*Plan, error)) (*Plan, bool, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*sfCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &sfCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}

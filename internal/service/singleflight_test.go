@@ -1,0 +1,116 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightCoalesces launches many concurrent callers for one key
+// and checks exactly one executes while the rest share its result.
+func TestSingleflightCoalesces(t *testing.T) {
+	var g sfGroup
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const callers = 16
+
+	var wg sync.WaitGroup
+	leaders, followers := atomic.Int64{}, atomic.Int64{}
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			plan, shared, err := g.Do(context.Background(), "k", func() (*Plan, error) {
+				calls.Add(1)
+				<-gate // hold the flight open until everyone has joined
+				return &Plan{Signature: "s"}, nil
+			})
+			if err != nil || plan == nil || plan.Signature != "s" {
+				t.Errorf("Do = %v, %v", plan, err)
+			}
+			if shared {
+				followers.Add(1)
+			} else {
+				leaders.Add(1)
+			}
+		}()
+	}
+	// Wait until the leader is in flight and all followers are parked on
+	// its call, then release.
+	deadline := time.After(5 * time.Second)
+	for calls.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("leader never started")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // let followers enqueue
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("fn executed %d times, want 1", calls.Load())
+	}
+	if leaders.Load() != 1 {
+		t.Fatalf("leaders = %d, want 1", leaders.Load())
+	}
+	if followers.Load() != callers-1 {
+		t.Fatalf("followers = %d, want %d", followers.Load(), callers-1)
+	}
+}
+
+// TestSingleflightSequentialCallsRerun checks the key is released after a
+// flight completes: sequential calls each execute.
+func TestSingleflightSequentialCallsRerun(t *testing.T) {
+	var g sfGroup
+	var calls int
+	for i := 0; i < 3; i++ {
+		_, shared, err := g.Do(context.Background(), "k", func() (*Plan, error) {
+			calls++
+			return &Plan{}, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: shared=%v err=%v", i, shared, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+// TestSingleflightFollowerDeadline checks a follower with an expired
+// context stops waiting while the leader completes unharmed.
+func TestSingleflightFollowerDeadline(t *testing.T) {
+	var g sfGroup
+	gate := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func() (*Plan, error) {
+			close(started)
+			<-gate
+			return &Plan{}, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shared, err := g.Do(ctx, "k", func() (*Plan, error) { return &Plan{}, nil })
+	if !shared {
+		t.Fatal("second caller should have joined the in-flight call")
+	}
+	if err != context.DeadlineExceeded {
+		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
+	}
+
+	close(gate)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+}

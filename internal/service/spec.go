@@ -1,0 +1,182 @@
+package service
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"bisectlb"
+)
+
+// ProblemSpec describes a problem substrate by family name and the
+// parameters that pin one deterministic instance of it. Because every
+// substrate in this repository is a pure function of its parameters and
+// seed, a spec is a complete, canonicalisable identity for the root
+// problem — which is what makes partition plans cacheable.
+type ProblemSpec struct {
+	// Family selects the substrate: "uniform", "fixed", "list", "fem",
+	// "quadrature" or "searchtree".
+	Family string `json:"family"`
+	// Weight is the root weight for the synthetic families (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Lo, Hi bound the per-bisection α̂ draw of the "uniform" family.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// SplitAlpha is the split parameter of the "fixed" family and the
+	// pivot guard of the "list" family.
+	SplitAlpha float64 `json:"split_alpha,omitempty"`
+	// Elems is the element count of the "list" family.
+	Elems int `json:"elems,omitempty"`
+	// Split selects the quadrature bisector: "median" (default) or
+	// "midpoint".
+	Split string `json:"split,omitempty"`
+	// Seed pins the instance for the seeded families.
+	Seed uint64 `json:"seed"`
+}
+
+// BalanceRequest is the body of POST /v1/balance.
+type BalanceRequest struct {
+	Spec ProblemSpec `json:"spec"`
+	// N is the processor count to partition for.
+	N int `json:"n"`
+	// Algorithm names the strategy ("HF", "BA", "BA-HF", "PHF",
+	// "parallel-BA", "parallel-PHF"); default "HF".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Alpha is the declared class α, required by PHF and BA-HF.
+	Alpha float64 `json:"alpha,omitempty"`
+	// Kappa is BA-HF's threshold parameter (0 means 1.0).
+	Kappa float64 `json:"kappa,omitempty"`
+	// DeadlineMS caps the request's time in queue + compute; 0 uses the
+	// server default.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// normalize fills defaulted fields so that requests differing only in
+// elided defaults canonicalise to the same cache key.
+func (r *BalanceRequest) normalize() {
+	if r.Algorithm == "" {
+		r.Algorithm = "HF"
+	}
+	switch r.Spec.Family {
+	case "uniform", "fixed":
+		if r.Spec.Weight == 0 {
+			r.Spec.Weight = 1
+		}
+	}
+	if r.Spec.Family == "quadrature" && r.Spec.Split == "" {
+		r.Spec.Split = "median"
+	}
+}
+
+// validate rejects malformed specs before any work is admitted. The
+// algorithm-level parameters (n, alpha, kappa) are deliberately NOT fully
+// validated here: they go straight to bisectlb.Balance, whose typed
+// errors the handler maps to client responses — the facade is the single
+// source of truth for its own preconditions.
+func (r *BalanceRequest) validate() error {
+	switch r.Spec.Family {
+	case "uniform":
+		if !(r.Spec.Lo > 0 && r.Spec.Lo <= r.Spec.Hi && r.Spec.Hi <= 0.5) {
+			return fmt.Errorf("uniform family needs 0 < lo ≤ hi ≤ 1/2, got [%g, %g]", r.Spec.Lo, r.Spec.Hi)
+		}
+		if !(r.Spec.Weight > 0) {
+			return fmt.Errorf("uniform family needs weight > 0, got %g", r.Spec.Weight)
+		}
+	case "fixed":
+		if !(r.Spec.SplitAlpha > 0 && r.Spec.SplitAlpha <= 0.5) {
+			return fmt.Errorf("fixed family needs 0 < split_alpha ≤ 1/2, got %g", r.Spec.SplitAlpha)
+		}
+		if !(r.Spec.Weight > 0) {
+			return fmt.Errorf("fixed family needs weight > 0, got %g", r.Spec.Weight)
+		}
+	case "list":
+		if r.Spec.Elems < 1 {
+			return fmt.Errorf("list family needs elems ≥ 1, got %d", r.Spec.Elems)
+		}
+		if !(r.Spec.SplitAlpha > 0 && r.Spec.SplitAlpha <= 0.5) {
+			return fmt.Errorf("list family needs 0 < split_alpha ≤ 1/2, got %g", r.Spec.SplitAlpha)
+		}
+	case "fem", "searchtree":
+		// Seed-only families.
+	case "quadrature":
+		if r.Spec.Split != "median" && r.Spec.Split != "midpoint" {
+			return fmt.Errorf("quadrature split must be median or midpoint, got %q", r.Spec.Split)
+		}
+	case "":
+		return fmt.Errorf("spec.family is required")
+	default:
+		return fmt.Errorf("unknown problem family %q", r.Spec.Family)
+	}
+	if r.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms must be ≥ 0, got %d", r.DeadlineMS)
+	}
+	return nil
+}
+
+// buildProblem materialises the spec through the public facade. Specs are
+// deterministic, so rebuilding yields an identical root every time.
+func (r *BalanceRequest) buildProblem() (bisectlb.Problem, error) {
+	switch r.Spec.Family {
+	case "uniform":
+		return bisectlb.NewSyntheticProblem(r.Spec.Weight, r.Spec.Lo, r.Spec.Hi, r.Spec.Seed)
+	case "fixed":
+		return bisectlb.NewFixedProblem(r.Spec.Weight, r.Spec.SplitAlpha)
+	case "list":
+		return bisectlb.NewListProblem(r.Spec.Elems, r.Spec.SplitAlpha, r.Spec.Seed)
+	case "fem":
+		return bisectlb.DefaultFEMTreeProblem(r.Spec.Seed), nil
+	case "quadrature":
+		split := bisectlb.QuadratureMedianSplit
+		if r.Spec.Split == "midpoint" {
+			split = bisectlb.QuadratureMidpointSplit
+		}
+		return bisectlb.NewQuadratureProblem(split, r.Spec.Seed)
+	case "searchtree":
+		return bisectlb.DefaultSearchTreeProblem(r.Spec.Seed), nil
+	default:
+		return nil, fmt.Errorf("unknown problem family %q", r.Spec.Family)
+	}
+}
+
+// cacheKey returns the canonical identity of the partition plan this
+// request asks for. Two requests with the same key receive byte-identical
+// plans, so the key is safe to cache and to coalesce on. Deadline is
+// excluded: it shapes admission, not the plan.
+func (r *BalanceRequest) cacheKey() string {
+	var b strings.Builder
+	b.WriteString("f=")
+	b.WriteString(r.Spec.Family)
+	switch r.Spec.Family {
+	case "uniform":
+		b.WriteString(",w=" + g(r.Spec.Weight) + ",lo=" + g(r.Spec.Lo) + ",hi=" + g(r.Spec.Hi) + ",s=" + strconv.FormatUint(r.Spec.Seed, 10))
+	case "fixed":
+		b.WriteString(",w=" + g(r.Spec.Weight) + ",sa=" + g(r.Spec.SplitAlpha))
+	case "list":
+		b.WriteString(",e=" + strconv.Itoa(r.Spec.Elems) + ",sa=" + g(r.Spec.SplitAlpha) + ",s=" + strconv.FormatUint(r.Spec.Seed, 10))
+	case "fem", "searchtree":
+		b.WriteString(",s=" + strconv.FormatUint(r.Spec.Seed, 10))
+	case "quadrature":
+		b.WriteString(",sp=" + r.Spec.Split + ",s=" + strconv.FormatUint(r.Spec.Seed, 10))
+	}
+	kappa := r.Kappa
+	if kappa == 0 {
+		kappa = 1 // Balance's BA-HF default; canonicalise so 0 and 1 coincide
+	}
+	b.WriteString("|n=" + strconv.Itoa(r.N))
+	b.WriteString("|alg=" + strings.ToUpper(strings.TrimSpace(r.Algorithm)))
+	b.WriteString("|a=" + g(r.Alpha))
+	b.WriteString("|k=" + g(kappa))
+	return b.String()
+}
+
+// g formats a float canonically (shortest round-trip representation).
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// signature condenses a cache key into the short hex form reported in
+// plans and logs.
+func signature(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return strconv.FormatUint(h.Sum64(), 16)
+}
