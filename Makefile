@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench ci chaos sweep serve clean
+.PHONY: all build test race bench bench-core bench-short docs-lint ci chaos sweep serve clean
 
 all: build test
 
@@ -28,9 +28,28 @@ bench:
 	mkdir -p results
 	$(GO) run ./cmd/lbload -inprocess -rps 200 -duration 3s -out results/service_load.txt -json BENCH_service.json
 
+# Core-planner trajectory: the lbbench grid ({HF, PHF, BA, BA-HF} × α ×
+# N) over the allocation-free planner. Rewrites BENCH_core.json and
+# results/bench_core.txt (EXPERIMENTS.md X9).
+bench-core:
+	$(GO) run ./cmd/lbbench
+
+# One-iteration pass over every go-test benchmark in the perf-sensitive
+# packages. This is a correctness gate, not a measurement: it proves each
+# benchmark still builds and runs, so a refactor cannot silently orphan
+# the benchmark suite.
+bench-short:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/core ./internal/pheap ./internal/bisect ./internal/service .
+
+# Documentation lint: gofmt, vet, and scripts/docs_lint.sh (every
+# results/*.txt and BENCH_*.json mentioned in the docs exists; every
+# cmd/* is mentioned in README.md).
+docs-lint:
+	./scripts/docs_lint.sh
+
 # Everything CI runs, in order: vet, the full suite, the race pass, the
-# serving-perf smoke.
-ci: test race bench
+# benchmark gates, the docs lint, the serving-perf smoke.
+ci: test race bench-short docs-lint bench
 
 # Regenerate the X7 chaos-study table.
 chaos:

@@ -1,0 +1,68 @@
+// Command lbbench runs the tracked core-planner benchmark suite: the
+// allocation-free planner (HF, PHF, BA, BA-HF) over the fixed
+// α × N grid of internal/bench, on the paper's synthetic substrate.
+//
+// It prints an aligned table, writes it to -out, and writes the
+// machine-readable suite to -json — by default the checked-in
+// BENCH_core.json, the repo's core-performance trajectory file
+// (EXPERIMENTS.md X9). `make bench-core` is the canonical invocation.
+//
+//	lbbench                       # full run, rewrites BENCH_core.json
+//	lbbench -benchtime 50ms       # quicker, noisier
+//	lbbench -json "" -out ""      # print only, touch nothing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bisectlb/internal/bench"
+)
+
+func main() {
+	var (
+		benchtime = flag.Duration("benchtime", 250*time.Millisecond, "time budget per grid cell")
+		outPath   = flag.String("out", "results/bench_core.txt", "human-readable table file (empty disables)")
+		jsonPath  = flag.String("json", "BENCH_core.json", "machine-readable suite file (empty disables)")
+	)
+	flag.Parse()
+
+	s, err := bench.RunCore(*benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
+	if err := s.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
+	if *outPath != "" {
+		writeTo(*outPath, func(f *os.File) error { return s.WriteText(f) })
+	}
+	if *jsonPath != "" {
+		writeTo(*jsonPath, func(f *os.File) error { return s.WriteJSON(f) })
+	}
+}
+
+func writeTo(path string, render func(*os.File) error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "lbbench:", err)
+			os.Exit(1)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		fmt.Fprintln(os.Stderr, "lbbench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "lbbench: wrote", path)
+}

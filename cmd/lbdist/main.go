@@ -21,15 +21,23 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 64, "virtual processors")
-		k       = flag.Int("nodes", 4, "cluster nodes")
-		lo      = flag.Float64("lo", 0.1, "lower α̂ bound")
-		hi      = flag.Float64("hi", 0.5, "upper α̂ bound")
-		seed    = flag.Uint64("seed", 1999, "instance seed")
-		timeout = flag.Duration("timeout", 30*time.Second, "run deadline")
-		metrics = flag.Bool("metrics", false, "dump node-local metric registries as JSON on exit")
+		n         = flag.Int("n", 64, "virtual processors")
+		k         = flag.Int("nodes", 4, "cluster nodes")
+		lo        = flag.Float64("lo", 0.1, "lower α̂ bound")
+		hi        = flag.Float64("hi", 0.5, "upper α̂ bound")
+		seed      = flag.Uint64("seed", 1999, "instance seed")
+		timeout   = flag.Duration("timeout", 30*time.Second, "run deadline")
+		metrics   = flag.Bool("metrics", false, "dump node-local metric registries as JSON on exit")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	if bound, err := obs.StartPprof(*pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "lbdist: pprof:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", bound)
+	}
 
 	cl, err := dist.StartCluster(*n, *k)
 	if err != nil {

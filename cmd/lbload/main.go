@@ -26,6 +26,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,8 +51,17 @@ func main() {
 		workers   = flag.Int("workers", 0, "in-process server worker-pool size (0 = GOMAXPROCS)")
 		cacheCap  = flag.Int("cache", 1024, "in-process server cache capacity (negative disables)")
 		sweep     = flag.Bool("sweep", false, "X8 study: sweep worker-pool size × cache on/off in-process")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *sweep {
 		runSweep(*rps, *duration, *seed, *specPool, *outPath, *jsonPath)
@@ -75,8 +86,54 @@ func main() {
 		writeJSON(*jsonPath, rep)
 	}
 	if rep.Failed > 0 {
+		stopProf() // os.Exit skips defers; flush the profiles first
 		os.Exit(1)
 	}
+}
+
+// startProfiles starts CPU profiling and arranges an allocation-profile
+// snapshot for when the returned (idempotent) stop function runs. Either
+// path may be empty to skip that profile. The profiles capture the whole
+// lbload process — generator and, with -inprocess, the service itself —
+// which is the intended use: one binary, one profile, no cross-process
+// correlation needed.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuF != nil {
+				pprof.StopCPUProfile()
+				cpuF.Close()
+				fmt.Fprintf(os.Stderr, "lbload: cpu profile: %s\n", cpuPath)
+			}
+			if memPath == "" {
+				return
+			}
+			f, ferr := os.Create(memPath)
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "lbload: memprofile:", ferr)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the snapshot is stable
+			if werr := pprof.Lookup("allocs").WriteTo(f, 0); werr != nil {
+				fmt.Fprintln(os.Stderr, "lbload: memprofile:", werr)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "lbload: allocation profile: %s\n", memPath)
+		})
+	}, nil
 }
 
 // startInProcess boots a service.Server on a loopback listener.

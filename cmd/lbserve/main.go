@@ -2,8 +2,11 @@
 // HTTP/JSON daemon that turns problem specs into partition plans with
 // their guarantee bounds.
 //
-//	POST /v1/balance  {"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":7},
-//	                   "n":64,"algorithm":"BA-HF","alpha":0.1,"kappa":2}
+//	POST /v1/balance        {"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":7},
+//	                         "n":64,"algorithm":"BA-HF","alpha":0.1,"kappa":2}
+//	POST /v1/balance:batch  {"items":[<balance request>, …]} — per-item
+//	                        results and errors, one admission slot, in-batch
+//	                        dedup (-batch-max bounds the item count)
 //	GET  /healthz
 //	GET  /metricz
 //
@@ -12,7 +15,8 @@
 // misses coalesce onto one computation, and a bounded worker pool sheds
 // overload with typed 429/503 rejections. SIGTERM/SIGINT drain
 // gracefully: the listener closes, in-flight requests finish, and the
-// final metrics snapshot is flushed to stderr.
+// final metrics snapshot is flushed to stderr. -pprof serves
+// net/http/pprof on a separate listener for profiling under load.
 package main
 
 import (
@@ -26,20 +30,30 @@ import (
 	"syscall"
 	"time"
 
+	"bisectlb/internal/obs"
 	"bisectlb/internal/service"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8733", "listen address")
-		workers  = flag.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "admission queue depth (0 = 4×workers)")
-		cache    = flag.Int("cache", 1024, "plan cache capacity in entries (negative disables)")
-		shards   = flag.Int("cache-shards", 16, "plan cache shard count")
-		deadline = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
-		drain    = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		addr      = flag.String("addr", "127.0.0.1:8733", "listen address")
+		workers   = flag.Int("workers", 0, "compute pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admission queue depth (0 = 4×workers)")
+		cache     = flag.Int("cache", 1024, "plan cache capacity in entries (negative disables)")
+		shards    = flag.Int("cache-shards", 16, "plan cache shard count")
+		deadline  = flag.Duration("deadline", 2*time.Second, "default per-request deadline")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
+		batchMax  = flag.Int("batch-max", 64, "max items per /v1/balance:batch request")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	if bound, err := obs.StartPprof(*pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "lbserve: pprof:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		fmt.Printf("lbserve: pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	srv := service.New(service.Config{
 		Workers:         *workers,
@@ -47,6 +61,7 @@ func main() {
 		CacheCapacity:   *cache,
 		CacheShards:     *shards,
 		DefaultDeadline: *deadline,
+		MaxBatchItems:   *batchMax,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

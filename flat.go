@@ -1,0 +1,124 @@
+package bisectlb
+
+import (
+	"errors"
+	"fmt"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+)
+
+// This file is the allocation-free planning facade (DESIGN.md §10).
+//
+// The Problem interface is convenient but every Bisect() call allocates
+// two child nodes, so interface-path planning costs O(parts) allocations
+// no matter how carefully the algorithms reuse their own buffers. The
+// flat API replaces interface nodes with the value type FlatNode and
+// bisection with a Kernel; a Planner carries every scratch buffer the
+// algorithms need, and BalanceInto writes the partition into a reusable
+// Plan. Once the buffers are warm, planning performs zero heap
+// allocations per call while producing partitions identical to Balance's
+// (asserted part-by-part in internal/core's parity tests).
+
+// ErrNoFlatPlanner is returned by BalanceInto for algorithms that only
+// exist as goroutine-parallel executions (parallel-BA, parallel-PHF):
+// spawning goroutines is inherently allocating, so they have no
+// allocation-free form. Use Balance for them.
+var ErrNoFlatPlanner = errors.New("bisectlb: algorithm has no allocation-free planner")
+
+// FlatNode is a value-type subproblem; Kernel is its bisector. FlatPart
+// is one subproblem of a Plan with its processor assignment.
+type (
+	FlatNode = bisect.FlatNode
+	Kernel   = bisect.Kernel
+	FlatPart = core.FlatPart
+)
+
+// Planner owns the scratch buffers (heap, node arena, recursion stack)
+// for flat planning; Plan is the reusable result it writes into. A
+// Planner is not safe for concurrent use — keep one per goroutine, or
+// pool them as internal/service does.
+type (
+	Planner = core.Planner
+	Plan    = core.Plan
+)
+
+// NewPlanner returns a planner with buffers pre-sized for partitions
+// into about n parts. The zero value also works; it just grows its
+// buffers on first use.
+func NewPlanner(n int) *Planner { return core.NewPlanner(n) }
+
+// NewSyntheticFlat is NewSyntheticProblem for the flat API: it validates
+// the same preconditions and returns the root node plus the kernel that
+// bisects it. The kernel splits bit-identically to the interface
+// substrate, so flat and interface plans for the same parameters match
+// exactly.
+func NewSyntheticFlat(w, lo, hi float64, seed uint64) (FlatNode, Kernel, error) {
+	if _, err := bisect.NewSynthetic(w, lo, hi, seed); err != nil {
+		return FlatNode{}, nil, err
+	}
+	return bisect.SyntheticFlatRoot(w, seed), bisect.SyntheticKernel{Lo: lo, Hi: hi}, nil
+}
+
+// NewFixedFlat is NewFixedProblem for the flat API.
+func NewFixedFlat(w, alpha float64) (FlatNode, Kernel, error) {
+	if _, err := bisect.NewFixed(w, alpha); err != nil {
+		return FlatNode{}, nil, err
+	}
+	return bisect.FixedFlatRoot(w), bisect.FixedKernel{Alpha: alpha}, nil
+}
+
+// NewListFlat is NewListProblem for the flat API.
+func NewListFlat(n int, alpha float64, seed uint64) (FlatNode, Kernel, error) {
+	if _, err := bisect.NewList(n, alpha, seed); err != nil {
+		return FlatNode{}, nil, err
+	}
+	return bisect.ListFlatRoot(n, alpha, seed), bisect.ListKernel{Alpha: alpha}, nil
+}
+
+// BalanceInto is Balance for the flat API: it partitions root into at
+// most n parts with the configured algorithm, writing the result into
+// plan using pl's scratch buffers. Input validation matches Balance —
+// the same typed errors for the same violations — plus ErrNoFlatPlanner
+// for the goroutine-parallel algorithms. Plan.Algorithm is the bare
+// algorithm name ("BA-HF", not "BA-HF(κ=…)"); callers that need the
+// interface path's parameterised label format it themselves.
+func BalanceInto(plan *Plan, pl *Planner, k Kernel, root FlatNode, n int, cfg Config) error {
+	if plan == nil || pl == nil {
+		return fmt.Errorf("bisectlb: BalanceInto needs a non-nil plan and planner")
+	}
+	if k == nil {
+		return fmt.Errorf("%w (nil kernel)", ErrNilProblem)
+	}
+	if n < 1 {
+		return fmt.Errorf("%w, got %d", ErrBadN, n)
+	}
+	switch cfg.Algorithm {
+	case HFAlgorithm:
+		return pl.HFInto(plan, k, root, n)
+	case BAAlgorithm:
+		return pl.BAInto(plan, k, root, n)
+	case PHFAlgorithm, BAHFAlgorithm:
+		if cfg.Alpha == 0 {
+			return fmt.Errorf("%w: %s needs it", ErrAlphaRequired, cfg.Algorithm)
+		}
+		if !(cfg.Alpha > 0 && cfg.Alpha <= 0.5) {
+			return fmt.Errorf("%w, got %v", ErrBadAlpha, cfg.Alpha)
+		}
+		if cfg.Algorithm == PHFAlgorithm {
+			return pl.PHFInto(plan, k, root, n, cfg.Alpha)
+		}
+		if cfg.Kappa < 0 {
+			return fmt.Errorf("%w, got %v", ErrBadKappa, cfg.Kappa)
+		}
+		kappa := cfg.Kappa
+		if kappa == 0 {
+			kappa = 1.0
+		}
+		return pl.BAHFInto(plan, k, root, n, cfg.Alpha, kappa)
+	case ParallelBAAlgorithm, ParallelPHFAlgorithm:
+		return fmt.Errorf("%w: %s", ErrNoFlatPlanner, cfg.Algorithm)
+	default:
+		return fmt.Errorf("%w %v", ErrUnknownAlgorithm, cfg.Algorithm)
+	}
+}

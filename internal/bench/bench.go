@@ -1,0 +1,207 @@
+// Package bench is the tracked planner-benchmark harness behind
+// cmd/lbbench and `make bench-core`. It times the allocation-free
+// planner (internal/core.Planner) over the fixed grid
+//
+//	{HF, PHF, BA, BA-HF} × α ∈ {0.1, 0.3, 0.5} × N ∈ {64, 1024, 16384}
+//
+// on the paper's synthetic substrate and emits the results as both an
+// aligned text table and the machine-readable BENCH_core.json checked in
+// at the repo root — the core-performance trajectory file, the planning
+// counterpart to lbload's BENCH_service.json (EXPERIMENTS.md X9 explains
+// how to read and regenerate it).
+//
+// The harness measures with its own calibrated loop instead of
+// testing.Benchmark so callers control the per-cell time budget
+// (testing.Benchmark hard-codes the 1s default outside `go test`), and
+// reads allocation counts from runtime.MemStats deltas, which is how it
+// can report allocs/op without the testing package.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/core"
+)
+
+// Grid dimensions. Exported so tests and docs can't drift from what the
+// harness actually runs.
+var (
+	Algorithms = []string{"HF", "PHF", "BA", "BA-HF"}
+	Alphas     = []float64{0.1, 0.3, 0.5}
+	Ns         = []int{64, 1024, 16384}
+)
+
+// rootSeed pins the synthetic instance so runs are comparable across
+// machines and time; κ is BA-HF's default threshold.
+const (
+	rootSeed = 42
+	kappa    = 1.0
+)
+
+// Measurement is one grid cell's outcome.
+type Measurement struct {
+	Algorithm   string  `json:"algorithm"`
+	Alpha       float64 `json:"alpha"`
+	N           int     `json:"n"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Parts and Ratio describe the plan itself (identical every
+	// iteration — planning is deterministic), tying the timing back to
+	// the partition it buys.
+	Parts int     `json:"parts"`
+	Ratio float64 `json:"ratio"`
+}
+
+// Suite is the full harness outcome, the schema of BENCH_core.json.
+type Suite struct {
+	Schema      string        `json:"schema"`
+	GoVersion   string        `json:"go_version"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	BenchtimeNs int64         `json:"benchtime_ns"`
+	Cells       []Measurement `json:"cells"`
+}
+
+// SchemaID versions BENCH_core.json; bump on incompatible change.
+const SchemaID = "bisectlb-bench-core/v1"
+
+// RunCore runs the whole grid, spending about benchtime per cell
+// (minimum one iteration, so a tiny benchtime still measures every
+// cell — CI uses that as a smoke run).
+func RunCore(benchtime time.Duration) (*Suite, error) {
+	s := &Suite{
+		Schema:      SchemaID,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		BenchtimeNs: benchtime.Nanoseconds(),
+	}
+	for _, alg := range Algorithms {
+		for _, alpha := range Alphas {
+			for _, n := range Ns {
+				m, err := runCell(alg, alpha, n, benchtime)
+				if err != nil {
+					return nil, fmt.Errorf("bench %s α=%g N=%d: %w", alg, alpha, n, err)
+				}
+				s.Cells = append(s.Cells, m)
+			}
+		}
+	}
+	return s, nil
+}
+
+// runCell times one (algorithm, α, N) cell. The α under test is both the
+// declared class α (for PHF/BA-HF) and the lower bound of the synthetic
+// α̂ interval, so declared and actual bisection quality agree.
+func runCell(alg string, alpha float64, n int, benchtime time.Duration) (Measurement, error) {
+	var k bisect.Kernel = bisect.SyntheticKernel{Lo: alpha, Hi: 0.5}
+	root := bisect.SyntheticFlatRoot(1, rootSeed)
+	pl := core.NewPlanner(n)
+	var plan core.Plan
+	run, err := planFunc(alg, pl, &plan, k, root, n, alpha)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if err := run(); err != nil { // warm buffers; also validates the cell
+		return Measurement{}, err
+	}
+	m := Measurement{Algorithm: alg, Alpha: alpha, N: n, Parts: len(plan.Parts), Ratio: plan.Ratio}
+
+	var ms0, ms1 runtime.MemStats
+	iters := 0
+	var elapsed time.Duration
+	batch := 1
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	for elapsed < benchtime {
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			if err := run(); err != nil {
+				return Measurement{}, err
+			}
+		}
+		elapsed += time.Since(start)
+		iters += batch
+		if batch < 1<<16 {
+			batch *= 2
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	m.Iterations = iters
+	m.NsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	m.AllocsPerOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(iters)
+	m.BytesPerOp = float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(iters)
+	return m, nil
+}
+
+// planFunc maps an algorithm name to its planner call over shared
+// buffers. The kernel is converted to its interface form once by the
+// caller: converting per call would allocate and pollute allocs/op.
+func planFunc(alg string, pl *core.Planner, plan *core.Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha float64) (func() error, error) {
+	switch alg {
+	case "HF":
+		return func() error { return pl.HFInto(plan, k, root, n) }, nil
+	case "PHF":
+		return func() error { return pl.PHFInto(plan, k, root, n, alpha) }, nil
+	case "BA":
+		return func() error { return pl.BAInto(plan, k, root, n) }, nil
+	case "BA-HF":
+		return func() error { return pl.BAHFInto(plan, k, root, n, alpha, kappa) }, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", alg)
+	}
+}
+
+// WriteJSON renders the suite as indented JSON (the BENCH_core.json
+// format).
+func (s *Suite) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the suite as an aligned table grouped by algorithm,
+// cells sorted by (algorithm grid order, α, N).
+func (s *Suite) WriteText(w io.Writer) error {
+	order := make(map[string]int, len(Algorithms))
+	for i, a := range Algorithms {
+		order[a] = i
+	}
+	cells := append([]Measurement(nil), s.Cells...)
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if order[a.Algorithm] != order[b.Algorithm] {
+			return order[a.Algorithm] < order[b.Algorithm]
+		}
+		if a.Alpha != b.Alpha {
+			return a.Alpha < b.Alpha
+		}
+		return a.N < b.N
+	})
+	if _, err := fmt.Fprintf(w, "core planner benchmarks (%s, %s/%s, %v/cell)\n\n",
+		s.GoVersion, s.GOOS, s.GOARCH, time.Duration(s.BenchtimeNs)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-6s %5s %7s %14s %12s %12s %7s %8s\n",
+		"alg", "alpha", "N", "ns/op", "allocs/op", "B/op", "parts", "ratio")
+	prev := ""
+	for _, m := range cells {
+		if prev != "" && m.Algorithm != prev {
+			fmt.Fprintln(w)
+		}
+		prev = m.Algorithm
+		if _, err := fmt.Fprintf(w, "%-6s %5g %7d %14.0f %12.2f %12.1f %7d %8.4f\n",
+			m.Algorithm, m.Alpha, m.N, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Parts, m.Ratio); err != nil {
+			return err
+		}
+	}
+	return nil
+}

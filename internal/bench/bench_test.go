@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunCoreCoversGrid runs the harness with a minimal time budget (one
+// iteration per cell) and checks every grid cell is present exactly once
+// with sane values — this is what makes the benchmark suite double as a
+// test in CI.
+func TestRunCoreCoversGrid(t *testing.T) {
+	s, err := RunCore(time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(Algorithms) * len(Alphas) * len(Ns)
+	if len(s.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(s.Cells), want)
+	}
+	seen := map[string]bool{}
+	for _, m := range s.Cells {
+		idKey := fmt.Sprintf("%s|a%g|n%d", m.Algorithm, m.Alpha, m.N)
+		if seen[idKey] {
+			t.Fatalf("duplicate cell %s", idKey)
+		}
+		seen[idKey] = true
+		if m.Iterations < 1 {
+			t.Fatalf("%s: zero iterations", idKey)
+		}
+		if m.NsPerOp <= 0 {
+			t.Fatalf("%s: non-positive ns/op %v", idKey, m.NsPerOp)
+		}
+		if m.Parts < 1 || m.Parts > m.N {
+			t.Fatalf("%s: %d parts for N=%d", idKey, m.Parts, m.N)
+		}
+		if m.Ratio < 1 {
+			t.Fatalf("%s: ratio %v < 1", idKey, m.Ratio)
+		}
+	}
+	if s.Schema != SchemaID {
+		t.Fatalf("schema %q", s.Schema)
+	}
+}
+
+// TestSuiteRoundTrips pins the JSON schema: encode → decode preserves
+// every cell, and the text table mentions every algorithm.
+func TestSuiteRoundTrips(t *testing.T) {
+	s, err := RunCore(time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Suite
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(s.Cells) || back.Schema != s.Schema {
+		t.Fatalf("round trip lost data: %d cells, schema %q", len(back.Cells), back.Schema)
+	}
+	buf.Reset()
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms {
+		if !strings.Contains(buf.String(), alg) {
+			t.Fatalf("text table missing %s:\n%s", alg, buf.String())
+		}
+	}
+}
+
+func TestRunCellRejectsUnknownAlgorithm(t *testing.T) {
+	if _, err := runCell("nope", 0.1, 8, time.Nanosecond); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

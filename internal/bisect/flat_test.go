@@ -1,0 +1,83 @@
+package bisect
+
+import (
+	"testing"
+)
+
+// walkParity bisects the interface problem and the flat node side by side
+// down to depth levels and fails on the first divergence in weight, ID,
+// divisibility or depth.
+func walkParity(t *testing.T, p Problem, n FlatNode, k Kernel, depth int) {
+	t.Helper()
+	if p.Weight() != n.Weight {
+		t.Fatalf("weight diverged at id %d: interface %v, flat %v", p.ID(), p.Weight(), n.Weight)
+	}
+	if p.ID() != n.ID {
+		t.Fatalf("ID diverged: interface %d, flat %d", p.ID(), n.ID)
+	}
+	if p.CanBisect() == n.Leaf {
+		t.Fatalf("divisibility diverged at id %d: CanBisect=%v, Leaf=%v", p.ID(), p.CanBisect(), n.Leaf)
+	}
+	if depth == 0 || !p.CanBisect() {
+		return
+	}
+	c1, c2 := p.Bisect()
+	f1, f2 := k.Split(n)
+	walkParity(t, c1, f1, k, depth-1)
+	walkParity(t, c2, f2, k, depth-1)
+}
+
+func TestSyntheticKernelParity(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1999} {
+		p := MustSynthetic(3.5, 0.1, 0.5, seed)
+		walkParity(t, p, SyntheticFlatRoot(3.5, seed), SyntheticKernel{Lo: 0.1, Hi: 0.5}, 8)
+	}
+}
+
+func TestFixedKernelParity(t *testing.T) {
+	for _, alpha := range []float64{0.1, 0.3, 0.5} {
+		p := MustFixed(2, alpha)
+		walkParity(t, p, FixedFlatRoot(2), FixedKernel{Alpha: alpha}, 8)
+	}
+}
+
+func TestListKernelParity(t *testing.T) {
+	for _, elems := range []int{1, 2, 3, 17, 1000} {
+		p := MustList(elems, 0.2, 99)
+		walkParity(t, p, ListFlatRoot(elems, 0.2, 99), ListKernel{Alpha: 0.2}, 12)
+	}
+}
+
+func TestKernelSplitsAllocationFree(t *testing.T) {
+	sk := SyntheticKernel{Lo: 0.1, Hi: 0.5}
+	fk := FixedKernel{Alpha: 0.3}
+	lk := ListKernel{Alpha: 0.2}
+	sn := SyntheticFlatRoot(1, 7)
+	fn := FixedFlatRoot(1)
+	ln := ListFlatRoot(4096, 0.2, 7)
+	var sink FlatNode
+	if a := testing.AllocsPerRun(100, func() { sink, _ = sk.Split(sn) }); a != 0 {
+		t.Errorf("SyntheticKernel.Split allocates %v/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { sink, _ = fk.Split(fn) }); a != 0 {
+		t.Errorf("FixedKernel.Split allocates %v/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { sink, _ = lk.Split(ln) }); a != 0 {
+		t.Errorf("ListKernel.Split allocates %v/op, want 0", a)
+	}
+	_ = sink
+}
+
+func TestValidateFlatRoot(t *testing.T) {
+	if err := ValidateFlatRoot(FlatNode{Weight: 1}); err != nil {
+		t.Fatalf("valid root rejected: %v", err)
+	}
+	for _, w := range []float64{0, -1, nan(), inf()} {
+		if err := ValidateFlatRoot(FlatNode{Weight: w}); err == nil {
+			t.Fatalf("weight %v accepted", w)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }

@@ -36,13 +36,19 @@ func BAHF(p bisect.Problem, n int, alpha, kappa float64, opt Options) (*Result, 
 
 	// hfFinish runs the HF inner phase on q with the given processors,
 	// appending parts at their absolute bisection-tree depth.
+	// The heap and its node arena are shared across hfFinish calls; each
+	// call resets them, so one BA-HF run reuses the same backing storage
+	// for every HF finishing phase.
+	h := pheap.New(0)
+	var arena []node
 	hfFinish := func(q bisect.Problem, procs, baseDepth int) error {
-		h := pheap.New(procs)
-		h.Push(pheap.Item{Weight: q.Weight(), ID: q.ID(), Value: node{q, baseDepth}})
+		h.Reset()
+		arena = append(arena[:0], node{q, baseDepth})
+		h.Push(pheap.Item{Weight: q.Weight(), ID: q.ID(), Ref: 0})
 		done := 0
 		for h.Len() > 0 && done+h.Len() < procs {
 			it := h.Pop()
-			nd := it.Value.(node)
+			nd := arena[it.Ref]
 			if !nd.p.CanBisect() {
 				parts = append(parts, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
 				done++
@@ -53,11 +59,12 @@ func BAHF(p bisect.Problem, n int, alpha, kappa float64, opt Options) (*Result, 
 			if err := rec.bisection(nd.p, c1, c2); err != nil {
 				return err
 			}
-			h.Push(pheap.Item{Weight: c1.Weight(), ID: c1.ID(), Value: node{c1, nd.depth + 1}})
-			h.Push(pheap.Item{Weight: c2.Weight(), ID: c2.ID(), Value: node{c2, nd.depth + 1}})
+			arena = append(arena, node{c1, nd.depth + 1}, node{c2, nd.depth + 1})
+			h.Push(pheap.Item{Weight: c1.Weight(), ID: c1.ID(), Ref: int32(len(arena) - 2)})
+			h.Push(pheap.Item{Weight: c2.Weight(), ID: c2.ID(), Ref: int32(len(arena) - 1)})
 		}
-		for _, it := range h.Drain() {
-			nd := it.Value.(node)
+		for _, it := range h.Items() {
+			nd := arena[it.Ref]
 			parts = append(parts, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
 		}
 		return nil

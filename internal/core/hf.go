@@ -34,14 +34,19 @@ func HF(p bisect.Problem, n int, opt Options) (*Result, error) {
 	rec := newRecorder(opt, p)
 	total := p.Weight()
 
+	// Subproblems live in a slice arena; the heap holds (weight, id, ref)
+	// triples indexing it. Pushing arena indices instead of boxed values
+	// keeps the heap allocation-free (DESIGN.md §10).
+	arena := make([]node, 1, 2*n)
+	arena[0] = node{p, 0}
 	h := pheap.New(n)
-	h.Push(pheap.Item{Weight: total, ID: p.ID(), Value: node{p, 0}})
-	var final []Part
+	h.Push(pheap.Item{Weight: total, ID: p.ID(), Ref: 0})
+	final := make([]Part, 0, n)
 	bisections := 0
 
 	for h.Len() > 0 && len(final)+h.Len() < n {
 		it := h.Pop()
-		nd := it.Value.(node)
+		nd := arena[it.Ref]
 		if !nd.p.CanBisect() {
 			final = append(final, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
 			continue
@@ -51,11 +56,12 @@ func HF(p bisect.Problem, n int, opt Options) (*Result, error) {
 		if err := rec.bisection(nd.p, c1, c2); err != nil {
 			return nil, err
 		}
-		h.Push(pheap.Item{Weight: c1.Weight(), ID: c1.ID(), Value: node{c1, nd.depth + 1}})
-		h.Push(pheap.Item{Weight: c2.Weight(), ID: c2.ID(), Value: node{c2, nd.depth + 1}})
+		arena = append(arena, node{c1, nd.depth + 1}, node{c2, nd.depth + 1})
+		h.Push(pheap.Item{Weight: c1.Weight(), ID: c1.ID(), Ref: int32(len(arena) - 2)})
+		h.Push(pheap.Item{Weight: c2.Weight(), ID: c2.ID(), Ref: int32(len(arena) - 1)})
 	}
-	for _, it := range h.Drain() {
-		nd := it.Value.(node)
+	for _, it := range h.Items() {
+		nd := arena[it.Ref]
 		final = append(final, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
 	}
 	return finalize("HF", final, n, total, bisections, rec), nil

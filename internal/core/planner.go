@@ -1,0 +1,426 @@
+package core
+
+import (
+	"fmt"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+	"bisectlb/internal/pheap"
+)
+
+// FlatPart is one subproblem of a Plan: a flat node plus the processor
+// count responsible for it.
+type FlatPart struct {
+	Node  bisect.FlatNode
+	Procs int32
+}
+
+// Plan is the reusable result buffer of the allocation-free planner. A
+// Plan filled by one planning call may be passed to the next; its Parts
+// backing array is truncated and reused, so a caller that keeps one Plan
+// per worker reaches a steady state in which planning performs no heap
+// allocations at all (the property tracked by TestPlannerAllocationFree
+// and the BENCH_core.json suite; see DESIGN.md §10).
+//
+// Plan mirrors Result but holds value-type FlatParts instead of Problem
+// interfaces; use Result and the interface algorithms when bisection-tree
+// recording or custom Problem implementations are needed.
+type Plan struct {
+	// Algorithm names the algorithm that produced the plan ("HF", "BA",
+	// "BA-HF", "PHF").
+	Algorithm string
+	// N is the requested processor count.
+	N int
+	// Total is the root problem weight.
+	Total float64
+	// Max is the heaviest part weight.
+	Max float64
+	// Ratio is Max / (Total/N), the paper's quality measure.
+	Ratio float64
+	// Bisections is the number of bisection steps performed.
+	Bisections int
+	// MaxDepth is the deepest leaf of the bisection tree.
+	MaxDepth int
+	// Parts are the computed subproblems in ascending ID order. The slice
+	// is owned by the Plan and overwritten by the next planning call that
+	// receives this Plan.
+	Parts []FlatPart
+}
+
+// reset prepares the plan for refilling, retaining the Parts storage.
+func (p *Plan) reset(alg string, n int, total float64) {
+	p.Algorithm = alg
+	p.N = n
+	p.Total = total
+	p.Max = 0
+	p.Ratio = 0
+	p.Bisections = 0
+	p.MaxDepth = 0
+	p.Parts = p.Parts[:0]
+}
+
+// finalize sorts the parts by ID and computes the summary statistics.
+func (p *Plan) finalize(bisections int) {
+	sortParts(p.Parts)
+	maxW := 0.0
+	maxD := int32(0)
+	for _, pt := range p.Parts {
+		if pt.Node.Weight > maxW {
+			maxW = pt.Node.Weight
+		}
+		if pt.Node.Depth > maxD {
+			maxD = pt.Node.Depth
+		}
+	}
+	p.Max = maxW
+	p.MaxDepth = int(maxD)
+	p.Ratio = bisect.Ratio(maxW, p.Total, p.N)
+	p.Bisections = bisections
+}
+
+// baFrame is one pending subtree of the explicit BA/BA-HF recursion stack.
+type baFrame struct {
+	nd    bisect.FlatNode
+	procs int32
+}
+
+// Planner plans partitions without allocating on the steady-state path.
+// It owns every buffer the algorithms need — the max-heap, the node arena,
+// the explicit recursion stack and the index scratch — and reuses them
+// across calls. The zero value is ready for use. A Planner is not safe for
+// concurrent use; keep one per goroutine (the serving layer pools them).
+//
+// The planner runs the same algorithms as HF, BA, BAHF and PHF but over
+// value-type flat nodes split by a bisect.Kernel instead of heap-allocated
+// Problem values, which removes the two-allocations-per-bisection floor
+// the interface model imposes. Parity with the interface algorithms is
+// enforced by planner_test.go for every kernel substrate.
+type Planner struct {
+	heap  pheap.Heap
+	arena []bisect.FlatNode
+	stack []baFrame
+	idx   []int32
+}
+
+// NewPlanner returns a Planner with buffers pre-sized for plans of about
+// n parts.
+func NewPlanner(n int) *Planner {
+	if n < 1 {
+		n = 1
+	}
+	return &Planner{
+		arena: make([]bisect.FlatNode, 0, 2*n),
+		stack: make([]baFrame, 0, 64),
+		idx:   make([]int32, 0, n),
+	}
+}
+
+func plannerValidate(root bisect.FlatNode, n int) error {
+	if err := bisect.ValidateFlatRoot(root); err != nil {
+		return err
+	}
+	if n < 1 {
+		return fmt.Errorf("core: processor count must be ≥ 1, got %d", n)
+	}
+	return nil
+}
+
+// HFInto runs Algorithm HF (paper Figure 1) over the flat substrate k,
+// writing the partition into plan.
+func (pl *Planner) HFInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int) error {
+	if err := plannerValidate(root, n); err != nil {
+		return err
+	}
+	plan.reset("HF", n, root.Weight)
+	pl.heap.Reset()
+	pl.arena = append(pl.arena[:0], root)
+	pl.heap.Push(pheap.Item{Weight: root.Weight, ID: root.ID, Ref: 0})
+	bisections := 0
+
+	for pl.heap.Len() > 0 && len(plan.Parts)+pl.heap.Len() < n {
+		it := pl.heap.Pop()
+		nd := pl.arena[it.Ref]
+		if nd.Leaf {
+			plan.Parts = append(plan.Parts, FlatPart{Node: nd, Procs: 1})
+			continue
+		}
+		c1, c2 := k.Split(nd)
+		bisections++
+		pl.arena = append(pl.arena, c1, c2)
+		pl.heap.Push(pheap.Item{Weight: c1.Weight, ID: c1.ID, Ref: int32(len(pl.arena) - 2)})
+		pl.heap.Push(pheap.Item{Weight: c2.Weight, ID: c2.ID, Ref: int32(len(pl.arena) - 1)})
+	}
+	for _, it := range pl.heap.Items() {
+		plan.Parts = append(plan.Parts, FlatPart{Node: pl.arena[it.Ref], Procs: 1})
+	}
+	pl.heap.Reset()
+	plan.finalize(bisections)
+	return nil
+}
+
+// BAInto runs Algorithm BA (paper Figure 3) over the flat substrate k,
+// writing the partition into plan. The recursion is an explicit stack so
+// the steady-state path allocates nothing.
+func (pl *Planner) BAInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int) error {
+	if err := plannerValidate(root, n); err != nil {
+		return err
+	}
+	plan.reset("BA", n, root.Weight)
+	bisections := 0
+	pl.stack = append(pl.stack[:0], baFrame{root, int32(n)})
+	for len(pl.stack) > 0 {
+		fr := pl.stack[len(pl.stack)-1]
+		pl.stack = pl.stack[:len(pl.stack)-1]
+		if fr.procs == 1 || fr.nd.Leaf {
+			plan.Parts = append(plan.Parts, FlatPart{Node: fr.nd, Procs: fr.procs})
+			continue
+		}
+		c1, c2 := k.Split(fr.nd)
+		bisections++
+		if c1.Weight < c2.Weight {
+			c1, c2 = c2, c1
+		}
+		n1, n2 := SplitProcs(c1.Weight, c2.Weight, int(fr.procs))
+		// Light child pushed first so the heavy child is processed next,
+		// mirroring the interface BA's recursion order.
+		pl.stack = append(pl.stack, baFrame{c2, int32(n2)}, baFrame{c1, int32(n1)})
+	}
+	plan.finalize(bisections)
+	return nil
+}
+
+// BAHFInto runs Algorithm BA-HF (paper Figure 4) over the flat substrate
+// k: BA-style processor splitting while the processor count is at least
+// κ/α + 1, HF below. It writes the partition into plan.
+func (pl *Planner) BAHFInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha, kappa float64) error {
+	if err := plannerValidate(root, n); err != nil {
+		return err
+	}
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return err
+	}
+	if err := bounds.ValidateKappa(kappa); err != nil {
+		return err
+	}
+	plan.reset("BA-HF", n, root.Weight)
+	bisections := 0
+	cutoff := kappa/alpha + 1
+
+	pl.stack = append(pl.stack[:0], baFrame{root, int32(n)})
+	for len(pl.stack) > 0 {
+		fr := pl.stack[len(pl.stack)-1]
+		pl.stack = pl.stack[:len(pl.stack)-1]
+		if fr.procs == 1 || fr.nd.Leaf {
+			plan.Parts = append(plan.Parts, FlatPart{Node: fr.nd, Procs: fr.procs})
+			continue
+		}
+		if float64(fr.procs) < cutoff {
+			bisections += pl.hfFinish(plan, k, fr.nd, int(fr.procs))
+			continue
+		}
+		c1, c2 := k.Split(fr.nd)
+		bisections++
+		if c1.Weight < c2.Weight {
+			c1, c2 = c2, c1
+		}
+		n1, n2 := SplitProcs(c1.Weight, c2.Weight, int(fr.procs))
+		pl.stack = append(pl.stack, baFrame{c2, int32(n2)}, baFrame{c1, int32(n1)})
+	}
+	plan.finalize(bisections)
+	return nil
+}
+
+// hfFinish runs the HF inner phase of BA-HF on q with procs processors,
+// appending parts to plan and returning the bisection count. It reuses the
+// planner's heap and arena, resetting them first.
+func (pl *Planner) hfFinish(plan *Plan, k bisect.Kernel, q bisect.FlatNode, procs int) int {
+	pl.heap.Reset()
+	pl.arena = append(pl.arena[:0], q)
+	pl.heap.Push(pheap.Item{Weight: q.Weight, ID: q.ID, Ref: 0})
+	bisections := 0
+	done := 0
+	for pl.heap.Len() > 0 && done+pl.heap.Len() < procs {
+		it := pl.heap.Pop()
+		nd := pl.arena[it.Ref]
+		if nd.Leaf {
+			plan.Parts = append(plan.Parts, FlatPart{Node: nd, Procs: 1})
+			done++
+			continue
+		}
+		c1, c2 := k.Split(nd)
+		bisections++
+		pl.arena = append(pl.arena, c1, c2)
+		pl.heap.Push(pheap.Item{Weight: c1.Weight, ID: c1.ID, Ref: int32(len(pl.arena) - 2)})
+		pl.heap.Push(pheap.Item{Weight: c2.Weight, ID: c2.ID, Ref: int32(len(pl.arena) - 1)})
+	}
+	for _, it := range pl.heap.Items() {
+		plan.Parts = append(plan.Parts, FlatPart{Node: pl.arena[it.Ref], Procs: 1})
+	}
+	pl.heap.Reset()
+	return bisections
+}
+
+// PHFInto runs the logical Algorithm PHF (paper Figure 2) over the flat
+// substrate k, writing the partition into plan. It performs the identical
+// bisections in the identical synchronous rounds as PHF, so its output
+// matches PHF's part for part (and HF's, under PHF's tie caveat); it does
+// not account model time — use PHF when phase accounting is wanted.
+func (pl *Planner) PHFInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha float64) error {
+	if err := plannerValidate(root, n); err != nil {
+		return err
+	}
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return err
+	}
+	plan.reset("PHF", n, root.Weight)
+	threshold := bounds.HFThreshold(root.Weight, alpha, n)
+	bisections := 0
+
+	parts := append(pl.arena[:0], root)
+
+	// Phase one: synchronous rounds bisecting everything above threshold.
+	for {
+		heavy := pl.idx[:0]
+		for i := range parts {
+			if parts[i].Weight > threshold && !parts[i].Leaf {
+				heavy = append(heavy, int32(i))
+			}
+		}
+		// Same overflow guard as PHF: a mis-declared α must degrade to
+		// bisecting only the heaviest subproblems that still fit.
+		if room := n - len(parts); len(heavy) > room {
+			sortIdxByWeight(parts, heavy)
+			heavy = heavy[:room]
+		}
+		pl.idx = heavy[:0]
+		if len(heavy) == 0 {
+			break
+		}
+		for _, i := range heavy {
+			nd := parts[i]
+			c1, c2 := k.Split(nd)
+			bisections++
+			parts[i] = c1
+			parts = append(parts, c2)
+		}
+	}
+
+	// Phase two: iterate until no processor remains free.
+	f := n - len(parts)
+	for f > 0 {
+		m := 0.0
+		for i := range parts {
+			if parts[i].Weight > m {
+				m = parts[i].Weight
+			}
+		}
+		cut := m * (1 - alpha)
+		heavy := pl.idx[:0]
+		for i := range parts {
+			if parts[i].Weight >= cut && !parts[i].Leaf {
+				heavy = append(heavy, int32(i))
+			}
+		}
+		if len(heavy) == 0 {
+			pl.idx = heavy
+			break
+		}
+		if len(heavy) > f {
+			sortIdxByWeight(parts, heavy)
+			heavy = heavy[:f]
+		}
+		pl.idx = heavy[:0]
+		for _, i := range heavy {
+			nd := parts[i]
+			c1, c2 := k.Split(nd)
+			bisections++
+			parts[i] = c1
+			parts = append(parts, c2)
+		}
+		f -= len(heavy)
+	}
+
+	pl.arena = parts
+	for _, nd := range parts {
+		plan.Parts = append(plan.Parts, FlatPart{Node: nd, Procs: 1})
+	}
+	plan.finalize(bisections)
+	return nil
+}
+
+// sortParts heap-sorts parts in ascending ID order. A hand-rolled sort —
+// rather than sort.Slice, whose comparator closure escapes — keeps
+// finalize allocation-free.
+func sortParts(parts []FlatPart) {
+	n := len(parts)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftParts(parts, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		parts[0], parts[end] = parts[end], parts[0]
+		siftParts(parts, 0, end)
+	}
+}
+
+// siftParts sifts down in a max-heap ordered by ID.
+func siftParts(parts []FlatPart, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && parts[r].Node.ID > parts[l].Node.ID {
+			big = r
+		}
+		if parts[big].Node.ID <= parts[i].Node.ID {
+			return
+		}
+		parts[i], parts[big] = parts[big], parts[i]
+		i = big
+	}
+}
+
+// sortIdxByWeight heap-sorts the index slice so the referenced nodes come
+// heaviest first, ties broken by smaller ID — the selection order PHF's
+// overflow guard and final iteration require. Allocation-free for the same
+// reason as sortParts.
+func sortIdxByWeight(parts []bisect.FlatNode, idx []int32) {
+	n := len(idx)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftIdx(parts, idx, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		idx[0], idx[end] = idx[end], idx[0]
+		siftIdx(parts, idx, 0, end)
+	}
+}
+
+// idxLess orders descending weight, then ascending ID (the "heavier
+// first" total order). siftIdx builds a min-heap of that order so the
+// heapsort leaves idx sorted heaviest-first.
+func idxLess(parts []bisect.FlatNode, a, b int32) bool {
+	pa, pb := &parts[a], &parts[b]
+	if pa.Weight != pb.Weight {
+		return pa.Weight > pb.Weight
+	}
+	return pa.ID < pb.ID
+}
+
+func siftIdx(parts []bisect.FlatNode, idx []int32, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		last := l
+		if r := l + 1; r < n && idxLess(parts, idx[l], idx[r]) {
+			last = r
+		}
+		if !idxLess(parts, idx[i], idx[last]) {
+			return
+		}
+		idx[i], idx[last] = idx[last], idx[i]
+		i = last
+	}
+}

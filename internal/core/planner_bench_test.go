@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"bisectlb/internal/bisect"
+)
+
+// Planner microbenchmarks: the BENCH_core.json grid ({HF, PHF, BA, BA-HF}
+// × α × N) is produced by cmd/lbbench from internal/bench, which times the
+// same calls; these go-test benchmarks exist for benchstat comparisons and
+// run with -benchtime=1x in CI so a build or behaviour regression in any
+// cell fails the pipeline (EXPERIMENTS.md X9).
+
+var benchAlphas = []float64{0.1, 0.3, 0.5}
+var benchNs = []int{64, 1024, 16384}
+
+func benchPlanner(b *testing.B, run func(pl *Planner, plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha float64) error) {
+	for _, alpha := range benchAlphas {
+		for _, n := range benchNs {
+			b.Run(fmt.Sprintf("a%g/n%d", alpha, n), func(b *testing.B) {
+				var k bisect.Kernel = bisect.SyntheticKernel{Lo: alpha, Hi: 0.5}
+				root := bisect.SyntheticFlatRoot(1, 42)
+				pl := NewPlanner(n)
+				var plan Plan
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := run(pl, &plan, k, root, n, alpha); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPlannerHF(b *testing.B) {
+	benchPlanner(b, func(pl *Planner, plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha float64) error {
+		return pl.HFInto(plan, k, root, n)
+	})
+}
+
+func BenchmarkPlannerBA(b *testing.B) {
+	benchPlanner(b, func(pl *Planner, plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha float64) error {
+		return pl.BAInto(plan, k, root, n)
+	})
+}
+
+func BenchmarkPlannerBAHF(b *testing.B) {
+	benchPlanner(b, func(pl *Planner, plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha float64) error {
+		return pl.BAHFInto(plan, k, root, n, alpha, 1)
+	})
+}
+
+func BenchmarkPlannerPHF(b *testing.B) {
+	benchPlanner(b, func(pl *Planner, plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha float64) error {
+		return pl.PHFInto(plan, k, root, n, alpha)
+	})
+}
+
+// Interface-path equivalents at the same sizes, for before/after benchstat
+// against the flat planner (DESIGN.md §10).
+
+func benchInterface(b *testing.B, run func(p bisect.Problem, n int, alpha float64) error) {
+	for _, n := range benchNs {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			p := bisect.MustSynthetic(1, 0.1, 0.5, 42)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(p, n, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkInterfaceHF(b *testing.B) {
+	benchInterface(b, func(p bisect.Problem, n int, alpha float64) error {
+		_, err := HF(p, n, Options{})
+		return err
+	})
+}
+
+func BenchmarkInterfaceBA(b *testing.B) {
+	benchInterface(b, func(p bisect.Problem, n int, alpha float64) error {
+		_, err := BA(p, n, Options{})
+		return err
+	})
+}

@@ -1,17 +1,3 @@
-// Package core implements the paper's load-balancing algorithms:
-//
-//   - HF    — the sequential Heaviest Problem First baseline (Figure 1),
-//   - PHF   — the parallel HF that produces the identical partition
-//     (Figure 2, Theorem 3),
-//   - BA    — Best Approximation of ideal weight, the inherently parallel
-//     recursive algorithm (Figure 3, Theorem 7),
-//   - BA′   — the BA variant that stops at the HF weight threshold,
-//     used to bootstrap PHF's free-processor management (Section 3.4),
-//   - BA-HF — the hybrid (Figure 4, Theorem 8),
-//
-// plus goroutine-parallel executions of BA and PHF. All algorithms are
-// deterministic given deterministic problems, and all return a Result with
-// the quality measure of the paper (the ratio against the ideal share).
 package core
 
 import (

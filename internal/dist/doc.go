@@ -1,0 +1,24 @@
+// Package dist runs Algorithm BA across real operating-system processes
+// (or goroutines) communicating over TCP — a faithful message-passing
+// deployment of the paper's most distribution-friendly algorithm. BA is
+// the natural choice for this role by the paper's own argument (Section
+// 3.3): it needs no global communication whatsoever, and its range-based
+// free-processor management means every node can decide locally where a
+// subproblem must travel. The distributed PHF (phf.go) is the contrast
+// experiment: its phases need the barrier/reduce/prefix collectives of
+// internal/netcoll, paying per round exactly the logarithmic
+// global-communication cost of the paper's PHF analysis that BA avoids.
+//
+// The cluster maps the N virtual processors of the model onto K nodes,
+// node k owning the contiguous range [k·N/K, (k+1)·N/K). A node receiving
+// a subproblem with a processor range runs the BA recursion locally for as
+// long as the range stays inside its segment and ships the remainder to
+// the owning peer. Completed parts stream to a coordinator that verifies
+// weight conservation to detect termination.
+//
+// The runtime is fault-tolerant: hand-offs are acknowledged and retried
+// with backoff, node deaths are injected via FaultPlan and survived by
+// re-issuing leases over the surviving nodes, and every recovery action
+// increments an obs metric so tests assert on protocol behaviour, not
+// just outcomes.
+package dist

@@ -13,22 +13,22 @@ import (
 // Metric names recorded in the coordinator's and each node's
 // obs.Registry (see Coordinator.Metrics / Node.Metrics).
 const (
-	mSends           = "dist.sends"
-	mDrops           = "dist.drops"
-	mDups            = "dist.dups"
-	mDelays          = "dist.delays"
-	mRetries         = "dist.retries"
-	mAckRTT          = "dist.ack_rtt_ns"  // reliable-send round-trip latency
-	mBackoff         = "dist.backoff_ns"  // backoff waits that expired into a retry
-	mDedupAssigns    = "dist.dedup_assigns"
-	mDedupParts      = "dist.dedup_parts"
-	mDedupClaims     = "dist.dedup_claims"
-	mHeartbeatMisses = "dist.heartbeat_misses"
-	mDeaths          = "dist.deaths"
-	mLeaseReissues   = "dist.lease_reissues"
-	mReissueGen      = "dist.lease_reissue_gen" // histogram over re-issue generations
-	mReissueExecs    = "dist.reissue_execs"     // node re-executions forced by a generation advance
-	mCrashes         = "dist.crash_triggered"
+	mSends             = "dist.sends"
+	mDrops             = "dist.drops"
+	mDups              = "dist.dups"
+	mDelays            = "dist.delays"
+	mRetries           = "dist.retries"
+	mAckRTT            = "dist.ack_rtt_ns" // reliable-send round-trip latency
+	mBackoff           = "dist.backoff_ns" // backoff waits that expired into a retry
+	mDedupAssigns      = "dist.dedup_assigns"
+	mDedupParts        = "dist.dedup_parts"
+	mDedupClaims       = "dist.dedup_claims"
+	mHeartbeatMisses   = "dist.heartbeat_misses"
+	mDeaths            = "dist.deaths"
+	mLeaseReissues     = "dist.lease_reissues"
+	mReissueGen        = "dist.lease_reissue_gen" // histogram over re-issue generations
+	mReissueExecs      = "dist.reissue_execs"     // node re-executions forced by a generation advance
+	mCrashes           = "dist.crash_triggered"
 	mOutcomeOK         = "dist.outcome_ok"
 	mOutcomeDegraded   = "dist.outcome_degraded"
 	mOutcomeIncomplete = "dist.outcome_incomplete"

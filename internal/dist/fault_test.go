@@ -286,11 +286,11 @@ func TestSpecErrorPaths(t *testing.T) {
 	}
 	// Malformed specs of the right kind.
 	bad := []Spec{
-		{Kind: specKindSynthetic, Weight: 0, ALo: 0.1, AHi: 0.5},   // zero weight
-		{Kind: specKindSynthetic, Weight: -1, ALo: 0.1, AHi: 0.5},  // negative weight
-		{Kind: specKindSynthetic, Weight: 1, ALo: 0, AHi: 0.5},     // lo = 0
-		{Kind: specKindSynthetic, Weight: 1, ALo: 0.4, AHi: 0.2},   // inverted interval
-		{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.9},   // hi > 1/2
+		{Kind: specKindSynthetic, Weight: 0, ALo: 0.1, AHi: 0.5},            // zero weight
+		{Kind: specKindSynthetic, Weight: -1, ALo: 0.1, AHi: 0.5},           // negative weight
+		{Kind: specKindSynthetic, Weight: 1, ALo: 0, AHi: 0.5},              // lo = 0
+		{Kind: specKindSynthetic, Weight: 1, ALo: 0.4, AHi: 0.2},            // inverted interval
+		{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.9},            // hi > 1/2
 		{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.5, Depth: -3}, // negative depth
 	}
 	for i, s := range bad {

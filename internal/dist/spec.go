@@ -1,17 +1,3 @@
-// Package dist runs Algorithm BA across real operating-system processes
-// (or goroutines) communicating over TCP — a faithful message-passing
-// deployment of the paper's most distribution-friendly algorithm. BA is
-// the natural choice for this role by the paper's own argument: it needs
-// no global communication whatsoever, and its range-based free-processor
-// management means every node can decide locally where a subproblem must
-// travel.
-//
-// The cluster maps the N virtual processors of the model onto K nodes,
-// node k owning the contiguous range [k·N/K, (k+1)·N/K). A node receiving
-// a subproblem with a processor range runs the BA recursion locally for as
-// long as the range stays inside its segment and ships the remainder to
-// the owning peer. Completed parts stream to a coordinator that verifies
-// weight conservation to detect termination.
 package dist
 
 import (

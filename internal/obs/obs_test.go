@@ -15,9 +15,9 @@ func TestHistogramBucketing(t *testing.T) {
 		want int
 	}{
 		{-5, 0}, {0, 0},
-		{1, 1},            // [1, 2)
-		{2, 2}, {3, 2},    // [2, 4)
-		{4, 3}, {7, 3},    // [4, 8)
+		{1, 1},         // [1, 2)
+		{2, 2}, {3, 2}, // [2, 4)
+		{4, 3}, {7, 3}, // [4, 8)
 		{1023, 10}, {1024, 11},
 		{1 << 40, 41},
 	}

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns a mux serving the standard net/http/pprof endpoints
+// under /debug/pprof/. The binaries expose it on a SEPARATE listener
+// behind an opt-in -pprof flag rather than registering it on the serving
+// mux: profiling endpoints leak implementation detail and cost real CPU
+// (a 30-second profile holds a sampling signal handler), so they stay off
+// the request path and off by default. Typical use:
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
+//
+// The default http.DefaultServeMux registration of net/http/pprof is
+// deliberately avoided — importing that package registers handlers on
+// the default mux as a side effect, which would silently expose them on
+// any server built from it.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartPprof serves PprofMux on addr in a background goroutine when addr
+// is non-empty, returning the bound address (host:port with port 0
+// resolved) or an error. An empty addr is a no-op returning "".
+func StartPprof(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: PprofMux()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

@@ -1,17 +1,26 @@
 // Package pheap implements the heaviest-first priority queue that drives
-// Algorithm HF. It is a hand-rolled binary max-heap keyed by (weight, id):
+// Algorithm HF (paper Figure 1) and the HF inner phase of Algorithm BA-HF
+// (Figure 4). It is a hand-rolled binary max-heap keyed by (weight, id):
 // weights decide the order and node ids break ties deterministically so that
-// runs are reproducible and the PHF ≡ HF comparison is meaningful even in
-// the presence of equal weights.
+// runs are reproducible and the PHF ≡ HF comparison (Theorem 3) is
+// meaningful even in the presence of equal weights.
+//
+// Items carry an int32 Ref instead of an interface{} payload: callers keep
+// their subproblems in a slice arena and store the index here. That keeps
+// every heap operation allocation-free — pushing an interface payload would
+// box it on every Push, which dominated the allocation profile of the HF
+// hot path (DESIGN.md §10).
 package pheap
 
 // Item is an entry in the heap. ID must be unique within one heap; it is the
 // deterministic tie-breaker (smaller ID wins among equal weights) and the
-// handle used by the experiments to identify subproblems.
+// handle used by the experiments to identify subproblems. Ref is an opaque
+// caller-owned index, typically into a node arena; the heap never interprets
+// it.
 type Item struct {
 	Weight float64
 	ID     uint64
-	Value  interface{}
+	Ref    int32
 }
 
 // Heap is a max-heap of Items ordered by Weight, ties broken by smaller ID.
@@ -70,13 +79,14 @@ func (h *Heap) Peek() Item {
 	return h.items[0]
 }
 
-// Drain removes all items and returns them in no particular order. The
-// backing storage is reused, so the heap remains usable afterwards.
-func (h *Heap) Drain() []Item {
-	out := append([]Item(nil), h.items...)
-	h.items = h.items[:0]
-	return out
-}
+// Items returns a view of the heap's contents in heap order (not sorted
+// order). The view aliases the heap's backing storage and is valid only
+// until the next Push, Pop or Reset. Callers that need to empty the heap
+// without allocating iterate Items and then call Reset.
+func (h *Heap) Items() []Item { return h.items }
+
+// Reset empties the heap, retaining the backing storage for reuse.
+func (h *Heap) Reset() { h.items = h.items[:0] }
 
 func (h *Heap) up(i int) {
 	for i > 0 {

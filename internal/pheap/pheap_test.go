@@ -60,18 +60,45 @@ func TestPeekDoesNotRemove(t *testing.T) {
 	}
 }
 
-func TestDrain(t *testing.T) {
+func TestItemsAndReset(t *testing.T) {
 	h := New(3)
 	for i := 0; i < 3; i++ {
-		h.Push(Item{Weight: float64(i), ID: uint64(i)})
+		h.Push(Item{Weight: float64(i), ID: uint64(i), Ref: int32(i)})
 	}
-	out := h.Drain()
-	if len(out) != 3 || h.Len() != 0 {
-		t.Fatalf("drain returned %d items, heap has %d", len(out), h.Len())
+	if got := len(h.Items()); got != 3 {
+		t.Fatalf("Items returned %d entries, want 3", got)
+	}
+	seen := map[int32]bool{}
+	for _, it := range h.Items() {
+		seen[it.Ref] = true
+	}
+	for i := int32(0); i < 3; i++ {
+		if !seen[i] {
+			t.Fatalf("Items lost ref %d", i)
+		}
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("heap has %d items after Reset", h.Len())
 	}
 	h.Push(Item{Weight: 1, ID: 9})
 	if h.Len() != 1 {
-		t.Fatal("heap unusable after Drain")
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+func TestPushPopAllocationFree(t *testing.T) {
+	h := New(64)
+	for i := 0; i < 64; i++ {
+		h.Push(Item{Weight: float64(i), ID: uint64(i), Ref: int32(i)})
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		it := h.Pop()
+		it.Weight *= 0.5
+		h.Push(it)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push/Pop allocates %v allocs/op, want 0", allocs)
 	}
 }
 

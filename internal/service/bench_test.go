@@ -50,6 +50,57 @@ func BenchmarkServiceBalanceUncached(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceKey isolates request canonicalisation + signing — the
+// per-request fixed cost paid before any cache lookup (DESIGN.md §10
+// tracks its allocation count).
+func BenchmarkServiceKey(b *testing.B) {
+	req := BalanceRequest{
+		Spec:      ProblemSpec{Family: "uniform", Weight: 1, Lo: 0.1, Hi: 0.5, Seed: 9},
+		N:         256,
+		Algorithm: "ba-hf",
+		Alpha:     0.1,
+		Kappa:     2,
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = req.appendKey(buf[:0])
+		_ = signatureBytes(buf)
+	}
+}
+
+// BenchmarkServiceBatch measures the full HTTP round trip of a warm
+// 16-item batch — the amortised per-item cost to compare against
+// BenchmarkServiceBalanceCached.
+func BenchmarkServiceBatch(b *testing.B) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	items := make([]string, 16)
+	for i := range items {
+		items[i] = fmt.Sprintf(
+			`{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":%d},"n":256,"algorithm":"HF","alpha":0.1}`, i)
+	}
+	body := `{"items":[` + strings.Join(items, ",") + `]}`
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/balance:batch", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	post() // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post()
+	}
+}
+
 // BenchmarkServiceCacheGet isolates the sharded LRU under concurrent
 // readers.
 func BenchmarkServiceCacheGet(b *testing.B) {

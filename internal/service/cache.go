@@ -2,7 +2,6 @@ package service
 
 import (
 	"container/list"
-	"hash/fnv"
 	"sync"
 
 	"bisectlb/internal/obs"
@@ -55,10 +54,10 @@ func newPlanCache(capacity, shards int, reg *obs.Registry) *planCache {
 	return c
 }
 
+// shard selects by inline FNV-1a: the hash/fnv package allocates a hasher
+// per call, which a per-request lookup path cannot afford.
 func (c *planCache) shard(key string) *cacheShard {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return &c.shards[h.Sum64()&c.mask]
+	return &c.shards[fnv64aString(key)&c.mask]
 }
 
 // Get returns the cached plan for key, promoting it to most recently
@@ -71,6 +70,26 @@ func (c *planCache) Get(key string) (*Plan, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.m[key]
+	if !ok {
+		c.reg.Counter(mCacheMisses).Inc()
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	c.reg.Counter(mCacheHits).Inc()
+	return el.Value.(*cacheEntry).plan, true
+}
+
+// GetBytes is Get for a byte-slice key, avoiding the string conversion on
+// the handler hot path: the map index m[string(key)] compiles to a
+// zero-copy lookup, so a cache hit allocates nothing.
+func (c *planCache) GetBytes(key []byte) (*Plan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := &c.shards[fnv64a(key)&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[string(key)]
 	if !ok {
 		c.reg.Counter(mCacheMisses).Inc()
 		return nil, false

@@ -17,6 +17,10 @@ const (
 	mCacheEvictions = "service.cache_evictions"
 	mCoalesced      = "service.singleflight_coalesced"
 
+	mBatchRequests = "service.batch_requests"
+	mBatchItems    = "service.batch_items"
+	mBatchDeduped  = "service.batch_deduped"
+
 	mLatencyNs = "service.latency_ns"
 	mComputeNs = "service.compute_ns"
 

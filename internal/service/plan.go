@@ -1,6 +1,8 @@
 package service
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"bisectlb"
@@ -47,9 +49,103 @@ type BalanceResponse struct {
 	Coalesced bool `json:"coalesced,omitempty"`
 }
 
+// plannerScratch pairs a flat planner with its reusable plan buffer;
+// pooled so concurrent requests don't contend on one planner and idle
+// buffers can be reclaimed.
+type plannerScratch struct {
+	pl   *bisectlb.Planner
+	plan bisectlb.Plan
+}
+
+var plannerPool = sync.Pool{New: func() any { return &plannerScratch{pl: bisectlb.NewPlanner(0)} }}
+
+// flatInputs maps a request onto the allocation-free planning facade
+// when both the spec family and the algorithm have a flat form. ok=false
+// means "use the interface path" — including for constructor errors,
+// which the interface path re-derives as proper client errors.
+func flatInputs(req *BalanceRequest, alg bisectlb.Algorithm) (bisectlb.FlatNode, bisectlb.Kernel, bool) {
+	switch alg {
+	case bisectlb.HFAlgorithm, bisectlb.BAAlgorithm, bisectlb.BAHFAlgorithm, bisectlb.PHFAlgorithm:
+	default:
+		return bisectlb.FlatNode{}, nil, false
+	}
+	var (
+		root bisectlb.FlatNode
+		k    bisectlb.Kernel
+		err  error
+	)
+	switch req.Spec.Family {
+	case "uniform":
+		root, k, err = bisectlb.NewSyntheticFlat(req.Spec.Weight, req.Spec.Lo, req.Spec.Hi, req.Spec.Seed)
+	case "fixed":
+		root, k, err = bisectlb.NewFixedFlat(req.Spec.Weight, req.Spec.SplitAlpha)
+	case "list":
+		root, k, err = bisectlb.NewListFlat(req.Spec.Elems, req.Spec.SplitAlpha, req.Spec.Seed)
+	default:
+		return bisectlb.FlatNode{}, nil, false
+	}
+	return root, k, err == nil
+}
+
+// computePlanFlat runs the request through the allocation-free planner
+// (DESIGN.md §10) and maps the flat plan into the served Plan. The output
+// is byte-identical to the interface path's: the flat algorithms are
+// parity-tested against it, guarantees come from the same bounds, and
+// BA-HF's parameterised display name is reproduced here (the flat plan
+// carries only the bare name).
+func computePlanFlat(req *BalanceRequest, alg bisectlb.Algorithm, sig string, reg *obs.Registry, root bisectlb.FlatNode, k bisectlb.Kernel) (*Plan, error) {
+	sc := plannerPool.Get().(*plannerScratch)
+	defer plannerPool.Put(sc)
+	start := time.Now()
+	err := bisectlb.BalanceInto(&sc.plan, sc.pl, k, root, req.N, bisectlb.Config{
+		Algorithm: alg,
+		Alpha:     req.Alpha,
+		Kappa:     req.Kappa,
+	})
+	if err != nil {
+		return nil, err
+	}
+	reg.Histogram(mComputeNs).ObserveSince(start)
+	name := sc.plan.Algorithm
+	if alg == bisectlb.BAHFAlgorithm {
+		kappa := req.Kappa
+		if kappa == 0 {
+			kappa = 1.0
+		}
+		name = fmt.Sprintf("BA-HF(κ=%g)", kappa)
+	}
+	plan := &Plan{
+		Algorithm:  name,
+		N:          sc.plan.N,
+		Parts:      make([]PartPlan, len(sc.plan.Parts)),
+		Total:      sc.plan.Total,
+		Max:        sc.plan.Max,
+		Ratio:      sc.plan.Ratio,
+		Guarantee:  guaranteeFor(alg, req.Alpha, req.Kappa, req.N),
+		Bisections: sc.plan.Bisections,
+		MaxDepth:   sc.plan.MaxDepth,
+		Signature:  sig,
+	}
+	for i, pt := range sc.plan.Parts {
+		plan.Parts[i] = PartPlan{
+			ID:     pt.Node.ID,
+			Weight: pt.Node.Weight,
+			Procs:  int(pt.Procs),
+			Depth:  int(pt.Node.Depth),
+		}
+	}
+	return plan, nil
+}
+
 // computePlan builds the problem from the spec, runs the facade and maps
 // the result into a Plan. alg must already be parsed from req.Algorithm.
+// Families and algorithms covered by the flat planning facade take the
+// allocation-free fast path; everything else goes through the Problem
+// interface.
 func computePlan(req *BalanceRequest, alg bisectlb.Algorithm, sig string, reg *obs.Registry) (*Plan, error) {
+	if root, k, ok := flatInputs(req, alg); ok {
+		return computePlanFlat(req, alg, sig, reg, root, k)
+	}
 	p, err := req.buildProblem()
 	if err != nil {
 		return nil, err

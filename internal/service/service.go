@@ -1,22 +1,3 @@
-// Package service is the network serving surface over the bisectlb
-// facade: a stdlib-only HTTP/JSON daemon that turns problem specs into
-// partition plans with their guarantee bounds.
-//
-// The paper frames its algorithms as the kernel of a load-balancing
-// service invoked repeatedly as workloads drift; this package supplies
-// the systems half of that framing. Every request canonicalises to a
-// deterministic key (problem specs are pure functions of their
-// parameters), which feeds a sharded LRU plan cache and singleflight
-// coalescing of concurrent identical requests. Admission control is a
-// bounded worker pool behind a bounded queue with typed 429/503
-// rejections and per-request deadlines, and SIGTERM triggers a graceful
-// drain: stop accepting, finish in-flight work, flush metrics.
-//
-// Endpoints:
-//
-//	POST /v1/balance  — problem spec + N + algorithm → partition plan
-//	GET  /healthz     — liveness and drain state
-//	GET  /metricz     — the obs registry (service.* namespace) as JSON
 package service
 
 import (
@@ -27,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,6 +33,9 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxBatchItems bounds the item count of one POST /v1/balance:batch
+	// request (default 64); larger batches are rejected whole.
+	MaxBatchItems int
 	// Registry receives the service.* metrics (default: a fresh one).
 	Registry *obs.Registry
 	// Hooks are test seams; zero in production.
@@ -84,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.MaxBatchItems < 1 {
+		c.MaxBatchItems = 64
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
@@ -103,6 +91,9 @@ type Server struct {
 	httpSrv  *http.Server
 	draining atomic.Bool
 	started  time.Time
+	// keyBufs pools request-key buffers so canonicalising a request on
+	// the hot path does not allocate (spec.go appendKey).
+	keyBufs sync.Pool
 }
 
 // New builds a Server from cfg.
@@ -116,7 +107,9 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	s.keyBufs.New = func() any { b := make([]byte, 0, 128); return &b }
 	s.mux.HandleFunc("/v1/balance", s.handleBalance)
+	s.mux.HandleFunc("/v1/balance:batch", s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
 	return s
@@ -240,12 +233,23 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := req.cacheKey()
-	sig := signature(key)
-	if plan, ok := s.cache.Get(key); ok {
+	// Canonicalise into a pooled buffer and look up by bytes: the common
+	// cache-hit path allocates neither the key string nor the signature
+	// (the cached plan already carries its signature).
+	kb := s.keyBufs.Get().(*[]byte)
+	keyBytes := req.appendKey((*kb)[:0])
+	plan, hit := s.cache.GetBytes(keyBytes)
+	key := ""
+	if !hit {
+		key = string(keyBytes)
+	}
+	*kb = keyBytes
+	s.keyBufs.Put(kb)
+	if hit {
 		s.respondPlan(w, BalanceResponse{Plan: *plan, Cached: true}, "hit")
 		return
 	}
+	sig := signature(key)
 
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 {
@@ -283,39 +287,40 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 	s.respondPlan(w, BalanceResponse{Plan: *plan, Coalesced: shared}, "miss")
 }
 
+// classifyComputeError maps an admission, deadline or facade error to the
+// HTTP status, error code, rejection counter and client message used for
+// it everywhere — single requests reject with it, batch items embed it.
+func classifyComputeError(err error) (status int, code, metric, msg string) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests, "queue_full", mRejectedQueueFull, err.Error()
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, "draining", mRejectedDraining, err.Error()
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, "deadline_exceeded", mDeadlineExceeded,
+			"request deadline expired before the plan was computed"
+	case errors.Is(err, bisectlb.ErrAlphaRequired):
+		return http.StatusBadRequest, "alpha_required", mBadRequest, err.Error()
+	case errors.Is(err, bisectlb.ErrBadAlpha):
+		return http.StatusBadRequest, "bad_alpha", mBadRequest, err.Error()
+	case errors.Is(err, bisectlb.ErrBadKappa):
+		return http.StatusBadRequest, "bad_kappa", mBadRequest, err.Error()
+	case errors.Is(err, bisectlb.ErrBadN):
+		return http.StatusBadRequest, "bad_n", mBadRequest, err.Error()
+	case errors.Is(err, bisectlb.ErrNilProblem), errors.Is(err, bisectlb.ErrUnknownAlgorithm):
+		return http.StatusBadRequest, "bad_request", mBadRequest, err.Error()
+	default:
+		return http.StatusInternalServerError, "internal", mInternalErrors,
+			fmt.Sprintf("balance failed: %v", err)
+	}
+}
+
 // rejectComputeError maps admission, deadline and facade errors to typed
 // HTTP rejections.
 func (s *Server) rejectComputeError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		s.reg.Counter(mRejectedQueueFull).Inc()
-		s.reject(w, http.StatusTooManyRequests, "queue_full", err.Error())
-	case errors.Is(err, ErrDraining):
-		s.reg.Counter(mRejectedDraining).Inc()
-		s.reject(w, http.StatusServiceUnavailable, "draining", err.Error())
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		s.reg.Counter(mDeadlineExceeded).Inc()
-		s.reject(w, http.StatusServiceUnavailable, "deadline_exceeded",
-			"request deadline expired before the plan was computed")
-	case errors.Is(err, bisectlb.ErrAlphaRequired):
-		s.reg.Counter(mBadRequest).Inc()
-		s.reject(w, http.StatusBadRequest, "alpha_required", err.Error())
-	case errors.Is(err, bisectlb.ErrBadAlpha):
-		s.reg.Counter(mBadRequest).Inc()
-		s.reject(w, http.StatusBadRequest, "bad_alpha", err.Error())
-	case errors.Is(err, bisectlb.ErrBadKappa):
-		s.reg.Counter(mBadRequest).Inc()
-		s.reject(w, http.StatusBadRequest, "bad_kappa", err.Error())
-	case errors.Is(err, bisectlb.ErrBadN):
-		s.reg.Counter(mBadRequest).Inc()
-		s.reject(w, http.StatusBadRequest, "bad_n", err.Error())
-	case errors.Is(err, bisectlb.ErrNilProblem), errors.Is(err, bisectlb.ErrUnknownAlgorithm):
-		s.reg.Counter(mBadRequest).Inc()
-		s.reject(w, http.StatusBadRequest, "bad_request", err.Error())
-	default:
-		s.reg.Counter(mInternalErrors).Inc()
-		s.reject(w, http.StatusInternalServerError, "internal", fmt.Sprintf("balance failed: %v", err))
-	}
+	status, code, metric, msg := classifyComputeError(err)
+	s.reg.Counter(metric).Inc()
+	s.reject(w, status, code, msg)
 }
 
 func (s *Server) respondPlan(w http.ResponseWriter, resp BalanceResponse, cacheState string) {

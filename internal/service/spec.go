@@ -2,9 +2,7 @@ package service
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strconv"
-	"strings"
 
 	"bisectlb"
 )
@@ -139,44 +137,123 @@ func (r *BalanceRequest) buildProblem() (bisectlb.Problem, error) {
 	}
 }
 
-// cacheKey returns the canonical identity of the partition plan this
-// request asks for. Two requests with the same key receive byte-identical
-// plans, so the key is safe to cache and to coalesce on. Deadline is
-// excluded: it shapes admission, not the plan.
-func (r *BalanceRequest) cacheKey() string {
-	var b strings.Builder
-	b.WriteString("f=")
-	b.WriteString(r.Spec.Family)
+// appendKey appends the canonical identity of the partition plan this
+// request asks for to b and returns the extended slice. Two requests with
+// the same key receive byte-identical plans, so the key is safe to cache
+// and to coalesce on. Deadline is excluded: it shapes admission, not the
+// plan.
+//
+// The append-into-caller-buffer form exists for the serving hot path: the
+// handler keeps key buffers in a pool, so canonicalising a request does
+// not allocate (the fmt/Builder-based predecessor cost ~10 allocations
+// per request; DESIGN.md §10). Callers that don't care use cacheKey.
+func (r *BalanceRequest) appendKey(b []byte) []byte {
+	b = append(b, "f="...)
+	b = append(b, r.Spec.Family...)
 	switch r.Spec.Family {
 	case "uniform":
-		b.WriteString(",w=" + g(r.Spec.Weight) + ",lo=" + g(r.Spec.Lo) + ",hi=" + g(r.Spec.Hi) + ",s=" + strconv.FormatUint(r.Spec.Seed, 10))
+		b = appendFloatField(b, ",w=", r.Spec.Weight)
+		b = appendFloatField(b, ",lo=", r.Spec.Lo)
+		b = appendFloatField(b, ",hi=", r.Spec.Hi)
+		b = appendSeedField(b, r.Spec.Seed)
 	case "fixed":
-		b.WriteString(",w=" + g(r.Spec.Weight) + ",sa=" + g(r.Spec.SplitAlpha))
+		b = appendFloatField(b, ",w=", r.Spec.Weight)
+		b = appendFloatField(b, ",sa=", r.Spec.SplitAlpha)
 	case "list":
-		b.WriteString(",e=" + strconv.Itoa(r.Spec.Elems) + ",sa=" + g(r.Spec.SplitAlpha) + ",s=" + strconv.FormatUint(r.Spec.Seed, 10))
+		b = append(b, ",e="...)
+		b = strconv.AppendInt(b, int64(r.Spec.Elems), 10)
+		b = appendFloatField(b, ",sa=", r.Spec.SplitAlpha)
+		b = appendSeedField(b, r.Spec.Seed)
 	case "fem", "searchtree":
-		b.WriteString(",s=" + strconv.FormatUint(r.Spec.Seed, 10))
+		b = appendSeedField(b, r.Spec.Seed)
 	case "quadrature":
-		b.WriteString(",sp=" + r.Spec.Split + ",s=" + strconv.FormatUint(r.Spec.Seed, 10))
+		b = append(b, ",sp="...)
+		b = append(b, r.Spec.Split...)
+		b = appendSeedField(b, r.Spec.Seed)
 	}
 	kappa := r.Kappa
 	if kappa == 0 {
 		kappa = 1 // Balance's BA-HF default; canonicalise so 0 and 1 coincide
 	}
-	b.WriteString("|n=" + strconv.Itoa(r.N))
-	b.WriteString("|alg=" + strings.ToUpper(strings.TrimSpace(r.Algorithm)))
-	b.WriteString("|a=" + g(r.Alpha))
-	b.WriteString("|k=" + g(kappa))
-	return b.String()
+	b = append(b, "|n="...)
+	b = strconv.AppendInt(b, int64(r.N), 10)
+	b = append(b, "|alg="...)
+	b = appendUpper(b, r.Algorithm)
+	b = appendFloatField(b, "|a=", r.Alpha)
+	b = appendFloatField(b, "|k=", kappa)
+	return b
 }
 
-// g formats a float canonically (shortest round-trip representation).
-func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+// cacheKey is appendKey as a string, for tests and one-off callers.
+func (r *BalanceRequest) cacheKey() string { return string(r.appendKey(nil)) }
+
+func appendFloatField(b []byte, label string, v float64) []byte {
+	b = append(b, label...)
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+func appendSeedField(b []byte, seed uint64) []byte {
+	b = append(b, ",s="...)
+	return strconv.AppendUint(b, seed, 10)
+}
+
+// appendUpper appends s upper-cased with surrounding spaces trimmed,
+// byte-wise (algorithm names are ASCII), matching
+// strings.ToUpper(strings.TrimSpace(s)) without allocating.
+func appendUpper(b []byte, s string) []byte {
+	start, end := 0, len(s)
+	for start < end && isSpace(s[start]) {
+		start++
+	}
+	for end > start && isSpace(s[end-1]) {
+		end--
+	}
+	for i := start; i < end; i++ {
+		c := s[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return b
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f'
+}
+
+// FNV-1a, inlined: hash/fnv allocates a hasher object per call, which the
+// per-request signature and shard-selection paths cannot afford.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnv64a(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnv64aString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
 
 // signature condenses a cache key into the short hex form reported in
-// plans and logs.
+// plans and logs. It equals FNV-1a of the key, matching signatureBytes.
 func signature(key string) string {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return strconv.FormatUint(h.Sum64(), 16)
+	return strconv.FormatUint(fnv64aString(key), 16)
+}
+
+// signatureBytes is signature for a byte-slice key.
+func signatureBytes(key []byte) string {
+	return strconv.FormatUint(fnv64a(key), 16)
 }

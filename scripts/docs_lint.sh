@@ -1,0 +1,53 @@
+#!/bin/sh
+# docs_lint.sh — keep the documentation honest.
+#
+# Checks, in order:
+#   1. gofmt -l is clean (formatting drift fails the build, not review).
+#   2. go vet passes.
+#   3. Every results/*.txt and BENCH_*.json path mentioned in README.md,
+#      DESIGN.md or EXPERIMENTS.md exists in the repo, so the docs never
+#      reference an artifact that was renamed or never regenerated.
+#   4. Every command under cmd/ is mentioned in README.md, so new
+#      binaries cannot ship undocumented.
+#
+# Run from the repo root (make docs-lint does).
+set -eu
+
+fail=0
+
+echo "docs-lint: gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "docs-lint: gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+echo "docs-lint: go vet"
+go vet ./... || fail=1
+
+echo "docs-lint: artifact references"
+docs="README.md DESIGN.md EXPERIMENTS.md"
+refs=$(grep -hoE '(results/[A-Za-z0-9_.-]+\.txt|BENCH_[A-Za-z0-9_-]+\.json)' $docs | sort -u)
+for ref in $refs; do
+    if [ ! -f "$ref" ]; then
+        echo "docs-lint: $ref is referenced in the docs but does not exist" >&2
+        echo "           (regenerate it, or fix the reference)" >&2
+        fail=1
+    fi
+done
+
+echo "docs-lint: command coverage in README.md"
+for dir in cmd/*/; do
+    name=$(basename "$dir")
+    if ! grep -q "$name" README.md; then
+        echo "docs-lint: cmd/$name is not mentioned in README.md" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs-lint: FAILED" >&2
+    exit 1
+fi
+echo "docs-lint: OK"
