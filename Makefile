@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-core bench-short docs-lint ci chaos sweep serve clean
+.PHONY: all build test race cover fuzz-short bench bench-core bench-short docs-lint ci chaos sweep serve clean sweep-verify
 
 all: build test
 
@@ -11,13 +11,36 @@ build:
 test: build
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent runtime packages (the
-# distributed BA/PHF runtime, the TCP collectives, the in-process
-# collectives, the metrics substrate and the serving layer), preceded by
-# vet over the whole module.
+# Race-detector pass over the whole module (the concurrent packages —
+# the distributed BA/PHF runtime, the TCP collectives, the in-process
+# collectives, the metrics substrate, the serving layer and the parallel
+# executors — plus everything they touch), preceded by vet.
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/dist ./internal/netcoll ./internal/collective ./internal/obs ./internal/service
+	$(GO) test -race ./...
+
+# Coverage gate: full suite with -coverprofile, failing when the
+# module-wide statement coverage drops below the floor (COVER_FLOOR,
+# default 80%). Writes coverage.out for `go tool cover -func/-html`.
+cover:
+	./scripts/cover_floor.sh
+
+# Short fuzzing pass: every native fuzz target explores for ~10s on top
+# of its checked-in seed corpus (testdata/fuzz/). Plain `go test` always
+# replays the seed corpora; this target is the cheap continuous
+# exploration CI runs on every push.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzHFPHFIdentity$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzKernels$$' -fuzztime $(FUZZTIME) ./internal/bisect
+	$(GO) test -run '^$$' -fuzz '^FuzzSpecKey$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzHandlers$$' -fuzztime $(FUZZTIME) ./internal/service
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/netcoll
+
+# Guarantee sweep: lbverify's randomized grid over (α, N, family) with
+# every paper invariant checked on every instance (EXPERIMENTS.md X10).
+sweep-verify:
+	$(GO) run ./cmd/lbverify -sweep -instances 10000 -seed 1999
 
 # Serving-perf trajectory: the service micro-benchmarks plus a short
 # open-loop lbload smoke against an in-process server. Rewrites
@@ -48,8 +71,9 @@ docs-lint:
 	./scripts/docs_lint.sh
 
 # Everything CI runs, in order: vet, the full suite, the race pass, the
-# benchmark gates, the docs lint, the serving-perf smoke.
-ci: test race bench-short docs-lint bench
+# coverage gate, the short fuzzing pass, the benchmark gates, the docs
+# lint, the serving-perf smoke.
+ci: test race cover fuzz-short bench-short docs-lint bench
 
 # Regenerate the X7 chaos-study table.
 chaos:

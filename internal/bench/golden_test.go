@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGoldenJSONSchema strict-decodes the tracked BENCH_core.json and
+// checks it is structurally what the current code would emit: the right
+// schema id, the full grid exactly once, and sane per-cell values. It
+// deliberately never compares timings — those drift with hardware; the
+// test fails only when the schema or grid drifts without the tracked
+// file being regenerated (`make bench-core`).
+func TestGoldenJSONSchema(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_core.json")
+	if err != nil {
+		t.Fatalf("tracked benchmark file missing: %v", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var s Suite
+	if err := dec.Decode(&s); err != nil {
+		t.Fatalf("BENCH_core.json no longer matches the Suite schema: %v", err)
+	}
+	if s.Schema != SchemaID {
+		t.Fatalf("tracked schema %q, code expects %q — regenerate with `make bench-core`", s.Schema, SchemaID)
+	}
+	want := len(Algorithms) * len(Alphas) * len(Ns)
+	if len(s.Cells) != want {
+		t.Fatalf("tracked file has %d cells, grid defines %d", len(s.Cells), want)
+	}
+	seen := map[string]bool{}
+	for _, m := range s.Cells {
+		key := fmt.Sprintf("%s|a%g|n%d", m.Algorithm, m.Alpha, m.N)
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+		if m.Iterations < 1 || m.NsPerOp <= 0 {
+			t.Fatalf("%s: degenerate measurement %+v", key, m)
+		}
+		if m.Parts < 1 || m.Parts > m.N {
+			t.Fatalf("%s: %d parts for N=%d", key, m.Parts, m.N)
+		}
+		if m.Ratio < 1 {
+			t.Fatalf("%s: ratio %v < 1", key, m.Ratio)
+		}
+	}
+	for _, alg := range Algorithms {
+		for _, alpha := range Alphas {
+			for _, n := range Ns {
+				key := fmt.Sprintf("%s|a%g|n%d", alg, alpha, n)
+				if !seen[key] {
+					t.Fatalf("grid cell %s missing from tracked file", key)
+				}
+			}
+		}
+	}
+}
+
+// TestGoldenTextHeader checks the tracked results/bench_core.txt against
+// the CURRENT renderer's header and shape. A renderer change that is not
+// accompanied by a regenerated results file fails here; timing rows are
+// only counted, never value-compared.
+func TestGoldenTextHeader(t *testing.T) {
+	raw, err := os.ReadFile("../../results/bench_core.txt")
+	if err != nil {
+		t.Fatalf("tracked results file missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("tracked file implausibly short: %d lines", len(lines))
+	}
+
+	// Render an empty suite to learn the header the current code emits.
+	var buf bytes.Buffer
+	ref := Suite{Schema: SchemaID, GoVersion: "goX", GOOS: "os", GOARCH: "arch",
+		BenchtimeNs: time.Millisecond.Nanoseconds()}
+	if err := ref.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	refLines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	wantColumns := refLines[len(refLines)-1] // column header is the last line of an empty render
+
+	if !strings.HasPrefix(lines[0], "core planner benchmarks (") {
+		t.Fatalf("title line drifted: %q", lines[0])
+	}
+	if lines[2] != wantColumns {
+		t.Fatalf("column header drifted from the renderer:\ntracked:  %q\nrenderer: %q\nregenerate with `make bench-core`", lines[2], wantColumns)
+	}
+
+	rows := 0
+	for _, ln := range lines[3:] {
+		if strings.TrimSpace(ln) == "" {
+			continue
+		}
+		fields := strings.Fields(ln)
+		if len(fields) != 8 {
+			t.Fatalf("data row has %d columns, want 8: %q", len(fields), ln)
+		}
+		rows++
+	}
+	if want := len(Algorithms) * len(Alphas) * len(Ns); rows != want {
+		t.Fatalf("tracked table has %d data rows, grid defines %d", rows, want)
+	}
+}

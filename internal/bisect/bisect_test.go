@@ -261,3 +261,24 @@ func (s *sampleish) add(v float64) {
 		s.max = v
 	}
 }
+
+// TestFixedDeepChainIDsUnique pins the fix for a real bug found by the
+// verify sweep: the original implicit-binary-tree IDs (root 1, children
+// 2i and 2i+1) overflow uint64 at bisection depth 63, so a heavy chain
+// longer than 63 bisections — which HF produces on the fixed class for
+// small α and large N — yielded duplicate part IDs. IDs are now derived
+// by mixing, which is depth-unbounded.
+func TestFixedDeepChainIDsUnique(t *testing.T) {
+	p := Problem(MustFixed(1, 0.05))
+	seen := map[uint64]bool{1: false}
+	for d := 0; d < 200; d++ {
+		heavy, light := p.Bisect()
+		for _, c := range []Problem{heavy, light} {
+			if _, dup := seen[c.ID()]; dup {
+				t.Fatalf("duplicate fixed ID %d at depth %d", c.ID(), d+1)
+			}
+			seen[c.ID()] = true
+		}
+		p = heavy
+	}
+}

@@ -74,8 +74,10 @@ func (k SyntheticKernel) Split(n FlatNode) (heavy, light FlatNode) {
 
 // FixedKernel is the flat form of the Fixed adversarial substrate: every
 // bisection splits exactly into (1−α)·w and α·w. State: the ID is the
-// node's position in the implicit infinite binary tree (root 1, children
-// 2i and 2i+1); no extra words are needed.
+// root of a mixed derivation chain (root 1, children Mix(id, 1) and
+// Mix(id, 2), matching Fixed.Bisect); no extra words are needed. The
+// mixed scheme replaced implicit-binary-tree numbering, which overflowed
+// uint64 below depth 63 and produced duplicate IDs.
 type FixedKernel struct {
 	Alpha float64
 }
@@ -88,8 +90,8 @@ func FixedFlatRoot(w float64) FlatNode {
 // Split mirrors Fixed.Bisect exactly.
 func (k FixedKernel) Split(n FlatNode) (heavy, light FlatNode) {
 	heavyW := (1 - k.Alpha) * n.Weight
-	heavy = FlatNode{Weight: heavyW, ID: 2 * n.ID, Depth: n.Depth + 1}
-	light = FlatNode{Weight: n.Weight - heavyW, ID: 2*n.ID + 1, Depth: n.Depth + 1}
+	heavy = FlatNode{Weight: heavyW, ID: xrand.Mix(n.ID, 1), Depth: n.Depth + 1}
+	light = FlatNode{Weight: n.Weight - heavyW, ID: xrand.Mix(n.ID, 2), Depth: n.Depth + 1}
 	return heavy, light
 }
 

@@ -130,8 +130,13 @@ func (f *Fixed) Weight() float64 { return f.weight }
 // CanBisect always reports true.
 func (f *Fixed) CanBisect() bool { return true }
 
-// ID returns the node's position in an implicit infinite binary tree
-// (root 1, children 2i and 2i+1), which is unique per run.
+// ID identifies the node uniquely per run: 1 for the root, and mixed
+// child derivations Mix(id, 1)/Mix(id, 2) below it, the same scheme the
+// synthetic class uses. An earlier implicit-binary-tree numbering (root
+// 1, children 2i and 2i+1) overflowed uint64 at bisection depth 63 and
+// produced duplicate IDs — reachable with small α and large N, where
+// HF's heavy chain exceeds 63 bisections (found by the verify sweep;
+// regression-pinned in bisect_test.go).
 func (f *Fixed) ID() uint64 { return f.id }
 
 // Alpha returns the fixed split parameter.
@@ -139,7 +144,7 @@ func (f *Fixed) Alpha() float64 { return f.alpha }
 
 // Bisect splits deterministically into (1−α)·w and α·w.
 func (f *Fixed) Bisect() (Problem, Problem) {
-	heavy := &Fixed{weight: (1 - f.alpha) * f.weight, alpha: f.alpha, id: 2 * f.id}
-	light := &Fixed{weight: f.weight - heavy.weight, alpha: f.alpha, id: 2*f.id + 1}
+	heavy := &Fixed{weight: (1 - f.alpha) * f.weight, alpha: f.alpha, id: xrand.Mix(f.id, 1)}
+	light := &Fixed{weight: f.weight - heavy.weight, alpha: f.alpha, id: xrand.Mix(f.id, 2)}
 	return heavy, light
 }

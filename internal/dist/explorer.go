@@ -1,0 +1,343 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"bisectlb/internal/xrand"
+)
+
+// Schedule exploration: a property-based harness over the runtime's
+// fault space. A schedule is one (FaultPlan, instance seed) combination;
+// the explorer enumerates many of them, runs a real loopback cluster for
+// each, and checks the invariants the recovery protocol promises no
+// matter what the network does:
+//
+//   - the returned parts partition the processor range [0, n) exactly —
+//     every virtual processor's weight is debited exactly once, however
+//     many times messages were dropped, duplicated or re-executed;
+//   - part weights sum to the root weight (the debit ledger closes);
+//   - the partition quality fields are mutually consistent;
+//   - lease generations account exactly for the re-issues performed
+//     (LeaseReissues == Σ_g ReissuesByGen[g], generations start at 1);
+//   - a fault-free schedule completes un-degraded with zero recovery
+//     counters.
+//
+// Plans are pure functions of the schedule seed, so any failure is
+// replayable from the seed the report prints.
+
+// ExploreConfig parameterises one exploration run. The zero value of a
+// field falls back to the default noted on it.
+type ExploreConfig struct {
+	// Schedules is the number of (FaultPlan, seed) combos (default 256).
+	Schedules int
+	// Seed is the schedule-stream seed; schedule i uses Mix(Seed, i).
+	Seed uint64
+	// N is the virtual processor count of each run (default 48).
+	N int
+	// K is the node count of each cluster (default 3).
+	K int
+	// Workers bounds concurrently running clusters (default 4).
+	Workers int
+	// Timeout caps one cluster run (default 15s).
+	Timeout time.Duration
+	// Timing overrides the protocol clocks (default ExploreTiming()).
+	Timing *Timing
+}
+
+func (c ExploreConfig) withDefaults() ExploreConfig {
+	if c.Schedules < 1 {
+		c.Schedules = 256
+	}
+	if c.N < 1 {
+		c.N = 48
+	}
+	if c.K < 1 {
+		c.K = 3
+	}
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 15 * time.Second
+	}
+	if c.Timing == nil {
+		tm := ExploreTiming()
+		c.Timing = &tm
+	}
+	return c
+}
+
+// ExploreTiming returns protocol clocks tightened for schedule
+// exploration, matching the chaos-study convention: crash recovery
+// resolves in hundreds of milliseconds instead of seconds, so one test
+// run affords hundreds of schedules.
+func ExploreTiming() Timing {
+	return Timing{
+		Heartbeat:   15 * time.Millisecond,
+		DeadAfter:   300 * time.Millisecond,
+		LeaseExpiry: 700 * time.Millisecond,
+		RetryBase:   40 * time.Millisecond,
+		RetryMax:    250 * time.Millisecond,
+	}
+}
+
+// SchedulePlan derives schedule i's fault plan from its seed,
+// deterministically. Roughly one schedule in eight is a fault-free
+// control; the rest draw drop/dup/delay rates independently, and one in
+// four additionally crashes up to k−1 nodes (at least one node always
+// survives, so completion stays reachable).
+func SchedulePlan(seed uint64, k int) *FaultPlan {
+	rng := xrand.New(xrand.Mix(seed, 0xD157))
+	if rng.Intn(8) == 0 {
+		return nil // fault-free control schedule
+	}
+	p := &FaultPlan{Seed: seed}
+	if rng.Intn(2) == 0 {
+		p.DropRate = rng.InRange(0.02, 0.25)
+	}
+	if rng.Intn(3) == 0 {
+		p.DupRate = rng.InRange(0.02, 0.20)
+	}
+	if rng.Intn(3) == 0 {
+		p.DelayRate = rng.InRange(0.05, 0.30)
+		p.MaxDelay = time.Duration(1+rng.Intn(20)) * time.Millisecond
+	}
+	if k > 1 && rng.Intn(4) == 0 {
+		crashes := 1 + rng.Intn(k-1)
+		p.Crash = make(map[int]int, crashes)
+		for c := 0; c < crashes; c++ {
+			p.Crash[k-1-c] = 2 + rng.Intn(6)
+		}
+	}
+	if !p.active() {
+		// Every non-control schedule injects something: a drop rate on
+		// its own keeps the retry path honest.
+		p.DropRate = rng.InRange(0.02, 0.25)
+	}
+	return p
+}
+
+// ScheduleFailure is one schedule whose run violated an invariant.
+type ScheduleFailure struct {
+	Index int
+	Seed  uint64
+	Plan  *FaultPlan
+	Err   error
+}
+
+func (f ScheduleFailure) String() string {
+	return fmt.Sprintf("schedule %d (seed %#x, plan %s): %v", f.Index, f.Seed, describePlan(f.Plan), f.Err)
+}
+
+func describePlan(p *FaultPlan) string {
+	if p == nil {
+		return "fault-free"
+	}
+	return fmt.Sprintf("{drop %.2f dup %.2f delay %.2f/%v crash %v}",
+		p.DropRate, p.DupRate, p.DelayRate, p.MaxDelay, p.Crash)
+}
+
+// ExploreReport aggregates one exploration run.
+type ExploreReport struct {
+	Schedules  int
+	Completed  int // runs that returned a result (possibly degraded)
+	Degraded   int
+	Incomplete int // runs that timed out or lost every node
+	// Failures holds invariant violations, ascending by schedule index;
+	// incomplete runs are not failures (an aggressive enough plan may
+	// legitimately prevent completion) but are counted above.
+	Failures []ScheduleFailure
+}
+
+// OK reports whether every completed schedule satisfied the invariants.
+func (r ExploreReport) OK() bool { return len(r.Failures) == 0 }
+
+// Minimal returns the failure with the smallest schedule index, the
+// first seed a human should replay, or nil.
+func (r *ExploreReport) Minimal() *ScheduleFailure {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	return &r.Failures[0]
+}
+
+// Explore runs cfg.Schedules seeded schedules and checks every completed
+// run's invariants. Schedules run concurrently on cfg.Workers clusters;
+// the report is deterministic in content (each schedule is a pure
+// function of its seed) though not in wall time.
+func Explore(cfg ExploreConfig) ExploreReport {
+	cfg = cfg.withDefaults()
+	rep := ExploreReport{Schedules: cfg.Schedules}
+
+	type outcome struct {
+		fail       *ScheduleFailure
+		completed  bool
+		degraded   bool
+		incomplete bool
+	}
+	outcomes := make([]outcome, cfg.Schedules)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for i := 0; i < cfg.Schedules; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			seed := xrand.Mix(cfg.Seed, uint64(i))
+			plan := SchedulePlan(seed, cfg.K)
+			err, completed, degraded := runSchedule(cfg, seed, plan)
+			o := &outcomes[i]
+			o.completed, o.degraded, o.incomplete = completed, degraded, !completed
+			if err != nil {
+				o.fail = &ScheduleFailure{Index: i, Seed: seed, Plan: plan, Err: err}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.completed {
+			rep.Completed++
+		}
+		if o.degraded {
+			rep.Degraded++
+		}
+		if o.incomplete {
+			rep.Incomplete++
+		}
+		if o.fail != nil {
+			rep.Failures = append(rep.Failures, *o.fail)
+		}
+	}
+	sort.Slice(rep.Failures, func(a, b int) bool { return rep.Failures[a].Index < rep.Failures[b].Index })
+	return rep
+}
+
+// runSchedule executes one schedule and checks its invariants. The
+// returned error is an invariant violation; completed distinguishes a
+// finished run (possibly degraded) from a timeout.
+func runSchedule(cfg ExploreConfig, seed uint64, plan *FaultPlan) (err error, completed, degraded bool) {
+	cl, cerr := StartClusterWith(cfg.N, cfg.K, plan, *cfg.Timing)
+	if cerr != nil {
+		return fmt.Errorf("cluster start: %w", cerr), false, false
+	}
+	defer cl.Close()
+	root := Spec{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.5, Seed: xrand.Mix(seed, 0x1257)}
+	res, rerr := cl.Coord.Run(root, cfg.N, cl.Addrs(), cfg.Timeout)
+	if rerr != nil && !errors.Is(rerr, ErrDegraded) {
+		if plan == nil {
+			// A fault-free schedule has no excuse not to complete.
+			return fmt.Errorf("fault-free run failed: %w", rerr), false, false
+		}
+		return nil, false, false
+	}
+	if err := CheckRunInvariants(res, cfg.N, root.Weight, plan); err != nil {
+		return err, true, res.Degraded
+	}
+	return nil, true, res.Degraded
+}
+
+// CheckRunInvariants verifies the recovery protocol's observable
+// contract on one finished run (degraded or not) under the given plan.
+func CheckRunInvariants(res *Result, n int, rootWeight float64, plan *FaultPlan) error {
+	if res == nil {
+		return errors.New("nil result")
+	}
+	// Exactly-once debit ledger, externally observed: the parts cover
+	// [0, n) with no gap and no overlap. Sorting by Lo and walking the
+	// intervals catches both, plus duplicate deliveries that escaped
+	// dedup.
+	parts := append([]PartReport(nil), res.Parts...)
+	sort.Slice(parts, func(a, b int) bool { return parts[a].Lo < parts[b].Lo })
+	next := 0
+	var sum, maxW float64
+	for i, p := range parts {
+		if p.Lo != next {
+			if p.Lo < next {
+				return fmt.Errorf("parts %d overlap at processor %d: interval [%d,%d) delivered more than once", i, p.Lo, p.Lo, p.Hi)
+			}
+			return fmt.Errorf("processors [%d,%d) received no part", next, p.Lo)
+		}
+		if p.Hi <= p.Lo || p.Hi > n {
+			return fmt.Errorf("part %d has invalid interval [%d,%d) for n=%d", i, p.Lo, p.Hi, n)
+		}
+		if !(p.Spec.Weight > 0) {
+			return fmt.Errorf("part %d has non-positive weight %v", i, p.Spec.Weight)
+		}
+		sum += p.Spec.Weight
+		if p.Spec.Weight > maxW {
+			maxW = p.Spec.Weight
+		}
+		next = p.Hi
+	}
+	if next != n {
+		return fmt.Errorf("processors [%d,%d) received no part", next, n)
+	}
+	if !weightsConserved(sum, rootWeight, len(parts)) {
+		return fmt.Errorf("debit ledger does not close: parts sum to %v, root weight %v", sum, rootWeight)
+	}
+	if maxW != res.MaxWeight {
+		return fmt.Errorf("MaxWeight %v but heaviest part weighs %v", res.MaxWeight, maxW)
+	}
+	wantRatio := res.MaxWeight / (rootWeight / float64(n))
+	if diff := wantRatio - res.Ratio; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("Ratio %v inconsistent with MaxWeight (want %v)", res.Ratio, wantRatio)
+	}
+
+	// Lease-generation ledger: every re-issue advanced some lease to a
+	// generation ≥ 1, and the per-generation histogram accounts for all
+	// of them exactly.
+	st := &res.Stats
+	genSum := 0
+	for g, c := range st.ReissuesByGen {
+		if g < 1 {
+			return fmt.Errorf("re-issue recorded at generation %d; generations start at 1", g)
+		}
+		if c < 1 {
+			return fmt.Errorf("generation %d has non-positive re-issue count %d", g, c)
+		}
+		genSum += c
+	}
+	if genSum != st.LeaseReissues {
+		return fmt.Errorf("LeaseReissues %d but generations sum to %d", st.LeaseReissues, genSum)
+	}
+	if res.Reassigned != st.LeaseReissues {
+		return fmt.Errorf("Result.Reassigned %d disagrees with Stats.LeaseReissues %d", res.Reassigned, st.LeaseReissues)
+	}
+	if st.Deaths != len(res.DeadNodes) {
+		return fmt.Errorf("Stats.Deaths %d but %d dead nodes reported", st.Deaths, len(res.DeadNodes))
+	}
+	if res.Degraded != (len(res.DeadNodes) > 0) {
+		return fmt.Errorf("Degraded %v inconsistent with dead nodes %v", res.Degraded, res.DeadNodes)
+	}
+	if st.DedupParts < 0 || st.DedupClaims < 0 {
+		return fmt.Errorf("negative dedup counters: parts %d, claims %d", st.DedupParts, st.DedupClaims)
+	}
+
+	// A fault-free run must not have needed the recovery machinery.
+	if !plan.active() {
+		if res.Degraded || st.Deaths != 0 {
+			return fmt.Errorf("fault-free run degraded (deaths %d)", st.Deaths)
+		}
+		if f := st.Faults; f.Drops != 0 || f.Dups != 0 || f.Delays != 0 {
+			return fmt.Errorf("fault-free run injected faults: %+v", f)
+		}
+	}
+	// Dead nodes must at least be real cluster members. Deaths without a
+	// scheduled crash are deliberately NOT a violation: the failure
+	// detector may false-positive a stalled-but-alive node (e.g. under a
+	// loaded race-detector run), and the protocol's answer — re-issue and
+	// dedup — is exactly what the checks above verify.
+	for _, id := range res.DeadNodes {
+		if id < 0 {
+			return fmt.Errorf("invalid dead node id %d", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package dist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bisectlb/internal/xrand"
+)
+
+// TestExploreSchedules is the schedule-exploration property test: it
+// enumerates seeded FaultPlan × instance combinations against real
+// loopback clusters and requires every completed run — degraded or not —
+// to satisfy the exactly-once debit-ledger and lease-generation
+// invariants. On failure it prints the minimal failing seed so the
+// schedule replays in isolation.
+func TestExploreSchedules(t *testing.T) {
+	cfg := ExploreConfig{Schedules: 200, Seed: 20260805}
+	if testing.Short() {
+		cfg.Schedules = 48
+	}
+	rep := Explore(cfg)
+	t.Logf("explored %d schedules: %d completed (%d degraded), %d incomplete",
+		rep.Schedules, rep.Completed, rep.Degraded, rep.Incomplete)
+	if !rep.OK() {
+		for _, f := range rep.Failures {
+			t.Errorf("%s", f.String())
+		}
+		t.Fatalf("minimal failing seed: %#x (schedule %d) — replay with SchedulePlan(%#x, %d)",
+			rep.Minimal().Seed, rep.Minimal().Index, rep.Minimal().Seed, cfg.K)
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no schedule completed; the explorer verified nothing")
+	}
+	// The schedule mix must actually exercise the recovery machinery:
+	// with crashes in roughly a quarter of the plans, a clean sweep of
+	// completions with zero degradations would mean the fault layer is
+	// not wired in.
+	if rep.Degraded == 0 && rep.Schedules >= 100 {
+		t.Error("no schedule degraded: crash plans are not reaching the cluster")
+	}
+}
+
+// TestSchedulePlanDeterministic pins that a schedule is a pure function
+// of its seed: the same seed yields the same plan, and the stream mixes
+// fault-free controls with crash plans.
+func TestSchedulePlanDeterministic(t *testing.T) {
+	var faultFree, crashing int
+	for i := 0; i < 400; i++ {
+		seed := xrand.Mix(99, uint64(i))
+		a, b := SchedulePlan(seed, 3), SchedulePlan(seed, 3)
+		switch {
+		case a == nil && b == nil:
+			faultFree++
+			continue
+		case a == nil || b == nil:
+			t.Fatalf("seed %#x: plan nil-ness not deterministic", seed)
+		}
+		if a.DropRate != b.DropRate || a.DupRate != b.DupRate ||
+			a.DelayRate != b.DelayRate || a.MaxDelay != b.MaxDelay || len(a.Crash) != len(b.Crash) {
+			t.Fatalf("seed %#x: plans differ: %+v vs %+v", seed, a, b)
+		}
+		if !a.active() {
+			t.Fatalf("seed %#x: non-control plan injects nothing: %+v", seed, a)
+		}
+		if len(a.Crash) > 0 {
+			crashing++
+			if len(a.Crash) > 2 {
+				t.Fatalf("seed %#x: plan crashes %d of 3 nodes; one must survive", seed, len(a.Crash))
+			}
+		}
+	}
+	if faultFree == 0 || crashing == 0 {
+		t.Fatalf("schedule mix degenerate: %d fault-free, %d crashing of 400", faultFree, crashing)
+	}
+}
+
+// TestCheckRunInvariantsRejectsCorruption corrupts a real run's result
+// one field at a time and requires the checker to notice each.
+func TestCheckRunInvariantsRejectsCorruption(t *testing.T) {
+	cl, err := StartCluster(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	root := Spec{Kind: specKindSynthetic, Weight: 1, ALo: 0.1, AHi: 0.5, Seed: 7}
+	res, err := cl.Coord.Run(root, 8, cl.Addrs(), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckRunInvariants(res, 8, 1, nil); err != nil {
+		t.Fatalf("valid run rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(r *Result)
+		want    string
+	}{
+		{"drop a part", func(r *Result) { r.Parts = r.Parts[1:] }, "no part"},
+		{"duplicate a part", func(r *Result) { r.Parts = append(r.Parts, r.Parts[0]) }, "more than once"},
+		{"inflate a weight", func(r *Result) { r.Parts[0].Spec.Weight *= 2 }, "ledger"},
+		{"shift max weight", func(r *Result) { r.MaxWeight *= 2 }, "MaxWeight"},
+		{"shift ratio", func(r *Result) { r.Ratio += 0.5 }, "Ratio"},
+		{"orphan reissue count", func(r *Result) { r.Stats.LeaseReissues++ }, "generations sum"},
+		{"generation zero", func(r *Result) {
+			r.Stats.ReissuesByGen = map[uint64]int{0: 1}
+			r.Stats.LeaseReissues = 1
+			r.Reassigned = 1
+		}, "start at 1"},
+		{"phantom death", func(r *Result) { r.Stats.Deaths++ }, "dead nodes"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := *res
+			cp.Parts = append([]PartReport(nil), res.Parts...)
+			cp.Stats.ReissuesByGen = map[uint64]int{}
+			for g, c := range res.Stats.ReissuesByGen {
+				cp.Stats.ReissuesByGen[g] = c
+			}
+			tc.corrupt(&cp)
+			err := CheckRunInvariants(&cp, 8, 1, nil)
+			if err == nil {
+				t.Fatalf("corruption %q not detected", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("corruption %q detected with wrong message: %v", tc.name, err)
+			}
+		})
+	}
+
+	if err := CheckRunInvariants(nil, 8, 1, nil); !errors.Is(err, err) || err == nil {
+		t.Fatal("nil result not rejected")
+	}
+}

@@ -1,0 +1,63 @@
+package netcoll
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzFrameDecode drives arbitrary bytes through the same decode +
+// validate pipeline readConn runs on every peer connection: a JSON
+// stream decoder followed by checkFrame. The target asserts the
+// pipeline never panics, accepts only frames that satisfy the protocol
+// schema, and that frameID stays well-defined on every accepted frame.
+//
+// Under plain `go test` the seed corpus (testdata/fuzz) replays as a
+// regression suite; `go test -fuzz FuzzFrameDecode ./internal/netcoll`
+// explores further.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"dir":"up","from":0,"f":1.5,"i":3}`), 4)
+	f.Add([]byte(`{"seq":2,"dir":"down","from":3,"pre":7,"vec":[1,2,3]}`), 4)
+	f.Add([]byte(`{"seq":1,"dir":"sideways","from":0}`), 4)
+	f.Add([]byte(`{"seq":1,"dir":"up","from":-1}`), 4)
+	f.Add([]byte(`{"seq":1,"dir":"up","from":99}`), 4)
+	f.Add([]byte(`{"dir":"up","from":0}{"dir":"down","from":1}`), 2)
+	f.Add([]byte(`not json at all`), 3)
+	f.Add([]byte(`{"seq":18446744073709551615,"dir":"up","from":1}`), 8)
+	f.Fuzz(func(t *testing.T, data []byte, k int) {
+		if k < 1 || k > 1024 {
+			k = 1 + (k%1024+1024)%1024
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for {
+			var fr frame
+			if err := dec.Decode(&fr); err != nil {
+				if !errors.Is(err, io.EOF) {
+					// Malformed stream: readConn tears the connection down.
+					return
+				}
+				return
+			}
+			if err := checkFrame(fr, k); err != nil {
+				continue // readConn drops it and keeps reading
+			}
+			// Accepted frames must satisfy the schema the collectives
+			// assume.
+			if fr.Dir != dirUp && fr.Dir != dirDown {
+				t.Fatalf("checkFrame accepted direction %q", fr.Dir)
+			}
+			if fr.From < 0 || fr.From >= k {
+				t.Fatalf("checkFrame accepted from=%d for k=%d", fr.From, k)
+			}
+			if len(fr.Vec) > maxVecLen {
+				t.Fatalf("checkFrame accepted %d-element vector", len(fr.Vec))
+			}
+			// frameID must be total and deterministic on accepted frames.
+			if frameID(fr, 0) != frameID(fr, 0) {
+				t.Fatal("frameID not deterministic")
+			}
+		}
+	})
+}

@@ -44,12 +44,14 @@ const (
 	mFramesDrop   = "netcoll.frames_dropped" // swallowed by the fault plan
 	mFramesDup    = "netcoll.frames_duped"
 	mFramesDelay  = "netcoll.frames_delayed"
-	mRetransmits  = "netcoll.retransmits" // up-contribution re-sends on sub-timeout
-	mReplays      = "netcoll.replays"     // down-frame replays to children
-	mStaleDrops   = "netcoll.stale_drops" // frames of finished collectives discarded
-	mInboxDrops   = "netcoll.inbox_drops" // protocol-violation drops on a full inbox
-	mTimeouts     = "netcoll.timeouts"    // collectives that hit ErrTimeout
-	mRebuilds     = "netcoll.rebuilds"    // tree rebuilds after member deaths
+	mRetransmits  = "netcoll.retransmits"   // up-contribution re-sends on sub-timeout
+	mReplays      = "netcoll.replays"       // down-frame replays to children
+	mStaleDrops   = "netcoll.stale_drops"   // frames of finished collectives discarded
+	mInboxDrops   = "netcoll.inbox_drops"   // protocol-violation drops on a full inbox
+	mInvalidDrops = "netcoll.invalid_drops" // malformed frames rejected by checkFrame
+	mPendingDrops = "netcoll.pending_drops" // stash-overflow drops (protocol violation)
+	mTimeouts     = "netcoll.timeouts"      // collectives that hit ErrTimeout
+	mRebuilds     = "netcoll.rebuilds"      // tree rebuilds after member deaths
 	mDials        = "netcoll.dials"
 	mCollectives  = "netcoll.collectives"
 	mCollectiveNs = "netcoll.collective_ns" // per-collective latency histogram
@@ -90,6 +92,38 @@ const (
 // downCacheSeqs bounds how many completed collectives keep their
 // down-frames around for replay.
 const downCacheSeqs = 8
+
+// maxPending bounds the recv stash of current-or-future frames. The
+// protocol allows one outstanding collective, so legitimate diversions
+// are a handful per peer; an unbounded stash would let a misbehaving or
+// desynchronised peer grow memory without limit (found while preparing
+// the frame-decode fuzz target). Overflow drops the newest frame — the
+// sender's retransmission path recovers it if it was real.
+const maxPending = 256
+
+// maxVecLen bounds the vector payload a member accepts in one frame.
+// Legitimate vectors carry one slot per cluster member; anything larger
+// is a protocol violation and, unchecked, a memory-amplification vector.
+const maxVecLen = 1 << 16
+
+// checkFrame validates a decoded wire frame against the cluster size k:
+// a known direction, a sender id inside the cluster, and a sanely sized
+// vector payload. readConn drops frames that fail it — a malformed frame
+// previously flowed unchecked into the inbox and pending stash, where an
+// out-of-range From could sit forever matching no recv and an oversized
+// Vec pinned arbitrary memory.
+func checkFrame(f frame, k int) error {
+	if f.Dir != dirUp && f.Dir != dirDown {
+		return fmt.Errorf("netcoll: frame with unknown direction %q", f.Dir)
+	}
+	if f.From < 0 || f.From >= k {
+		return fmt.Errorf("netcoll: frame from %d outside [0, %d)", f.From, k)
+	}
+	if len(f.Vec) > maxVecLen {
+		return fmt.Errorf("netcoll: frame vector of %d elements exceeds limit %d", len(f.Vec), maxVecLen)
+	}
+	return nil
+}
 
 // frameID derives the fault-decision identity of a frame transmission.
 // The destination is mixed in because prefix-sum down-frames differ per
@@ -135,10 +169,12 @@ type Member struct {
 
 	// pending holds frames of the current or a future collective that a
 	// recv call pulled from the inbox but did not want. It is scanned
-	// before the inbox, so a stashed frame can never be lost — unlike
-	// the bounded-channel re-queue it replaces, which silently dropped
-	// frames when the inbox was full. Guarded by the same single-
-	// goroutine collective contract as seq.
+	// before the inbox, so a diverted frame of a well-behaved peer is
+	// never lost — unlike the bounded-channel re-queue it replaces,
+	// which silently dropped frames when the inbox was full. The stash
+	// is capped at maxPending so a desynchronised peer cannot grow it
+	// without limit. Guarded by the same single-goroutine collective
+	// contract as seq.
 	pending []frame
 
 	// live maps rank → member id; rank is this member's own position.
@@ -232,6 +268,10 @@ func (m *Member) readConn(conn net.Conn) {
 				_ = conn.Close()
 			}
 			return
+		}
+		if err := checkFrame(f, m.k); err != nil {
+			m.reg.Counter(mInvalidDrops).Inc()
+			continue
 		}
 		// An up-frame for a collective this member already finished means
 		// the child lost our down-frame; replay it from the cache instead
@@ -407,8 +447,9 @@ func (m *Member) sendDown(to int, f frame) error {
 // earlier collectives are discarded; frames of the current (or a future)
 // collective that this call did not want are stashed in m.pending, which
 // is scanned before the inbox on every call — unlike the old bounded
-// channel re-queue, the stash cannot overflow, so a diverted frame is
-// never lost. If resend is non-nil it is invoked on every retransmission
+// channel re-queue, a diverted frame within the protocol's frame budget
+// is never lost (the stash caps at maxPending against desynchronised
+// peers). If resend is non-nil it is invoked on every retransmission
 // sub-timeout with an increasing attempt number — the caller's way of
 // nudging a parent whose frame (or whose view of ours) was lost.
 func (m *Member) recv(seq uint64, dir string, from int, resend func(attempt uint64) error) (frame, error) {
@@ -465,7 +506,14 @@ func (m *Member) recv(seq uint64, dir string, from int, resend func(attempt uint
 				return f, nil
 			}
 			if f.Seq >= seq {
-				m.pending = append(m.pending, f)
+				if len(m.pending) < maxPending {
+					m.pending = append(m.pending, f)
+				} else {
+					// A stash this deep means a desynchronised or hostile
+					// peer; drop the frame and let retransmission recover
+					// it if it was real.
+					m.reg.Counter(mPendingDrops).Inc()
+				}
 			} else {
 				// Frames with older sequence numbers are stale retransmits
 				// or duplicates of finished collectives: drop them.

@@ -144,3 +144,95 @@ func TestDialRaceAdoptsWinner(t *testing.T) {
 		}
 	}
 }
+
+// TestInvalidFramesDropped checks the frame-validation hardening that
+// rode in with the frame-decode fuzz target: frames with an unknown
+// direction, an out-of-range sender, or an oversized vector must be
+// dropped (and counted) in readConn, while a valid frame on the same
+// connection still reaches the inbox.
+func TestInvalidFramesDropped(t *testing.T) {
+	m, err := NewMember(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Start([]string{m.Addr(), "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bad := []string{
+		`{"seq":1,"dir":"sideways","from":1}`,
+		`{"seq":1,"dir":"up","from":7}`,
+		`{"seq":1,"dir":"up","from":-1}`,
+	}
+	for _, b := range bad {
+		if _, err := conn.Write([]byte(b + "\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write([]byte(`{"seq":1,"dir":"up","from":1,"i":99}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case f := <-m.inbox:
+		if f.I != 99 || f.From != 1 || f.Dir != dirUp {
+			t.Fatalf("inbox received unexpected frame %+v", f)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("valid frame never reached the inbox")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := m.Metrics().Counter("netcoll.invalid_drops").Value(); n == int64(len(bad)) {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("invalid_drops = %d, want %d", n, len(bad))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case f := <-m.inbox:
+		t.Fatalf("invalid frame leaked into inbox: %+v", f)
+	default:
+	}
+}
+
+// TestPendingStashCapped checks that recv's diversion stash cannot grow
+// past maxPending: once full, further future-sequence frames are dropped
+// and counted rather than accumulated.
+func TestPendingStashCapped(t *testing.T) {
+	m, err := NewMember(0, 2, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.SetTimeout(200 * time.Millisecond)
+
+	for i := 0; i < maxPending; i++ {
+		m.pending = append(m.pending, frame{Seq: 10, Dir: dirUp, From: 1, I: int64(i)})
+	}
+	// Two more future frames arrive while recv waits for seq 5; the stash
+	// is full, so both must be dropped and counted.
+	m.inbox <- frame{Seq: 11, Dir: dirUp, From: 1}
+	m.inbox <- frame{Seq: 12, Dir: dirUp, From: 1}
+	m.inbox <- frame{Seq: 5, Dir: dirDown, From: 1, I: 7}
+	got, err := m.recv(5, dirDown, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != 7 {
+		t.Fatalf("recv returned wrong frame: %+v", got)
+	}
+	if len(m.pending) > maxPending {
+		t.Fatalf("stash grew past cap: %d > %d", len(m.pending), maxPending)
+	}
+	if n := m.Metrics().Counter("netcoll.pending_drops").Value(); n != 2 {
+		t.Fatalf("pending_drops = %d, want 2", n)
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStartPprofServesIndex checks the opt-in profiling listener: it
+// binds, serves the pprof index, and does NOT leak handlers onto the
+// default mux (the reason PprofMux exists at all).
+func TestStartPprofServesIndex(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	if _, pat := http.DefaultServeMux.Handler(req); strings.HasPrefix(pat, "/debug/pprof") {
+		t.Fatalf("pprof handlers leaked onto the default mux (pattern %q)", pat)
+	}
+}
+
+// TestStartPprofEmptyAddr pins the no-op contract binaries rely on when
+// -pprof is unset, and the error path for an unbindable address.
+func TestStartPprofEmptyAddr(t *testing.T) {
+	addr, err := StartPprof("")
+	if err != nil || addr != "" {
+		t.Fatalf("StartPprof(\"\") = %q, %v", addr, err)
+	}
+	if _, err := StartPprof("256.0.0.1:99999"); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}
+
+// TestFmtDur covers every magnitude branch of the duration renderer.
+func TestFmtDur(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{1500000000, "1.5s"},
+		{2500000, "2.5ms"},
+		{3500, "3.5µs"},
+		{420, "420ns"},
+		{0, "0s"},
+	}
+	for _, tc := range cases {
+		if got := fmtDur(tc.ns); got != tc.want {
+			t.Errorf("fmtDur(%d) = %q, want %q", tc.ns, got, tc.want)
+		}
+	}
+}
+
+// TestBucketUpperEdges pins the bucket-bound function at its edges: the
+// zero bucket, normal powers of two, and the saturated top bucket.
+func TestBucketUpperEdges(t *testing.T) {
+	if BucketUpper(0) != 0 || BucketUpper(-1) != 0 {
+		t.Fatal("bucket 0 upper bound not 0")
+	}
+	if BucketUpper(10) != 1024 {
+		t.Fatalf("BucketUpper(10) = %d", BucketUpper(10))
+	}
+	top := BucketUpper(63)
+	if top <= 0 || BucketUpper(64) != top {
+		t.Fatalf("top bucket not saturated: %d vs %d", top, BucketUpper(64))
+	}
+}
+
+// TestQuantileFromBucketsEdges covers the empty, clamped, and overshoot
+// paths of the bucket-list quantile.
+func TestQuantileFromBucketsEdges(t *testing.T) {
+	if QuantileFromBuckets(nil, 0, 0.5) != 0 {
+		t.Fatal("empty buckets did not yield 0")
+	}
+	b := []BucketCount{{Le: 8, N: 3}, {Le: 16, N: 1}}
+	if got := QuantileFromBuckets(b, 4, 0.5); got != 8 {
+		t.Fatalf("p50 = %d, want 8", got)
+	}
+	if got := QuantileFromBuckets(b, 4, -1); got != 8 {
+		t.Fatalf("clamped q<0 = %d, want 8", got)
+	}
+	// A count larger than the buckets account for overshoots the list;
+	// the last bound is the fallback.
+	if got := QuantileFromBuckets(b, 100, 2); got != 16 {
+		t.Fatalf("overshoot = %d, want 16", got)
+	}
+}
+
+// TestWriteTextRendersEverySection feeds one of each metric kind through
+// the text renderer.
+func TestWriteTextRendersEverySection(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test.count").Add(3)
+	r.Gauge("test.gauge").Set(-2)
+	r.Histogram("test.lat_ns").Observe(int64(2 * time.Millisecond))
+	sn := r.Snapshot()
+	sn.DroppedEvents = 5
+
+	var buf bytes.Buffer
+	if err := sn.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"test.count", "test.gauge", "test.lat_ns", "p50=", "events.dropped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMergeIntoZeroSnapshot covers Merge's lazy map initialisation and
+// the no-bucket quantile fallback.
+func TestMergeIntoZeroSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(100)
+	src := r.Snapshot()
+	src.DroppedEvents = 1
+
+	var dst Snapshot
+	dst.Merge(src)
+	if dst.Counters["c"] != 1 || dst.Gauges["g"] != 2 || dst.Histograms["h"].Count != 1 || dst.DroppedEvents != 1 {
+		t.Fatalf("zero-value merge lost data: %+v", dst)
+	}
+
+	// Merging bucketless snapshots (hand-built, as from truncated JSON):
+	// the larger-count side's quantiles must win.
+	small := Snapshot{Histograms: map[string]HistogramSnapshot{"h": {Count: 1, Sum: 100, Max: 100, P50: 128, P99: 128}}}
+	big := Snapshot{Histograms: map[string]HistogramSnapshot{"h": {Count: 10, Sum: 5000, Max: 900, P50: 512, P99: 1024}}}
+	small.Merge(big)
+	h := small.Histograms["h"]
+	if h.Count != 11 || h.P50 != 512 {
+		t.Fatalf("bucketless merge did not keep the larger side's quantiles: %+v", h)
+	}
+}
+
+// TestSetRingCapacityShrinksAndGrows covers the resize paths: shrinking
+// keeps the newest events and counts evictions as drops, growing
+// preserves order, and the nil/invalid cases are no-ops.
+func TestSetRingCapacityShrinksAndGrows(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 6; i++ {
+		r.Emit("e", string(rune('a'+i)))
+	}
+	r.SetRingCapacity(3)
+	sn := r.Snapshot()
+	if len(sn.Events) != 3 || sn.Events[0].Detail != "d" || sn.Events[2].Detail != "f" {
+		t.Fatalf("shrink kept wrong events: %+v", sn.Events)
+	}
+	if sn.DroppedEvents != 3 {
+		t.Fatalf("shrink evictions not counted as drops: %d", sn.DroppedEvents)
+	}
+	r.SetRingCapacity(8)
+	r.Emit("e", "g")
+	sn = r.Snapshot()
+	if len(sn.Events) != 4 || sn.Events[3].Detail != "g" {
+		t.Fatalf("grow lost events: %+v", sn.Events)
+	}
+	var nilReg *Registry
+	nilReg.SetRingCapacity(4)
+	nilReg.Emit("e", "x")
+	r.SetRingCapacity(0)
+	if got := r.Snapshot(); len(got.Events) != 4 {
+		t.Fatalf("SetRingCapacity(0) was not a no-op: %+v", got.Events)
+	}
+}
+
+// TestHistogramQuantileClamps covers Quantile's q clamping and the
+// empty-histogram path.
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := NewRegistry().Histogram("h")
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	h.Observe(100)
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Fatal("quantile clamping broken")
+	}
+}

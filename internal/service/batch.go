@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -128,6 +129,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if err := item.validate(); err != nil {
 			s.reg.Counter(mBadRequest).Inc()
 			resp.Items[i].Error = &BatchItemError{Code: "bad_spec", Message: err.Error()}
+			continue
+		}
+		if item.N > s.cfg.MaxN {
+			s.reg.Counter(mBadRequest).Inc()
+			resp.Items[i].Error = &BatchItemError{Code: "n_too_large",
+				Message: fmt.Sprintf("n=%d exceeds the server's max_n limit %d", item.N, s.cfg.MaxN)}
 			continue
 		}
 		alg, err := bisectlb.ParseAlgorithm(item.Algorithm)

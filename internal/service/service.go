@@ -36,6 +36,13 @@ type Config struct {
 	// MaxBatchItems bounds the item count of one POST /v1/balance:batch
 	// request (default 64); larger batches are rejected whole.
 	MaxBatchItems int
+	// MaxN caps the processor count a single request may plan for
+	// (default 1<<20). Plan size and compute time grow with n, so
+	// without a cap one request body with a huge n ties up a worker for
+	// unbounded time and memory (found while preparing the handler fuzz
+	// target). Larger n is rejected with code "n_too_large" before any
+	// work is admitted.
+	MaxN int
 	// Registry receives the service.* metrics (default: a fresh one).
 	Registry *obs.Registry
 	// Hooks are test seams; zero in production.
@@ -71,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchItems < 1 {
 		c.MaxBatchItems = 64
+	}
+	if c.MaxN < 1 {
+		c.MaxN = 1 << 20
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
@@ -224,6 +234,12 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 	if err := req.validate(); err != nil {
 		s.reg.Counter(mBadRequest).Inc()
 		s.reject(w, http.StatusBadRequest, "bad_spec", err.Error())
+		return
+	}
+	if req.N > s.cfg.MaxN {
+		s.reg.Counter(mBadRequest).Inc()
+		s.reject(w, http.StatusBadRequest, "n_too_large",
+			fmt.Sprintf("n=%d exceeds the server's max_n limit %d", req.N, s.cfg.MaxN))
 		return
 	}
 	alg, err := bisectlb.ParseAlgorithm(req.Algorithm)

@@ -1,0 +1,72 @@
+package verify
+
+import (
+	"testing"
+)
+
+// TestSweepClean is the in-test form of the lbverify acceptance run: a
+// randomized grid over (α, N, family, seed) with every invariant checked.
+// The full 10⁴-instance run lives behind `lbverify -sweep`; the test
+// keeps CI latency bounded.
+func TestSweepClean(t *testing.T) {
+	n := 600
+	if testing.Short() {
+		n = 120
+	}
+	rep := Sweep(SweepConfig{Instances: n, Seed: 20260805})
+	if !rep.OK() {
+		for _, f := range rep.Failures {
+			t.Errorf("%s: %s\n  instance: %s\n  minimal:  %s", f.Alg, f.Err, f.Instance, f.Minimal)
+		}
+	}
+	if rep.Checks < 10*n {
+		t.Fatalf("suspiciously few checks ran: %d over %d instances", rep.Checks, n)
+	}
+	for _, fam := range AllFamilies {
+		if rep.ByFamily[fam.String()] == 0 {
+			t.Fatalf("family %v never swept", fam)
+		}
+	}
+}
+
+// TestSweepDeterministic pins that a sweep is a pure function of its
+// config, so a failing seed reported by lbverify reproduces exactly.
+func TestSweepDeterministic(t *testing.T) {
+	a := Sweep(SweepConfig{Instances: 50, Seed: 77})
+	b := Sweep(SweepConfig{Instances: 50, Seed: 77})
+	if a.Checks != b.Checks || len(a.Failures) != len(b.Failures) {
+		t.Fatalf("sweep not deterministic: %d/%d checks, %d/%d failures",
+			a.Checks, b.Checks, len(a.Failures), len(b.Failures))
+	}
+}
+
+// TestSweepShrinksInjectedFailure feeds the minimiser a deliberately
+// broken invariant — a guarantee bound checked at an α above the class's
+// true parameter — and asserts it shrinks toward small N.
+func TestSweepShrinksInjectedFailure(t *testing.T) {
+	in := Instance{Family: FamilyFixed, Weight: 1, Alpha: 0.1, N: 977, Kappa: 2}
+	// Sanity: the real instance passes.
+	if _, fails := CheckInstance(nil, in, 1e-9); len(fails) != 0 {
+		t.Fatalf("baseline instance unexpectedly fails: %v", fails)
+	}
+	// An always-failing predicate must drive the shrinker to N=1.
+	min := minimizeWith(in, 4096, func(c Instance) bool { return true })
+	if min.N != 1 {
+		t.Fatalf("shrinker stopped at N=%d, want 1 (minimal: %v)", min.N, min)
+	}
+	if min.Kappa != 1 {
+		t.Fatalf("shrinker did not default κ: %v", min)
+	}
+
+	// A passing instance must come back unshrunk from the real minimiser
+	// (no shrink candidate of a sound instance fails any algorithm).
+	if got := minimize(nil, in, "HF", 1e-9, 16); got != in {
+		t.Fatalf("minimize shrank a passing instance: %v", got)
+	}
+
+	// The budget is a hard stop: zero budget returns the input even
+	// against an always-failing predicate.
+	if got := minimizeWith(in, 0, func(Instance) bool { return true }); got != in {
+		t.Fatalf("zero-budget shrink changed the instance: %v", got)
+	}
+}

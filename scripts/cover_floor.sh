@@ -1,0 +1,27 @@
+#!/bin/sh
+# cover_floor.sh — run the full suite with coverage and enforce a floor.
+#
+# The floor is a ratchet against coverage rot, not a quality score: it
+# fails CI when the module-wide statement coverage drops below
+# COVER_FLOOR (default 80%). The total includes the un-instrumented
+# cmd/ and examples/ mains, so the library packages sit well above it —
+# see `go tool cover -func=coverage.out` for the per-function view.
+#
+# Run from the repo root (make cover does).
+set -eu
+
+FLOOR="${COVER_FLOOR:-80.0}"
+
+go test -count=1 -coverprofile=coverage.out ./...
+total=$(go tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "cover_floor: could not extract total coverage" >&2
+    exit 1
+fi
+awk -v t="$total" -v f="$FLOOR" 'BEGIN {
+    if (t + 0 < f + 0) {
+        printf "cover_floor: FAIL — total coverage %.1f%% is below the %.1f%% floor\n", t, f
+        exit 1
+    }
+    printf "cover_floor: ok — total coverage %.1f%% (floor %.1f%%)\n", t, f
+}'
