@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover fuzz-short bench bench-core bench-short docs-lint ci chaos sweep serve clean sweep-verify
+.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo serve clean sweep-verify
 
 all: build test
 
@@ -51,6 +51,13 @@ bench:
 	mkdir -p results
 	$(GO) run ./cmd/lbload -inprocess -rps 200 -duration 3s -out results/service_load.txt -json BENCH_service.json
 
+# Serving-perf regression gate: a fresh in-process run compared against
+# the checked-in BENCH_service.json "load" section. Warn-only by default
+# (shared CI boxes are noisy); BENCH_GATE_STRICT=1 escalates violations
+# to a build failure. Runs BEFORE `bench`, which rewrites the baseline.
+bench-gate:
+	./scripts/bench_gate.sh
+
 # Core-planner trajectory: the lbbench grid ({HF, PHF, BA, BA-HF} × α ×
 # N) over the allocation-free planner. Rewrites BENCH_core.json and
 # results/bench_core.txt (EXPERIMENTS.md X9).
@@ -72,8 +79,9 @@ docs-lint:
 
 # Everything CI runs, in order: vet, the full suite, the race pass, the
 # coverage gate, the short fuzzing pass, the benchmark gates, the docs
-# lint, the serving-perf smoke.
-ci: test race cover fuzz-short bench-short docs-lint bench
+# lint, the serving-perf regression gate (against the old baseline, so it
+# must precede `bench`), the serving-perf smoke.
+ci: test race cover fuzz-short bench-short docs-lint bench-gate bench
 
 # Regenerate the X7 chaos-study table.
 chaos:
@@ -84,6 +92,14 @@ chaos:
 sweep:
 	mkdir -p results
 	$(GO) run ./cmd/lbload -sweep -rps 300 -duration 2s -seed 1999 -out results/service_sweep.txt -json ""
+
+# Regenerate the X11 SLO study (overload protection, tenant isolation,
+# warm restarts). Rewrites results/service_slo.txt and the "slo" section
+# of BENCH_service.json; exits non-zero if any acceptance criterion
+# fails.
+sweep-slo:
+	mkdir -p results
+	$(GO) run ./cmd/lbload -slo -duration 4s -seed 1999 -slo-out results/service_slo.txt -json BENCH_service.json
 
 # Run the balancing service locally.
 serve:

@@ -1,0 +1,98 @@
+package main
+
+// Bench gate: compare a fresh in-process load smoke against the
+// checked-in BENCH_service.json, so a serving-perf regression surfaces
+// in CI instead of rotting silently in the trajectory file.
+//
+// Load numbers on shared CI machines are noisy, so the gate is
+// deliberately warn-only by default with generous thresholds; setting
+// BENCH_GATE_STRICT=1 escalates a violation to a non-zero exit for
+// environments quiet enough to trust the numbers.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// gateThresholds: fail when fresh goodput falls below this fraction of
+// the baseline, or fresh p99 exceeds this multiple of the baseline.
+const (
+	gateMinRPSFrac = 0.5
+	gateMaxP99Mult = 3.0
+)
+
+// baselineLoad extracts the load report from a baseline file, accepting
+// both the sectioned {"load": …} shape and the legacy top-level report.
+func baselineLoad(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sections map[string]json.RawMessage
+	if err := json.Unmarshal(data, &sections); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	raw, ok := sections["load"]
+	if !ok {
+		raw = data // legacy: the whole file is one report
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("parsing load section of %s: %w", path, err)
+	}
+	if rep.TargetRPS == 0 || rep.Requests == 0 {
+		return nil, fmt.Errorf("%s has no usable load baseline (target_rps=%d requests=%d)",
+			path, rep.TargetRPS, rep.Requests)
+	}
+	return &rep, nil
+}
+
+// runGate loads the baseline, repeats its load shape against a fresh
+// in-process server, and compares. Returns the process exit code.
+func runGate(baselinePath string, seed uint64, specPool int) int {
+	base, err := baselineLoad(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload gate:", err)
+		return 1
+	}
+	duration := time.Duration(base.DurationSec * float64(time.Second))
+	if duration <= 0 {
+		duration = 3 * time.Second
+	}
+	url, shutdown := startInProcess(0, 1024)
+	defer shutdown()
+	fresh, err := runLoad(url, base.TargetRPS, duration, seed, specPool)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload gate:", err)
+		return 1
+	}
+
+	rpsFrac := 0.0
+	if base.AchievedRPS > 0 {
+		rpsFrac = fresh.AchievedRPS / base.AchievedRPS
+	}
+	p99Mult := 0.0
+	if base.Latency.P99 > 0 {
+		p99Mult = float64(fresh.Latency.P99) / float64(base.Latency.P99)
+	}
+	fmt.Printf("bench gate: baseline %s (%d rps, %.0fs)\n", baselinePath, base.TargetRPS, base.DurationSec)
+	fmt.Printf("  goodput  fresh %.1f rps vs baseline %.1f rps (%.0f%%, floor %.0f%%)\n",
+		fresh.AchievedRPS, base.AchievedRPS, 100*rpsFrac, 100*gateMinRPSFrac)
+	fmt.Printf("  p99      fresh %s vs baseline %s (%.2fx, ceiling %.1fx)\n",
+		d(fresh.Latency.P99), d(base.Latency.P99), p99Mult, gateMaxP99Mult)
+
+	violated := rpsFrac < gateMinRPSFrac || p99Mult > gateMaxP99Mult
+	if !violated {
+		fmt.Println("bench gate: OK — fresh run within the noise envelope of the baseline")
+		return 0
+	}
+	strict := os.Getenv("BENCH_GATE_STRICT") == "1"
+	if strict {
+		fmt.Fprintln(os.Stderr, "bench gate: FAIL — fresh run regressed past the envelope (BENCH_GATE_STRICT=1)")
+		return 1
+	}
+	fmt.Println("bench gate: WARN — fresh run outside the envelope; not failing (set BENCH_GATE_STRICT=1 to enforce)")
+	return 0
+}

@@ -15,6 +15,13 @@
 //	lbload -rps 200 -duration 5s            # against a running lbserve
 //	lbload -inprocess ...                   # spin up the service in-process
 //	lbload -sweep -inprocess ...            # X8: workers × cache on/off grid
+//	lbload -slo                             # X11: overload SLO + tenant
+//	                                        # isolation + warm-restart chaos
+//	lbload -gate BENCH_service.json         # noise-aware perf gate vs baseline
+//
+// BENCH_service.json is sectioned: plain runs write {"load": …}, -slo
+// writes {"slo": …}, -sweep writes {"sweep": …}; each mode preserves the
+// other sections.
 package main
 
 import (
@@ -51,6 +58,9 @@ func main() {
 		workers   = flag.Int("workers", 0, "in-process server worker-pool size (0 = GOMAXPROCS)")
 		cacheCap  = flag.Int("cache", 1024, "in-process server cache capacity (negative disables)")
 		sweep     = flag.Bool("sweep", false, "X8 study: sweep worker-pool size × cache on/off in-process")
+		slo       = flag.Bool("slo", false, "X11 study: overload SLO, tenant isolation and warm-restart chaos in-process")
+		sloOut    = flag.String("slo-out", "results/service_slo.txt", "X11 human-readable report file (empty disables)")
+		gatePath  = flag.String("gate", "", "compare a fresh in-process smoke against this baseline JSON and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
@@ -63,6 +73,22 @@ func main() {
 	}
 	defer stopProf()
 
+	if *gatePath != "" {
+		code := runGate(*gatePath, *seed, *specPool)
+		stopProf()
+		os.Exit(code)
+	}
+	if *slo {
+		study, pass := runSLO(*seed, *duration, *sloOut)
+		if *jsonPath != "" {
+			writeJSONSection(*jsonPath, "slo", study)
+		}
+		if !pass {
+			stopProf()
+			os.Exit(1)
+		}
+		return
+	}
 	if *sweep {
 		runSweep(*rps, *duration, *seed, *specPool, *outPath, *jsonPath)
 		return
@@ -83,7 +109,7 @@ func main() {
 	fmt.Print(text)
 	writeFile(*outPath, text)
 	if *jsonPath != "" {
-		writeJSON(*jsonPath, rep)
+		writeJSONSection(*jsonPath, "load", rep)
 	}
 	if rep.Failed > 0 {
 		stopProf() // os.Exit skips defers; flush the profiles first
@@ -405,7 +431,7 @@ func runSweep(rps int, duration time.Duration, seed uint64, specPool int, outPat
 	fmt.Print(text)
 	writeFile(outPath, text)
 	if jsonPath != "" {
-		writeJSON(jsonPath, cells)
+		writeJSONSection(jsonPath, "sweep", cells)
 	}
 }
 
@@ -421,11 +447,36 @@ func writeFile(path, text string) {
 	fmt.Printf("wrote %s\n", path)
 }
 
-func writeJSON(path string, v any) {
+// knownSections are the keys of the sectioned BENCH_service.json
+// envelope; anything else in an existing file (e.g. the legacy flat
+// report) is dropped rather than carried along indefinitely.
+var knownSections = map[string]bool{"load": true, "slo": true, "sweep": true}
+
+// writeJSONSection merges v into the sectioned JSON file at path under
+// the given key, preserving the other known sections so the load smoke
+// and the SLO study can update the same trajectory file independently.
+func writeJSONSection(path, section string, v any) {
+	out := make(map[string]json.RawMessage)
+	if data, err := os.ReadFile(path); err == nil {
+		var existing map[string]json.RawMessage
+		if json.Unmarshal(data, &existing) == nil {
+			for k, raw := range existing {
+				if knownSections[k] {
+					out[k] = raw
+				}
+			}
+		}
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload:", err)
+		os.Exit(1)
+	}
+	out[section] = raw
 	if dir := filepath.Dir(path); dir != "." {
 		os.MkdirAll(dir, 0o755)
 	}
-	data, err := json.MarshalIndent(v, "", "  ")
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err == nil {
 		err = os.WriteFile(path, append(data, '\n'), 0o644)
 	}
@@ -433,5 +484,5 @@ func writeJSON(path string, v any) {
 		fmt.Fprintln(os.Stderr, "lbload:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("wrote %s (section %q)\n", path, section)
 }

@@ -1,0 +1,527 @@
+package main
+
+// Experiment X11 — SLO-driven overload protection, tenant isolation and
+// warm restarts (EXPERIMENTS.md). Three sub-studies against in-process
+// servers:
+//
+//   overload  offered load at 2× measured capacity with a latency SLO:
+//             the admission controller must shed the excess so that
+//             admitted p99 stays within 1.5× the target while goodput
+//             holds ≥ 80% of capacity.
+//   tenants   one hog tenant offering 10× its share next to N polite
+//             tenants: per-tenant token buckets + weighted-fair
+//             queueing must keep polite goodput ≥ 90% of the hog-free
+//             baseline.
+//   restart   a warm server is snapshotted, shut down and restarted
+//             mid-sweep: the restored cache must hold the hit rate
+//             within 10 points of the pre-restart run.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bisectlb/internal/obs"
+	"bisectlb/internal/service"
+)
+
+// sloStudy is the JSON section recorded under "slo" in
+// BENCH_service.json.
+type sloStudy struct {
+	Seed            uint64         `json:"seed"`
+	ComputeMeanNs   float64        `json:"compute_mean_ns"`
+	CapacityRPS     float64        `json:"capacity_rps"`
+	Overload        overloadResult `json:"overload"`
+	Tenants         tenantResult   `json:"tenants"`
+	Restart         restartResult  `json:"restart"`
+	AllCriteriaPass bool           `json:"all_criteria_pass"`
+}
+
+type overloadResult struct {
+	TargetP99Ns     int64   `json:"target_p99_ns"`
+	OfferedRPS      int     `json:"offered_rps"`
+	OK              int64   `json:"ok"`
+	Shed429         int64   `json:"shed_429"`
+	ShedSLO         int64   `json:"server_slo_shed"`
+	ShedQueue       int64   `json:"server_queue_full"`
+	Rejected503     int64   `json:"rejected_503"`
+	GoodputRPS      float64 `json:"goodput_rps"`
+	AdmittedP99     int64   `json:"admitted_p99_ns"`
+	UncontrolledP99 int64   `json:"uncontrolled_p99_ns"`
+	P99OverSLO      float64 `json:"p99_over_slo"`
+	GoodputFrac     float64 `json:"goodput_over_capacity"`
+	CriteriaPass    bool    `json:"criteria_pass"`
+}
+
+type tenantResult struct {
+	PoliteTenants    int     `json:"polite_tenants"`
+	PoliteRPS        int     `json:"polite_rps_each"`
+	HogRPS           int     `json:"hog_rps"`
+	TenantRate       float64 `json:"tenant_rate"`
+	BaselinePoliteOK int64   `json:"baseline_polite_ok"`
+	PoliteOK         int64   `json:"polite_ok_with_hog"`
+	HogOK            int64   `json:"hog_ok"`
+	PoliteRetention  float64 `json:"polite_retention"`
+	CriteriaPass     bool    `json:"criteria_pass"`
+}
+
+type restartResult struct {
+	PreHitRate    float64 `json:"pre_hit_rate"`
+	SnapshotPlans int     `json:"snapshot_plans"`
+	RestoredPlans int     `json:"restored_plans"`
+	PostHitRate   float64 `json:"post_hit_rate"`
+	HitRateDelta  float64 `json:"hit_rate_delta"`
+	CriteriaPass  bool    `json:"criteria_pass"`
+}
+
+// Counter names the study reads from /metricz (mirrors internal/service).
+const (
+	serviceRejectedShed      = "service.rejected_slo_shed"
+	serviceRejectedQueueFull = "service.rejected_queue_full"
+)
+
+// shot is one generated request: the body plus the tenant header value
+// (empty = no header).
+type shot struct {
+	tenant string
+	body   string
+}
+
+// driveStats aggregates one open-loop run of the slo driver. Latencies
+// of admitted (200) requests are kept exactly — the study's acceptance
+// criteria are too tight for the power-of-two bucket quantiles of the
+// obs histograms.
+type driveStats struct {
+	sent, ok, r429, r503, failed atomic.Int64
+	clientHits                   atomic.Int64
+	okByTenant                   sync.Map // tenant → *atomic.Int64
+
+	mu     sync.Mutex
+	okLats []int64
+}
+
+func (s *driveStats) okFor(tenant string) int64 {
+	v, ok := s.okByTenant.Load(tenant)
+	if !ok {
+		return 0
+	}
+	return v.(*atomic.Int64).Load()
+}
+
+// okP99 is the exact 99th-percentile latency of admitted requests.
+func (s *driveStats) okP99() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.okLats) == 0 {
+		return 0
+	}
+	lats := append([]int64(nil), s.okLats...)
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := (99*len(lats) + 99) / 100 // ceil(0.99·n)
+	if idx > len(lats) {
+		idx = len(lats)
+	}
+	return lats[idx-1]
+}
+
+// drive fires rps×(warmup+duration) requests open-loop, drawing shot i
+// from next. Requests started during the warmup period are sent but not
+// recorded: warmup covers the controller's convergence transient (an
+// empty window carries no evidence to steer on), so the stats describe
+// steady state. Only 200 latencies are recorded — the study's question
+// is what admitted requests experienced.
+func drive(client *http.Client, target string, rps int, warmup, duration time.Duration, next func(i int) shot) *driveStats {
+	st := &driveStats{}
+	total := int(float64(rps) * (warmup + duration).Seconds())
+	interval := time.Second / time.Duration(rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	cutoff := time.Now().Add(warmup)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		<-ticker.C
+		sh := next(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			record := !t0.Before(cutoff)
+			if record {
+				st.sent.Add(1)
+			}
+			req, err := http.NewRequest(http.MethodPost, target+"/v1/balance", strings.NewReader(sh.body))
+			if err != nil {
+				if record {
+					st.failed.Add(1)
+				}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			if sh.tenant != "" {
+				req.Header.Set("X-Lbserve-Tenant", sh.tenant)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				if record {
+					st.failed.Add(1)
+				}
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if !record {
+				return
+			}
+			switch resp.StatusCode {
+			case http.StatusOK:
+				st.ok.Add(1)
+				lat := time.Since(t0).Nanoseconds()
+				st.mu.Lock()
+				st.okLats = append(st.okLats, lat)
+				st.mu.Unlock()
+				if resp.Header.Get("X-Lbserve-Cache") == "hit" {
+					st.clientHits.Add(1)
+				}
+				v, _ := st.okByTenant.LoadOrStore(sh.tenant, new(atomic.Int64))
+				v.(*atomic.Int64).Add(1)
+			case http.StatusTooManyRequests:
+				st.r429.Add(1)
+			case http.StatusServiceUnavailable:
+				st.r503.Add(1)
+			default:
+				st.failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return st
+}
+
+func sloClient() *http.Client {
+	return &http.Client{
+		Timeout: 10 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        512,
+			MaxIdleConnsPerHost: 512,
+		},
+	}
+}
+
+// overloadBody is the compute-heavy request the overload and calibration
+// phases use; distinct seeds defeat any caching so every admission costs
+// a full plan. n is large so one request costs tens of milliseconds:
+// the study's latencies are measured client-side, and the service time
+// must dwarf the scheduling noise of the co-located generator.
+func overloadBody(seed int) string {
+	return fmt.Sprintf(
+		`{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":%d},"n":65536,"algorithm":"HF"}`, seed)
+}
+
+// calibrate measures the mean end-to-end service time of the overload
+// body — compute plus response encoding, the real cost of one admitted
+// request — by timing sequential closed-loop requests against an
+// uncached single worker. Capacity is the implied plans/sec of `workers`
+// workers.
+func calibrate(client *http.Client, workers int) (meanNs float64, capacityRPS float64, err error) {
+	srv := service.New(service.Config{Workers: 1, CacheCapacity: -1})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer shutdownServer(srv)
+	target := "http://" + addr.String()
+	const warm, timed = 5, 30
+	var start time.Time
+	for i := 0; i < warm+timed; i++ {
+		if i == warm {
+			start = time.Now()
+		}
+		resp, err := client.Post(target+"/v1/balance", "application/json",
+			strings.NewReader(overloadBody(i)))
+		if err != nil {
+			return 0, 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("calibration request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	meanNs = float64(time.Since(start).Nanoseconds()) / timed
+	return meanNs, float64(workers) * 1e9 / meanNs, nil
+}
+
+func shutdownServer(srv *service.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}
+
+// runSLO is experiment X11. It writes the human-readable study to
+// outPath and returns the JSON section.
+func runSLO(seed uint64, duration time.Duration, outPath string) (*sloStudy, bool) {
+	client := sloClient()
+	// One worker: the study boxes share CPUs with the generator, and a
+	// single compute lane makes capacity, queueing delay and the SLO
+	// target all functions of one calibrated number.
+	const workers = 1
+	var b strings.Builder
+	fmt.Fprintf(&b, "X11 — SLO-driven overload protection, tenant isolation, warm restarts\n")
+	fmt.Fprintf(&b, "in-process servers, %d workers, mix seed %d, %v per phase\n\n", workers, seed, duration)
+
+	meanNs, capacity, err := calibrate(client, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload slo: calibration:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(&b, "calibration: mean service time %.2fms → capacity ≈ %.0f plans/s on %d worker(s)\n\n",
+		meanNs/1e6, capacity, workers)
+
+	study := &sloStudy{Seed: seed, ComputeMeanNs: meanNs, CapacityRPS: capacity}
+
+	// ── overload ─────────────────────────────────────────────────────
+	// Offer 2× capacity with a target p99 of 8× the mean service time,
+	// rounded up to the bucket bound the controller actually enforces.
+	// Admission is a co-design of two mechanisms and the study exercises
+	// both. The bounded queue is sized to ~0.85 targets of calibrated
+	// service time, so its queue_full backstop alone caps the wait near
+	// the target even when the co-located generator inflates service
+	// times; the SLO controller sheds on top whenever the windowed p99
+	// of what was actually admitted breaches the target. Ticks are fine
+	// (25ms) under a 1.5s window: the window reliably holds the minimum
+	// sample count at the admitted rate, while additive recovery at
+	// 2/s refills the queue quickly after a shed episode instead of
+	// idling the worker. A contrast run with a deep queue and no target
+	// shows what the pair prevents. Stats start after a warmup that
+	// covers the controller's convergence — its window holds no
+	// evidence until the first admitted requests complete.
+	target := time.Duration(obs.QuantizeUp(int64(8 * meanNs)))
+	queueDepth := int(0.85 * float64(target) / meanNs)
+	offered := int(2 * capacity)
+	if offered < 20 {
+		offered = 20
+	}
+	const overloadWarmup = 1500 * time.Millisecond
+	overloadRun := func(cfg service.Config) (*driveStats, obs.Snapshot) {
+		srv := service.New(cfg)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbload slo:", err)
+			os.Exit(1)
+		}
+		st := drive(client, "http://"+addr.String(), offered, overloadWarmup, duration, func(i int) shot {
+			return shot{body: overloadBody(i)}
+		})
+		sn, _ := fetchMetrics(client, "http://"+addr.String())
+		shutdownServer(srv)
+		return st, sn
+	}
+	// Contrast: a deep queue and no SLO target. Every request that fits
+	// the queue is admitted, and the backlog pushes the admitted p99 to
+	// many multiples of the target.
+	stU, _ := overloadRun(service.Config{
+		Workers:       workers,
+		QueueDepth:    8 * queueDepth,
+		CacheCapacity: -1,
+	})
+	uncontrolledP99 := stU.okP99()
+	// Controlled: bounded queue + SLO controller.
+	st, sn := overloadRun(service.Config{
+		Workers:       workers,
+		QueueDepth:    queueDepth,
+		CacheCapacity: -1,
+		TargetP99:     target,
+		SLOTick:       25 * time.Millisecond,
+		SLOEpochs:     60,
+	})
+	// Shed composition from the server's own counters (whole run,
+	// including warmup): slo_shed > 0 is what distinguishes the
+	// controller from the queue_full backstop.
+	shedSLO := sn.Counters[serviceRejectedShed]
+	shedQueue := sn.Counters[serviceRejectedQueueFull]
+	p99 := st.okP99()
+	goodput := float64(st.ok.Load()) / duration.Seconds()
+	ov := overloadResult{
+		TargetP99Ns:     int64(target),
+		OfferedRPS:      offered,
+		OK:              st.ok.Load(),
+		Shed429:         st.r429.Load(),
+		ShedSLO:         shedSLO,
+		ShedQueue:       shedQueue,
+		Rejected503:     st.r503.Load(),
+		GoodputRPS:      goodput,
+		AdmittedP99:     p99,
+		UncontrolledP99: uncontrolledP99,
+		P99OverSLO:      float64(p99) / float64(target),
+		GoodputFrac:     goodput / capacity,
+	}
+	ov.CriteriaPass = ov.P99OverSLO <= 1.5 && ov.GoodputFrac >= 0.8
+	study.Overload = ov
+	fmt.Fprintf(&b, "overload: offered %d rps (2× capacity), queue %d deep, target p99 %v\n",
+		offered, queueDepth, target.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  uncontrolled contrast (queue %d, no target): admitted p99 %v = %.2f× target\n",
+		8*queueDepth, time.Duration(uncontrolledP99).Round(time.Microsecond),
+		float64(uncontrolledP99)/float64(target))
+	fmt.Fprintf(&b, "  ok %d  shed(429) %d  503 %d  goodput %.0f rps (%.0f%% of capacity)\n",
+		ov.OK, ov.Shed429, ov.Rejected503, goodput, 100*ov.GoodputFrac)
+	fmt.Fprintf(&b, "  server sheds over the whole run: slo_shed %d, queue_full %d\n",
+		shedSLO, shedQueue)
+	fmt.Fprintf(&b, "  admitted p99 %v = %.2f× target  →  %s\n\n",
+		time.Duration(p99).Round(time.Microsecond), ov.P99OverSLO, passFail(ov.CriteriaPass))
+
+	// ── tenant isolation ─────────────────────────────────────────────
+	// N polite tenants inside their rate next to one hog at 10× its
+	// share. The polite baseline is the same polite traffic with no hog.
+	const (
+		politeN    = 4
+		politeRPS  = 30
+		hogRPS     = 300
+		tenantRate = 60.0
+	)
+	tenantBody := func(i int) string {
+		return fmt.Sprintf(
+			`{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":%d},"n":1024,"algorithm":"HF"}`, i)
+	}
+	newTenantServer := func() (*service.Server, string) {
+		srv := service.New(service.Config{
+			Workers:          workers,
+			CacheCapacity:    -1,
+			TenantRate:       tenantRate,
+			TenantQueueShare: 0.5,
+		})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbload slo:", err)
+			os.Exit(1)
+		}
+		return srv, "http://" + addr.String()
+	}
+	// Baseline: polite tenants only.
+	srv, url := newTenantServer()
+	base := drive(client, url, politeN*politeRPS, 0, duration, func(i int) shot {
+		return shot{tenant: fmt.Sprintf("polite%d", i%politeN), body: tenantBody(i)}
+	})
+	shutdownServer(srv)
+	// With the hog: interleave so each second carries politeN×politeRPS
+	// polite requests and hogRPS hog requests.
+	srv, url = newTenantServer()
+	totalRPS := politeN*politeRPS + hogRPS
+	hogEvery := float64(totalRPS) / float64(hogRPS)
+	withHog := drive(client, url, totalRPS, 0, duration, func(i int) shot {
+		if int(float64(i)/hogEvery) != int(float64(i+1)/hogEvery) {
+			return shot{tenant: "hog", body: tenantBody(i)}
+		}
+		return shot{tenant: fmt.Sprintf("polite%d", i%politeN), body: tenantBody(i)}
+	})
+	shutdownServer(srv)
+	basePolite := base.ok.Load()
+	politeOK := int64(0)
+	for i := 0; i < politeN; i++ {
+		politeOK += withHog.okFor(fmt.Sprintf("polite%d", i))
+	}
+	tr := tenantResult{
+		PoliteTenants:    politeN,
+		PoliteRPS:        politeRPS,
+		HogRPS:           hogRPS,
+		TenantRate:       tenantRate,
+		BaselinePoliteOK: basePolite,
+		PoliteOK:         politeOK,
+		HogOK:            withHog.okFor("hog"),
+	}
+	if basePolite > 0 {
+		tr.PoliteRetention = float64(politeOK) / float64(basePolite)
+	}
+	tr.CriteriaPass = tr.PoliteRetention >= 0.9
+	study.Tenants = tr
+	fmt.Fprintf(&b, "tenants: %d polite × %d rps + hog at %d rps (rate limit %.0f/s, queue share 0.5)\n",
+		politeN, politeRPS, hogRPS, tenantRate)
+	fmt.Fprintf(&b, "  polite ok %d (baseline %d) → retention %.1f%%  hog ok %d (capped by bucket)\n",
+		politeOK, basePolite, 100*tr.PoliteRetention, tr.HogOK)
+	fmt.Fprintf(&b, "  →  %s\n\n", passFail(tr.CriteriaPass))
+
+	// ── warm restart ─────────────────────────────────────────────────
+	// Warm a cached server with a bounded spec pool, measure the hit
+	// rate, snapshot + shut down mid-sweep, restore into a fresh server
+	// and replay the same mix: the hit rate must survive the restart.
+	snapPath := filepath.Join(os.TempDir(), fmt.Sprintf("lbload-slo-%d.snapshot", os.Getpid()))
+	defer os.Remove(snapPath)
+	mixFor := func() *mix { return newMix(seed, 8) }
+	restartCfg := service.Config{Workers: workers, CacheCapacity: 1024}
+
+	srv = service.New(restartCfg)
+	addrR, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload slo:", err)
+		os.Exit(1)
+	}
+	m := mixFor()
+	pre := drive(client, "http://"+addrR.String(), 200, 0, duration, func(i int) shot {
+		return shot{body: m.bodies[i%len(m.bodies)]}
+	})
+	shutdownServer(srv)
+	saved, err := srv.SaveCacheSnapshot(snapPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload slo: snapshot:", err)
+		os.Exit(1)
+	}
+
+	srv2 := service.New(restartCfg)
+	restored, err := srv2.LoadCacheSnapshot(snapPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload slo: restore:", err)
+		os.Exit(1)
+	}
+	addrR2, err := srv2.Start("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload slo:", err)
+		os.Exit(1)
+	}
+	m2 := mixFor()
+	post := drive(client, "http://"+addrR2.String(), 200, 0, duration, func(i int) shot {
+		return shot{body: m2.bodies[i%len(m2.bodies)]}
+	})
+	shutdownServer(srv2)
+
+	preHit := rate(pre.clientHits.Load(), pre.ok.Load())
+	postHit := rate(post.clientHits.Load(), post.ok.Load())
+	rr := restartResult{
+		PreHitRate:    preHit,
+		SnapshotPlans: saved,
+		RestoredPlans: restored,
+		PostHitRate:   postHit,
+		HitRateDelta:  postHit - preHit,
+	}
+	rr.CriteriaPass = rr.HitRateDelta >= -0.10
+	study.Restart = rr
+	fmt.Fprintf(&b, "restart: hit rate %.1f%% → snapshot %d plans → restart → hit rate %.1f%% (Δ %+.1f points)\n",
+		100*preHit, saved, 100*postHit, 100*rr.HitRateDelta)
+	fmt.Fprintf(&b, "  →  %s\n", passFail(rr.CriteriaPass))
+
+	study.AllCriteriaPass = ov.CriteriaPass && tr.CriteriaPass && rr.CriteriaPass
+	text := b.String()
+	fmt.Print(text)
+	writeFile(outPath, text)
+	return study, study.AllCriteriaPass
+}
+
+func rate(hits, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

@@ -13,10 +13,19 @@
 // Identical requests are answered from a sharded LRU plan cache (specs
 // are deterministic, so plans are immutable facts), concurrent identical
 // misses coalesce onto one computation, and a bounded worker pool sheds
-// overload with typed 429/503 rejections. SIGTERM/SIGINT drain
-// gracefully: the listener closes, in-flight requests finish, and the
-// final metrics snapshot is flushed to stderr. -pprof serves
-// net/http/pprof on a separate listener for profiling under load.
+// overload with typed 429/503 rejections. -target-p99 arms SLO-driven
+// admission control (requests beyond the service's latency budget are
+// shed with 429 + Retry-After), and the -tenant-* flags isolate tenants
+// from each other with token buckets and weighted-fair queueing.
+//
+// SIGTERM/SIGINT drain gracefully: the listener closes, in-flight
+// requests finish, and the final metrics snapshot is flushed to stderr.
+// With -snapshot set, the plan cache is saved there on shutdown and
+// restored on the next start, so a warm restart does not stampede the
+// planner with misses. SIGHUP triggers the warm-restart path explicitly:
+// drain, snapshot, exit 0 — a supervisor restarts the process, which
+// picks the cache back up. -pprof serves net/http/pprof on a separate
+// listener for profiling under load.
 package main
 
 import (
@@ -27,12 +36,34 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"bisectlb/internal/obs"
 	"bisectlb/internal/service"
 )
+
+// tenantWeights parses "id=w,id=w" into the config map.
+func tenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		id, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant weight %q: want id=weight", part)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("tenant weight %q: weight must be a positive integer", part)
+		}
+		m[id] = n
+	}
+	return m, nil
+}
 
 func main() {
 	var (
@@ -45,8 +76,27 @@ func main() {
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on shutdown")
 		batchMax  = flag.Int("batch-max", 64, "max items per /v1/balance:batch request")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
+
+		targetP99 = flag.Duration("target-p99", 0, "latency SLO: shed load when windowed p99 exceeds this (0 disables)")
+		sloTol    = flag.Float64("slo-tolerance", 1.0, "breach threshold multiplier on -target-p99")
+		sloTick   = flag.Duration("slo-tick", 250*time.Millisecond, "admission control loop cadence")
+		sloEpochs = flag.Int("slo-epochs", 8, "sliding window length in ticks")
+
+		tenantRate  = flag.Float64("tenant-rate", 0, "per-tenant compute admissions/sec (0 disables token buckets)")
+		tenantBurst = flag.Float64("tenant-burst", 0, "per-tenant burst (0 = 2×rate)")
+		tenantShare = flag.Float64("tenant-queue-share", 1.0, "max fraction of the queue one tenant may hold")
+		tenantWts   = flag.String("tenant-weights", "", "weighted-fair dequeue weights, id=w,id=w")
+		maxTenants  = flag.Int("max-tenants", 64, "distinct tenant ids tracked before pooling into \"other\"")
+
+		snapshot = flag.String("snapshot", "", "plan cache snapshot path: restored on start, saved on drain (empty disables)")
 	)
 	flag.Parse()
+
+	weights, err := tenantWeights(*tenantWts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbserve:", err)
+		os.Exit(1)
+	}
 
 	if bound, err := obs.StartPprof(*pprofAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "lbserve: pprof:", err)
@@ -56,13 +106,33 @@ func main() {
 	}
 
 	srv := service.New(service.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		CacheCapacity:   *cache,
-		CacheShards:     *shards,
-		DefaultDeadline: *deadline,
-		MaxBatchItems:   *batchMax,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheCapacity:    *cache,
+		CacheShards:      *shards,
+		DefaultDeadline:  *deadline,
+		MaxBatchItems:    *batchMax,
+		TargetP99:        *targetP99,
+		SLOTolerance:     *sloTol,
+		SLOTick:          *sloTick,
+		SLOEpochs:        *sloEpochs,
+		TenantRate:       *tenantRate,
+		TenantBurst:      *tenantBurst,
+		TenantQueueShare: *tenantShare,
+		TenantWeights:    weights,
+		MaxTenants:       *maxTenants,
 	})
+
+	// Warm restart, receiving side: restore the previous process's plan
+	// cache before the listener opens, so the first wave of traffic hits
+	// warm plans instead of stampeding the planner.
+	if *snapshot != "" {
+		if n, err := srv.LoadCacheSnapshot(*snapshot); err != nil {
+			fmt.Fprintln(os.Stderr, "lbserve: cache restore:", err)
+		} else if n > 0 {
+			fmt.Printf("lbserve: restored %d cached plans from %s\n", n, *snapshot)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -73,10 +143,11 @@ func main() {
 		ln.Addr(), srv.Registry().Gauge("service.workers").Value(), *cache)
 
 	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
+	exitCode := 0
 	select {
 	case sig := <-sigs:
 		fmt.Fprintf(os.Stderr, "lbserve: %v — draining (finishing in-flight requests)\n", sig)
@@ -84,8 +155,24 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "lbserve: drain:", err)
+			exitCode = 1
 		}
 		<-done
+		// Warm restart, sending side: after the drain, the cache is
+		// quiescent — snapshot it for the successor. SIGHUP is the
+		// explicit restart request and exits 0 so a supervisor's restart
+		// policy treats it as intentional.
+		if *snapshot != "" {
+			if n, err := srv.SaveCacheSnapshot(*snapshot); err != nil {
+				fmt.Fprintln(os.Stderr, "lbserve: cache snapshot:", err)
+				exitCode = 1
+			} else {
+				fmt.Fprintf(os.Stderr, "lbserve: snapshotted %d cached plans to %s\n", n, *snapshot)
+			}
+		}
+		if sig == syscall.SIGHUP && exitCode == 0 {
+			fmt.Fprintln(os.Stderr, "lbserve: warm restart requested (SIGHUP); exiting for supervisor restart")
+		}
 	case err := <-done:
 		if err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "lbserve:", err)
@@ -97,4 +184,5 @@ func main() {
 	// record of what it served.
 	fmt.Fprintln(os.Stderr, "lbserve: final metrics")
 	srv.Registry().WriteText(os.Stderr)
+	os.Exit(exitCode)
 }

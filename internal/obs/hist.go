@@ -31,6 +31,24 @@ func bucketFor(v int64) int {
 	return bits.Len64(uint64(v))
 }
 
+// QuantizeUp rounds v up to the nearest bucket bound (the identity when
+// v already is one). Thresholds compared against reported quantiles must
+// live on a bucket bound: a raw threshold between bounds is unreachable
+// from below (every quantile in its bucket reports the bound above it),
+// which turns "p99 > threshold" into a tautology for that whole bucket.
+// A bound quantizes to itself — bucketFor alone would push it a full
+// bucket up, since 2^k is the first value of bucket k+1, and thresholds
+// already on a bound are exactly enforceable as they are.
+func QuantizeUp(v int64) int64 {
+	if v <= 0 {
+		return 0
+	}
+	if v&(v-1) == 0 {
+		return v
+	}
+	return BucketUpper(bucketFor(v))
+}
+
 // BucketUpper returns the exclusive upper bound of bucket i, i.e. the
 // largest value class the bucket represents.
 func BucketUpper(i int) int64 {

@@ -77,6 +77,28 @@ func TestBucketUpperEdges(t *testing.T) {
 	}
 }
 
+// TestQuantizeUp pins the threshold quantization: mid-bucket values round
+// up to the next bound, exact bounds are fixed points (2^k is the first
+// value of bucket k+1, so bucketFor alone would overshoot by a bucket),
+// and non-positive values collapse to the zero bucket.
+func TestQuantizeUp(t *testing.T) {
+	cases := []struct{ v, want int64 }{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{3, 4},
+		{1024, 1024},
+		{1025, 2048},
+		{1 << 29, 1 << 29},
+		{1<<29 + 1, 1 << 30},
+	}
+	for _, c := range cases {
+		if got := QuantizeUp(c.v); got != c.want {
+			t.Errorf("QuantizeUp(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
 // TestQuantileFromBucketsEdges covers the empty, clamped, and overshoot
 // paths of the bucket-list quantile.
 func TestQuantileFromBucketsEdges(t *testing.T) {

@@ -1,0 +1,125 @@
+package obs
+
+import "sync"
+
+// Window answers quantile questions about the recent past of a
+// cumulative Histogram: "what was the p99 over the last W seconds",
+// not "since process start". It exists for control loops — the
+// serving layer's SLO admission controller steers on a windowed p99,
+// and a histogram that never forgets would let one slow minute at
+// boot pin the controller in shed mode forever.
+//
+// The window is built from bucket deltas, not a second observation
+// path: the owner calls Tick on a fixed cadence, each tick stores a
+// snapshot of the cumulative histogram, and Quantile subtracts the
+// oldest retained snapshot from the live state. Buckets are
+// monotonically non-decreasing in a cumulative histogram, so the
+// difference is exactly the distribution of the observations that
+// arrived inside the window. The observed hot path pays nothing.
+//
+// Tick and the accessors are safe for concurrent use; the histogram
+// itself may be observed concurrently throughout.
+type Window struct {
+	h *Histogram
+
+	mu     sync.Mutex
+	snaps  []HistogramSnapshot // ring of per-tick cumulative snapshots
+	next   int                 // slot the next Tick writes (= oldest once filled)
+	filled bool                // ring has wrapped at least once
+}
+
+// NewWindow tracks h over the last epochs ticks (minimum 1). The
+// window's wall-clock width is epochs × the caller's tick cadence.
+func NewWindow(h *Histogram, epochs int) *Window {
+	if epochs < 1 {
+		epochs = 1
+	}
+	return &Window{h: h, snaps: make([]HistogramSnapshot, epochs)}
+}
+
+// Tick rotates the window: the current cumulative state becomes the
+// newest epoch boundary and the oldest retained boundary falls out.
+func (w *Window) Tick() {
+	sn := w.h.Snapshot()
+	w.mu.Lock()
+	w.snaps[w.next] = sn
+	w.next++
+	if w.next == len(w.snaps) {
+		w.next = 0
+		w.filled = true
+	}
+	w.mu.Unlock()
+}
+
+// oldest returns the snapshot taken epochs ticks ago — the zero
+// snapshot until the ring has filled, so early windows cover
+// everything since start rather than reporting emptiness.
+func (w *Window) oldest() HistogramSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.filled {
+		return HistogramSnapshot{}
+	}
+	return w.snaps[w.next]
+}
+
+// Delta returns the in-window distribution: live state minus the
+// oldest retained snapshot. Max cannot be windowed from bucket deltas
+// and is reported as the bucket upper bound of the largest nonempty
+// in-window class.
+func (w *Window) Delta() HistogramSnapshot {
+	cur := w.h.Snapshot()
+	old := w.oldest()
+	d := HistogramSnapshot{
+		Count:   cur.Count - old.Count,
+		Sum:     cur.Sum - old.Sum,
+		Buckets: deltaBuckets(cur.Buckets, old.Buckets),
+	}
+	if d.Count > 0 {
+		d.Mean = float64(d.Sum) / float64(d.Count)
+	}
+	if n := len(d.Buckets); n > 0 {
+		d.Max = d.Buckets[n-1].Le
+	}
+	d.P50 = QuantileFromBuckets(d.Buckets, d.Count, 0.50)
+	d.P90 = QuantileFromBuckets(d.Buckets, d.Count, 0.90)
+	d.P99 = QuantileFromBuckets(d.Buckets, d.Count, 0.99)
+	return d
+}
+
+// Count returns the number of observations inside the window.
+func (w *Window) Count() int64 {
+	return w.h.Count() - w.oldest().Count
+}
+
+// Quantile returns the q-quantile upper bound of the in-window
+// distribution (0 when the window is empty), with the same
+// factor-of-two fidelity as Histogram.Quantile.
+func (w *Window) Quantile(q float64) int64 {
+	cur := w.h.Snapshot()
+	old := w.oldest()
+	buckets := deltaBuckets(cur.Buckets, old.Buckets)
+	return QuantileFromBuckets(buckets, cur.Count-old.Count, q)
+}
+
+// deltaBuckets subtracts an older cumulative bucket list from a newer
+// one. Every bound present in old is present in cur with a count at
+// least as large, so the walk only ever drops empty classes.
+func deltaBuckets(cur, old []BucketCount) []BucketCount {
+	out := make([]BucketCount, 0, len(cur))
+	j := 0
+	for _, b := range cur {
+		n := b.N
+		for j < len(old) && old[j].Le < b.Le {
+			j++
+		}
+		if j < len(old) && old[j].Le == b.Le {
+			n -= old[j].N
+			j++
+		}
+		if n > 0 {
+			out = append(out, BucketCount{Le: b.Le, N: n})
+		}
+	}
+	return out
+}

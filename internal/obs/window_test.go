@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWindowForgetsOldObservations is the reason Window exists: a burst
+// of slow observations must stop influencing the windowed p99 once
+// enough ticks have passed, even though the cumulative histogram
+// remembers it forever.
+func TestWindowForgetsOldObservations(t *testing.T) {
+	h := &Histogram{}
+	w := NewWindow(h, 3)
+
+	for i := 0; i < 100; i++ {
+		h.Observe(1 << 30) // ~1.07s in nanoseconds: very slow
+	}
+	if q := w.Quantile(0.99); q < 1<<30 {
+		t.Fatalf("pre-tick windowed p99 = %d, want ≥ %d", q, 1<<30)
+	}
+
+	// Rotate the slow burst out of the window while observing only
+	// fast values.
+	for tick := 0; tick < 4; tick++ {
+		w.Tick()
+		for i := 0; i < 100; i++ {
+			h.Observe(1 << 10)
+		}
+	}
+	if q, want := w.Quantile(0.99), BucketUpper(bucketFor(1<<10)); q != want {
+		t.Fatalf("windowed p99 after rotation = %d, want %d (slow burst must have aged out)", q, want)
+	}
+	if q := h.Quantile(0.99); q < 1<<30 {
+		t.Fatalf("cumulative p99 = %d, want ≥ %d (histogram itself must still remember)", q, 1<<30)
+	}
+}
+
+// TestWindowUnfilledCoversSinceStart checks the window reports
+// everything since start until the ring has wrapped, instead of
+// pretending the early process had no traffic.
+func TestWindowUnfilledCoversSinceStart(t *testing.T) {
+	h := &Histogram{}
+	w := NewWindow(h, 8)
+	for i := 0; i < 50; i++ {
+		h.Observe(1 << 20)
+	}
+	w.Tick()
+	if got := w.Count(); got != 50 {
+		t.Fatalf("unfilled window count = %d, want 50", got)
+	}
+	if q, want := w.Quantile(0.99), BucketUpper(bucketFor(1<<20)); q != want {
+		t.Fatalf("unfilled window p99 = %d, want %d", q, want)
+	}
+}
+
+// TestWindowDelta checks the delta snapshot's count/sum/mean/quantiles
+// describe exactly the in-window observations.
+func TestWindowDelta(t *testing.T) {
+	h := &Histogram{}
+	w := NewWindow(h, 2)
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	w.Tick()
+	w.Tick() // ring filled; the pre-tick observations age out next tick
+	w.Tick()
+	for i := 0; i < 4; i++ {
+		h.Observe(1000)
+	}
+	d := w.Delta()
+	if d.Count != 4 || d.Sum != 4000 {
+		t.Fatalf("delta count/sum = %d/%d, want 4/4000", d.Count, d.Sum)
+	}
+	if d.Mean != 1000 {
+		t.Fatalf("delta mean = %g, want 1000", d.Mean)
+	}
+	if d.P50 != BucketUpper(bucketFor(1000)) {
+		t.Fatalf("delta p50 = %d, want bucket upper bound of 1000", d.P50)
+	}
+	if len(d.Buckets) != 1 {
+		t.Fatalf("delta buckets = %v, want the single 1000-class bucket", d.Buckets)
+	}
+}
+
+// TestWindowEmpty checks the zero cases don't divide or panic.
+func TestWindowEmpty(t *testing.T) {
+	h := &Histogram{}
+	w := NewWindow(h, 4)
+	if q := w.Quantile(0.99); q != 0 {
+		t.Fatalf("empty window p99 = %d, want 0", q)
+	}
+	w.Tick()
+	if c := w.Count(); c != 0 {
+		t.Fatalf("empty window count = %d, want 0", c)
+	}
+	if d := w.Delta(); d.Count != 0 || len(d.Buckets) != 0 {
+		t.Fatalf("empty delta = %+v, want zero", d)
+	}
+}
+
+// TestWindowConcurrent exercises Tick and Quantile against concurrent
+// observers under the race detector.
+func TestWindowConcurrent(t *testing.T) {
+	h := &Histogram{}
+	w := NewWindow(h, 4)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(1 << 12)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		w.Tick()
+		w.Quantile(0.99)
+		w.Count()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,181 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"bisectlb/internal/obs"
+)
+
+func newTestAdmission(target time.Duration) (*admission, *obs.Histogram) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram(mAdmittedLatencyNs)
+	a := newAdmission(target, 1, 250*time.Millisecond, 4, h, reg)
+	return a, h
+}
+
+func TestAdmissionNilController(t *testing.T) {
+	var a *admission
+	if !a.allow(time.Now()) {
+		t.Fatal("nil admission must admit everything")
+	}
+	if f := a.admitFrac(); f != 1 {
+		t.Fatalf("nil admitFrac = %g, want 1", f)
+	}
+	if a := newAdmission(0, 1, time.Second, 4, nil, obs.NewRegistry()); a != nil {
+		t.Fatal("target 0 must disable the controller")
+	}
+}
+
+func TestAdmissionBackoffOnBreach(t *testing.T) {
+	a, h := newTestAdmission(time.Millisecond)
+	// Fill the window with latencies far above the 1ms target.
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(50 * time.Millisecond))
+	}
+	a.tick()
+	f := a.admitFrac()
+	if f >= 1 {
+		t.Fatalf("admitFrac = %g after breach, want < 1", f)
+	}
+	// Repeated breaches drive the fraction down to the floor, never
+	// below. Backoff is rate-limited to one per window span, so each
+	// round rewinds lastMD to simulate the window turning over.
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 100; j++ {
+			h.Observe(int64(50 * time.Millisecond))
+		}
+		a.lastMD = 0
+		a.tick()
+	}
+	if f := a.admitFrac(); f != admitFloor {
+		t.Fatalf("admitFrac = %g after sustained breach, want floor %g", f, admitFloor)
+	}
+}
+
+// TestAdmissionBackoffRateLimited pins the once-per-window rule: breach
+// samples linger in the window after a decrease, and re-multiplying on
+// that stale evidence every tick would floor the fraction while the
+// queue is already drained. Consecutive breaching ticks inside one
+// window span hold the fraction instead.
+func TestAdmissionBackoffRateLimited(t *testing.T) {
+	a, h := newTestAdmission(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(50 * time.Millisecond))
+	}
+	a.tick()
+	first := a.admitFrac()
+	if first >= 1 {
+		t.Fatalf("admitFrac = %g after breach, want < 1", first)
+	}
+	// Same window span, still breaching (fresh slow samples each tick):
+	// no further decrease, and no recovery either.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 100; j++ {
+			h.Observe(int64(50 * time.Millisecond))
+		}
+		a.tick()
+	}
+	if f := a.admitFrac(); f != first {
+		t.Fatalf("admitFrac = %g inside the window span, want held at %g", f, first)
+	}
+	// Window span elapsed, breach persists in fresh evidence: one more
+	// decrease applies.
+	a.lastMD = 0
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(50 * time.Millisecond))
+	}
+	a.tick()
+	if f, want := a.admitFrac(), first*admitBackoff; f > want+1e-9 || f < admitFloor-1e-9 {
+		t.Fatalf("admitFrac = %g after window turnover, want %g", f, want)
+	}
+}
+
+func TestAdmissionRecoversAdditively(t *testing.T) {
+	a, h := newTestAdmission(time.Millisecond)
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(50 * time.Millisecond))
+	}
+	a.tick()
+	if f := a.admitFrac(); f >= 1 {
+		t.Fatalf("admitFrac = %g after breach, want < 1", f)
+	}
+	// The slow samples stay in the sliding window for epochs more ticks
+	// (still breaching); flush them out before measuring recovery.
+	for i := 0; i < 4; i++ {
+		a.tick()
+	}
+	low := a.admitFrac()
+	// Clear windows (no new slow observations) recover step by step.
+	prev := low
+	for i := 0; i < 4; i++ {
+		a.tick()
+		f := a.admitFrac()
+		if f < prev {
+			t.Fatalf("recovery tick %d decreased admitFrac %g -> %g", i, prev, f)
+		}
+		prev = f
+	}
+	want := low + 4*admitRecover
+	if want > 1 {
+		want = 1
+	}
+	if diff := prev - want; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("admitFrac after 4 clear ticks = %g, want %g", prev, want)
+	}
+}
+
+func TestAdmissionIgnoresThinWindows(t *testing.T) {
+	a, h := newTestAdmission(time.Millisecond)
+	// Fewer than admitMinWindow slow samples must not trigger backoff.
+	for i := 0; i < admitMinWindow-1; i++ {
+		h.Observe(int64(50 * time.Millisecond))
+	}
+	a.tick()
+	if f := a.admitFrac(); f != 1 {
+		t.Fatalf("admitFrac = %g on a thin window, want 1", f)
+	}
+}
+
+func TestAdmissionShedsProbabilistically(t *testing.T) {
+	a, h := newTestAdmission(time.Millisecond)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 100; j++ {
+			h.Observe(int64(50 * time.Millisecond))
+		}
+		a.lastMD = 0
+		a.tick()
+	}
+	// At the floor, roughly admitFloor of draws pass. Use a fixed draw
+	// count and a generous band: 5% ± 4 points over 10k draws.
+	now := time.Now()
+	admitted := 0
+	for i := 0; i < 10000; i++ {
+		if a.allow(now) {
+			admitted++
+		}
+	}
+	if admitted < 100 || admitted > 900 {
+		t.Fatalf("admitted %d/10000 at floor %g, want ~%d", admitted, admitFloor, int(admitFloor*10000))
+	}
+}
+
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		frac    float64
+		queued  int
+		workers int
+		want    int
+	}{
+		{1, 0, 4, 1},         // healthy: minimal hint
+		{0.05, 0, 4, 3},      // deep shed: 1 + int(3*0.95) = 3
+		{1, 64, 4, 5},        // backlog: 1 + 64/16
+		{0.05, 10000, 4, 30}, // clamp high
+		{1, 0, 0, 1},         // workers guard
+	}
+	for _, c := range cases {
+		if got := retryAfterSecs(c.frac, c.queued, c.workers); got != c.want {
+			t.Errorf("retryAfterSecs(%g, %d, %d) = %d, want %d", c.frac, c.queued, c.workers, got, c.want)
+		}
+	}
+}

@@ -32,6 +32,9 @@ type BatchRequest struct {
 	// the server default. Per-item deadline_ms fields are ignored —
 	// admission is batch-level.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Tenant identifies the caller when the tenant header is absent.
+	// Admission is batch-level, so per-item tenant fields are ignored.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // BatchItemError mirrors the single-request error envelope for one item.
@@ -105,6 +108,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.reg.Counter(mBatchRequests).Inc()
 	s.reg.Counter(mBatchItems).Add(int64(len(req.Items)))
+	tn := s.tenants.state(tenantID(r, s.cfg.TenantHeader, req.Tenant))
+	tn.requests.Inc()
 
 	resp := BatchResponse{Items: make([]BatchItem, len(req.Items))}
 	// miss holds one entry per distinct uncached key, in first-seen order;
@@ -161,6 +166,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.keyBufs.Put(kb)
 
 	if len(miss) > 0 {
+		// The compute path is guarded like a single request's: one token
+		// and one admission draw per batch — the batch occupies one
+		// worker turn regardless of item count.
+		if !s.tenants.allowToken(tn, start) {
+			tn.shed.Inc()
+			s.reg.Counter(mRejectedTenant).Inc()
+			s.reject(w, http.StatusTooManyRequests, "tenant_rate_limited",
+				fmt.Sprintf("tenant %q exceeded its compute rate", tn.id))
+			return
+		}
+		if !s.adm.allow(start) {
+			tn.shed.Inc()
+			s.reg.Counter(mRejectedShed).Inc()
+			s.reject(w, http.StatusTooManyRequests, "slo_shed",
+				"service is over its latency SLO; load is being shed")
+			return
+		}
 		deadline := s.cfg.DefaultDeadline
 		if req.DeadlineMS > 0 {
 			deadline = time.Duration(req.DeadlineMS) * time.Millisecond
@@ -168,7 +190,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), deadline)
 		defer cancel()
 
-		rerr := s.pool.Run(ctx, func() {
+		rerr := s.pool.RunTenant(ctx, tn.id, tn.weight, func() {
 			if s.cfg.Hooks.PreCompute != nil {
 				s.cfg.Hooks.PreCompute()
 			}
@@ -211,4 +233,5 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.reg.Counter(mOK).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+	s.observeAdmitted(tn, start)
 }

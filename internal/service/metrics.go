@@ -8,6 +8,9 @@ const (
 	mOK                = "service.ok"
 	mBadRequest        = "service.bad_request"
 	mRejectedQueueFull = "service.rejected_queue_full"
+	mRejectedTenantQ   = "service.rejected_tenant_queue"
+	mRejectedTenant    = "service.rejected_tenant_limit"
+	mRejectedShed      = "service.rejected_slo_shed"
 	mRejectedDraining  = "service.rejected_draining"
 	mDeadlineExceeded  = "service.deadline_exceeded"
 	mInternalErrors    = "service.internal_errors"
@@ -22,10 +25,24 @@ const (
 	mBatchDeduped  = "service.batch_deduped"
 
 	mLatencyNs = "service.latency_ns"
-	mComputeNs = "service.compute_ns"
+	// mAdmittedLatencyNs records handler latency for 200 responses only
+	// — the signal the SLO admission controller steers on (shed and
+	// rejected responses are fast and would drag the p99 down just when
+	// the service is at its slowest).
+	mAdmittedLatencyNs = "service.admitted_latency_ns"
+	mComputeNs         = "service.compute_ns"
 
 	mQueueDepth = "service.queue_depth"
 	mInflight   = "service.inflight"
 	mWorkers    = "service.workers"
 	mDraining   = "service.draining"
+
+	// SLO admission controller state (admission.go): the current admit
+	// fraction in permille and the windowed p99 it last steered on.
+	mSLOAdmitPermille = "service.slo_admit_permille"
+	mSLOWindowP99     = "service.slo_window_p99_ns"
+
+	// Warm-restart snapshot counters (snapshot.go).
+	mCacheSnapshotted = "service.cache_snapshotted"
+	mCacheRestored    = "service.cache_restored"
 )

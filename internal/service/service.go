@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,46 @@ type Config struct {
 	// target). Larger n is rejected with code "n_too_large" before any
 	// work is admitted.
 	MaxN int
+
+	// TargetP99 enables SLO-driven admission: when the p99 of
+	// admitted-request latency over the sliding window exceeds
+	// TargetP99 × SLOTolerance, the compute path is shed
+	// probabilistically (429 slo_shed + Retry-After) and recovers
+	// AIMD-style once the window clears. Zero disables the controller
+	// (every request is admitted, subject to the queue bounds).
+	TargetP99 time.Duration
+	// SLOTolerance scales the breach threshold (default 1.0): breach
+	// when windowed p99 > TargetP99 × SLOTolerance.
+	SLOTolerance float64
+	// SLOTick is the control-loop cadence (default 250ms); the sliding
+	// window spans SLOEpochs ticks (default 8, so 2s by default).
+	SLOTick   time.Duration
+	SLOEpochs int
+
+	// TenantHeader names the HTTP header carrying the tenant id
+	// (default "X-Lbserve-Tenant"); the request body's tenant field is
+	// the fallback, then "default".
+	TenantHeader string
+	// TenantRate enables per-tenant token buckets on the compute path:
+	// each tenant computes at most TenantRate plans/sec sustained with
+	// TenantBurst of burst (429 tenant_rate_limited beyond). Zero
+	// disables the buckets. Cache hits are never charged — they consume
+	// no worker.
+	TenantRate  float64
+	TenantBurst float64
+	// TenantQueueShare caps one tenant's slice of QueueDepth, as a
+	// fraction in (0, 1] (default 1.0 = no per-tenant bound). With a
+	// share below 1 a hot tenant exhausts its slice (429
+	// tenant_queue_full) while other tenants still admit.
+	TenantQueueShare float64
+	// TenantWeights sets weighted-fair dequeue weights per tenant id
+	// (default 1 each): a tenant with weight w is served up to w tasks
+	// per round-robin visit of the worker pool.
+	TenantWeights map[string]int
+	// MaxTenants bounds per-tenant state cardinality (default 64);
+	// further ids share one "other" bucket.
+	MaxTenants int
+
 	// Registry receives the service.* metrics (default: a fresh one).
 	Registry *obs.Registry
 	// Hooks are test seams; zero in production.
@@ -82,10 +123,43 @@ func (c Config) withDefaults() Config {
 	if c.MaxN < 1 {
 		c.MaxN = 1 << 20
 	}
+	if c.SLOTolerance <= 0 {
+		c.SLOTolerance = 1
+	}
+	if c.SLOTick <= 0 {
+		c.SLOTick = 250 * time.Millisecond
+	}
+	if c.SLOEpochs < 1 {
+		c.SLOEpochs = 8
+	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = "X-Lbserve-Tenant"
+	}
+	if c.TenantRate > 0 && c.TenantBurst < 1 {
+		c.TenantBurst = 2 * c.TenantRate
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.TenantQueueShare <= 0 || c.TenantQueueShare > 1 {
+		c.TenantQueueShare = 1
+	}
+	if c.MaxTenants < 1 {
+		c.MaxTenants = 64
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
 	}
 	return c
+}
+
+// tenantQueueCap converts the queue-share fraction into a slot count.
+func (c Config) tenantQueueCap() int {
+	cap := int(float64(c.QueueDepth) * c.TenantQueueShare)
+	if cap < 1 {
+		cap = 1
+	}
+	return cap
 }
 
 // Server is the balancing service. Create with New, expose via Handler
@@ -97,10 +171,15 @@ type Server struct {
 	cache    *planCache
 	sf       sfGroup
 	pool     *workerPool
+	adm      *admission
+	tenants  *tenantSet
 	mux      *http.ServeMux
 	httpSrv  *http.Server
 	draining atomic.Bool
-	started  time.Time
+	// drainTimeout records that Shutdown's context expired before the
+	// drain finished cleanly; /healthz reports it distinctly.
+	drainTimeout atomic.Bool
+	started      time.Time
 	// keyBufs pools request-key buffers so canonicalising a request on
 	// the hot path does not allocate (spec.go appendKey).
 	keyBufs sync.Pool
@@ -113,10 +192,13 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		reg:     cfg.Registry,
 		cache:   newPlanCache(cfg.CacheCapacity, cfg.CacheShards, cfg.Registry),
-		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth, cfg.Registry),
+		pool:    newWorkerPool(cfg.Workers, cfg.QueueDepth, cfg.tenantQueueCap(), cfg.Registry),
+		tenants: newTenantSet(cfg),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	s.adm = newAdmission(cfg.TargetP99, cfg.SLOTolerance, cfg.SLOTick, cfg.SLOEpochs,
+		cfg.Registry.Histogram(mAdmittedLatencyNs), cfg.Registry)
 	s.keyBufs.New = func() any { b := make([]byte, 0, 128); return &b }
 	s.mux.HandleFunc("/v1/balance", s.handleBalance)
 	s.mux.HandleFunc("/v1/balance:batch", s.handleBatch)
@@ -154,7 +236,11 @@ func (s *Server) Serve(ln net.Listener) error {
 // Shutdown drains the server gracefully: new requests are refused (the
 // listener closes; requests racing in get 503), in-flight requests run
 // to completion, then the worker pool stops. The context bounds how long
-// to wait for stragglers.
+// to wait for stragglers; when it expires first, Shutdown reports the
+// timeout (the drain still completes, just late), emits
+// service.drain_timeout instead of service.drained, and /healthz shows
+// status drain_timeout — so a supervisor can tell a clean drain from
+// one that blew its budget.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.reg.Gauge(mDraining).Set(1)
@@ -163,8 +249,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
-	s.pool.Stop()
-	s.reg.Emit("service.drained", "in-flight work complete")
+	// Stop the pool, but don't let a held worker pin Shutdown past its
+	// budget: when the context expires first, the stop keeps running in
+	// the background (the drain completes late) and Shutdown reports the
+	// timeout now.
+	stopped := make(chan struct{})
+	go func() { s.pool.Stop(); close(stopped) }()
+	select {
+	case <-stopped:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	if err != nil {
+		s.drainTimeout.Store(true)
+		s.reg.Emit("service.drain_timeout", "drain budget expired with work in flight: "+err.Error())
+	} else {
+		s.reg.Emit("service.drained", "in-flight work complete")
+	}
 	return err
 }
 
@@ -181,6 +284,12 @@ func (s *Server) reject(w http.ResponseWriter, status int, code, msg string) {
 	body.Error.Code = code
 	body.Error.Message = msg
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests {
+		// Every 429 tells the client when to come back, derived from the
+		// shed state and queue backlog (admission.go retryAfterSecs).
+		secs := retryAfterSecs(s.adm.admitFrac(), s.pool.queuedLen(), s.cfg.Workers)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(body)
 }
@@ -190,14 +299,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{
+	if s.drainTimeout.Load() {
+		status = "drain_timeout"
+	}
+	body := map[string]any{
 		"status":    status,
 		"uptime_ms": time.Since(s.started).Milliseconds(),
 		"inflight":  s.reg.Gauge(mInflight).Value(),
 		"cached":    s.cache.Len(),
-	})
+	}
+	if s.adm != nil {
+		body["slo"] = map[string]any{
+			"target_p99_ms":  s.cfg.TargetP99.Milliseconds(),
+			"admit_permille": s.reg.Gauge(mSLOAdmitPermille).Value(),
+			"window_p99_ms":  time.Duration(s.reg.Gauge(mSLOWindowP99).Value()).Milliseconds(),
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(body)
 }
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
@@ -248,10 +368,14 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, http.StatusBadRequest, "unknown_algorithm", err.Error())
 		return
 	}
+	tn := s.tenants.state(tenantID(r, s.cfg.TenantHeader, req.Tenant))
+	tn.requests.Inc()
 
 	// Canonicalise into a pooled buffer and look up by bytes: the common
 	// cache-hit path allocates neither the key string nor the signature
-	// (the cached plan already carries its signature).
+	// (the cached plan already carries its signature). The tenant id is
+	// deliberately not part of the key — plans are tenant-independent
+	// facts, so tenants share each other's warm cache.
 	kb := s.keyBufs.Get().(*[]byte)
 	keyBytes := req.appendKey((*kb)[:0])
 	plan, hit := s.cache.GetBytes(keyBytes)
@@ -263,6 +387,24 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 	s.keyBufs.Put(kb)
 	if hit {
 		s.respondPlan(w, BalanceResponse{Plan: *plan, Cached: true}, "hit")
+		s.observeAdmitted(tn, start)
+		return
+	}
+
+	// Only the compute path is subject to overload protection: a cache
+	// hit costs no worker, so shedding it would only burn goodput.
+	if !s.tenants.allowToken(tn, start) {
+		tn.shed.Inc()
+		s.reg.Counter(mRejectedTenant).Inc()
+		s.reject(w, http.StatusTooManyRequests, "tenant_rate_limited",
+			fmt.Sprintf("tenant %q exceeded its compute rate", tn.id))
+		return
+	}
+	if !s.adm.allow(start) {
+		tn.shed.Inc()
+		s.reg.Counter(mRejectedShed).Inc()
+		s.reject(w, http.StatusTooManyRequests, "slo_shed",
+			"service is over its latency SLO; load is being shed")
 		return
 	}
 	sig := signature(key)
@@ -279,7 +421,7 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 			p    *Plan
 			cerr error
 		)
-		rerr := s.pool.Run(ctx, func() {
+		rerr := s.pool.RunTenant(ctx, tn.id, tn.weight, func() {
 			if s.cfg.Hooks.PreCompute != nil {
 				s.cfg.Hooks.PreCompute()
 			}
@@ -301,6 +443,16 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.respondPlan(w, BalanceResponse{Plan: *plan, Coalesced: shared}, "miss")
+	s.observeAdmitted(tn, start)
+}
+
+// observeAdmitted records a successful (200) request's latency into the
+// controller's steering histogram and the tenant's.
+func (s *Server) observeAdmitted(tn *tenantState, start time.Time) {
+	lat := int64(time.Since(start))
+	s.reg.Histogram(mAdmittedLatencyNs).Observe(lat)
+	tn.ok.Inc()
+	tn.latency.Observe(lat)
 }
 
 // classifyComputeError maps an admission, deadline or facade error to the
@@ -310,6 +462,8 @@ func classifyComputeError(err error) (status int, code, metric, msg string) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests, "queue_full", mRejectedQueueFull, err.Error()
+	case errors.Is(err, ErrTenantQueueFull):
+		return http.StatusTooManyRequests, "tenant_queue_full", mRejectedTenantQ, err.Error()
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable, "draining", mRejectedDraining, err.Error()
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):

@@ -1,0 +1,322 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueFullRetryAfter is the regression test for the Retry-After
+// satellite: a queue_full 429 must carry a parseable Retry-After header
+// so clients back off instead of hammering a saturated server.
+func TestQueueFullRetryAfter(t *testing.T) {
+	gate := make(chan struct{})
+	var computes atomic.Int64
+	srv := New(Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Hooks:      Hooks{PreCompute: func() { computes.Add(1); <-gate }},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	closeGate := sync.OnceFunc(func() { close(gate) })
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+	defer closeGate()
+
+	// Sequence the saturation deterministically: first occupy the worker,
+	// then fill the queue — posting both concurrently races the filler
+	// against the worker's dequeue of the holder.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postBalance(t, ts.URL, fmt.Sprintf(uniformReq, 1, 32, "HF"))
+	}()
+	waitFor(t, "worker held", func() bool { return computes.Load() >= 1 })
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postBalance(t, ts.URL, fmt.Sprintf(uniformReq, 2, 32, "HF"))
+	}()
+	waitFor(t, "queue filled", func() bool { return srv.pool.queuedLen() >= 1 })
+
+	resp, _, bad := postBalance(t, ts.URL, fmt.Sprintf(uniformReq, 99, 32, "HF"))
+	if resp.StatusCode != http.StatusTooManyRequests || bad.Error.Code != "queue_full" {
+		t.Fatalf("overflow = %d/%q, want 429/queue_full", resp.StatusCode, bad.Error.Code)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 || secs > 30 {
+		t.Fatalf("Retry-After = %q, want an integer in [1, 30]", ra)
+	}
+	closeGate()
+	wg.Wait()
+}
+
+// waitFor polls cond until it holds or a generous deadline expires.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: condition never reached", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShutdownTimeoutDistinct is the drained-event satellite: when the
+// drain budget expires with work still in flight, Shutdown must NOT
+// claim service.drained — it emits service.drain_timeout and /healthz
+// reports status drain_timeout.
+func TestShutdownTimeoutDistinct(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	srv := New(Config{
+		Workers: 1,
+		Hooks:   Hooks{PreCompute: func() { once.Do(func() { close(entered) }); <-gate }},
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	done := make(chan struct{})
+	go func() {
+		postBalance(t, base, fmt.Sprintf(uniformReq, 1, 32, "HF"))
+		close(done)
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	if err == nil {
+		t.Fatal("Shutdown with held work should report the expired budget")
+	}
+
+	var drained, timedOut bool
+	for _, e := range srv.Registry().Snapshot().Events {
+		switch e.Name {
+		case "service.drained":
+			drained = true
+		case "service.drain_timeout":
+			timedOut = true
+		}
+	}
+	if drained {
+		t.Fatal("service.drained emitted despite the drain timing out")
+	}
+	if !timedOut {
+		t.Fatal("service.drain_timeout not emitted")
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "drain_timeout") {
+		t.Fatalf("healthz after drain timeout = %d %q, want 503 drain_timeout", rec.Code, rec.Body.String())
+	}
+
+	close(gate)
+	<-done
+	srv.pool.Stop()
+}
+
+// TestCleanShutdownEmitsDrained is the positive half of the satellite: a
+// drain that completes inside its budget still announces service.drained.
+func TestCleanShutdownEmitsDrained(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown = %v", err)
+	}
+	for _, e := range srv.Registry().Snapshot().Events {
+		if e.Name == "service.drained" {
+			return
+		}
+	}
+	t.Fatal("clean drain did not emit service.drained")
+}
+
+// TestSLOShedEndToEnd drives sustained traffic through a server whose
+// target p99 is impossible (1ns), and checks the admission controller
+// reacts: requests start shedding with 429 slo_shed + Retry-After, and
+// /healthz exposes the controller state.
+func TestSLOShedEndToEnd(t *testing.T) {
+	srv := New(Config{
+		Workers:       2,
+		TargetP99:     time.Nanosecond,
+		SLOTick:       20 * time.Millisecond,
+		SLOEpochs:     8,
+		CacheCapacity: -1, // every request computes
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	deadline := time.Now().Add(10 * time.Second)
+	var shed *http.Response
+	var shedBody errorBody
+	for seed := 0; time.Now().Before(deadline); seed++ {
+		resp, _, bad := postBalance(t, ts.URL, fmt.Sprintf(uniformReq, seed, 64, "HF"))
+		if resp.StatusCode == http.StatusTooManyRequests && bad.Error.Code == "slo_shed" {
+			shed, shedBody = resp, bad
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("unexpected %d/%q while waiting for shed", resp.StatusCode, bad.Error.Code)
+		}
+	}
+	if shed == nil {
+		t.Fatal("controller never shed despite an impossible SLO")
+	}
+	if _ = shedBody; shed.Header.Get("Retry-After") == "" {
+		t.Fatal("slo_shed 429 missing Retry-After")
+	}
+	if f := srv.adm.admitFrac(); f >= 1 {
+		t.Fatalf("admitFrac = %g after shedding, want < 1", f)
+	}
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if !strings.Contains(rec.Body.String(), "admit_permille") {
+		t.Fatalf("healthz missing SLO state: %s", rec.Body.String())
+	}
+	snap := srv.Registry().Snapshot()
+	if snap.Counters[mRejectedShed] < 1 {
+		t.Fatalf("rejected_slo_shed = %d, want ≥ 1", snap.Counters[mRejectedShed])
+	}
+}
+
+// TestTenantRateLimitEndToEnd checks the per-tenant token bucket on the
+// compute path: a tenant over its rate gets 429 tenant_rate_limited with
+// Retry-After, cache hits are never charged, and other tenants admit.
+func TestTenantRateLimitEndToEnd(t *testing.T) {
+	srv := New(Config{
+		Workers:     2,
+		TenantRate:  0.001, // effectively one token, refilled never
+		TenantBurst: 1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	post := func(tenant string, seed int) (*http.Response, errorBody) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/balance",
+			strings.NewReader(fmt.Sprintf(uniformReq, seed, 32, "HF")))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Lbserve-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var bad errorBody
+		if resp.StatusCode != http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&bad); err != nil {
+				t.Fatalf("decode error body: %v", err)
+			}
+		}
+		return resp, bad
+	}
+
+	if resp, bad := post("hog", 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first compute = %d/%q, want 200", resp.StatusCode, bad.Error.Code)
+	}
+	resp, bad := post("hog", 2)
+	if resp.StatusCode != http.StatusTooManyRequests || bad.Error.Code != "tenant_rate_limited" {
+		t.Fatalf("second compute = %d/%q, want 429/tenant_rate_limited", resp.StatusCode, bad.Error.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("tenant_rate_limited 429 missing Retry-After")
+	}
+	// A cache hit doesn't spend a token — the exhausted tenant still
+	// reads warm plans.
+	if resp, bad := post("hog", 1); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache hit for exhausted tenant = %d/%q, want 200", resp.StatusCode, bad.Error.Code)
+	}
+	// Another tenant has its own bucket.
+	if resp, bad := post("polite", 3); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant = %d/%q, want 200", resp.StatusCode, bad.Error.Code)
+	}
+	snap := srv.Registry().Snapshot()
+	if snap.Counters["service.tenant.hog.shed"] != 1 {
+		t.Fatalf("tenant.hog.shed = %d, want 1", snap.Counters["service.tenant.hog.shed"])
+	}
+	if snap.Counters["service.tenant.polite.ok"] != 1 {
+		t.Fatalf("tenant.polite.ok = %d, want 1", snap.Counters["service.tenant.polite.ok"])
+	}
+}
+
+// TestBatchDrainingRejections is the batch half of the saturation
+// satellite: once the pool is draining, a batch whose items need compute
+// is rejected whole with a typed 503, and a handler-level drain refuses
+// before decoding.
+func TestBatchDrainingRejections(t *testing.T) {
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	item := `{"spec":{"family":"uniform","lo":0.3,"hi":0.5,"seed":7},"n":16}`
+
+	// Pool stopped but the handler flag not yet set (the window between
+	// pool.Stop and the listener closing): the compute path surfaces
+	// ErrDraining as a batch-level 503.
+	srv.pool.Stop()
+	resp, _, bad := postBatch(t, ts.URL, `{"items":[`+item+`]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || bad.Error.Code != "draining" {
+		t.Fatalf("stopped pool batch = %d/%q, want 503/draining", resp.StatusCode, bad.Error.Code)
+	}
+
+	// Handler-level drain flag refuses before any work.
+	srv.draining.Store(true)
+	resp, _, bad = postBatch(t, ts.URL, `{"items":[`+item+`]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable || bad.Error.Code != "draining" {
+		t.Fatalf("draining batch = %d/%q, want 503/draining", resp.StatusCode, bad.Error.Code)
+	}
+	if n := srv.Registry().Snapshot().Counters[mRejectedDraining]; n != 2 {
+		t.Fatalf("rejected_draining = %d, want 2", n)
+	}
+}
+
+// TestBatchTenantShedding checks the batch endpoint honours the same
+// tenant bucket as single requests.
+func TestBatchTenantShedding(t *testing.T) {
+	srv := New(Config{Workers: 2, TenantRate: 0.001, TenantBurst: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	batch := func(seed int) string {
+		return fmt.Sprintf(`{"tenant":"hog","items":[{"spec":{"family":"uniform","lo":0.3,"hi":0.5,"seed":%d},"n":16}]}`, seed)
+	}
+	resp, _, bad := postBatch(t, ts.URL, batch(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first batch = %d/%q, want 200", resp.StatusCode, bad.Error.Code)
+	}
+	resp, _, bad = postBatch(t, ts.URL, batch(2))
+	if resp.StatusCode != http.StatusTooManyRequests || bad.Error.Code != "tenant_rate_limited" {
+		t.Fatalf("second batch = %d/%q, want 429/tenant_rate_limited", resp.StatusCode, bad.Error.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("batch tenant 429 missing Retry-After")
+	}
+	// An all-hits batch spends no token.
+	resp, _, bad = postBatch(t, ts.URL, batch(1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached batch = %d/%q, want 200", resp.StatusCode, bad.Error.Code)
+	}
+}

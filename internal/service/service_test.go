@@ -160,34 +160,36 @@ func TestAdmissionQueueFull(t *testing.T) {
 		Hooks:      Hooks{PreCompute: func() { computes.Add(1); <-gate }},
 	})
 	ts := httptest.NewServer(srv.Handler())
+	closeGate := sync.OnceFunc(func() { close(gate) })
 	defer ts.Close()
 	defer srv.Shutdown(context.Background())
+	defer closeGate()
 
+	// First occupy the worker, then fill the queue — posting both
+	// concurrently races the filler against the worker's dequeue of the
+	// holder, in which case the filler itself is shed and the queue
+	// never reaches saturation.
 	var wg sync.WaitGroup
 	results := make(chan int, 2)
-	for i := 0; i < 2; i++ {
+	post := func(seed int) {
 		wg.Add(1)
-		go func(seed int) {
+		go func() {
 			defer wg.Done()
 			resp, _, _ := postBalance(t, ts.URL, fmt.Sprintf(uniformReq, seed, 32, "HF"))
 			results <- resp.StatusCode
-		}(i)
+		}()
 	}
-	// Wait until one request holds the worker and the other fills the queue.
-	deadline := time.Now().Add(5 * time.Second)
-	for computes.Load() < 1 || len(srv.pool.queue) < 1 {
-		if time.Now().After(deadline) {
-			t.Fatalf("saturation never reached: computes=%d queued=%d", computes.Load(), len(srv.pool.queue))
-		}
-		time.Sleep(time.Millisecond)
-	}
+	post(0)
+	waitFor(t, "worker held", func() bool { return computes.Load() >= 1 })
+	post(1)
+	waitFor(t, "queue filled", func() bool { return srv.pool.queuedLen() >= 1 })
 
 	resp, _, bad := postBalance(t, ts.URL, fmt.Sprintf(uniformReq, 99, 32, "HF"))
 	if resp.StatusCode != http.StatusTooManyRequests || bad.Error.Code != "queue_full" {
 		t.Fatalf("overflow = %d/%q, want 429/queue_full", resp.StatusCode, bad.Error.Code)
 	}
 
-	close(gate)
+	closeGate()
 	wg.Wait()
 	for i := 0; i < 2; i++ {
 		if code := <-results; code != http.StatusOK {

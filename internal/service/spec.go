@@ -48,6 +48,10 @@ type BalanceRequest struct {
 	// DeadlineMS caps the request's time in queue + compute; 0 uses the
 	// server default.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Tenant identifies the caller for fairness and rate limiting when
+	// the tenant header is absent. Like DeadlineMS it shapes admission,
+	// not the plan, so it is excluded from the cache key.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // normalize fills defaulted fields so that requests differing only in

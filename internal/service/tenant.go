@@ -1,0 +1,174 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"bisectlb/internal/obs"
+)
+
+// Per-tenant isolation: every request carries a tenant id (an HTTP
+// header, falling back to the request body's tenant field, falling
+// back to "default"), and the server keeps one tenantState per id —
+// a token bucket gating the compute path, the tenant's weighted-fair
+// queue weight, and per-tenant obs instruments rendered in /metricz.
+//
+// Tenant ids are client-controlled, so everything keyed on them is
+// bounded: ids are sanitised to a short safe alphabet (metric names
+// embed them) and at most MaxTenants distinct ids get their own state;
+// the rest share one "other" bucket, which keeps both instrument
+// cardinality and the worker pool's queue map finite under an
+// id-spraying client.
+
+// tenantState is one tenant's serving state. The token bucket is
+// mutex-guarded (one short critical section per compute admission);
+// the instruments are the usual lock-free obs types, resolved once so
+// the per-request path does no name formatting.
+type tenantState struct {
+	id     string
+	weight int
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	requests *obs.Counter
+	ok       *obs.Counter
+	shed     *obs.Counter
+	latency  *obs.Histogram
+}
+
+// tenantSet hands out tenantState instances, creating them on first
+// sight up to the cardinality bound.
+type tenantSet struct {
+	rate    float64 // tokens/sec for the compute path; ≤ 0 disables
+	burst   float64
+	maxIDs  int
+	weights map[string]int
+	reg     *obs.Registry
+
+	mu sync.Mutex
+	m  map[string]*tenantState
+}
+
+func newTenantSet(cfg Config) *tenantSet {
+	return &tenantSet{
+		rate:    cfg.TenantRate,
+		burst:   cfg.TenantBurst,
+		maxIDs:  cfg.MaxTenants,
+		weights: cfg.TenantWeights,
+		reg:     cfg.Registry,
+		m:       make(map[string]*tenantState),
+	}
+}
+
+// state returns the tenant's state, creating it on first sight. Ids
+// beyond the cardinality bound share the "other" state.
+func (t *tenantSet) state(id string) *tenantState {
+	id = sanitizeTenant(id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ts, ok := t.m[id]; ok {
+		return ts
+	}
+	if len(t.m) >= t.maxIDs && id != tenantOverflow {
+		id = tenantOverflow
+		if ts, ok := t.m[id]; ok {
+			return ts
+		}
+	}
+	weight := t.weights[id]
+	if weight < 1 {
+		weight = 1
+	}
+	prefix := "service.tenant." + id
+	ts := &tenantState{
+		id:       id,
+		weight:   weight,
+		tokens:   t.burst,
+		last:     time.Now(),
+		requests: t.reg.Counter(prefix + ".requests"),
+		ok:       t.reg.Counter(prefix + ".ok"),
+		shed:     t.reg.Counter(prefix + ".shed"),
+		latency:  t.reg.Histogram(prefix + ".latency_ns"),
+	}
+	t.m[id] = ts
+	return ts
+}
+
+// allowToken debits one compute admission from the tenant's bucket,
+// refilled at rate tokens/sec up to burst. Rate ≤ 0 disables the
+// bucket (every tenant admits freely; fairness then rests on the
+// weighted-fair queue alone).
+func (t *tenantSet) allowToken(ts *tenantState, now time.Time) bool {
+	if t.rate <= 0 {
+		return true
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	elapsed := now.Sub(ts.last).Seconds()
+	if elapsed > 0 {
+		ts.tokens += elapsed * t.rate
+		if ts.tokens > t.burst {
+			ts.tokens = t.burst
+		}
+		ts.last = now
+	}
+	if ts.tokens < 1 {
+		return false
+	}
+	ts.tokens--
+	return true
+}
+
+const (
+	tenantDefault  = "default"
+	tenantOverflow = "other"
+	tenantMaxLen   = 32
+)
+
+// tenantID extracts the tenant from the request: header first (the
+// operator-controlled channel), then the body field, then the default.
+func tenantID(r *http.Request, header, bodyTenant string) string {
+	if id := r.Header.Get(header); id != "" {
+		return id
+	}
+	if bodyTenant != "" {
+		return bodyTenant
+	}
+	return tenantDefault
+}
+
+// sanitizeTenant maps a client-supplied id onto the safe alphabet
+// [a-zA-Z0-9_-], truncated to tenantMaxLen; hostile bytes become '_'
+// so an id can never smuggle structure into a metric name.
+func sanitizeTenant(id string) string {
+	if id == "" {
+		return tenantDefault
+	}
+	if len(id) > tenantMaxLen {
+		id = id[:tenantMaxLen]
+	}
+	clean := true
+	for i := 0; i < len(id); i++ {
+		if !isTenantByte(id[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return id
+	}
+	b := []byte(id)
+	for i, c := range b {
+		if !isTenantByte(c) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func isTenantByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}

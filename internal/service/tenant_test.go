@@ -1,0 +1,181 @@
+package service
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"bisectlb/internal/obs"
+)
+
+func TestSanitizeTenant(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", tenantDefault},
+		{"acme", "acme"},
+		{"Team-7_x", "Team-7_x"},
+		{"a b\nc", "a_b_c"},
+		{"ü\x00!", "____"}, // "ü" is two UTF-8 bytes; sanitising is byte-wise
+		{string(make([]byte, 100)), string(bytesOf('_', tenantMaxLen))},
+	}
+	for _, c := range cases {
+		if got := sanitizeTenant(c.in); got != c.want {
+			t.Errorf("sanitizeTenant(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func bytesOf(c byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return b
+}
+
+func TestTenantIDPrecedence(t *testing.T) {
+	r := httptest.NewRequest("POST", "/v1/balance", nil)
+	if got := tenantID(r, "X-Lbserve-Tenant", ""); got != tenantDefault {
+		t.Fatalf("no header, no body: %q, want %q", got, tenantDefault)
+	}
+	if got := tenantID(r, "X-Lbserve-Tenant", "bodyid"); got != "bodyid" {
+		t.Fatalf("body only: %q, want bodyid", got)
+	}
+	r.Header.Set("X-Lbserve-Tenant", "headerid")
+	if got := tenantID(r, "X-Lbserve-Tenant", "bodyid"); got != "headerid" {
+		t.Fatalf("header wins: %q, want headerid", got)
+	}
+}
+
+func TestTenantSetCardinalityBound(t *testing.T) {
+	cfg := Config{MaxTenants: 3, Registry: obs.NewRegistry()}.withDefaults()
+	cfg.MaxTenants = 3
+	ts := newTenantSet(cfg)
+	a := ts.state("a")
+	b := ts.state("b")
+	c := ts.state("c")
+	if a.id != "a" || b.id != "b" || c.id != "c" {
+		t.Fatalf("first three ids got %q/%q/%q", a.id, b.id, c.id)
+	}
+	d := ts.state("d")
+	e := ts.state("e")
+	if d.id != tenantOverflow || e.id != tenantOverflow || d != e {
+		t.Fatalf("overflow ids must share the %q state, got %q and %q", tenantOverflow, d.id, e.id)
+	}
+	// Known ids keep resolving to their own state.
+	if ts.state("b") != b {
+		t.Fatal("existing tenant lost its state after overflow")
+	}
+}
+
+func TestTenantWeights(t *testing.T) {
+	cfg := Config{TenantWeights: map[string]int{"big": 4}, Registry: obs.NewRegistry()}.withDefaults()
+	ts := newTenantSet(cfg)
+	if w := ts.state("big").weight; w != 4 {
+		t.Fatalf("weight(big) = %d, want 4", w)
+	}
+	if w := ts.state("small").weight; w != 1 {
+		t.Fatalf("weight(small) = %d, want default 1", w)
+	}
+}
+
+func TestTenantTokenBucket(t *testing.T) {
+	cfg := Config{TenantRate: 10, TenantBurst: 2, Registry: obs.NewRegistry()}.withDefaults()
+	ts := newTenantSet(cfg)
+	tn := ts.state("acme")
+	now := time.Now()
+	// Burst of 2 admits twice, then refuses.
+	if !ts.allowToken(tn, now) || !ts.allowToken(tn, now) {
+		t.Fatal("burst tokens refused")
+	}
+	if ts.allowToken(tn, now) {
+		t.Fatal("third immediate admission should exhaust the burst")
+	}
+	// 100ms at 10/s refills one token.
+	if !ts.allowToken(tn, now.Add(150*time.Millisecond)) {
+		t.Fatal("refill after 150ms at rate 10 should admit")
+	}
+	// Refill caps at burst: a long idle gap yields burst tokens, no more.
+	later := now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ts.allowToken(tn, later) {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("after idle, admitted %d, want burst=2", admitted)
+	}
+}
+
+func TestTenantRateZeroDisables(t *testing.T) {
+	cfg := Config{Registry: obs.NewRegistry()}.withDefaults()
+	ts := newTenantSet(cfg)
+	tn := ts.state("acme")
+	now := time.Now()
+	for i := 0; i < 100; i++ {
+		if !ts.allowToken(tn, now) {
+			t.Fatalf("admission %d refused with rate disabled", i)
+		}
+	}
+}
+
+func TestTenantInstrumentNames(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := Config{Registry: reg}.withDefaults()
+	ts := newTenantSet(cfg)
+	ts.state("acme").requests.Inc()
+	snap := reg.Snapshot()
+	if _, ok := snap.Counters["service.tenant.acme.requests"]; !ok {
+		keys := make([]string, 0, len(snap.Counters))
+		for k := range snap.Counters {
+			keys = append(keys, k)
+		}
+		t.Fatalf("missing tenant counter; have %v", keys)
+	}
+}
+
+func TestTenantBurstDefault(t *testing.T) {
+	cfg := Config{TenantRate: 0.2}.withDefaults()
+	if cfg.TenantBurst != 1 {
+		t.Fatalf("TenantBurst default for low rate = %g, want 1", cfg.TenantBurst)
+	}
+	cfg = Config{TenantRate: 50}.withDefaults()
+	if cfg.TenantBurst != 100 {
+		t.Fatalf("TenantBurst default = %g, want 2×rate", cfg.TenantBurst)
+	}
+}
+
+func TestTenantQueueCap(t *testing.T) {
+	cfg := Config{Workers: 4, QueueDepth: 16, TenantQueueShare: 0.25}.withDefaults()
+	if got := cfg.tenantQueueCap(); got != 4 {
+		t.Fatalf("tenantQueueCap = %d, want 4", got)
+	}
+	cfg = Config{Workers: 4, QueueDepth: 16}.withDefaults()
+	if got := cfg.tenantQueueCap(); got != 16 {
+		t.Fatalf("default share cap = %d, want full depth", got)
+	}
+	cfg = Config{Workers: 1, QueueDepth: 2, TenantQueueShare: 0.1}.withDefaults()
+	if got := cfg.tenantQueueCap(); got != 1 {
+		t.Fatalf("tiny share cap = %d, want floor 1", got)
+	}
+}
+
+func TestTenantStatesAreConcurrencySafe(t *testing.T) {
+	cfg := Config{TenantRate: 1e6, Registry: obs.NewRegistry()}.withDefaults()
+	ts := newTenantSet(cfg)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			now := time.Now()
+			for i := 0; i < 200; i++ {
+				tn := ts.state(fmt.Sprintf("t%d", i%100))
+				ts.allowToken(tn, now)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
