@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo serve clean sweep-verify
+.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo sweep-parallel serve clean sweep-verify
 
 all: build test
 
@@ -59,10 +59,18 @@ bench-gate:
 	./scripts/bench_gate.sh
 
 # Core-planner trajectory: the lbbench grid ({HF, PHF, BA, BA-HF} × α ×
-# N) over the allocation-free planner. Rewrites BENCH_core.json and
-# results/bench_core.txt (EXPERIMENTS.md X9).
+# N, plus the N ∈ {2^16, 2^20} seq/par and heap/bucket scale cells) over
+# the allocation-free planner. Rewrites BENCH_core.json and
+# results/bench_core.txt (EXPERIMENTS.md X9, X12).
 bench-core:
 	$(GO) run ./cmd/lbbench
+
+# Regenerate the X12 parallel speedup study: BA-HF at N=2^20 through the
+# multicore planner over the worker axis. Rewrites results/parallel.txt.
+# Speedup only shows on a multicore machine; the table records maxprocs.
+sweep-parallel:
+	mkdir -p results
+	$(GO) run ./cmd/lbbench -parallel
 
 # One-iteration pass over every go-test benchmark in the perf-sensitive
 # packages. This is a correctness gate, not a measurement: it proves each

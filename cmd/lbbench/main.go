@@ -7,9 +7,15 @@
 // BENCH_core.json, the repo's core-performance trajectory file
 // (EXPERIMENTS.md X9). `make bench-core` is the canonical invocation.
 //
+// With -parallel it instead runs the X12 speedup study: BA-HF planning
+// of the N=2^20 synthetic instance through the multicore planner at
+// each worker count in internal/bench.SweepWorkers, written to
+// -parallel-out (results/parallel.txt via `make sweep-parallel`).
+//
 //	lbbench                       # full run, rewrites BENCH_core.json
 //	lbbench -benchtime 50ms       # quicker, noisier
 //	lbbench -json "" -out ""      # print only, touch nothing
+//	lbbench -parallel             # X12 sweep, rewrites results/parallel.txt
 package main
 
 import (
@@ -27,8 +33,26 @@ func main() {
 		benchtime = flag.Duration("benchtime", 250*time.Millisecond, "time budget per grid cell")
 		outPath   = flag.String("out", "results/bench_core.txt", "human-readable table file (empty disables)")
 		jsonPath  = flag.String("json", "BENCH_core.json", "machine-readable suite file (empty disables)")
+		parallel  = flag.Bool("parallel", false, "run the X12 parallel speedup sweep instead of the grid")
+		parOut    = flag.String("parallel-out", "results/parallel.txt", "sweep table file (empty disables)")
 	)
 	flag.Parse()
+
+	if *parallel {
+		sw, err := bench.RunParallelSweep(*benchtime, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbbench:", err)
+			os.Exit(1)
+		}
+		if err := sw.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lbbench:", err)
+			os.Exit(1)
+		}
+		if *parOut != "" {
+			writeTo(*parOut, func(f *os.File) error { return sw.WriteText(f) })
+		}
+		return
+	}
 
 	s, err := bench.RunCore(*benchtime)
 	if err != nil {

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestMainParallelSweep drives the binary's -parallel path end to end:
+// flag parsing, the X12 sweep, the stdout table, and the writeTo helper
+// including directory creation for a nested output path. main can only
+// run once per process (it registers its flags on the global FlagSet),
+// so this test owns it.
+func TestMainParallelSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the sweep plans N=2^20 instances")
+	}
+	out := filepath.Join(t.TempDir(), "sub", "parallel.txt")
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"lbbench", "-parallel", "-benchtime", "1ns", "-parallel-out", out}
+	main()
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("sweep table not written: stat %v", err)
+	}
+}

@@ -48,6 +48,21 @@ type (
 // buffers on first use.
 func NewPlanner(n int) *Planner { return core.NewPlanner(n) }
 
+// ParallelPlanner is the multicore flat planner: it fans BA/BA-HF
+// subtree planning across worker goroutines with per-worker scratch
+// buffers and merges the results deterministically, producing plans
+// bit-identical to the sequential Planner's. HF and PHF run through its
+// sequential fallback (HF's global queue admits no bit-identical
+// subtree decomposition; see core.ParallelPlanner). Like Planner it is
+// not safe for concurrent use — pool whole ParallelPlanners.
+type ParallelPlanner = core.ParallelPlanner
+
+// NewParallelPlanner returns a multicore planner for partitions into
+// about n parts. Zero opt.Workers means GOMAXPROCS.
+func NewParallelPlanner(n int, opt ParallelOptions) *ParallelPlanner {
+	return core.NewParallelPlanner(n, opt)
+}
+
 // NewSyntheticFlat is NewSyntheticProblem for the flat API: it validates
 // the same preconditions and returns the root node plus the kernel that
 // bisects it. The kernel splits bit-identically to the interface
@@ -116,6 +131,52 @@ func BalanceInto(plan *Plan, pl *Planner, k Kernel, root FlatNode, n int, cfg Co
 			kappa = 1.0
 		}
 		return pl.BAHFInto(plan, k, root, n, cfg.Alpha, kappa)
+	case ParallelBAAlgorithm, ParallelPHFAlgorithm:
+		return fmt.Errorf("%w: %s", ErrNoFlatPlanner, cfg.Algorithm)
+	default:
+		return fmt.Errorf("%w %v", ErrUnknownAlgorithm, cfg.Algorithm)
+	}
+}
+
+// ParallelBalanceInto is BalanceInto over the multicore planner: the
+// identical validation, the identical plan (bit for bit), but BA and
+// BA-HF planning fans out across pp's workers. HF and PHF run through
+// pp's sequential fallback. cfg.Parallel is ignored here — worker count
+// and spawn threshold were fixed when pp was constructed, so pooled
+// planners behave identically for every caller.
+func ParallelBalanceInto(plan *Plan, pp *ParallelPlanner, k Kernel, root FlatNode, n int, cfg Config) error {
+	if plan == nil || pp == nil {
+		return fmt.Errorf("bisectlb: ParallelBalanceInto needs a non-nil plan and planner")
+	}
+	if k == nil {
+		return fmt.Errorf("%w (nil kernel)", ErrNilProblem)
+	}
+	if n < 1 {
+		return fmt.Errorf("%w, got %d", ErrBadN, n)
+	}
+	switch cfg.Algorithm {
+	case HFAlgorithm:
+		return pp.HFInto(plan, k, root, n)
+	case BAAlgorithm:
+		return pp.BAInto(plan, k, root, n)
+	case PHFAlgorithm, BAHFAlgorithm:
+		if cfg.Alpha == 0 {
+			return fmt.Errorf("%w: %s needs it", ErrAlphaRequired, cfg.Algorithm)
+		}
+		if !(cfg.Alpha > 0 && cfg.Alpha <= 0.5) {
+			return fmt.Errorf("%w, got %v", ErrBadAlpha, cfg.Alpha)
+		}
+		if cfg.Algorithm == PHFAlgorithm {
+			return pp.PHFInto(plan, k, root, n, cfg.Alpha)
+		}
+		if cfg.Kappa < 0 {
+			return fmt.Errorf("%w, got %v", ErrBadKappa, cfg.Kappa)
+		}
+		kappa := cfg.Kappa
+		if kappa == 0 {
+			kappa = 1.0
+		}
+		return pp.BAHFInto(plan, k, root, n, cfg.Alpha, kappa)
 	case ParallelBAAlgorithm, ParallelPHFAlgorithm:
 		return fmt.Errorf("%w: %s", ErrNoFlatPlanner, cfg.Algorithm)
 	default:

@@ -4,11 +4,14 @@
 //
 //	{HF, PHF, BA, BA-HF} × α ∈ {0.1, 0.3, 0.5} × N ∈ {64, 1024, 16384}
 //
-// on the paper's synthetic substrate and emits the results as both an
+// plus the scale cells at α=0.3, N ∈ {2^16, 2^20} that compare the
+// execution modes introduced in DESIGN.md §13 — sequential vs multicore
+// planning for BA/BA-HF, binary heap vs monotone bucket queue for HF —
+// on the paper's synthetic substrate, and emits the results as both an
 // aligned text table and the machine-readable BENCH_core.json checked in
 // at the repo root — the core-performance trajectory file, the planning
-// counterpart to lbload's BENCH_service.json (EXPERIMENTS.md X9 explains
-// how to read and regenerate it).
+// counterpart to lbload's BENCH_service.json (EXPERIMENTS.md X9 and X12
+// explain how to read and regenerate it).
 //
 // The harness measures with its own calibrated loop instead of
 // testing.Benchmark so callers control the per-cell time budget
@@ -37,6 +40,49 @@ var (
 	Ns         = []int{64, 1024, 16384}
 )
 
+// Execution modes. ModeSeq is the sequential planner with the binary
+// heap (the default everywhere); ModeBucket swaps the HF-phase queue for
+// the monotone bucket queue; ModePar plans through the multicore
+// ParallelPlanner at GOMAXPROCS workers. Every mode produces the
+// bit-identical plan — the cells measure constants, never output.
+const (
+	ModeSeq    = "seq"
+	ModeBucket = "bucket"
+	ModePar    = "par"
+)
+
+// Scale-cell dimensions: the saturate-the-machine axis of the suite.
+var (
+	ScaleAlpha = 0.3
+	ScaleNs    = []int{1 << 16, 1 << 20}
+)
+
+// ScaleCell names one scale measurement: an algorithm at ScaleAlpha and
+// a large N, run in a specific execution mode.
+type ScaleCell struct {
+	Algorithm string
+	Mode      string
+	N         int
+}
+
+// ScaleCells enumerates the scale grid: for each large N, BA and BA-HF
+// sequential vs parallel (the multicore speedup pairs) and HF heap vs
+// bucket queue (the monotone-queue constant pairs).
+func ScaleCells() []ScaleCell {
+	var cells []ScaleCell
+	for _, n := range ScaleNs {
+		for _, alg := range []string{"BA", "BA-HF"} {
+			cells = append(cells,
+				ScaleCell{alg, ModeSeq, n},
+				ScaleCell{alg, ModePar, n})
+		}
+		cells = append(cells,
+			ScaleCell{"HF", ModeSeq, n},
+			ScaleCell{"HF", ModeBucket, n})
+	}
+	return cells
+}
+
 // rootSeed pins the synthetic instance so runs are comparable across
 // machines and time; κ is BA-HF's default threshold.
 const (
@@ -46,9 +92,14 @@ const (
 
 // Measurement is one grid cell's outcome.
 type Measurement struct {
-	Algorithm   string  `json:"algorithm"`
-	Alpha       float64 `json:"alpha"`
-	N           int     `json:"n"`
+	Algorithm string  `json:"algorithm"`
+	Alpha     float64 `json:"alpha"`
+	N         int     `json:"n"`
+	// Mode is the execution mode (seq, bucket, par); the base grid runs
+	// everything in seq.
+	Mode string `json:"mode"`
+	// Workers is the goroutine count for par cells, 0 otherwise.
+	Workers     int     `json:"workers,omitempty"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
@@ -62,32 +113,39 @@ type Measurement struct {
 
 // Suite is the full harness outcome, the schema of BENCH_core.json.
 type Suite struct {
-	Schema      string        `json:"schema"`
-	GoVersion   string        `json:"go_version"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// MaxProcs records GOMAXPROCS at measurement time — the context the
+	// par cells must be read in (a 1-CPU machine cannot show speedup).
+	MaxProcs    int           `json:"maxprocs"`
 	BenchtimeNs int64         `json:"benchtime_ns"`
 	Cells       []Measurement `json:"cells"`
 }
 
 // SchemaID versions BENCH_core.json; bump on incompatible change.
-const SchemaID = "bisectlb-bench-core/v1"
+// v2: cells carry mode/workers, the suite records maxprocs, and the
+// scale cells (α=0.3, N ∈ {2^16, 2^20}, seq/par and heap/bucket) join
+// the grid.
+const SchemaID = "bisectlb-bench-core/v2"
 
-// RunCore runs the whole grid, spending about benchtime per cell
-// (minimum one iteration, so a tiny benchtime still measures every
-// cell — CI uses that as a smoke run).
+// RunCore runs the whole grid — base cells then scale cells — spending
+// about benchtime per cell (minimum one iteration, so a tiny benchtime
+// still measures every cell — CI uses that as a smoke run).
 func RunCore(benchtime time.Duration) (*Suite, error) {
 	s := &Suite{
 		Schema:      SchemaID,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
+		MaxProcs:    runtime.GOMAXPROCS(0),
 		BenchtimeNs: benchtime.Nanoseconds(),
 	}
 	for _, alg := range Algorithms {
 		for _, alpha := range Alphas {
 			for _, n := range Ns {
-				m, err := runCell(alg, alpha, n, benchtime)
+				m, err := runCell(alg, ModeSeq, alpha, n, benchtime)
 				if err != nil {
 					return nil, fmt.Errorf("bench %s α=%g N=%d: %w", alg, alpha, n, err)
 				}
@@ -95,25 +153,47 @@ func RunCore(benchtime time.Duration) (*Suite, error) {
 			}
 		}
 	}
+	for _, sc := range ScaleCells() {
+		m, err := runCell(sc.Algorithm, sc.Mode, ScaleAlpha, sc.N, benchtime)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s/%s N=%d: %w", sc.Algorithm, sc.Mode, sc.N, err)
+		}
+		s.Cells = append(s.Cells, m)
+	}
 	return s, nil
 }
 
-// runCell times one (algorithm, α, N) cell. The α under test is both the
-// declared class α (for PHF/BA-HF) and the lower bound of the synthetic
-// α̂ interval, so declared and actual bisection quality agree.
-func runCell(alg string, alpha float64, n int, benchtime time.Duration) (Measurement, error) {
+// runCell times one (algorithm, mode, α, N) cell. The α under test is
+// both the declared class α (for PHF/BA-HF) and the lower bound of the
+// synthetic α̂ interval, so declared and actual bisection quality agree.
+func runCell(alg, mode string, alpha float64, n int, benchtime time.Duration) (Measurement, error) {
 	var k bisect.Kernel = bisect.SyntheticKernel{Lo: alpha, Hi: 0.5}
 	root := bisect.SyntheticFlatRoot(1, rootSeed)
-	pl := core.NewPlanner(n)
 	var plan core.Plan
-	run, err := planFunc(alg, pl, &plan, k, root, n, alpha)
+	m := Measurement{Algorithm: alg, Alpha: alpha, N: n, Mode: mode}
+
+	var run func() error
+	var err error
+	switch mode {
+	case ModeSeq, ModeBucket:
+		pl := core.NewPlanner(n)
+		pl.SetBucketQueue(mode == ModeBucket)
+		run, err = planFunc(alg, pl, &plan, k, root, n, alpha)
+	case ModePar:
+		pp := core.NewParallelPlanner(n, core.ParallelOptions{})
+		m.Workers = runtime.GOMAXPROCS(0)
+		run, err = pplanFunc(alg, pp, &plan, k, root, n, alpha)
+	default:
+		err = fmt.Errorf("unknown mode %q", mode)
+	}
 	if err != nil {
 		return Measurement{}, err
 	}
 	if err := run(); err != nil { // warm buffers; also validates the cell
 		return Measurement{}, err
 	}
-	m := Measurement{Algorithm: alg, Alpha: alpha, N: n, Parts: len(plan.Parts), Ratio: plan.Ratio}
+	m.Parts = len(plan.Parts)
+	m.Ratio = plan.Ratio
 
 	var ms0, ms1 runtime.MemStats
 	iters := 0
@@ -160,6 +240,20 @@ func planFunc(alg string, pl *core.Planner, plan *core.Plan, k bisect.Kernel, ro
 	}
 }
 
+// pplanFunc is planFunc over the multicore planner. Only BA and BA-HF
+// have true parallel plans; requesting anything else in par mode is a
+// grid-authoring error, not a silent fallback.
+func pplanFunc(alg string, pp *core.ParallelPlanner, plan *core.Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha float64) (func() error, error) {
+	switch alg {
+	case "BA":
+		return func() error { return pp.BAInto(plan, k, root, n) }, nil
+	case "BA-HF":
+		return func() error { return pp.BAHFInto(plan, k, root, n, alpha, kappa) }, nil
+	default:
+		return nil, fmt.Errorf("algorithm %q has no parallel plan mode", alg)
+	}
+}
+
 // WriteJSON renders the suite as indented JSON (the BENCH_core.json
 // format).
 func (s *Suite) WriteJSON(w io.Writer) error {
@@ -168,8 +262,21 @@ func (s *Suite) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// modeOrder sorts seq before bucket before par within one (alg, α, N).
+func modeOrder(mode string) int {
+	switch mode {
+	case ModeSeq:
+		return 0
+	case ModeBucket:
+		return 1
+	case ModePar:
+		return 2
+	}
+	return 3
+}
+
 // WriteText renders the suite as an aligned table grouped by algorithm,
-// cells sorted by (algorithm grid order, α, N).
+// cells sorted by (algorithm grid order, α, N, mode).
 func (s *Suite) WriteText(w io.Writer) error {
 	order := make(map[string]int, len(Algorithms))
 	for i, a := range Algorithms {
@@ -184,22 +291,25 @@ func (s *Suite) WriteText(w io.Writer) error {
 		if a.Alpha != b.Alpha {
 			return a.Alpha < b.Alpha
 		}
-		return a.N < b.N
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		return modeOrder(a.Mode) < modeOrder(b.Mode)
 	})
-	if _, err := fmt.Fprintf(w, "core planner benchmarks (%s, %s/%s, %v/cell)\n\n",
-		s.GoVersion, s.GOOS, s.GOARCH, time.Duration(s.BenchtimeNs)); err != nil {
+	if _, err := fmt.Fprintf(w, "core planner benchmarks (%s, %s/%s, maxprocs %d, %v/cell)\n\n",
+		s.GoVersion, s.GOOS, s.GOARCH, s.MaxProcs, time.Duration(s.BenchtimeNs)); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%-6s %5s %7s %14s %12s %12s %7s %8s\n",
-		"alg", "alpha", "N", "ns/op", "allocs/op", "B/op", "parts", "ratio")
+	fmt.Fprintf(w, "%-6s %-6s %5s %8s %14s %12s %12s %8s %8s\n",
+		"alg", "mode", "alpha", "N", "ns/op", "allocs/op", "B/op", "parts", "ratio")
 	prev := ""
 	for _, m := range cells {
 		if prev != "" && m.Algorithm != prev {
 			fmt.Fprintln(w)
 		}
 		prev = m.Algorithm
-		if _, err := fmt.Fprintf(w, "%-6s %5g %7d %14.0f %12.2f %12.1f %7d %8.4f\n",
-			m.Algorithm, m.Alpha, m.N, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Parts, m.Ratio); err != nil {
+		if _, err := fmt.Fprintf(w, "%-6s %-6s %5g %8d %14.0f %12.2f %12.1f %8d %8.4f\n",
+			m.Algorithm, m.Mode, m.Alpha, m.N, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.Parts, m.Ratio); err != nil {
 			return err
 		}
 	}

@@ -30,13 +30,16 @@ func TestGoldenJSONSchema(t *testing.T) {
 	if s.Schema != SchemaID {
 		t.Fatalf("tracked schema %q, code expects %q — regenerate with `make bench-core`", s.Schema, SchemaID)
 	}
-	want := len(Algorithms) * len(Alphas) * len(Ns)
+	want := len(Algorithms)*len(Alphas)*len(Ns) + len(ScaleCells())
 	if len(s.Cells) != want {
 		t.Fatalf("tracked file has %d cells, grid defines %d", len(s.Cells), want)
 	}
+	if s.MaxProcs < 1 {
+		t.Fatalf("tracked maxprocs %d — regenerate with `make bench-core`", s.MaxProcs)
+	}
 	seen := map[string]bool{}
 	for _, m := range s.Cells {
-		key := fmt.Sprintf("%s|a%g|n%d", m.Algorithm, m.Alpha, m.N)
+		key := fmt.Sprintf("%s|%s|a%g|n%d", m.Algorithm, m.Mode, m.Alpha, m.N)
 		if seen[key] {
 			t.Fatalf("duplicate cell %s", key)
 		}
@@ -54,11 +57,17 @@ func TestGoldenJSONSchema(t *testing.T) {
 	for _, alg := range Algorithms {
 		for _, alpha := range Alphas {
 			for _, n := range Ns {
-				key := fmt.Sprintf("%s|a%g|n%d", alg, alpha, n)
+				key := fmt.Sprintf("%s|%s|a%g|n%d", alg, ModeSeq, alpha, n)
 				if !seen[key] {
 					t.Fatalf("grid cell %s missing from tracked file", key)
 				}
 			}
+		}
+	}
+	for _, sc := range ScaleCells() {
+		key := fmt.Sprintf("%s|%s|a%g|n%d", sc.Algorithm, sc.Mode, ScaleAlpha, sc.N)
+		if !seen[key] {
+			t.Fatalf("scale cell %s missing from tracked file", key)
 		}
 	}
 }
@@ -100,12 +109,53 @@ func TestGoldenTextHeader(t *testing.T) {
 			continue
 		}
 		fields := strings.Fields(ln)
-		if len(fields) != 8 {
-			t.Fatalf("data row has %d columns, want 8: %q", len(fields), ln)
+		if len(fields) != 9 {
+			t.Fatalf("data row has %d columns, want 9: %q", len(fields), ln)
 		}
 		rows++
 	}
-	if want := len(Algorithms) * len(Alphas) * len(Ns); rows != want {
+	if want := len(Algorithms)*len(Alphas)*len(Ns) + len(ScaleCells()); rows != want {
 		t.Fatalf("tracked table has %d data rows, grid defines %d", rows, want)
+	}
+}
+
+// TestGoldenParallelSweepHeader checks the tracked results/parallel.txt
+// against the current sweep renderer's shape; timings are never
+// value-compared.
+func TestGoldenParallelSweepHeader(t *testing.T) {
+	raw, err := os.ReadFile("../../results/parallel.txt")
+	if err != nil {
+		t.Fatalf("tracked sweep file missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("tracked sweep file implausibly short: %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "parallel planner speedup sweep (") {
+		t.Fatalf("title line drifted: %q", lines[0])
+	}
+	var buf bytes.Buffer
+	ref := Sweep{GoVersion: "goX", GOOS: "os", GOARCH: "arch", Algorithm: "BA-HF",
+		Alpha: SweepAlpha, Kappa: 1, N: SweepN, BenchtimeNs: time.Millisecond.Nanoseconds()}
+	if err := ref.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	refLines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	wantColumns := refLines[len(refLines)-1]
+	if lines[4] != wantColumns {
+		t.Fatalf("column header drifted from the renderer:\ntracked:  %q\nrenderer: %q\nregenerate with `make sweep-parallel`", lines[4], wantColumns)
+	}
+	rows := 0
+	for _, ln := range lines[5:] {
+		if strings.TrimSpace(ln) == "" {
+			continue
+		}
+		if fields := strings.Fields(ln); len(fields) != 4 {
+			t.Fatalf("data row has %d columns, want 4: %q", len(fields), ln)
+		}
+		rows++
+	}
+	if rows != len(SweepWorkers) {
+		t.Fatalf("tracked sweep has %d data rows, SweepWorkers defines %d", rows, len(SweepWorkers))
 	}
 }

@@ -63,10 +63,10 @@ func BAHF(p bisect.Problem, n int, alpha, kappa float64, opt Options) (*Result, 
 			h.Push(pheap.Item{Weight: c1.Weight(), ID: c1.ID(), Ref: int32(len(arena) - 2)})
 			h.Push(pheap.Item{Weight: c2.Weight(), ID: c2.ID(), Ref: int32(len(arena) - 1)})
 		}
-		for _, it := range h.Items() {
+		h.Drain(func(it pheap.Item) {
 			nd := arena[it.Ref]
 			parts = append(parts, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
-		}
+		})
 		return nil
 	}
 

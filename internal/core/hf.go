@@ -60,10 +60,10 @@ func HF(p bisect.Problem, n int, opt Options) (*Result, error) {
 		h.Push(pheap.Item{Weight: c1.Weight(), ID: c1.ID(), Ref: int32(len(arena) - 2)})
 		h.Push(pheap.Item{Weight: c2.Weight(), ID: c2.ID(), Ref: int32(len(arena) - 1)})
 	}
-	for _, it := range h.Items() {
+	h.Drain(func(it pheap.Item) {
 		nd := arena[it.Ref]
 		final = append(final, Part{Problem: nd.p, Procs: 1, Depth: nd.depth})
-	}
+	})
 	return finalize("HF", final, n, total, bisections, rec), nil
 }
 

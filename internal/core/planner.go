@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"unsafe"
 
 	"bisectlb/internal/bisect"
 	"bisectlb/internal/bounds"
@@ -96,10 +97,37 @@ type baFrame struct {
 // the interface model imposes. Parity with the interface algorithms is
 // enforced by planner_test.go for every kernel substrate.
 type Planner struct {
-	heap  pheap.Heap
-	arena []bisect.FlatNode
-	stack []baFrame
-	idx   []int32
+	heap pheap.Heap
+	// bq is the monotone bucket-queue alternative to heap for the HF
+	// paths; useBucket selects it (SetBucketQueue). Both produce the
+	// identical pop sequence — the choice trades constants, never output
+	// (pinned by TestPlannerBucketQueueParity).
+	bq        pheap.BucketQueue
+	useBucket bool
+	arena     []bisect.FlatNode
+	stack     []baFrame
+	idx       []int32
+}
+
+// SetBucketQueue selects the queue behind HFInto and BA-HF's HF finish:
+// false (the default) is the binary heap, true the monotone bucket
+// queue of internal/pheap, which replaces the heap's O(log n) per
+// operation with amortized O(1) over α-band weight classes (DESIGN.md
+// §13). Output is bit-identical either way; the bucket queue wins above
+// roughly N=4096 and costs a one-time ~48 KiB directory.
+func (pl *Planner) SetBucketQueue(on bool) { pl.useBucket = on }
+
+// BucketQueueEnabled reports which queue HFInto currently uses.
+func (pl *Planner) BucketQueueEnabled() bool { return pl.useBucket }
+
+// Footprint reports the total bytes retained by the planner's reusable
+// buffers. Pool stewards (internal/service) use it to decide whether a
+// planner has grown too large to keep pooled.
+func (pl *Planner) Footprint() int {
+	return cap(pl.arena)*int(unsafe.Sizeof(bisect.FlatNode{})) +
+		cap(pl.stack)*int(unsafe.Sizeof(baFrame{})) +
+		cap(pl.idx)*int(unsafe.Sizeof(int32(0))) +
+		pl.heap.Footprint() + pl.bq.Footprint()
 }
 
 // NewPlanner returns a Planner with buffers pre-sized for plans of about
@@ -132,30 +160,79 @@ func (pl *Planner) HFInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n i
 		return err
 	}
 	plan.reset("HF", n, root.Weight)
-	pl.heap.Reset()
-	pl.arena = append(pl.arena[:0], root)
-	pl.heap.Push(pheap.Item{Weight: root.Weight, ID: root.ID, Ref: 0})
-	bisections := 0
+	plan.finalize(pl.hfFinish(plan, k, root, n))
+	return nil
+}
 
-	for pl.heap.Len() > 0 && len(plan.Parts)+pl.heap.Len() < n {
-		it := pl.heap.Pop()
+// hfExpandHeap is the HF loop shared by HFInto, BA-HF's inner phase and
+// the parallel planner's subtree tasks: heaviest-first bisection of root
+// into at most procs parts, appended to plan. It reuses the planner's
+// arena and binary heap (resetting both first) and returns the bisection
+// count. Leftover queue entries become parts via Drain — the safe
+// replacement for the old Items-then-Reset aliasing idiom.
+//
+// hfExpandBucket is its textually parallel twin over the bucket queue.
+// Neither an interface value nor a generic type parameter can unify the
+// two: both turn every Push/Pop on the hottest loop in the repo into a
+// dynamic (dictionary) dispatch, and the Drain callback then escapes to
+// the heap — one allocation per BA-HF inner phase, which
+// TestPlannerAllocationFree forbids. Two concrete copies keep every call
+// devirtualized and every closure on the stack. Keep them in lockstep;
+// the bucket-queue parity tests pin their equivalence.
+func (pl *Planner) hfExpandHeap(plan *Plan, k bisect.Kernel, root bisect.FlatNode, procs int) int {
+	q := &pl.heap
+	q.Reset()
+	pl.arena = append(pl.arena[:0], root)
+	q.Push(pheap.Item{Weight: root.Weight, ID: root.ID, Ref: 0})
+	bisections := 0
+	done := 0
+	for q.Len() > 0 && done+q.Len() < procs {
+		it := q.Pop()
 		nd := pl.arena[it.Ref]
 		if nd.Leaf {
 			plan.Parts = append(plan.Parts, FlatPart{Node: nd, Procs: 1})
+			done++
 			continue
 		}
 		c1, c2 := k.Split(nd)
 		bisections++
 		pl.arena = append(pl.arena, c1, c2)
-		pl.heap.Push(pheap.Item{Weight: c1.Weight, ID: c1.ID, Ref: int32(len(pl.arena) - 2)})
-		pl.heap.Push(pheap.Item{Weight: c2.Weight, ID: c2.ID, Ref: int32(len(pl.arena) - 1)})
+		q.Push(pheap.Item{Weight: c1.Weight, ID: c1.ID, Ref: int32(len(pl.arena) - 2)})
+		q.Push(pheap.Item{Weight: c2.Weight, ID: c2.ID, Ref: int32(len(pl.arena) - 1)})
 	}
-	for _, it := range pl.heap.Items() {
+	q.Drain(func(it pheap.Item) {
 		plan.Parts = append(plan.Parts, FlatPart{Node: pl.arena[it.Ref], Procs: 1})
+	})
+	return bisections
+}
+
+// hfExpandBucket mirrors hfExpandHeap over the monotone bucket queue.
+// See the comment there for why the duplication is load-bearing.
+func (pl *Planner) hfExpandBucket(plan *Plan, k bisect.Kernel, root bisect.FlatNode, procs int) int {
+	q := &pl.bq
+	q.Reset()
+	pl.arena = append(pl.arena[:0], root)
+	q.Push(pheap.Item{Weight: root.Weight, ID: root.ID, Ref: 0})
+	bisections := 0
+	done := 0
+	for q.Len() > 0 && done+q.Len() < procs {
+		it := q.Pop()
+		nd := pl.arena[it.Ref]
+		if nd.Leaf {
+			plan.Parts = append(plan.Parts, FlatPart{Node: nd, Procs: 1})
+			done++
+			continue
+		}
+		c1, c2 := k.Split(nd)
+		bisections++
+		pl.arena = append(pl.arena, c1, c2)
+		q.Push(pheap.Item{Weight: c1.Weight, ID: c1.ID, Ref: int32(len(pl.arena) - 2)})
+		q.Push(pheap.Item{Weight: c2.Weight, ID: c2.ID, Ref: int32(len(pl.arena) - 1)})
 	}
-	pl.heap.Reset()
-	plan.finalize(bisections)
-	return nil
+	q.Drain(func(it pheap.Item) {
+		plan.Parts = append(plan.Parts, FlatPart{Node: pl.arena[it.Ref], Procs: 1})
+	})
+	return bisections
 }
 
 // BAInto runs Algorithm BA (paper Figure 3) over the flat substrate k,
@@ -166,47 +243,19 @@ func (pl *Planner) BAInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n i
 		return err
 	}
 	plan.reset("BA", n, root.Weight)
-	bisections := 0
-	pl.stack = append(pl.stack[:0], baFrame{root, int32(n)})
-	for len(pl.stack) > 0 {
-		fr := pl.stack[len(pl.stack)-1]
-		pl.stack = pl.stack[:len(pl.stack)-1]
-		if fr.procs == 1 || fr.nd.Leaf {
-			plan.Parts = append(plan.Parts, FlatPart{Node: fr.nd, Procs: fr.procs})
-			continue
-		}
-		c1, c2 := k.Split(fr.nd)
-		bisections++
-		if c1.Weight < c2.Weight {
-			c1, c2 = c2, c1
-		}
-		n1, n2 := SplitProcs(c1.Weight, c2.Weight, int(fr.procs))
-		// Light child pushed first so the heavy child is processed next,
-		// mirroring the interface BA's recursion order.
-		pl.stack = append(pl.stack, baFrame{c2, int32(n2)}, baFrame{c1, int32(n1)})
-	}
-	plan.finalize(bisections)
+	plan.finalize(pl.baExpand(plan, k, root, int32(n), 0))
 	return nil
 }
 
-// BAHFInto runs Algorithm BA-HF (paper Figure 4) over the flat substrate
-// k: BA-style processor splitting while the processor count is at least
-// κ/α + 1, HF below. It writes the partition into plan.
-func (pl *Planner) BAHFInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha, kappa float64) error {
-	if err := plannerValidate(root, n); err != nil {
-		return err
-	}
-	if err := bounds.ValidateAlpha(alpha); err != nil {
-		return err
-	}
-	if err := bounds.ValidateKappa(kappa); err != nil {
-		return err
-	}
-	plan.reset("BA-HF", n, root.Weight)
+// baExpand runs the BA recursion (explicit stack) from the frame
+// (nd, procs), appending parts to plan and returning the bisection
+// count. A cutoff > 1 turns it into the BA-HF loop: frames whose
+// processor count drops below the cutoff finish with the HF inner phase
+// instead of further BA splits. It is the shared engine behind BAInto,
+// BAHFInto and the parallel planner's subtree tasks.
+func (pl *Planner) baExpand(plan *Plan, k bisect.Kernel, nd bisect.FlatNode, procs int32, cutoff float64) int {
 	bisections := 0
-	cutoff := kappa/alpha + 1
-
-	pl.stack = append(pl.stack[:0], baFrame{root, int32(n)})
+	pl.stack = append(pl.stack[:0], baFrame{nd, procs})
 	for len(pl.stack) > 0 {
 		fr := pl.stack[len(pl.stack)-1]
 		pl.stack = pl.stack[:len(pl.stack)-1]
@@ -224,40 +273,40 @@ func (pl *Planner) BAHFInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n
 			c1, c2 = c2, c1
 		}
 		n1, n2 := SplitProcs(c1.Weight, c2.Weight, int(fr.procs))
+		// Light child pushed first so the heavy child is processed next,
+		// mirroring the interface BA's recursion order.
 		pl.stack = append(pl.stack, baFrame{c2, int32(n2)}, baFrame{c1, int32(n1)})
 	}
-	plan.finalize(bisections)
+	return bisections
+}
+
+// BAHFInto runs Algorithm BA-HF (paper Figure 4) over the flat substrate
+// k: BA-style processor splitting while the processor count is at least
+// κ/α + 1, HF below. It writes the partition into plan.
+func (pl *Planner) BAHFInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, n int, alpha, kappa float64) error {
+	if err := plannerValidate(root, n); err != nil {
+		return err
+	}
+	if err := bounds.ValidateAlpha(alpha); err != nil {
+		return err
+	}
+	if err := bounds.ValidateKappa(kappa); err != nil {
+		return err
+	}
+	plan.reset("BA-HF", n, root.Weight)
+	plan.finalize(pl.baExpand(plan, k, root, int32(n), kappa/alpha+1))
 	return nil
 }
 
-// hfFinish runs the HF inner phase of BA-HF on q with procs processors,
-// appending parts to plan and returning the bisection count. It reuses the
-// planner's heap and arena, resetting them first.
+// hfFinish runs heaviest-first expansion of q into at most procs parts —
+// the whole of Algorithm HF, and the inner phase of BA-HF — appending
+// parts to plan and returning the bisection count. It reuses the
+// planner's selected queue and arena, resetting them first.
 func (pl *Planner) hfFinish(plan *Plan, k bisect.Kernel, q bisect.FlatNode, procs int) int {
-	pl.heap.Reset()
-	pl.arena = append(pl.arena[:0], q)
-	pl.heap.Push(pheap.Item{Weight: q.Weight, ID: q.ID, Ref: 0})
-	bisections := 0
-	done := 0
-	for pl.heap.Len() > 0 && done+pl.heap.Len() < procs {
-		it := pl.heap.Pop()
-		nd := pl.arena[it.Ref]
-		if nd.Leaf {
-			plan.Parts = append(plan.Parts, FlatPart{Node: nd, Procs: 1})
-			done++
-			continue
-		}
-		c1, c2 := k.Split(nd)
-		bisections++
-		pl.arena = append(pl.arena, c1, c2)
-		pl.heap.Push(pheap.Item{Weight: c1.Weight, ID: c1.ID, Ref: int32(len(pl.arena) - 2)})
-		pl.heap.Push(pheap.Item{Weight: c2.Weight, ID: c2.ID, Ref: int32(len(pl.arena) - 1)})
+	if pl.useBucket {
+		return pl.hfExpandBucket(plan, k, q, procs)
 	}
-	for _, it := range pl.heap.Items() {
-		plan.Parts = append(plan.Parts, FlatPart{Node: pl.arena[it.Ref], Procs: 1})
-	}
-	pl.heap.Reset()
-	return bisections
+	return pl.hfExpandHeap(plan, k, q, procs)
 }
 
 // PHFInto runs the logical Algorithm PHF (paper Figure 2) over the flat

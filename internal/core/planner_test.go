@@ -207,6 +207,97 @@ func TestPlannerAllocationFree(t *testing.T) {
 	}
 }
 
+// TestPlannerBucketQueueParity is the bit-identity contract of DESIGN.md
+// §13: the monotone bucket queue must reproduce the binary heap's output
+// exactly — same parts, same order, same accounting — for every HF path
+// (HFInto and BA-HF's inner phase) over every kernel substrate.
+func TestPlannerBucketQueueParity(t *testing.T) {
+	for _, tc := range flatCases() {
+		for _, n := range []int{1, 2, 17, 64, 333, 1024, 4096} {
+			heapPl, bucketPl := NewPlanner(n), NewPlanner(n)
+			bucketPl.SetBucketQueue(true)
+			var hp, bp Plan
+
+			if err := heapPl.HFInto(&hp, tc.kernel, tc.flat, n); err != nil {
+				t.Fatalf("%s n=%d heap HF: %v", tc.name, n, err)
+			}
+			if err := bucketPl.HFInto(&bp, tc.kernel, tc.flat, n); err != nil {
+				t.Fatalf("%s n=%d bucket HF: %v", tc.name, n, err)
+			}
+			checkPlansIdentical(t, &hp, &bp)
+
+			if err := heapPl.BAHFInto(&hp, tc.kernel, tc.flat, n, 0.1, 1); err != nil {
+				t.Fatalf("%s n=%d heap BA-HF: %v", tc.name, n, err)
+			}
+			if err := bucketPl.BAHFInto(&bp, tc.kernel, tc.flat, n, 0.1, 1); err != nil {
+				t.Fatalf("%s n=%d bucket BA-HF: %v", tc.name, n, err)
+			}
+			checkPlansIdentical(t, &hp, &bp)
+		}
+	}
+}
+
+// checkPlansIdentical demands two plans be equal field for field,
+// including the exact float64 bits of every part weight.
+func checkPlansIdentical(t *testing.T, a, b *Plan) {
+	t.Helper()
+	if a.Algorithm != b.Algorithm || a.N != b.N || a.Total != b.Total ||
+		a.Max != b.Max || a.Ratio != b.Ratio ||
+		a.Bisections != b.Bisections || a.MaxDepth != b.MaxDepth {
+		t.Fatalf("plan summaries diverged:\n  a: %+v\n  b: %+v", headerOf(a), headerOf(b))
+	}
+	if len(a.Parts) != len(b.Parts) {
+		t.Fatalf("part counts diverged: %d vs %d", len(a.Parts), len(b.Parts))
+	}
+	for i := range a.Parts {
+		if a.Parts[i] != b.Parts[i] {
+			t.Fatalf("part %d diverged: %+v vs %+v", i, a.Parts[i], b.Parts[i])
+		}
+	}
+}
+
+// headerOf copies a plan's summary fields for failure messages.
+func headerOf(p *Plan) Plan {
+	h := *p
+	h.Parts = nil
+	return h
+}
+
+// TestPlannerBucketQueueAllocationFree extends the §10 acceptance check
+// to the bucket-queue configuration: after warm-up (which may allocate
+// the bucket directory once), HF and BA-HF planning through the bucket
+// queue performs zero heap allocations per run.
+func TestPlannerBucketQueueAllocationFree(t *testing.T) {
+	const n = 1024
+	var k bisect.Kernel = bisect.SyntheticKernel{Lo: 0.1, Hi: 0.5}
+	root := bisect.SyntheticFlatRoot(1, 42)
+	runs := []struct {
+		name string
+		run  func(pl *Planner, plan *Plan) error
+	}{
+		{"HF", func(pl *Planner, plan *Plan) error { return pl.HFInto(plan, k, root, n) }},
+		{"BA-HF", func(pl *Planner, plan *Plan) error { return pl.BAHFInto(plan, k, root, n, 0.1, 1) }},
+	}
+	for _, tc := range runs {
+		t.Run(tc.name, func(t *testing.T) {
+			pl := NewPlanner(n)
+			pl.SetBucketQueue(true)
+			var plan Plan
+			if err := tc.run(pl, &plan); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if err := tc.run(pl, &plan); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state %s bucket-queue planning allocates %v allocs/op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
 func TestPlannerRejectsBadInput(t *testing.T) {
 	pl := NewPlanner(4)
 	k := bisect.FixedKernel{Alpha: 0.3}

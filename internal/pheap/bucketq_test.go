@@ -1,0 +1,345 @@
+package pheap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bisectlb/internal/xrand"
+)
+
+func TestBucketQueueEmpty(t *testing.T) {
+	var q BucketQueue
+	if q.Len() != 0 {
+		t.Fatal("zero-value queue not empty")
+	}
+	if !panics(func() { q.Pop() }) {
+		t.Fatal("Pop on empty should panic")
+	}
+	q.Push(Item{Weight: 1, ID: 1})
+	if q.Len() != 1 || q.Peek().ID != 1 {
+		t.Fatal("zero value unusable after first Push")
+	}
+}
+
+// TestBucketQueueMatchesHeap is the order-parity pin: on arbitrary
+// interleavings of pushes and pops — including the HF monotone pattern
+// and adversarial non-monotone ones — the bucket queue pops the exact
+// item sequence the binary heap does. This is the property that lets
+// the flat planner switch queues while staying bit-identical.
+func TestBucketQueueMatchesHeap(t *testing.T) {
+	rng := xrand.New(3)
+	f := func(seed uint64) bool {
+		rng.Reseed(seed)
+		var h Heap
+		var q BucketQueue
+		live := 0
+		for step := 0; step < 2000; step++ {
+			if live == 0 || rng.Float64() < 0.55 {
+				// Mix magnitudes across many binades, with deliberate
+				// exact ties to exercise the ID tie-break.
+				w := rng.InRange(0, 100)
+				switch rng.Intn(5) {
+				case 0:
+					w *= 1e-12
+				case 1:
+					w *= 1e12
+				case 2:
+					w = 2.5 // exact tie
+				}
+				it := Item{Weight: w, ID: uint64(step), Ref: int32(step)}
+				h.Push(it)
+				q.Push(it)
+				live++
+			} else {
+				a, b := h.Pop(), q.Pop()
+				if a != b {
+					t.Logf("step %d: heap popped %+v, bucket queue %+v", step, a, b)
+					return false
+				}
+				live--
+			}
+		}
+		if h.Len() != q.Len() {
+			return false
+		}
+		if !q.Verify() {
+			return false
+		}
+		for h.Len() > 0 {
+			if h.Pop() != q.Pop() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketQueueTieBreakByID(t *testing.T) {
+	var q BucketQueue
+	q.Push(Item{Weight: 2, ID: 30})
+	q.Push(Item{Weight: 2, ID: 10})
+	q.Push(Item{Weight: 2, ID: 20})
+	ids := []uint64{q.Pop().ID, q.Pop().ID, q.Pop().ID}
+	if ids[0] != 10 || ids[1] != 20 || ids[2] != 30 {
+		t.Fatalf("tie-break order wrong: %v", ids)
+	}
+}
+
+func TestBucketQueueNonPositiveWeights(t *testing.T) {
+	var q BucketQueue
+	q.Push(Item{Weight: 0, ID: 2})
+	q.Push(Item{Weight: -1, ID: 3})
+	q.Push(Item{Weight: 1, ID: 1})
+	if got := []uint64{q.Pop().ID, q.Pop().ID, q.Pop().ID}; got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("non-positive weights ordered wrong: %v", got)
+	}
+}
+
+func TestBucketQueueResetRetainsStorage(t *testing.T) {
+	q := NewBucketQueue()
+	for i := 0; i < 100; i++ {
+		q.Push(Item{Weight: float64(i + 1), ID: uint64(i)})
+	}
+	before := q.Footprint()
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("queue has %d items after Reset", q.Len())
+	}
+	if q.Footprint() != before {
+		t.Fatalf("Reset changed footprint: %d -> %d", before, q.Footprint())
+	}
+	q.Push(Item{Weight: 5, ID: 9})
+	if q.Pop().ID != 9 {
+		t.Fatal("queue unusable after Reset")
+	}
+}
+
+// TestBucketQueueAllocationFree is the amortized-O(1) half of the
+// acceptance: once the directory and touched buckets are warm, the
+// monotone push/pop pattern allocates nothing.
+func TestBucketQueueAllocationFree(t *testing.T) {
+	q := NewBucketQueue()
+	for i := 0; i < 64; i++ {
+		q.Push(Item{Weight: 100 - float64(i), ID: uint64(i)})
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		it := q.Pop()
+		it.Weight *= 0.5 // monotone: children lighter than the pop
+		q.Push(it)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Push/Pop allocates %v allocs/op, want 0", allocs)
+	}
+	q.Reset()
+	allocs = testing.AllocsPerRun(100, func() {
+		for i := 0; i < 32; i++ {
+			q.Push(Item{Weight: 50 - float64(i), ID: uint64(i)})
+		}
+		q.Drain(func(Item) {})
+	})
+	if allocs != 0 {
+		t.Fatalf("warm fill/drain cycle allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// drainCollects checks Drain visits every item exactly once and leaves
+// the queue empty and reusable.
+func drainCollects(t *testing.T, push func(Item), drain func(func(Item)), length func() int) {
+	t.Helper()
+	want := map[uint64]bool{}
+	for i := 0; i < 50; i++ {
+		push(Item{Weight: float64(50 - i), ID: uint64(i)})
+		want[uint64(i)] = true
+	}
+	got := map[uint64]bool{}
+	drain(func(it Item) {
+		if got[it.ID] {
+			t.Fatalf("Drain visited item %d twice", it.ID)
+		}
+		got[it.ID] = true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Drain visited %d items, want %d", len(got), len(want))
+	}
+	if length() != 0 {
+		t.Fatalf("queue holds %d items after Drain", length())
+	}
+	push(Item{Weight: 1, ID: 99})
+	if length() != 1 {
+		t.Fatal("queue unusable after Drain")
+	}
+}
+
+func TestHeapDrain(t *testing.T) {
+	var h Heap
+	drainCollects(t, h.Push, h.Drain, h.Len)
+}
+
+func TestBucketQueueDrain(t *testing.T) {
+	var q BucketQueue
+	drainCollects(t, q.Push, q.Drain, q.Len)
+}
+
+// TestDrainForbidsMutation is the regression test for the fragile
+// Items-then-Reset contract this API replaced: a caller that pushes (or
+// pops, or resets) from inside the drain callback used to silently
+// iterate a stale view; now it panics at the misuse site.
+func TestDrainForbidsMutation(t *testing.T) {
+	t.Run("heap", func(t *testing.T) {
+		var h Heap
+		h.Push(Item{Weight: 1, ID: 1})
+		if !panics(func() { h.Drain(func(Item) { h.Push(Item{Weight: 2, ID: 2}) }) }) {
+			t.Fatal("Push during Heap.Drain did not panic")
+		}
+		h.Reset()
+		h.Push(Item{Weight: 1, ID: 1})
+		if !panics(func() { h.Drain(func(Item) { h.Pop() }) }) {
+			t.Fatal("Pop during Heap.Drain did not panic")
+		}
+		h.Reset()
+		h.Push(Item{Weight: 1, ID: 1})
+		if !panics(func() { h.Drain(func(Item) { h.Reset() }) }) {
+			t.Fatal("Reset during Heap.Drain did not panic")
+		}
+	})
+	t.Run("bucket", func(t *testing.T) {
+		var q BucketQueue
+		q.Push(Item{Weight: 1, ID: 1})
+		if !panics(func() { q.Drain(func(Item) { q.Push(Item{Weight: 2, ID: 2}) }) }) {
+			t.Fatal("Push during BucketQueue.Drain did not panic")
+		}
+		q.Reset()
+		q.Push(Item{Weight: 1, ID: 1})
+		if !panics(func() { q.Drain(func(Item) { q.Pop() }) }) {
+			t.Fatal("Pop during BucketQueue.Drain did not panic")
+		}
+	})
+}
+
+// TestDrainRecoversAfterPanic pins that a recovered mid-drain panic does
+// not wedge the structure: the draining flag is an invariant guard, not
+// a latch. (The planner never recovers these panics — they are bugs —
+// but tests that assert on them must not poison later subtests.)
+func TestDrainRecoversAfterPanic(t *testing.T) {
+	var h Heap
+	h.Push(Item{Weight: 1, ID: 1})
+	panics(func() { h.Drain(func(Item) { h.Push(Item{}) }) })
+	// The heap is in an unspecified state after the panic; Reset must
+	// still work so pooled planners can be recycled.
+	if panics(h.Reset) {
+		t.Fatal("Reset after a recovered Drain panic should succeed")
+	}
+}
+
+func BenchmarkBucketQueuePushPop(b *testing.B) {
+	rng := xrand.New(1)
+	q := NewBucketQueue()
+	for i := 0; i < 1024; i++ {
+		q.Push(Item{Weight: rng.Float64(), ID: uint64(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := q.Pop()
+		it.Weight *= 0.99
+		q.Push(it)
+	}
+}
+
+// TestBucketQueuePeekLazyScan pins Peek's lazy high-water walk: popping
+// the sole item of the top binade leaves hi stale, and the next Peek
+// must descend to the occupied bucket (and panic on an empty queue).
+func TestBucketQueuePeekLazyScan(t *testing.T) {
+	var q BucketQueue
+	q.Push(Item{Weight: 8, ID: 1})
+	q.Push(Item{Weight: 0.5, ID: 2})
+	if got := q.Pop(); got.ID != 1 {
+		t.Fatalf("popped %+v, want ID 1", got)
+	}
+	if got := q.Peek(); got.ID != 2 {
+		t.Fatalf("peeked %+v, want ID 2", got)
+	}
+	var empty BucketQueue
+	if !panics(func() { empty.Peek() }) {
+		t.Fatal("Peek at empty queue did not panic")
+	}
+}
+
+// TestBucketQueueExtremeWeights drives the exponent clamp: +Inf lands
+// in the top bucket and still pops before every finite weight.
+func TestBucketQueueExtremeWeights(t *testing.T) {
+	var q BucketQueue
+	q.Push(Item{Weight: math.Inf(1), ID: 1})
+	q.Push(Item{Weight: math.MaxFloat64, ID: 2})
+	q.Push(Item{Weight: 1, ID: 3})
+	if !q.Verify() {
+		t.Fatal("invariants violated with extreme weights")
+	}
+	for want := uint64(1); want <= 3; want++ {
+		if got := q.Pop(); got.ID != want {
+			t.Fatalf("pop order: got ID %d, want %d", got.ID, want)
+		}
+	}
+}
+
+// TestBucketQueueResetDuringDrainPanics mirrors the heap guard.
+func TestBucketQueueResetDuringDrainPanics(t *testing.T) {
+	var q BucketQueue
+	q.Push(Item{Weight: 1, ID: 1})
+	if !panics(func() { q.Drain(func(Item) { q.Reset() }) }) {
+		t.Fatal("Reset during BucketQueue.Drain did not panic")
+	}
+}
+
+// TestBucketQueueVerifyDetectsCorruption checks Verify actually
+// discriminates: each invariant it guards, violated directly, trips it.
+func TestBucketQueueVerifyDetectsCorruption(t *testing.T) {
+	mk := func() *BucketQueue {
+		var q BucketQueue
+		q.Push(Item{Weight: 4, ID: 1})
+		q.Push(Item{Weight: 5, ID: 2})
+		return &q
+	}
+	q := mk()
+	b := bucketOf(4)
+	q.buckets[b+1], q.buckets[b] = q.buckets[b], nil // items in the wrong binade
+	if q.Verify() {
+		t.Fatal("Verify missed items sitting in the wrong bucket")
+	}
+	q = mk()
+	bk := q.buckets[bucketOf(4)]
+	bk[0], bk[1] = bk[1], bk[0] // break the in-bucket heap order
+	if q.Verify() {
+		t.Fatal("Verify missed a heap-order violation")
+	}
+	q = mk()
+	q.hi = bucketOf(4) - 1 // occupied bucket above the high watermark
+	if q.Verify() {
+		t.Fatal("Verify missed items above the high watermark")
+	}
+	q = mk()
+	q.n++ // break the count
+	if q.Verify() {
+		t.Fatal("Verify missed an item-count mismatch")
+	}
+}
+
+// TestDrainDuringDrainPanics pins the re-entrancy guard on both queues.
+func TestDrainDuringDrainPanics(t *testing.T) {
+	h := New(-1) // negative capacity clamps to an empty heap
+	h.Push(Item{Weight: 1, ID: 1})
+	if h.Footprint() <= 0 {
+		t.Fatal("heap footprint must count its backing array")
+	}
+	if !panics(func() { h.Drain(func(Item) { h.Drain(func(Item) {}) }) }) {
+		t.Fatal("nested Heap.Drain did not panic")
+	}
+	var q BucketQueue
+	q.Push(Item{Weight: 1, ID: 1})
+	if !panics(func() { q.Drain(func(Item) { q.Drain(func(Item) {}) }) }) {
+		t.Fatal("nested BucketQueue.Drain did not panic")
+	}
+}

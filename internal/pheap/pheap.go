@@ -12,6 +12,8 @@
 // hot path (DESIGN.md §10).
 package pheap
 
+import "unsafe"
+
 // Item is an entry in the heap. ID must be unique within one heap; it is the
 // deterministic tie-breaker (smaller ID wins among equal weights) and the
 // handle used by the experiments to identify subproblems. Ref is an opaque
@@ -26,7 +28,8 @@ type Item struct {
 // Heap is a max-heap of Items ordered by Weight, ties broken by smaller ID.
 // The zero value is an empty heap ready for use.
 type Heap struct {
-	items []Item
+	items    []Item
+	draining bool
 }
 
 // New returns a heap pre-sized for capacity items.
@@ -49,15 +52,23 @@ func (h *Heap) less(i, j int) bool {
 	return a.ID < b.ID
 }
 
-// Push inserts an item.
+// Push inserts an item. It panics if called from inside a Drain callback:
+// mutating the heap mid-drain would invalidate the iteration.
 func (h *Heap) Push(it Item) {
+	if h.draining {
+		panic("pheap: Push during Drain")
+	}
 	h.items = append(h.items, it)
 	h.up(len(h.items) - 1)
 }
 
 // Pop removes and returns the heaviest item. It panics on an empty heap;
-// callers (Algorithm HF) always know the heap size.
+// callers (Algorithm HF) always know the heap size. Like Push it panics
+// when called from inside a Drain callback.
 func (h *Heap) Pop() Item {
+	if h.draining {
+		panic("pheap: Pop during Drain")
+	}
 	if len(h.items) == 0 {
 		panic("pheap: Pop from empty heap")
 	}
@@ -82,11 +93,43 @@ func (h *Heap) Peek() Item {
 // Items returns a view of the heap's contents in heap order (not sorted
 // order). The view aliases the heap's backing storage and is valid only
 // until the next Push, Pop or Reset. Callers that need to empty the heap
-// without allocating iterate Items and then call Reset.
+// without allocating should prefer Drain, which cannot outlive its
+// validity window.
 func (h *Heap) Items() []Item { return h.items }
 
-// Reset empties the heap, retaining the backing storage for reuse.
-func (h *Heap) Reset() { h.items = h.items[:0] }
+// Drain calls fn for every remaining item — in heap order, not sorted
+// order — and then empties the heap, retaining the backing storage. It is
+// the safe, allocation-free replacement for the Items-then-Reset idiom:
+// the callback runs while the heap is locked against mutation, so a
+// misuse that pushes (or pops) mid-drain panics instead of silently
+// iterating a stale view. fn must not retain the heap's storage.
+func (h *Heap) Drain(fn func(Item)) {
+	if h.draining {
+		panic("pheap: Drain during Drain")
+	}
+	h.draining = true
+	// The deferred unlock keeps the guard an invariant check rather than
+	// a latch: a recovered mid-drain panic leaves the heap resettable.
+	defer func() { h.draining = false }()
+	for i := range h.items {
+		fn(h.items[i])
+	}
+	h.items = h.items[:0]
+}
+
+// Reset empties the heap, retaining the backing storage for reuse. It
+// panics inside a Drain callback.
+func (h *Heap) Reset() {
+	if h.draining {
+		panic("pheap: Reset during Drain")
+	}
+	h.items = h.items[:0]
+}
+
+// Footprint reports the bytes retained by the heap's backing storage,
+// the quantity pool stewards cap (internal/service drops oversized
+// pooled planners instead of retaining them forever).
+func (h *Heap) Footprint() int { return cap(h.items) * int(unsafe.Sizeof(Item{})) }
 
 func (h *Heap) up(i int) {
 	for i > 0 {

@@ -45,4 +45,12 @@ const (
 	// Warm-restart snapshot counters (snapshot.go).
 	mCacheSnapshotted = "service.cache_snapshotted"
 	mCacheRestored    = "service.cache_restored"
+
+	// Planner-pool stewardship (plan.go): puts count scratches returned
+	// to the pools, drops count scratches discarded instead because one
+	// oversized request had ballooned their retained buffers. Parallel
+	// counts plans routed through the multicore planner.
+	mPlannerPoolPuts     = "service.planner_pool.puts"
+	mPlannerPoolDrops    = "service.planner_pool.drops"
+	mPlannerPoolParallel = "service.planner_pool.parallel_plans"
 )

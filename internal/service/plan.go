@@ -57,7 +57,67 @@ type plannerScratch struct {
 	plan bisectlb.Plan
 }
 
-var plannerPool = sync.Pool{New: func() any { return &plannerScratch{pl: bisectlb.NewPlanner(0)} }}
+// parallelScratch is plannerScratch for the multicore planner, pooled
+// separately: a ParallelPlanner carries per-worker buffers, so mixing
+// the pools would let small sequential requests pin multi-worker state.
+type parallelScratch struct {
+	pp   *bisectlb.ParallelPlanner
+	plan bisectlb.Plan
+}
+
+var (
+	plannerPool  = sync.Pool{New: func() any { return &plannerScratch{pl: bisectlb.NewPlanner(0)} }}
+	parallelPool = sync.Pool{New: func() any {
+		return &parallelScratch{pp: bisectlb.NewParallelPlanner(0, bisectlb.ParallelOptions{})}
+	}}
+)
+
+// Planner-routing cutoffs and pool-retention caps.
+const (
+	// parallelNCutoff routes BA and BA-HF requests at or above this N
+	// through the multicore planner; below it the fan-out/merge overhead
+	// exceeds the planning work.
+	parallelNCutoff = 1 << 15
+	// bucketQueueNCutoff switches the HF-phase queue to the monotone
+	// bucket queue at or above this N (DESIGN.md §13). Output is
+	// bit-identical either way; below the cutoff the binary heap's
+	// smaller footprint wins.
+	bucketQueueNCutoff = 1 << 12
+	// maxPooledPartsCap and maxPooledFootprint bound what a pooled
+	// scratch may retain. One N=2^20 request grows a planner's buffers
+	// to tens of megabytes; before these caps, Put returned it to the
+	// pool anyway and the memory stayed pinned for the process lifetime
+	// (sync.Pool only sheds idle entries, and a busy server keeps every
+	// scratch hot). Oversized scratches are dropped for the GC instead.
+	maxPooledPartsCap  = 1 << 16
+	maxPooledFootprint = 8 << 20
+	// maxPooledParallelFootprint is the per-scratch cap for the parallel
+	// pool; it is larger because a ParallelPlanner legitimately holds
+	// one buffer set per worker.
+	maxPooledParallelFootprint = 64 << 20
+)
+
+// putPlannerScratch returns sc to the pool unless an oversized request
+// ballooned its retained buffers, in which case it is dropped (counted
+// by service.planner_pool.drops) and the next Get builds a fresh one.
+func putPlannerScratch(reg *obs.Registry, sc *plannerScratch) {
+	if cap(sc.plan.Parts) > maxPooledPartsCap || sc.pl.Footprint() > maxPooledFootprint {
+		reg.Counter(mPlannerPoolDrops).Inc()
+		return
+	}
+	reg.Counter(mPlannerPoolPuts).Inc()
+	plannerPool.Put(sc)
+}
+
+// putParallelScratch is putPlannerScratch for the parallel pool.
+func putParallelScratch(reg *obs.Registry, sc *parallelScratch) {
+	if cap(sc.plan.Parts) > maxPooledPartsCap || sc.pp.Footprint() > maxPooledParallelFootprint {
+		reg.Counter(mPlannerPoolDrops).Inc()
+		return
+	}
+	reg.Counter(mPlannerPoolPuts).Inc()
+	parallelPool.Put(sc)
+}
 
 // flatInputs maps a request onto the allocation-free planning facade
 // when both the spec family and the algorithm have a flat form. ok=false
@@ -94,19 +154,40 @@ func flatInputs(req *BalanceRequest, alg bisectlb.Algorithm) (bisectlb.FlatNode,
 // BA-HF's parameterised display name is reproduced here (the flat plan
 // carries only the bare name).
 func computePlanFlat(req *BalanceRequest, alg bisectlb.Algorithm, sig string, reg *obs.Registry, root bisectlb.FlatNode, k bisectlb.Kernel) (*Plan, error) {
-	sc := plannerPool.Get().(*plannerScratch)
-	defer plannerPool.Put(sc)
+	cfg := bisectlb.Config{Algorithm: alg, Alpha: req.Alpha, Kappa: req.Kappa}
+	// Both settings are applied explicitly on every request: a pooled
+	// planner keeps whatever the previous request configured.
+	useBucket := req.N >= bucketQueueNCutoff
+	useParallel := req.N >= parallelNCutoff &&
+		(alg == bisectlb.BAAlgorithm || alg == bisectlb.BAHFAlgorithm)
 	start := time.Now()
-	err := bisectlb.BalanceInto(&sc.plan, sc.pl, k, root, req.N, bisectlb.Config{
-		Algorithm: alg,
-		Alpha:     req.Alpha,
-		Kappa:     req.Kappa,
-	})
-	if err != nil {
+	if useParallel {
+		sc := parallelPool.Get().(*parallelScratch)
+		defer putParallelScratch(reg, sc)
+		sc.pp.SetMetrics(reg)
+		sc.pp.SetBucketQueue(useBucket)
+		if err := bisectlb.ParallelBalanceInto(&sc.plan, sc.pp, k, root, req.N, cfg); err != nil {
+			return nil, err
+		}
+		reg.Histogram(mComputeNs).ObserveSince(start)
+		reg.Counter(mPlannerPoolParallel).Inc()
+		return servePlan(&sc.plan, req, alg, sig), nil
+	}
+	sc := plannerPool.Get().(*plannerScratch)
+	defer putPlannerScratch(reg, sc)
+	sc.pl.SetBucketQueue(useBucket)
+	if err := bisectlb.BalanceInto(&sc.plan, sc.pl, k, root, req.N, cfg); err != nil {
 		return nil, err
 	}
 	reg.Histogram(mComputeNs).ObserveSince(start)
-	name := sc.plan.Algorithm
+	return servePlan(&sc.plan, req, alg, sig), nil
+}
+
+// servePlan maps a flat plan into the served Plan, reconstructing
+// BA-HF's parameterised display name (the flat plan carries the bare
+// name) and attaching the guarantee certificate.
+func servePlan(fp *bisectlb.Plan, req *BalanceRequest, alg bisectlb.Algorithm, sig string) *Plan {
+	name := fp.Algorithm
 	if alg == bisectlb.BAHFAlgorithm {
 		kappa := req.Kappa
 		if kappa == 0 {
@@ -116,17 +197,17 @@ func computePlanFlat(req *BalanceRequest, alg bisectlb.Algorithm, sig string, re
 	}
 	plan := &Plan{
 		Algorithm:  name,
-		N:          sc.plan.N,
-		Parts:      make([]PartPlan, len(sc.plan.Parts)),
-		Total:      sc.plan.Total,
-		Max:        sc.plan.Max,
-		Ratio:      sc.plan.Ratio,
+		N:          fp.N,
+		Parts:      make([]PartPlan, len(fp.Parts)),
+		Total:      fp.Total,
+		Max:        fp.Max,
+		Ratio:      fp.Ratio,
 		Guarantee:  guaranteeFor(alg, req.Alpha, req.Kappa, req.N),
-		Bisections: sc.plan.Bisections,
-		MaxDepth:   sc.plan.MaxDepth,
+		Bisections: fp.Bisections,
+		MaxDepth:   fp.MaxDepth,
 		Signature:  sig,
 	}
-	for i, pt := range sc.plan.Parts {
+	for i, pt := range fp.Parts {
 		plan.Parts[i] = PartPlan{
 			ID:     pt.Node.ID,
 			Weight: pt.Node.Weight,
@@ -134,7 +215,7 @@ func computePlanFlat(req *BalanceRequest, alg bisectlb.Algorithm, sig string, re
 			Depth:  int(pt.Node.Depth),
 		}
 	}
-	return plan, nil
+	return plan
 }
 
 // computePlan builds the problem from the spec, runs the facade and maps
