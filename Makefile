@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo sweep-parallel serve clean sweep-verify
+.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo sweep-parallel sweep-cluster serve clean sweep-verify
 
 all: build test
 
@@ -36,6 +36,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzSpecKey$$' -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzHandlers$$' -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/netcoll
+	$(GO) test -run '^$$' -fuzz '^FuzzPeerFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/netcoll
 
 # Guarantee sweep: lbverify's randomized grid over (α, N, family) with
 # every paper invariant checked on every instance (EXPERIMENTS.md X10).
@@ -88,8 +89,8 @@ docs-lint:
 # Everything CI runs, in order: vet, the full suite, the race pass, the
 # coverage gate, the short fuzzing pass, the benchmark gates, the docs
 # lint, the serving-perf regression gate (against the old baseline, so it
-# must precede `bench`), the serving-perf smoke.
-ci: test race cover fuzz-short bench-short docs-lint bench-gate bench
+# must precede `bench`), the serving-perf smoke, the cluster smoke.
+ci: test race cover fuzz-short bench-short docs-lint bench-gate bench sweep-cluster
 
 # Regenerate the X7 chaos-study table.
 chaos:
@@ -108,6 +109,15 @@ sweep:
 sweep-slo:
 	mkdir -p results
 	$(GO) run ./cmd/lbload -slo -duration 4s -seed 1999 -slo-out results/service_slo.txt -json BENCH_service.json
+
+# Regenerate the X13 cluster study (3 in-process nodes: exactly-once
+# cluster-wide planning under concurrent misses, then an open-loop sweep
+# with one node killed midway). Rewrites results/cluster.txt and the
+# "cluster" section of BENCH_service.json; exits non-zero if the
+# exactly-once invariant breaks or any request goes unserved.
+sweep-cluster:
+	mkdir -p results
+	$(GO) run ./cmd/lbload -cluster -rps 200 -duration 3s -seed 1999 -cluster-out results/cluster.txt -json BENCH_service.json
 
 # Run the balancing service locally.
 serve:

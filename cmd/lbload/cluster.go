@@ -1,0 +1,234 @@
+package main
+
+// Experiment X13: cluster mode under concurrent misses and node loss.
+//
+// Three lbserve nodes are wired into one consistent-hash cluster
+// in-process (the same wiring cmd/lbserve does from flags). Phase 1
+// proves the cluster-wide singleflight: identical misses fired
+// concurrently at every node must run the planner exactly once across
+// the cluster, counted by service.plans_computed. Phase 2 is the chaos
+// sweep: an open-loop mixed load drives all three nodes round-robin
+// while one node is killed mid-sweep; the client's failover retries must
+// keep every request served (no hard failures) with a bounded p99.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"bisectlb/internal/cluster"
+	"bisectlb/internal/service"
+)
+
+// x13P99Bound is the acceptance ceiling on the chaos-phase p99: generous
+// against CI noise (plans in the mix compute in well under 10ms), but
+// tight enough to catch a failover path that stalls on the dead peer.
+const x13P99Bound = 2 * time.Second
+
+// x13Node is one in-process cluster member.
+type x13Node struct {
+	srv  *service.Server
+	node *cluster.Node
+	url  string
+}
+
+func (n *x13Node) kill() {
+	n.node.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	n.srv.Shutdown(ctx)
+}
+
+// startX13Cluster boots k wired nodes and blocks until every ring sees
+// all k members.
+func startX13Cluster(k int) ([]*x13Node, error) {
+	nodes := make([]*x13Node, k)
+	for i := range nodes {
+		srv := service.New(service.Config{})
+		nd, err := cluster.Start(cluster.Config{
+			Addr:         "127.0.0.1:0",
+			Heartbeat:    50 * time.Millisecond,
+			DeadAfter:    300 * time.Millisecond,
+			ReplInterval: 200 * time.Millisecond,
+			Registry:     srv.Registry(),
+			Fill:         srv.ClusterFill,
+			Store:        srv.ClusterStore,
+			Load:         srv.ClusterLoad,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster node %d: %w", i, err)
+		}
+		srv.SetCluster(nd)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("server %d: %w", i, err)
+		}
+		nodes[i] = &x13Node{srv: srv, node: nd, url: "http://" + addr.String()}
+	}
+	for i := 1; i < k; i++ {
+		if err := nodes[i].node.Join(nodes[0].node.Addr()); err != nil {
+			return nil, fmt.Errorf("join %d: %w", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		converged := true
+		for _, n := range nodes {
+			if n.srv.Registry().Gauge("service.cluster.live").Value() != int64(k) {
+				converged = false
+			}
+		}
+		if converged {
+			return nodes, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("rings did not converge to %d members", k)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func x13PlansComputed(nodes []*x13Node) int64 {
+	var total int64
+	for _, n := range nodes {
+		if n != nil {
+			total += n.srv.Registry().Counter("service.plans_computed").Value()
+		}
+	}
+	return total
+}
+
+// x13ExactlyOnce fires per-node concurrent identical misses and returns
+// (requests fired, plans computed cluster-wide, all-200).
+func x13ExactlyOnce(nodes []*x13Node, perNode int) (int, int64, bool) {
+	body := `{"spec":{"family":"uniform","lo":0.25,"hi":0.5,"seed":99991},"n":128,"algorithm":"BA"}`
+	baseline := x13PlansComputed(nodes)
+	var wg sync.WaitGroup
+	var bad int
+	var mu sync.Mutex
+	for _, n := range nodes {
+		for g := 0; g < perNode; g++ {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				resp, err := http.Post(url+"/v1/balance", "application/json", strings.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					bad++
+					mu.Unlock()
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					mu.Lock()
+					bad++
+					mu.Unlock()
+				}
+			}(n.url)
+		}
+	}
+	wg.Wait()
+	return len(nodes) * perNode, x13PlansComputed(nodes) - baseline, bad == 0
+}
+
+// x13Study is the JSON shape of the BENCH_service.json "cluster"
+// section.
+type x13Study struct {
+	Nodes       int `json:"nodes"`
+	ExactlyOnce struct {
+		Requests      int   `json:"concurrent_requests"`
+		PlansComputed int64 `json:"plans_computed"`
+		Pass          bool  `json:"pass"`
+	} `json:"exactly_once"`
+	Chaos struct {
+		report
+		KilledAfterSec float64 `json:"killed_after_s"`
+		P99Bound       int64   `json:"p99_bound_ns"`
+		Pass           bool    `json:"pass"`
+	} `json:"chaos"`
+	Pass bool `json:"pass"`
+}
+
+// runCluster runs X13 and returns the study plus overall pass/fail.
+func runCluster(rps int, duration time.Duration, seed uint64, specPool int, outPath string) (*x13Study, bool) {
+	study := &x13Study{Nodes: 3}
+	nodes, err := startX13Cluster(3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload cluster:", err)
+		return study, false
+	}
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.kill()
+			}
+		}
+	}()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "X13 — cluster mode: sharded serving, peer cache fill, failover\n")
+	fmt.Fprintf(&b, "3 in-process nodes, consistent-hash ring, heartbeat failure detection\n\n")
+
+	// Phase 1: exactly-once planning under concurrent misses everywhere.
+	reqs, computed, allOK := x13ExactlyOnce(nodes, 8)
+	study.ExactlyOnce.Requests = reqs
+	study.ExactlyOnce.PlansComputed = computed
+	study.ExactlyOnce.Pass = allOK && computed == 1
+	fmt.Fprintf(&b, "phase 1 — exactly-once: %d concurrent identical misses across 3 nodes\n", reqs)
+	fmt.Fprintf(&b, "  plans computed cluster-wide: %d (want 1)  all served: %v  → %s\n\n",
+		computed, allOK, passStr(study.ExactlyOnce.Pass))
+
+	// Phase 2: chaos sweep — kill one node a third of the way in; the
+	// client's failover keeps every request served by the survivors.
+	if duration < 3*time.Second {
+		duration = 3 * time.Second
+	}
+	killAfter := duration / 3
+	victim := nodes[2]
+	timer := time.AfterFunc(killAfter, func() {
+		fmt.Fprintf(os.Stderr, "lbload cluster: killing %s mid-sweep\n", victim.url)
+		victim.kill()
+	})
+	defer timer.Stop()
+	targets := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	rep, err := runLoad(targets, rps, duration, seed, specPool)
+	nodes[2] = nil // killed (or being killed); don't double-close
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbload cluster:", err)
+		return study, false
+	}
+	study.Chaos.report = *rep
+	study.Chaos.KilledAfterSec = killAfter.Seconds()
+	study.Chaos.P99Bound = int64(x13P99Bound)
+	study.Chaos.Pass = rep.Failed == 0 && rep.Latency.P99 <= int64(x13P99Bound)
+	fmt.Fprintf(&b, "phase 2 — chaos sweep: %d rps for %v, node 3 killed at %v\n", rps, duration, killAfter)
+	fmt.Fprintf(&b, "  requests %d  ok %d  failed %d  sheds %d  retries %d (failover to survivors)\n",
+		rep.Requests, rep.OK, rep.Failed, rep.Sheds, rep.Retries)
+	fmt.Fprintf(&b, "  latency p50=%s p99=%s (bound %v)  cluster-wide hit-rate %.1f%%\n",
+		d(rep.Latency.P50), d(rep.Latency.P99), x13P99Bound, 100*rep.Cache.HitRate)
+	if rep.Cluster != nil {
+		fmt.Fprintf(&b, "  proxied %d  failover-local %d  plans-computed %d  unreachable-at-end %d\n",
+			rep.Cluster.Proxied, rep.Cluster.FailoverLocal, rep.Cluster.PlansComputed, rep.Cluster.MetricsUnreachable)
+	}
+	fmt.Fprintf(&b, "  → %s\n", passStr(study.Chaos.Pass))
+
+	study.Pass = study.ExactlyOnce.Pass && study.Chaos.Pass
+	fmt.Fprintf(&b, "\nX13 overall: %s\n", passStr(study.Pass))
+	text := b.String()
+	fmt.Print(text)
+	writeFile(outPath, text)
+	return study, study.Pass
+}
+
+func passStr(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

@@ -63,7 +63,7 @@ func runGate(baselinePath string, seed uint64, specPool int) int {
 	}
 	url, shutdown := startInProcess(0, 1024)
 	defer shutdown()
-	fresh, err := runLoad(url, base.TargetRPS, duration, seed, specPool)
+	fresh, err := runLoad([]string{url}, base.TargetRPS, duration, seed, specPool)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbload gate:", err)
 		return 1
@@ -84,6 +84,7 @@ func runGate(baselinePath string, seed uint64, specPool int) int {
 		d(fresh.Latency.P99), d(base.Latency.P99), p99Mult, gateMaxP99Mult)
 
 	violated := rpsFrac < gateMinRPSFrac || p99Mult > gateMaxP99Mult
+	violated = checkClusterSection(baselinePath) || violated
 	if !violated {
 		fmt.Println("bench gate: OK — fresh run within the noise envelope of the baseline")
 		return 0
@@ -95,4 +96,36 @@ func runGate(baselinePath string, seed uint64, specPool int) int {
 	}
 	fmt.Println("bench gate: WARN — fresh run outside the envelope; not failing (set BENCH_GATE_STRICT=1 to enforce)")
 	return 0
+}
+
+// checkClusterSection sanity-checks the baseline's "cluster" section (the
+// X13 study): when present it must record a passing run with the
+// exactly-once invariant intact. The check is warn-only under the same
+// BENCH_GATE_STRICT escalation as the load envelope; a baseline without
+// the section (pre-cluster trajectory files) is fine.
+func checkClusterSection(path string) (violated bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var sections map[string]json.RawMessage
+	if json.Unmarshal(data, &sections) != nil {
+		return false
+	}
+	raw, ok := sections["cluster"]
+	if !ok {
+		return false
+	}
+	var study x13Study
+	if err := json.Unmarshal(raw, &study); err != nil {
+		fmt.Printf("bench gate: cluster section unreadable (%v)\n", err)
+		return true
+	}
+	fmt.Printf("bench gate: cluster baseline — exactly-once computed %d plan(s), chaos failed=%d, pass=%v\n",
+		study.ExactlyOnce.PlansComputed, study.Chaos.Failed, study.Pass)
+	if !study.Pass {
+		fmt.Println("bench gate: cluster section records a FAILING X13 run — regenerate with `make sweep-cluster`")
+		return true
+	}
+	return false
 }

@@ -17,11 +17,19 @@
 //	lbload -sweep -inprocess ...            # X8: workers × cache on/off grid
 //	lbload -slo                             # X11: overload SLO + tenant
 //	                                        # isolation + warm-restart chaos
+//	lbload -cluster                         # X13: 3-node cluster, exactly-once
+//	                                        # planning + mid-sweep node kill
+//	lbload -targets url1,url2,url3 ...      # drive a cluster round-robin
 //	lbload -gate BENCH_service.json         # noise-aware perf gate vs baseline
 //
+// The client honours Retry-After on 429 with a bounded backoff (at most
+// two retries, sleeps capped at 2s) and reports sheds separately from
+// hard errors; with multiple -targets, connection failures and 503s fail
+// over to the next target.
+//
 // BENCH_service.json is sectioned: plain runs write {"load": …}, -slo
-// writes {"slo": …}, -sweep writes {"sweep": …}; each mode preserves the
-// other sections.
+// writes {"slo": …}, -sweep writes {"sweep": …}, -cluster writes
+// {"cluster": …}; each mode preserves the other sections.
 package main
 
 import (
@@ -35,6 +43,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -57,7 +66,10 @@ func main() {
 		inprocess = flag.Bool("inprocess", false, "start the service in-process and load it over loopback")
 		workers   = flag.Int("workers", 0, "in-process server worker-pool size (0 = GOMAXPROCS)")
 		cacheCap  = flag.Int("cache", 1024, "in-process server cache capacity (negative disables)")
+		targets   = flag.String("targets", "", "comma-separated lbserve base URLs, driven round-robin (overrides -url; failover across them)")
 		sweep     = flag.Bool("sweep", false, "X8 study: sweep worker-pool size × cache on/off in-process")
+		clusterX  = flag.Bool("cluster", false, "X13 study: 3-node in-process cluster — exactly-once planning + mid-sweep node kill")
+		clustOut  = flag.String("cluster-out", "results/cluster.txt", "X13 human-readable report file (empty disables)")
 		slo       = flag.Bool("slo", false, "X11 study: overload SLO, tenant isolation and warm-restart chaos in-process")
 		sloOut    = flag.String("slo-out", "results/service_slo.txt", "X11 human-readable report file (empty disables)")
 		gatePath  = flag.String("gate", "", "compare a fresh in-process smoke against this baseline JSON and exit")
@@ -93,14 +105,39 @@ func main() {
 		runSweep(*rps, *duration, *seed, *specPool, *outPath, *jsonPath)
 		return
 	}
+	if *clusterX {
+		study, pass := runCluster(*rps, *duration, *seed, *specPool, *clustOut)
+		if *jsonPath != "" {
+			writeJSONSection(*jsonPath, "cluster", study)
+		}
+		if !pass {
+			stopProf()
+			os.Exit(1)
+		}
+		return
+	}
 
-	target := *url
+	targetList := []string{*url}
+	if *targets != "" {
+		targetList = targetList[:0]
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				// Accept bare host:port targets.
+				if !strings.HasPrefix(t, "http://") && !strings.HasPrefix(t, "https://") {
+					t = "http://" + t
+				}
+				targetList = append(targetList, t)
+			}
+		}
+	}
 	var shutdown func()
 	if *inprocess {
+		var target string
 		target, shutdown = startInProcess(*workers, *cacheCap)
+		targetList = []string{target}
 		defer shutdown()
 	}
-	rep, err := runLoad(target, *rps, *duration, *seed, *specPool)
+	rep, err := runLoad(targetList, *rps, *duration, *seed, *specPool)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbload:", err)
 		os.Exit(1)
@@ -186,13 +223,29 @@ type report struct {
 	Requests    int64   `json:"requests"`
 	OK          int64   `json:"ok"`
 	Failed      int64   `json:"failed"`
-	Rejected429 int64   `json:"rejected_429"`
-	Rejected503 int64   `json:"rejected_503"`
-	AchievedRPS float64 `json:"achieved_rps"`
-	Latency     latSumm `json:"latency_ns"`
-	HitLatency  latSumm `json:"hit_latency_ns"`
-	MissLatency latSumm `json:"miss_latency_ns"`
-	Cache       cacheRp `json:"cache"`
+	// Sheds counts requests the server deliberately rejected with 429
+	// after the client's bounded Retry-After backoff was exhausted —
+	// load shedding working as designed, reported apart from Failed
+	// (hard errors). Retries counts every backoff and failover attempt.
+	Sheds       int64      `json:"sheds"`
+	Retries     int64      `json:"retries"`
+	Rejected429 int64      `json:"rejected_429"`
+	Rejected503 int64      `json:"rejected_503"`
+	AchievedRPS float64    `json:"achieved_rps"`
+	Latency     latSumm    `json:"latency_ns"`
+	HitLatency  latSumm    `json:"hit_latency_ns"`
+	MissLatency latSumm    `json:"miss_latency_ns"`
+	Cache       cacheRp    `json:"cache"`
+	Cluster     *clusterRp `json:"cluster,omitempty"`
+}
+
+// clusterRp aggregates the cluster-mode counters across every target of
+// a multi-target run.
+type clusterRp struct {
+	Proxied            int64 `json:"proxied"`
+	FailoverLocal      int64 `json:"failover_local"`
+	PlansComputed      int64 `json:"plans_computed"`
+	MetricsUnreachable int   `json:"metrics_unreachable,omitempty"`
 }
 
 type latSumm struct {
@@ -246,10 +299,44 @@ func newMix(seed uint64, pool int) *mix {
 	return &mix{rng: rng, bodies: bodies}
 }
 
-// runLoad drives the open-loop generator and assembles the report.
-func runLoad(target string, rps int, duration time.Duration, seed uint64, specPool int) (*report, error) {
+// Shed-backoff bounds: a 429 is retried at most maxShedRetries times,
+// sleeping what the server's Retry-After asks for, capped so a
+// misbehaving server cannot stall the generator.
+const (
+	maxShedRetries    = 2
+	maxRetryAfter     = 2 * time.Second
+	defaultRetryAfter = 100 * time.Millisecond
+)
+
+// retryAfterDelay parses a 429's Retry-After header (delta-seconds form)
+// into a bounded sleep.
+func retryAfterDelay(h http.Header) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(h.Get("Retry-After")))
+	if err != nil || secs < 0 {
+		return defaultRetryAfter
+	}
+	delay := time.Duration(secs) * time.Second
+	if delay > maxRetryAfter {
+		delay = maxRetryAfter
+	}
+	if delay == 0 {
+		delay = defaultRetryAfter
+	}
+	return delay
+}
+
+// runLoad drives the open-loop generator over one or more targets
+// (round-robin) and assembles the report. Sheds (429 after bounded
+// Retry-After backoff) are reported separately from hard failures; with
+// multiple targets, a connection error or 503 fails over to the next
+// target, which is how the X13 chaos sweep keeps serving through a
+// mid-sweep node kill.
+func runLoad(targets []string, rps int, duration time.Duration, seed uint64, specPool int) (*report, error) {
 	if rps < 1 {
 		return nil, fmt.Errorf("rps must be ≥ 1, got %d", rps)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no targets")
 	}
 	client := &http.Client{
 		Timeout: 10 * time.Second,
@@ -258,9 +345,24 @@ func runLoad(target string, rps int, duration time.Duration, seed uint64, specPo
 			MaxIdleConnsPerHost: 512,
 		},
 	}
-	before, err := fetchMetrics(client, target)
-	if err != nil {
-		return nil, fmt.Errorf("server not reachable at %s: %w (start lbserve first, or pass -inprocess)", target, err)
+	// Preflight: snapshot every target's metrics. With a single target an
+	// unreachable server is fatal; in a fleet an already-dead member is
+	// tolerated the same way a mid-run death is (skipped in aggregation,
+	// served around by failover) as long as someone is up.
+	before := make(map[string]obs.Snapshot, len(targets))
+	for _, t := range targets {
+		sn, err := fetchMetrics(client, t)
+		if err != nil {
+			if len(targets) == 1 {
+				return nil, fmt.Errorf("server not reachable at %s: %w (start lbserve first, or pass -inprocess)", t, err)
+			}
+			fmt.Fprintf(os.Stderr, "lbload: target %s unreachable at start; relying on failover\n", t)
+			continue
+		}
+		before[t] = sn
+	}
+	if len(before) == 0 {
+		return nil, fmt.Errorf("no target reachable (of %d); start lbserve first, or pass -inprocess", len(targets))
 	}
 
 	m := newMix(seed, specPool)
@@ -268,7 +370,7 @@ func runLoad(target string, rps int, duration time.Duration, seed uint64, specPo
 	latAll := reg.Histogram("load.latency_ns")
 	latHit := reg.Histogram("load.latency_hit_ns")
 	latMiss := reg.Histogram("load.latency_miss_ns")
-	var sent, okCnt, failed, r429, r503, clientHits atomic.Int64
+	var sent, okCnt, failed, sheds, retries, r429, r503, clientHits atomic.Int64
 
 	// Pre-draw the request sequence so the hot loop does no RNG work and
 	// the mix is deterministic in the seed regardless of scheduling.
@@ -288,61 +390,116 @@ func runLoad(target string, rps int, duration time.Duration, seed uint64, specPo
 		body := seq[i]
 		wg.Add(1)
 		sent.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
 			t0 := time.Now()
-			resp, err := client.Post(target+"/v1/balance", "application/json", strings.NewReader(body))
-			if err != nil {
-				failed.Add(1)
+			shedRetries, hops, ti := 0, 0, i
+			for {
+				resp, err := client.Post(targets[ti%len(targets)]+"/v1/balance", "application/json", strings.NewReader(body))
+				if err != nil {
+					// Connection refused/reset: the target may be dead —
+					// fail the request over to the next target.
+					if hops < len(targets)-1 {
+						hops++
+						ti++
+						retries.Add(1)
+						continue
+					}
+					failed.Add(1)
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					r429.Add(1)
+					if shedRetries < maxShedRetries {
+						delay := retryAfterDelay(resp.Header)
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						shedRetries++
+						retries.Add(1)
+						time.Sleep(delay)
+						continue
+					}
+				}
+				if resp.StatusCode == http.StatusServiceUnavailable && hops < len(targets)-1 {
+					// Draining/dying node: another target can serve this.
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					hops++
+					ti++
+					retries.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(t0).Nanoseconds()
+				latAll.Observe(lat)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					okCnt.Add(1)
+					if resp.Header.Get("X-Lbserve-Cache") == "hit" {
+						clientHits.Add(1)
+						latHit.Observe(lat)
+					} else {
+						latMiss.Observe(lat)
+					}
+				case http.StatusTooManyRequests:
+					// Shed even after backoff — deliberate load rejection,
+					// reported separately from hard errors.
+					sheds.Add(1)
+				case http.StatusServiceUnavailable:
+					r503.Add(1)
+					failed.Add(1)
+				default:
+					failed.Add(1)
+				}
 				return
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			lat := time.Since(t0).Nanoseconds()
-			latAll.Observe(lat)
-			switch resp.StatusCode {
-			case http.StatusOK:
-				okCnt.Add(1)
-				if resp.Header.Get("X-Lbserve-Cache") == "hit" {
-					clientHits.Add(1)
-					latHit.Observe(lat)
-				} else {
-					latMiss.Observe(lat)
-				}
-			case http.StatusTooManyRequests:
-				r429.Add(1)
-				failed.Add(1)
-			case http.StatusServiceUnavailable:
-				r503.Add(1)
-				failed.Add(1)
-			default:
-				failed.Add(1)
-			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := fetchMetrics(client, target)
-	if err != nil {
-		return nil, fmt.Errorf("fetching /metricz after the run: %w", err)
+	// Aggregate server-side counters across every target still
+	// reachable; a target killed mid-run (the X13 chaos sweep) is
+	// skipped and counted as unreachable.
+	var hits, misses, coalesced, proxied, failover, computed int64
+	unreachable := 0
+	for _, t := range targets {
+		b, ok := before[t]
+		if !ok {
+			unreachable++ // dead at preflight: no baseline, no deltas
+			continue
+		}
+		after, err := fetchMetrics(client, t)
+		if err != nil {
+			unreachable++
+			continue
+		}
+		hits += after.Counters["service.cache_hits"] - b.Counters["service.cache_hits"]
+		misses += after.Counters["service.cache_misses"] - b.Counters["service.cache_misses"]
+		coalesced += after.Counters["service.singleflight_coalesced"] - b.Counters["service.singleflight_coalesced"]
+		proxied += after.Counters["service.cluster.proxied"] - b.Counters["service.cluster.proxied"]
+		failover += after.Counters["service.cluster.failover_local"] - b.Counters["service.cluster.failover_local"]
+		computed += after.Counters["service.plans_computed"] - b.Counters["service.plans_computed"]
 	}
-	hits := after.Counters["service.cache_hits"] - before.Counters["service.cache_hits"]
-	misses := after.Counters["service.cache_misses"] - before.Counters["service.cache_misses"]
-	coalesced := after.Counters["service.singleflight_coalesced"] - before.Counters["service.singleflight_coalesced"]
+	if unreachable == len(targets) {
+		return nil, fmt.Errorf("no target reachable after the run")
+	}
 	hitRate := 0.0
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
 
 	sn := reg.Snapshot()
-	return &report{
-		Target:      target,
+	rep := &report{
+		Target:      strings.Join(targets, ","),
 		TargetRPS:   rps,
 		DurationSec: duration.Seconds(),
 		Requests:    sent.Load(),
 		OK:          okCnt.Load(),
 		Failed:      failed.Load(),
+		Sheds:       sheds.Load(),
+		Retries:     retries.Load(),
 		Rejected429: r429.Load(),
 		Rejected503: r503.Load(),
 		AchievedRPS: float64(okCnt.Load()) / elapsed.Seconds(),
@@ -356,7 +513,16 @@ func runLoad(target string, rps int, duration time.Duration, seed uint64, specPo
 			HitRate:    hitRate,
 			Coalesced:  coalesced,
 		},
-	}, nil
+	}
+	if len(targets) > 1 {
+		rep.Cluster = &clusterRp{
+			Proxied:            proxied,
+			FailoverLocal:      failover,
+			PlansComputed:      computed,
+			MetricsUnreachable: unreachable,
+		}
+	}
+	return rep, nil
 }
 
 func fetchMetrics(client *http.Client, target string) (obs.Snapshot, error) {
@@ -377,8 +543,8 @@ func d(ns int64) string { return time.Duration(ns).Round(time.Microsecond).Strin
 func (r *report) table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "lbload: %d rps for %.0fs against %s (open loop)\n", r.TargetRPS, r.DurationSec, r.Target)
-	fmt.Fprintf(&b, "  requests   %-7d ok %-7d failed %-5d (429=%d 503=%d)  achieved %.1f rps\n",
-		r.Requests, r.OK, r.Failed, r.Rejected429, r.Rejected503, r.AchievedRPS)
+	fmt.Fprintf(&b, "  requests   %-7d ok %-7d failed %-5d sheds %-5d (429=%d 503=%d retries=%d)  achieved %.1f rps\n",
+		r.Requests, r.OK, r.Failed, r.Sheds, r.Rejected429, r.Rejected503, r.Retries, r.AchievedRPS)
 	fmt.Fprintf(&b, "  latency    p50=%-9s p90=%-9s p99=%-9s max=%-9s mean=%s\n",
 		d(r.Latency.P50), d(r.Latency.P90), d(r.Latency.P99), d(r.Latency.Max), d(int64(r.Latency.Mean)))
 	fmt.Fprintf(&b, "   ├ hit     p50=%-9s p99=%-9s (%d served from plan cache)\n",
@@ -386,6 +552,10 @@ func (r *report) table() string {
 	fmt.Fprintf(&b, "   └ miss    p50=%-9s p99=%-9s\n", d(r.MissLatency.P50), d(r.MissLatency.P99))
 	fmt.Fprintf(&b, "  cache      hits %-6d misses %-6d hit-rate %.1f%%  coalesced %d\n",
 		r.Cache.Hits, r.Cache.Misses, 100*r.Cache.HitRate, r.Cache.Coalesced)
+	if r.Cluster != nil {
+		fmt.Fprintf(&b, "  cluster    proxied %-5d failover-local %-4d plans-computed %-5d (unreachable targets: %d)\n",
+			r.Cluster.Proxied, r.Cluster.FailoverLocal, r.Cluster.PlansComputed, r.Cluster.MetricsUnreachable)
+	}
 	return b.String()
 }
 
@@ -411,7 +581,7 @@ func runSweep(rps int, duration time.Duration, seed uint64, specPool int, outPat
 				cap = -1
 			}
 			url, shutdown := startInProcess(w, cap)
-			rep, err := runLoad(url, rps, duration, seed, specPool)
+			rep, err := runLoad([]string{url}, rps, duration, seed, specPool)
 			shutdown()
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "lbload sweep:", err)
@@ -450,7 +620,7 @@ func writeFile(path, text string) {
 // knownSections are the keys of the sectioned BENCH_service.json
 // envelope; anything else in an existing file (e.g. the legacy flat
 // report) is dropped rather than carried along indefinitely.
-var knownSections = map[string]bool{"load": true, "slo": true, "sweep": true}
+var knownSections = map[string]bool{"load": true, "slo": true, "sweep": true, "cluster": true}
 
 // writeJSONSection merges v into the sectioned JSON file at path under
 // the given key, preserving the other known sections so the load smoke

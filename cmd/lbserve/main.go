@@ -26,6 +26,15 @@
 // drain, snapshot, exit 0 — a supervisor restarts the process, which
 // picks the cache back up. -pprof serves net/http/pprof on a separate
 // listener for profiling under load.
+//
+// Cluster mode (-peer-addr, -peers, -join) federates N lbserve processes
+// into one logical service: a consistent-hash ring over canonical spec
+// keys assigns each key an owner, a miss on a non-owner is proxied to
+// the owner so the whole cluster runs the planner once per key, dead
+// peers are excluded from the ring by heartbeat and their key ranges
+// fail over to the survivors, and each node's hottest keys are
+// replicated to their failover successors ahead of time. /healthz gains
+// a cluster section; /metricz gains service.cluster.* counters.
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"bisectlb/internal/cluster"
 	"bisectlb/internal/obs"
 	"bisectlb/internal/service"
 )
@@ -89,6 +99,15 @@ func main() {
 		maxTenants  = flag.Int("max-tenants", 64, "distinct tenant ids tracked before pooling into \"other\"")
 
 		snapshot = flag.String("snapshot", "", "plan cache snapshot path: restored on start, saved on drain (empty disables)")
+
+		peerAddr  = flag.String("peer-addr", "", "cluster peer-protocol listen address (empty = standalone; port 0 picks a free one)")
+		peerAdv   = flag.String("peer-advertise", "", "address peers use to reach this node (default: the bound peer address)")
+		peers     = flag.String("peers", "", "static cluster membership, comma-separated peer addresses")
+		join      = flag.String("join", "", "join an existing cluster through this seed peer")
+		vnodes    = flag.Int("vnodes", 0, "consistent-hash virtual nodes per member (0 = default)")
+		beat      = flag.Duration("peer-heartbeat", 250*time.Millisecond, "cluster heartbeat interval")
+		deadAfter = flag.Duration("peer-dead-after", 0, "silence after which a peer leaves the ring (0 = 4×heartbeat)")
+		hotKeys   = flag.Int("hot-keys", 16, "hottest owned keys replicated to ring successors per interval (negative disables)")
 	)
 	flag.Parse()
 
@@ -132,6 +151,48 @@ func main() {
 		} else if n > 0 {
 			fmt.Printf("lbserve: restored %d cached plans from %s\n", n, *snapshot)
 		}
+	}
+
+	// Cluster mode: bring the peer tier up before the HTTP listener so a
+	// node never serves client traffic with an unwired cluster field.
+	var node *cluster.Node
+	if *peerAddr != "" || *peers != "" || *join != "" {
+		listen := *peerAddr
+		if listen == "" {
+			listen = "127.0.0.1:0"
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		node, err = cluster.Start(cluster.Config{
+			Addr:      listen,
+			Advertise: *peerAdv,
+			Peers:     peerList,
+			VNodes:    *vnodes,
+			Heartbeat: *beat,
+			DeadAfter: *deadAfter,
+			HotKeys:   *hotKeys,
+			Registry:  srv.Registry(),
+			Fill:      srv.ClusterFill,
+			Store:     srv.ClusterStore,
+			Load:      srv.ClusterLoad,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbserve: cluster:", err)
+			os.Exit(1)
+		}
+		defer node.Close()
+		if *join != "" {
+			if err := node.Join(*join); err != nil {
+				fmt.Fprintln(os.Stderr, "lbserve: cluster:", err)
+				os.Exit(1)
+			}
+		}
+		srv.SetCluster(node)
+		fmt.Printf("lbserve: cluster peer %s (%d static peers, join=%q)\n", node.Addr(), len(peerList), *join)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

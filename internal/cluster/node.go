@@ -1,0 +1,638 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bisectlb/internal/dist"
+	"bisectlb/internal/netcoll"
+	"bisectlb/internal/obs"
+)
+
+// Config parameterises a cluster Node. Addr is required; everything else
+// has serving-grade defaults.
+type Config struct {
+	// Addr is the peer-protocol listen address (port 0 picks a free one).
+	Addr string
+	// Advertise is the address peers use to reach this node; default is
+	// the bound listen address (correct for loopback and tests; set it
+	// when listening on a wildcard address).
+	Advertise string
+	// Peers is the static membership list (advertised addresses,
+	// including or excluding self — self is always a member). Empty with
+	// no Join target means a single-node cluster that owns every key.
+	Peers []string
+	// VNodes is the virtual-node count per member (default
+	// DefaultVirtualNodes).
+	VNodes int
+	// Heartbeat is the peer beat interval (default 250ms); DeadAfter the
+	// silence after which a peer leaves the ring (default 4×Heartbeat).
+	// Classification uses the dist failure detector's rule.
+	Heartbeat time.Duration
+	DeadAfter time.Duration
+	// PeerTimeout bounds one peer round trip (default 1s).
+	PeerTimeout time.Duration
+	// HotKeys is how many of this node's hottest owned keys are
+	// replicated to ring successors each replication interval (default
+	// 16; negative disables replication).
+	HotKeys int
+	// ReplInterval is the hot-key replication cadence (default 1s).
+	ReplInterval time.Duration
+	// Replicas is how many distinct successors receive each hot key
+	// (default 1 — the peer that inherits the range on failover).
+	Replicas int
+	// Registry receives the service.cluster.* metrics (default fresh).
+	Registry *obs.Registry
+
+	// Fill produces the plan for a canonical key on the owner: called
+	// when a peer proxies a miss here. body is the canonical JSON
+	// balance request; cached reports whether the plan came from the
+	// local cache (a cluster-wide hit).
+	Fill func(ctx context.Context, key string, body []byte) (plan []byte, cached bool, err error)
+	// Store installs a replicated plan into the local cache; it returns
+	// false if the payload was rejected.
+	Store func(key string, plan []byte) bool
+	// Load reads a cache entry back for replication.
+	Load func(key string) ([]byte, bool)
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes < 1 {
+		c.VNodes = DefaultVirtualNodes
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 250 * time.Millisecond
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 4 * c.Heartbeat
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = time.Second
+	}
+	if c.HotKeys == 0 {
+		c.HotKeys = 16
+	}
+	if c.ReplInterval <= 0 {
+		c.ReplInterval = time.Second
+	}
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// ErrNoOwner reports a fetch attempted with no live owner to ask.
+var ErrNoOwner = errors.New("cluster: no live owner for key")
+
+// maxHotTracked bounds the hot-key accounting map; beyond it, new keys
+// are not tracked until decay frees slots (the hottest keys, by
+// definition, are already in the map).
+const maxHotTracked = 4096
+
+type hotKey struct {
+	hash  uint64
+	count uint64
+}
+
+// Node is one cluster member: the peer server, the membership/liveness
+// state, the ring, and the hot-key replicator. Create with Start, stop
+// with Close. Node implements the service layer's PeerCluster interface.
+type Node struct {
+	cfg    Config
+	self   string
+	reg    *obs.Registry
+	srv    *peerServer
+	client *peerClient
+	beats  *dist.BeatTable
+	ring   atomic.Pointer[Ring]
+
+	mu      sync.Mutex
+	members map[string]bool // every known member incl. self and the dead
+	hot     map[string]*hotKey
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// Start boots a node: listener up, membership seeded from cfg.Peers,
+// heartbeat/reaper/replication loops running. Call Join afterwards to
+// enter an existing cluster through one seed peer instead of (or in
+// addition to) a static list.
+func Start(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		beats:   dist.NewBeatTable(dist.BeatRule{Heartbeat: cfg.Heartbeat, DeadAfter: cfg.DeadAfter}),
+		members: make(map[string]bool),
+		hot:     make(map[string]*hotKey),
+		done:    make(chan struct{}),
+	}
+	srv, err := newPeerServer(cfg.Addr, n.handleFrame, n.reg)
+	if err != nil {
+		return nil, err
+	}
+	n.srv = srv
+	n.self = cfg.Advertise
+	if n.self == "" {
+		n.self = srv.addr()
+	}
+	n.client = newPeerClient(cfg.PeerTimeout, n.reg)
+	n.members[n.self] = true
+	now := time.Now()
+	for _, p := range cfg.Peers {
+		n.addMemberLocked(p, now)
+	}
+	n.rebuildRing()
+	n.wg.Add(2)
+	go n.heartbeatLoop()
+	go n.replLoop()
+	return n, nil
+}
+
+// Addr returns this node's advertised peer address.
+func (n *Node) Addr() string { return n.self }
+
+// Metrics returns the node's metric registry.
+func (n *Node) Metrics() *obs.Registry { return n.reg }
+
+// addMemberLocked registers a member. Registration seeds the beat table
+// (counts as liveness), so a configured peer that never comes up is
+// declared dead DeadAfter later instead of lingering unknown. Caller
+// holds n.mu or is the constructor.
+func (n *Node) addMemberLocked(addr string, now time.Time) bool {
+	if addr == "" || addr == n.self || n.members[addr] {
+		return false
+	}
+	n.members[addr] = true
+	n.beats.BeatAt(addr, now)
+	return true
+}
+
+// Join contacts seed, adopts its membership view, and announces this
+// node; the seed gossips the updated list to the rest of the cluster.
+func (n *Node) Join(seed string) error {
+	resp, err := n.client.roundTrip(seed, &netcoll.PeerFrame{Type: netcoll.PeerJoin, Key: n.self}, time.Time{})
+	if err != nil {
+		return fmt.Errorf("cluster: joining via %s: %w", seed, err)
+	}
+	if resp.Type != netcoll.PeerMembers {
+		return fmt.Errorf("cluster: join response type %d from %s", resp.Type, seed)
+	}
+	n.adoptMembers(string(resp.Body))
+	n.reg.Counter(mJoins).Inc()
+	n.reg.Emit("cluster.join", fmt.Sprintf("%s joined via %s", n.self, seed))
+	return nil
+}
+
+// adoptMembers merges a newline-joined member list and rebuilds the ring
+// if anything changed.
+func (n *Node) adoptMembers(list string) {
+	now := time.Now()
+	changed := false
+	n.mu.Lock()
+	for _, addr := range strings.Split(list, "\n") {
+		if n.addMemberLocked(strings.TrimSpace(addr), now) {
+			changed = true
+		}
+	}
+	n.mu.Unlock()
+	if changed {
+		n.rebuildRing()
+	}
+}
+
+// memberList renders the full membership (incl. self), sorted, for join
+// responses and gossip.
+func (n *Node) memberList() string {
+	n.mu.Lock()
+	out := make([]string, 0, len(n.members))
+	for m := range n.members {
+		out = append(out, m)
+	}
+	n.mu.Unlock()
+	sort.Strings(out)
+	return strings.Join(out, "\n")
+}
+
+// liveMembers returns the members currently considered alive: self plus
+// every peer the failure detector has not declared dead.
+func (n *Node) liveMembers() []string {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	live := make([]string, 0, len(n.members))
+	for m := range n.members {
+		if m == n.self {
+			live = append(live, m)
+			continue
+		}
+		if silent, ok := n.beats.Silence(m, now); !ok || !n.beats.Rule().Dead(silent) {
+			live = append(live, m)
+		}
+	}
+	return live
+}
+
+// rebuildRing swaps in a ring over the current live set, updating the
+// membership gauges. It is cheap enough (sort of members×vnodes points)
+// to run on every reaper tick that observes a change.
+func (n *Node) rebuildRing() {
+	live := n.liveMembers()
+	old := n.ring.Load()
+	if old != nil && sameMembers(old.Members(), live) {
+		return
+	}
+	if old != nil {
+		n.countDeaths(old.Members(), live)
+	}
+	n.ring.Store(BuildRing(live, n.cfg.VNodes))
+	n.mu.Lock()
+	total := len(n.members)
+	n.mu.Unlock()
+	n.reg.Counter(mRebuilds).Inc()
+	n.reg.Gauge(gMembers).Set(int64(total))
+	n.reg.Gauge(gLive).Set(int64(len(live)))
+	n.reg.Emit("cluster.ring", fmt.Sprintf("%s: ring over %d/%d live members", n.self, len(live), total))
+}
+
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sorted := append([]string(nil), b...)
+	sort.Strings(sorted)
+	for i := range a {
+		if a[i] != sorted[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// heartbeatLoop beats every live-or-dead peer (a dead peer that answers
+// again revives) and reaps the ring: deaths and revivals observed by the
+// beat table rebuild the ring on the next tick.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-tick.C:
+			n.mu.Lock()
+			peers := make([]string, 0, len(n.members))
+			for m := range n.members {
+				if m != n.self {
+					peers = append(peers, m)
+				}
+			}
+			n.mu.Unlock()
+			var wg sync.WaitGroup
+			for _, p := range peers {
+				wg.Add(1)
+				go func(addr string) {
+					defer wg.Done()
+					n.reg.Counter(mBeatsSent).Inc()
+					// An answered beat is liveness evidence about the peer
+					// (frame transport is synchronous, so a response proves
+					// the process is serving).
+					resp, err := n.client.roundTrip(addr,
+						&netcoll.PeerFrame{Type: netcoll.PeerBeat, Key: n.self},
+						time.Now().Add(n.cfg.Heartbeat))
+					if err == nil && resp.Type == netcoll.PeerAck {
+						n.noteAlive(addr)
+					}
+				}(p)
+			}
+			wg.Wait()
+			n.rebuildRing()
+		}
+	}
+}
+
+// noteAlive records liveness evidence for a peer, counting a revival if
+// the detector had already declared it dead.
+func (n *Node) noteAlive(addr string) {
+	now := time.Now()
+	if silent, ok := n.beats.Silence(addr, now); ok && n.beats.Rule().Dead(silent) {
+		n.reg.Counter(mRevivals).Inc()
+		n.reg.Emit("cluster.revival", addr+" is answering again")
+	}
+	n.beats.BeatAt(addr, now)
+}
+
+// countDeaths attributes ring-rebuild shrinkage to the peers that left
+// the live set, so the death counter names each failover instead of a
+// bare gauge delta.
+func (n *Node) countDeaths(before, after []string) {
+	dead := make(map[string]bool, len(before))
+	for _, m := range before {
+		dead[m] = true
+	}
+	for _, m := range after {
+		delete(dead, m)
+	}
+	for m := range dead {
+		n.reg.Counter(mDeaths).Inc()
+		n.reg.Emit("cluster.death", m+" declared dead; key range fails over")
+	}
+}
+
+// Owns reports whether this node owns hash under the current ring. A
+// ring with no live members (unreachable in practice — self is always
+// live) defaults to owning, so the service keeps serving.
+func (n *Node) Owns(hash uint64) bool {
+	r := n.ring.Load()
+	if r == nil {
+		return true
+	}
+	owner, ok := r.Owner(hash)
+	return !ok || owner == n.self
+}
+
+// Owner returns the owning peer address for hash and whether it is this
+// node.
+func (n *Node) Owner(hash uint64) (string, bool) {
+	r := n.ring.Load()
+	if r == nil {
+		return n.self, true
+	}
+	owner, ok := r.Owner(hash)
+	if !ok {
+		return n.self, true
+	}
+	return owner, owner == n.self
+}
+
+// Fetch asks hash's owner for the plan of key, sending the canonical
+// request body so the owner can compute on a miss. The bool reports
+// whether the owner served from its cache (a cluster-wide hit). Callers
+// fall back to local compute on error — that is the failover path.
+func (n *Node) Fetch(ctx context.Context, key string, hash uint64, body []byte) ([]byte, bool, error) {
+	owner, self := n.Owner(hash)
+	if self {
+		return nil, false, ErrNoOwner
+	}
+	deadline := time.Now().Add(n.cfg.PeerTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	n.reg.Counter(mFetchSent).Inc()
+	resp, err := n.client.roundTrip(owner, &netcoll.PeerFrame{Type: netcoll.PeerFetch, Key: key, Body: body}, deadline)
+	if err != nil {
+		n.reg.Counter(mFetchErrors).Inc()
+		return nil, false, fmt.Errorf("cluster: fetching %q from %s: %w", key, owner, err)
+	}
+	switch resp.Type {
+	case netcoll.PeerPlan:
+		n.reg.Counter(mFetchOK).Inc()
+		if resp.Cached() {
+			n.reg.Counter(mRemoteHits).Inc()
+		} else {
+			n.reg.Counter(mRemoteFills).Inc()
+		}
+		return resp.Body, resp.Cached(), nil
+	case netcoll.PeerErr:
+		n.reg.Counter(mFetchErrors).Inc()
+		return nil, false, fmt.Errorf("cluster: owner %s: %s", owner, resp.Body)
+	default:
+		n.reg.Counter(mFetchErrors).Inc()
+		return nil, false, fmt.Errorf("cluster: owner %s answered fetch with frame type %d", owner, resp.Type)
+	}
+}
+
+// Touch records a hit on an owned key for hot-key replication.
+func (n *Node) Touch(key string, hash uint64) {
+	if n.cfg.HotKeys < 0 {
+		return
+	}
+	n.mu.Lock()
+	if h, ok := n.hot[key]; ok {
+		h.count++
+	} else if len(n.hot) < maxHotTracked {
+		n.hot[key] = &hotKey{hash: hash, count: 1}
+	}
+	n.mu.Unlock()
+}
+
+// replLoop pushes the top-K hottest owned keys to their ring successors
+// every interval, then decays the counters so the ranking tracks current
+// traffic instead of all-time totals.
+func (n *Node) replLoop() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.ReplInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-tick.C:
+			n.replicateHotKeys()
+		}
+	}
+}
+
+type rankedKey struct {
+	key   string
+	hash  uint64
+	count uint64
+}
+
+// hottest snapshots the top-K owned keys by hit count and decays the
+// accounting map.
+func (n *Node) hottest() []rankedKey {
+	n.mu.Lock()
+	ranked := make([]rankedKey, 0, len(n.hot))
+	for k, h := range n.hot {
+		ranked = append(ranked, rankedKey{key: k, hash: h.hash, count: h.count})
+		h.count /= 2
+		if h.count == 0 {
+			delete(n.hot, k)
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(ranked, func(a, b int) bool {
+		if ranked[a].count != ranked[b].count {
+			return ranked[a].count > ranked[b].count
+		}
+		return ranked[a].key < ranked[b].key
+	})
+	if len(ranked) > n.cfg.HotKeys {
+		ranked = ranked[:n.cfg.HotKeys]
+	}
+	return ranked
+}
+
+func (n *Node) replicateHotKeys() {
+	if n.cfg.HotKeys < 0 || n.cfg.Load == nil {
+		return
+	}
+	r := n.ring.Load()
+	if r == nil || r.Size() < 2 {
+		return
+	}
+	for _, hk := range n.hottest() {
+		// Ownership may have moved since the touch; only the current
+		// owner replicates, and only to peers that would inherit the key.
+		succ := r.Successors(hk.hash, n.cfg.Replicas+1)
+		if len(succ) < 2 || succ[0] != n.self {
+			continue
+		}
+		plan, ok := n.cfg.Load(hk.key)
+		if !ok {
+			continue
+		}
+		for _, target := range succ[1:] {
+			resp, err := n.client.roundTrip(target,
+				&netcoll.PeerFrame{Type: netcoll.PeerRepl, Key: hk.key, Body: plan}, time.Time{})
+			if err == nil && resp.Type == netcoll.PeerAck {
+				n.reg.Counter(mReplPushed).Inc()
+			}
+		}
+	}
+}
+
+// handleFrame is the peer-server dispatch: one request frame in, one
+// response frame out.
+func (n *Node) handleFrame(f *netcoll.PeerFrame) *netcoll.PeerFrame {
+	switch f.Type {
+	case netcoll.PeerBeat:
+		n.reg.Counter(mBeatsRecv).Inc()
+		// A beat from an unknown address is membership evidence (the
+		// sender joined through another peer and gossip is still in
+		// flight); admit it.
+		n.mu.Lock()
+		added := n.addMemberLocked(f.Key, time.Now())
+		n.mu.Unlock()
+		if f.Key != "" && f.Key != n.self {
+			n.noteAlive(f.Key)
+		}
+		if added {
+			n.rebuildRing()
+		}
+		return &netcoll.PeerFrame{Type: netcoll.PeerAck}
+	case netcoll.PeerFetch:
+		return n.handleFetch(f)
+	case netcoll.PeerJoin:
+		n.mu.Lock()
+		added := n.addMemberLocked(f.Key, time.Now())
+		n.mu.Unlock()
+		if added {
+			n.rebuildRing()
+			n.gossipMembers()
+		}
+		return &netcoll.PeerFrame{Type: netcoll.PeerMembers, Body: []byte(n.memberList())}
+	case netcoll.PeerMembers:
+		n.adoptMembers(string(f.Body))
+		return &netcoll.PeerFrame{Type: netcoll.PeerAck}
+	case netcoll.PeerRepl:
+		if n.cfg.Store != nil && f.Key != "" && len(f.Body) > 0 && n.cfg.Store(f.Key, f.Body) {
+			n.reg.Counter(mReplStored).Inc()
+		}
+		return &netcoll.PeerFrame{Type: netcoll.PeerAck}
+	default:
+		return &netcoll.PeerFrame{Type: netcoll.PeerErr, Body: []byte(fmt.Sprintf("unexpected frame type %d", f.Type))}
+	}
+}
+
+// handleFetch serves an owner-side fill: cache or compute via the
+// service callback, bounded by the peer timeout so a wedged fill cannot
+// pin the peer connection forever.
+func (n *Node) handleFetch(f *netcoll.PeerFrame) *netcoll.PeerFrame {
+	n.reg.Counter(mFillRequests).Inc()
+	if n.cfg.Fill == nil {
+		n.reg.Counter(mFillErrors).Inc()
+		return &netcoll.PeerFrame{Type: netcoll.PeerErr, Body: []byte("node has no fill handler")}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.PeerTimeout)
+	defer cancel()
+	plan, cached, err := n.cfg.Fill(ctx, f.Key, f.Body)
+	if err != nil {
+		n.reg.Counter(mFillErrors).Inc()
+		return &netcoll.PeerFrame{Type: netcoll.PeerErr, Body: []byte(err.Error())}
+	}
+	resp := &netcoll.PeerFrame{Type: netcoll.PeerPlan, Body: plan}
+	if cached {
+		resp.Flags |= netcoll.PeerFlagCached
+	}
+	n.Touch(f.Key, fnv1a64(f.Key))
+	return resp
+}
+
+// gossipMembers pushes the membership list to every known peer
+// (fire-and-forget; a peer that misses it learns from beats instead).
+func (n *Node) gossipMembers() {
+	list := n.memberList()
+	n.mu.Lock()
+	peers := make([]string, 0, len(n.members))
+	for m := range n.members {
+		if m != n.self {
+			peers = append(peers, m)
+		}
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		go func(addr string) {
+			_, _ = n.client.roundTrip(addr, &netcoll.PeerFrame{Type: netcoll.PeerMembers, Body: []byte(list)}, time.Time{})
+		}(p)
+	}
+}
+
+// Healthz returns the cluster view for /healthz: self, ring size, and
+// per-peer liveness.
+func (n *Node) Healthz() map[string]any {
+	now := time.Now()
+	r := n.ring.Load()
+	n.mu.Lock()
+	peers := make([]map[string]any, 0, len(n.members))
+	addrs := make([]string, 0, len(n.members))
+	for m := range n.members {
+		addrs = append(addrs, m)
+	}
+	n.mu.Unlock()
+	sort.Strings(addrs)
+	for _, m := range addrs {
+		if m == n.self {
+			continue
+		}
+		silent, tracked := n.beats.Silence(m, now)
+		alive := tracked && !n.beats.Rule().Dead(silent)
+		peers = append(peers, map[string]any{
+			"addr":       m,
+			"alive":      alive,
+			"silence_ms": silent.Milliseconds(),
+		})
+	}
+	live := 0
+	if r != nil {
+		live = r.Size()
+	}
+	return map[string]any{
+		"self":  n.self,
+		"live":  live,
+		"peers": peers,
+	}
+}
+
+// Close stops the loops, the peer server and the client pools.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		n.wg.Wait()
+		n.srv.close()
+		n.client.close()
+	})
+}

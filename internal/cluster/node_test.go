@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a stub serving layer: a thread-safe key→plan map whose
+// Fill "computes" deterministically and counts executions.
+type fakeBackend struct {
+	mu       sync.Mutex
+	store    map[string][]byte
+	computed int
+}
+
+func newFakeBackend() *fakeBackend { return &fakeBackend{store: make(map[string][]byte)} }
+
+func (b *fakeBackend) fill(_ context.Context, key string, body []byte) ([]byte, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p, ok := b.store[key]; ok {
+		return p, true, nil
+	}
+	b.computed++
+	p := []byte("plan(" + key + "|" + string(body) + ")")
+	b.store[key] = p
+	return p, false, nil
+}
+
+func (b *fakeBackend) put(key string, plan []byte) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.store[key] = append([]byte(nil), plan...)
+	return true
+}
+
+func (b *fakeBackend) get(key string) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	p, ok := b.store[key]
+	return p, ok
+}
+
+// testCluster boots k nodes with fake backends on loopback, wired with
+// fast failure-detection timings.
+func testCluster(t *testing.T, k int, tweak func(i int, cfg *Config)) ([]*Node, []*fakeBackend) {
+	t.Helper()
+	nodes := make([]*Node, k)
+	backends := make([]*fakeBackend, k)
+	addrs := make([]string, 0, k)
+	for i := range nodes {
+		b := newFakeBackend()
+		cfg := Config{
+			Addr:         "127.0.0.1:0",
+			Heartbeat:    25 * time.Millisecond,
+			DeadAfter:    150 * time.Millisecond,
+			PeerTimeout:  2 * time.Second,
+			ReplInterval: 50 * time.Millisecond,
+			Fill:         b.fill,
+			Store:        b.put,
+			Load:         b.get,
+		}
+		if tweak != nil {
+			tweak(i, &cfg)
+		}
+		n, err := Start(cfg)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		t.Cleanup(n.Close)
+		nodes[i] = n
+		backends[i] = b
+		addrs = append(addrs, n.Addr())
+	}
+	// Static membership: tell everyone about everyone.
+	for _, n := range nodes {
+		n.adoptMembers(strings.Join(addrs, "\n"))
+	}
+	return nodes, backends
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestClusterOwnershipConsensusAndFetch(t *testing.T) {
+	nodes, backends := testCluster(t, 3, nil)
+	// Every node derives the same owner for every key, and exactly one
+	// node claims ownership.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		hash := fnv1a64(key)
+		owner0, _ := nodes[0].Owner(hash)
+		owners := 0
+		for _, n := range nodes {
+			o, self := n.Owner(hash)
+			if o != owner0 {
+				t.Fatalf("key %s: owner views diverge (%s vs %s)", key, o, owner0)
+			}
+			if self != (n.Addr() == owner0) {
+				t.Fatalf("key %s: self flag inconsistent on %s", key, n.Addr())
+			}
+			if n.Owns(hash) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %s: %d nodes claim ownership", key, owners)
+		}
+	}
+
+	// A fetch from a non-owner computes once on the owner; a second
+	// fetch is a cluster-wide hit.
+	key, body := "fetch-me", []byte(`{"n":4}`)
+	hash := fnv1a64(key)
+	var nonOwner, ownerIdx = -1, -1
+	for i, n := range nodes {
+		if n.Owns(hash) {
+			ownerIdx = i
+		} else if nonOwner < 0 {
+			nonOwner = i
+		}
+	}
+	plan, cached, err := nodes[nonOwner].Fetch(context.Background(), key, hash, body)
+	if err != nil || cached {
+		t.Fatalf("first fetch: cached=%v err=%v", cached, err)
+	}
+	if string(plan) == "" || backends[ownerIdx].computed != 1 {
+		t.Fatalf("owner computed %d times, want 1", backends[ownerIdx].computed)
+	}
+	plan2, cached2, err := nodes[nonOwner].Fetch(context.Background(), key, hash, body)
+	if err != nil || !cached2 || string(plan2) != string(plan) {
+		t.Fatalf("second fetch: cached=%v err=%v plan match=%v", cached2, err, string(plan2) == string(plan))
+	}
+	if backends[ownerIdx].computed != 1 {
+		t.Fatalf("owner recomputed: %d executions", backends[ownerIdx].computed)
+	}
+	// Fetching an owned key is a caller bug the node refuses loudly.
+	if _, _, err := nodes[ownerIdx].Fetch(context.Background(), key, hash, body); err == nil {
+		t.Fatal("owner-side Fetch must refuse")
+	}
+}
+
+func TestClusterFailoverOnDeath(t *testing.T) {
+	nodes, _ := testCluster(t, 3, nil)
+	key := "doomed-key"
+	hash := fnv1a64(key)
+	owner, _ := nodes[0].Owner(hash)
+	var victim *Node
+	var survivors []*Node
+	for _, n := range nodes {
+		if n.Addr() == owner {
+			victim = n
+		} else {
+			survivors = append(survivors, n)
+		}
+	}
+	victim.Close()
+	// Survivors must converge on excluding the victim and agree on a new
+	// owner among themselves.
+	waitFor(t, 3*time.Second, "ring to exclude the dead peer", func() bool {
+		for _, n := range survivors {
+			r := n.ring.Load()
+			if r.Size() != 2 {
+				return false
+			}
+			for _, m := range r.Members() {
+				if m == owner {
+					return false
+				}
+			}
+		}
+		return true
+	})
+	newOwner, _ := survivors[0].Owner(hash)
+	if newOwner == owner {
+		t.Fatal("dead peer still owns its range")
+	}
+	o2, _ := survivors[1].Owner(hash)
+	if o2 != newOwner {
+		t.Fatalf("survivors disagree on the failover owner: %s vs %s", newOwner, o2)
+	}
+	// The key range is servable end to end: a survivor that doesn't own
+	// the key fetches it from the new owner.
+	for _, n := range survivors {
+		if n.Owns(hash) {
+			continue
+		}
+		if _, _, err := n.Fetch(context.Background(), key, hash, []byte("{}")); err != nil {
+			t.Fatalf("fetch after failover: %v", err)
+		}
+	}
+	if d := survivors[0].Metrics().Counter(mDeaths).Value(); d < 1 {
+		t.Fatalf("death counter = %d, want ≥ 1", d)
+	}
+}
+
+func TestClusterJoinAndGossip(t *testing.T) {
+	nodes, _ := testCluster(t, 2, nil)
+	late, err := Start(Config{
+		Addr:      "127.0.0.1:0",
+		Heartbeat: 25 * time.Millisecond,
+		DeadAfter: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(late.Close)
+	if err := late.Join(nodes[0].Addr()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "all three rings to converge", func() bool {
+		for _, n := range append(nodes, late) {
+			if n.ring.Load().Size() != 3 {
+				return false
+			}
+		}
+		return true
+	})
+	// Post-join, ownership is consistent across old and new members.
+	for i := 0; i < 50; i++ {
+		hash := fnv1a64(fmt.Sprintf("post-join-%d", i))
+		want, _ := late.Owner(hash)
+		for _, n := range nodes {
+			if got, _ := n.Owner(hash); got != want {
+				t.Fatalf("post-join owner divergence: %s vs %s", got, want)
+			}
+		}
+	}
+}
+
+func TestClusterHotKeyReplication(t *testing.T) {
+	nodes, backends := testCluster(t, 3, func(_ int, cfg *Config) {
+		cfg.HotKeys = 4
+	})
+	key := "hot-key"
+	hash := fnv1a64(key)
+	var owner *Node
+	var ownerIdx int
+	for i, n := range nodes {
+		if n.Owns(hash) {
+			owner, ownerIdx = n, i
+		}
+	}
+	backends[ownerIdx].put(key, []byte("hot-plan"))
+	for i := 0; i < 32; i++ {
+		owner.Touch(key, hash)
+	}
+	// The ring successor must receive the replica.
+	r := owner.ring.Load()
+	succ := r.Successors(hash, 2)[1]
+	var succBackend *fakeBackend
+	for i, n := range nodes {
+		if n.Addr() == succ {
+			succBackend = backends[i]
+		}
+	}
+	waitFor(t, 3*time.Second, "hot key to replicate to the successor", func() bool {
+		p, ok := succBackend.get(key)
+		return ok && string(p) == "hot-plan"
+	})
+	if v := owner.Metrics().Counter(mReplPushed).Value(); v < 1 {
+		t.Fatalf("repl_pushed = %d, want ≥ 1", v)
+	}
+}
+
+func TestClusterSingleNodeOwnsEverything(t *testing.T) {
+	n, err := Start(Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for i := 0; i < 32; i++ {
+		if !n.Owns(fnv1a64(fmt.Sprintf("solo-%d", i))) {
+			t.Fatal("single-node cluster must own every key")
+		}
+	}
+	h := n.Healthz()
+	if h["self"] == "" || h["live"].(int) != 1 {
+		t.Fatalf("healthz = %v", h)
+	}
+}

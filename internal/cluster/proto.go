@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bisectlb/internal/netcoll"
+	"bisectlb/internal/obs"
+)
+
+// Metric names recorded under the service.cluster.* namespace (the
+// cluster is part of the serving surface; lbload and the X13 study read
+// these back through /metricz like every other service.* counter).
+const (
+	mFetchSent   = "service.cluster.fetch_sent"
+	mFetchOK     = "service.cluster.fetch_ok"
+	mFetchErrors = "service.cluster.fetch_errors"
+	mRemoteHits  = "service.cluster.remote_hits"  // owner answered from its cache
+	mRemoteFills = "service.cluster.remote_fills" // owner computed on our behalf
+
+	mFillRequests = "service.cluster.fill_requests" // owner side: fetches served
+	mFillErrors   = "service.cluster.fill_errors"
+
+	mBeatsSent = "service.cluster.beats_sent"
+	mBeatsRecv = "service.cluster.beats_recv"
+	mDeaths    = "service.cluster.peer_deaths"
+	mRevivals  = "service.cluster.peer_revivals"
+	mRebuilds  = "service.cluster.ring_rebuilds"
+	mJoins     = "service.cluster.joins"
+
+	mReplPushed = "service.cluster.repl_pushed"
+	mReplStored = "service.cluster.repl_stored"
+
+	mInvalidFrames = "service.cluster.invalid_frames"
+
+	gMembers = "service.cluster.members" // known members, dead or alive
+	gLive    = "service.cluster.live"    // members currently in the ring
+)
+
+// maxIdleConnsPerPeer bounds the per-peer idle connection pool. Each
+// round trip holds a connection exclusively, so the pool size is also
+// the per-peer fetch concurrency before new dials.
+const maxIdleConnsPerPeer = 4
+
+// peerHandler processes one decoded request frame and returns the
+// response frame. It must never return nil.
+type peerHandler func(f *netcoll.PeerFrame) *netcoll.PeerFrame
+
+// peerServer accepts peer-protocol connections and answers each request
+// frame with exactly one response frame.
+type peerServer struct {
+	ln      net.Listener
+	handler peerHandler
+	reg     *obs.Registry
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPeerServer(addr string, handler peerHandler, reg *obs.Registry) (*peerServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer listener: %w", err)
+	}
+	s := &peerServer{ln: ln, handler: handler, reg: reg, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *peerServer) addr() string { return s.ln.Addr().String() }
+
+func (s *peerServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *peerServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		f, err := netcoll.ReadPeerFrame(br)
+		if err != nil {
+			// A malformed frame poisons the stream (binary framing cannot
+			// resync); count it and drop the connection. EOF and
+			// connection teardown are the normal exits.
+			if errors.Is(err, netcoll.ErrPeerFrame) {
+				s.reg.Counter(mInvalidFrames).Inc()
+			}
+			return
+		}
+		resp := s.handler(f)
+		resp.Seq = f.Seq
+		if err := netcoll.WritePeerFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *peerServer) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	_ = s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// peerClient maintains small per-peer connection pools and runs
+// synchronous request/response round trips over them. A connection is
+// held exclusively for the duration of one round trip, so responses
+// never interleave; the frame seq is still checked as a cheap guard
+// against a desynchronised stream.
+type peerClient struct {
+	timeout time.Duration
+	reg     *obs.Registry
+
+	mu     sync.Mutex
+	idle   map[string][]net.Conn
+	seq    uint64
+	closed bool
+}
+
+func newPeerClient(timeout time.Duration, reg *obs.Registry) *peerClient {
+	return &peerClient{timeout: timeout, reg: reg, idle: make(map[string][]net.Conn)}
+}
+
+func (c *peerClient) getConn(addr string) (net.Conn, bool, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, net.ErrClosed
+	}
+	if pool := c.idle[addr]; len(pool) > 0 {
+		conn := pool[len(pool)-1]
+		c.idle[addr] = pool[:len(pool)-1]
+		c.mu.Unlock()
+		return conn, true, nil
+	}
+	c.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, c.timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	return conn, false, nil
+}
+
+func (c *peerClient) putConn(addr string, conn net.Conn) {
+	c.mu.Lock()
+	if !c.closed && len(c.idle[addr]) < maxIdleConnsPerPeer {
+		c.idle[addr] = append(c.idle[addr], conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	_ = conn.Close()
+}
+
+// roundTrip sends req to addr and returns the response frame, respecting
+// deadline (zero means the client's default timeout from now). A failure
+// on a pooled connection (the peer may have idled it out) is retried
+// once on a fresh dial; failures on fresh connections are real.
+func (c *peerClient) roundTrip(addr string, req *netcoll.PeerFrame, deadline time.Time) (*netcoll.PeerFrame, error) {
+	if deadline.IsZero() {
+		deadline = time.Now().Add(c.timeout)
+	}
+	c.mu.Lock()
+	c.seq++
+	req.Seq = c.seq
+	c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		conn, pooled, err := c.getConn(addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.exchange(conn, req, deadline)
+		if err == nil {
+			c.putConn(addr, conn)
+			return resp, nil
+		}
+		_ = conn.Close()
+		lastErr = err
+		if !pooled {
+			break // a fresh connection failing is not a stale-pool artifact
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *peerClient) exchange(conn net.Conn, req *netcoll.PeerFrame, deadline time.Time) (*netcoll.PeerFrame, error) {
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := netcoll.WritePeerFrame(conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := netcoll.ReadPeerFrame(bufio.NewReader(conn))
+	if err != nil {
+		return nil, err
+	}
+	if resp.Seq != req.Seq {
+		return nil, fmt.Errorf("cluster: response seq %d for request %d", resp.Seq, req.Seq)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return resp, nil
+}
+
+func (c *peerClient) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, pool := range c.idle {
+		for _, conn := range pool {
+			_ = conn.Close()
+		}
+	}
+	c.idle = make(map[string][]net.Conn)
+}

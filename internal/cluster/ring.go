@@ -1,0 +1,159 @@
+// Package cluster turns N lbserve processes into one logical service.
+//
+// A consistent-hash ring over canonical spec-key hashes assigns each key
+// an owner peer; non-owners proxy misses to the owner over a compact
+// request/response protocol framed by netcoll's peer framing, so the
+// per-process singleflight composes into a cluster-wide single planner
+// execution per key (groupcache's discipline, applied to partition
+// plans). Liveness comes from peer-to-peer heartbeats classified by the
+// same internal/dist failure-detector rule the distributed BA
+// coordinator uses: a dead peer is excluded from the ring, its key range
+// falls over to the survivors, and periodic hot-key replication to ring
+// successors keeps a failover from stampeding the planner.
+//
+// The package is deliberately ignorant of the serving layer: plans move
+// through it as opaque bytes, and the owner-side fill, cache store and
+// cache read are callbacks — internal/service wires them without cluster
+// importing it.
+package cluster
+
+import (
+	"sort"
+	"strconv"
+)
+
+// ringSeed fixes the virtual-node hash so every peer, every process and
+// every test derives the identical ring from the same member list.
+const ringSeed = 0x9e3779b97f4a7c15
+
+// DefaultVirtualNodes is the per-member virtual-node count. More vnodes
+// smooth the key-range split between members at the cost of a larger
+// sorted point array; 64 keeps the max/min owned-range ratio near 1.3
+// for small clusters.
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over member addresses.
+// Lookups binary-search the sorted virtual-node points; membership
+// changes build a new ring (they are rare — a join, a death, a revival)
+// so readers never take a lock.
+type Ring struct {
+	points  []ringPoint
+	members []string // sorted, for Members and stable iteration
+	vnodes  int
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// fnv1a64 is the same inline FNV-1a the service uses for spec keys;
+// duplicated here (it is four lines) to keep cluster free of a service
+// dependency.
+func fnv1a64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 finalises a point hash (splitmix64's mixer): FNV alone clusters
+// the vnode points of one member because consecutive "#i" suffixes
+// differ in few bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pointHash places virtual node i of a member on the ring.
+func pointHash(member string, i int) uint64 {
+	return mix64(fnv1a64(member+"#"+strconv.Itoa(i)) ^ ringSeed)
+}
+
+// BuildRing constructs the ring for the given live members. vnodes < 1
+// uses DefaultVirtualNodes. Duplicate members are collapsed. An empty
+// member list yields a ring that owns nothing (Owner returns "", false).
+func BuildRing(members []string, vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		points:  make([]ringPoint, 0, len(uniq)*vnodes),
+		members: uniq,
+		vnodes:  vnodes,
+	}
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(m, i), member: m})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// A 64-bit point collision is ~never, but break it
+		// deterministically so every peer agrees on the ring.
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// Members returns the ring's live members, sorted.
+func (r *Ring) Members() []string { return r.members }
+
+// Size returns the live member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Owner returns the member owning hash: the member of the first virtual
+// node at or clockwise-after the hash, wrapping at the top. ok is false
+// on an empty ring.
+func (r *Ring) Owner(hash uint64) (member string, ok bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, true
+}
+
+// Successors returns up to n distinct members starting at hash's owner
+// and continuing clockwise — Successors(h, 2)[1] is the member that
+// inherits h if its owner dies, i.e. the natural hot-key replication
+// target.
+func (r *Ring) Successors(hash uint64, n int) []string {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= hash })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"bisectlb/internal/xrand"
+)
+
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:9000", i+1)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossPeers(t *testing.T) {
+	// Every peer builds its ring independently from the member list; the
+	// cluster only works if they all derive identical ownership. Build
+	// twice from differently-ordered (and duplicated) lists.
+	a := BuildRing([]string{"c:1", "a:1", "b:1"}, 32)
+	b := BuildRing([]string{"b:1", "a:1", "c:1", "a:1", ""}, 32)
+	if a.Size() != 3 || b.Size() != 3 {
+		t.Fatalf("sizes %d, %d, want 3", a.Size(), b.Size())
+	}
+	rng := xrand.New(11)
+	for i := 0; i < 10000; i++ {
+		h := rng.Uint64()
+		oa, _ := a.Owner(h)
+		ob, _ := b.Owner(h)
+		if oa != ob {
+			t.Fatalf("hash %x: owners diverge %q vs %q", h, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := BuildRing(nil, 0)
+	if _, ok := empty.Owner(42); ok {
+		t.Fatal("empty ring must own nothing")
+	}
+	if s := empty.Successors(42, 2); s != nil {
+		t.Fatalf("empty ring successors = %v", s)
+	}
+	one := BuildRing([]string{"a:1"}, 0)
+	if o, ok := one.Owner(42); !ok || o != "a:1" {
+		t.Fatalf("single-member ring owner = %q, %v", o, ok)
+	}
+}
+
+// TestRingRemovalRemapsOnlyTheDeadRange is the consistent-hashing
+// contract, exact half: when one member leaves, a key changes owner if
+// and only if the leaver owned it. Nothing else may move.
+func TestRingRemovalRemapsOnlyTheDeadRange(t *testing.T) {
+	rng := xrand.New(1999)
+	for _, n := range []int{2, 3, 5, 8} {
+		members := ringMembers(n)
+		full := BuildRing(members, 0)
+		for _, dead := range []int{0, n / 2, n - 1} {
+			var survivors []string
+			for i, m := range members {
+				if i != dead {
+					survivors = append(survivors, m)
+				}
+			}
+			shrunk := BuildRing(survivors, 0)
+			moved, owned := 0, 0
+			const keys = 20000
+			for i := 0; i < keys; i++ {
+				h := rng.Uint64()
+				before, _ := full.Owner(h)
+				after, _ := shrunk.Owner(h)
+				if before == members[dead] {
+					owned++
+					if after == members[dead] {
+						t.Fatalf("n=%d: dead member still owns key %x", n, h)
+					}
+				} else if before != after {
+					t.Fatalf("n=%d: key %x moved %q→%q though %q died", n, h, before, after, members[dead])
+				} else {
+					continue
+				}
+				moved++
+			}
+			if moved != owned {
+				t.Fatalf("n=%d: moved %d keys, dead member owned %d", n, moved, owned)
+			}
+		}
+	}
+}
+
+// TestRingAdditionBounds is the probabilistic half of the contract:
+// adding one member to an n-member ring moves only keys that move TO the
+// new member (exact), and the moved fraction is ~K/(n+1) (bounded here
+// by 2× the expectation, generous against vnode placement variance).
+func TestRingAdditionBounds(t *testing.T) {
+	rng := xrand.New(7)
+	for _, n := range []int{2, 4, 7} {
+		members := ringMembers(n)
+		joiner := "10.0.1.99:9000"
+		before := BuildRing(members, 0)
+		after := BuildRing(append(append([]string{}, members...), joiner), 0)
+		const keys = 30000
+		moved := 0
+		for i := 0; i < keys; i++ {
+			h := rng.Uint64()
+			ob, _ := before.Owner(h)
+			oa, _ := after.Owner(h)
+			if ob == oa {
+				continue
+			}
+			if oa != joiner {
+				t.Fatalf("n=%d: key %x moved %q→%q, but only the joiner may gain keys", n, h, ob, oa)
+			}
+			moved++
+		}
+		frac := float64(moved) / keys
+		bound := 2.0 / float64(n+1)
+		if frac > bound {
+			t.Fatalf("n=%d: addition moved %.1f%% of keys, bound %.1f%% (~K/n contract)", n, 100*frac, 100*bound)
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: joiner took over no keys at all", n)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndOwnerFirst(t *testing.T) {
+	r := BuildRing(ringMembers(5), 0)
+	rng := xrand.New(3)
+	for i := 0; i < 2000; i++ {
+		h := rng.Uint64()
+		succ := r.Successors(h, 3)
+		if len(succ) != 3 {
+			t.Fatalf("got %d successors, want 3", len(succ))
+		}
+		owner, _ := r.Owner(h)
+		if succ[0] != owner {
+			t.Fatalf("successors[0] = %q, owner = %q", succ[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor %q in %v", s, succ)
+			}
+			seen[s] = true
+		}
+	}
+	// Asking for more successors than members truncates.
+	if got := len(r.Successors(42, 99)); got != 5 {
+		t.Fatalf("capped successors = %d, want 5", got)
+	}
+}
+
+// TestRingBalanceSpread: with vnodes, no member owns a grossly
+// disproportionate key range (max/mean below 2 at the default vnode
+// count — the smoothing vnodes exist to provide).
+func TestRingBalanceSpread(t *testing.T) {
+	members := ringMembers(6)
+	r := BuildRing(members, 0)
+	counts := map[string]int{}
+	rng := xrand.New(23)
+	const keys = 60000
+	for i := 0; i < keys; i++ {
+		o, _ := r.Owner(rng.Uint64())
+		counts[o]++
+	}
+	mean := float64(keys) / float64(len(members))
+	for m, c := range counts {
+		if ratio := float64(c) / mean; ratio > 2 || ratio < 0.4 {
+			t.Fatalf("member %s owns %.2f× the mean key range", m, ratio)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package dist
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// BeatRule is the failure-detector timing rule used by the coordinator's
+// heartbeat loop, exported so other membership layers (internal/cluster's
+// peer ring) apply the identical policy instead of inventing a subtly
+// different one: a member is overdue once it has been silent for more
+// than twice its heartbeat interval, and dead once the silence exceeds
+// DeadAfter.
+type BeatRule struct {
+	// Heartbeat is the expected beat interval.
+	Heartbeat time.Duration
+	// DeadAfter is the silence after which a member is declared dead.
+	DeadAfter time.Duration
+}
+
+// Overdue reports whether a member silent for the given duration has
+// missed enough beats to be suspect (silent > 2×Heartbeat).
+func (r BeatRule) Overdue(silent time.Duration) bool { return silent > 2*r.Heartbeat }
+
+// Dead reports whether a member silent for the given duration should be
+// declared dead (silent > DeadAfter).
+func (r BeatRule) Dead(silent time.Duration) bool { return silent > r.DeadAfter }
+
+// Rule extracts the failure-detector rule from a Timing.
+func (t Timing) Rule() BeatRule {
+	return BeatRule{Heartbeat: t.Heartbeat, DeadAfter: t.DeadAfter}
+}
+
+// BeatTable tracks the last beat heard from each of a set of string-keyed
+// members and classifies them with a BeatRule. It is the concurrent,
+// id-keyed counterpart of the coordinator's per-node lastBeat array: the
+// coordinator owns its array from a single goroutine, while cluster peers
+// record beats from connection readers and classify from a reaper tick,
+// so the table carries its own lock.
+type BeatTable struct {
+	rule BeatRule
+
+	mu   sync.Mutex
+	last map[string]time.Time
+}
+
+// NewBeatTable builds an empty table with the given rule.
+func NewBeatTable(rule BeatRule) *BeatTable {
+	return &BeatTable{rule: rule, last: make(map[string]time.Time)}
+}
+
+// Rule returns the table's timing rule.
+func (t *BeatTable) Rule() BeatRule { return t.rule }
+
+// BeatAt records a beat from id at the given instant. The first beat for
+// an id registers it; registration counts as liveness, so a member that
+// never beats is declared dead DeadAfter after it was first tracked
+// rather than lingering unknown forever.
+func (t *BeatTable) BeatAt(id string, now time.Time) {
+	t.mu.Lock()
+	t.last[id] = now
+	t.mu.Unlock()
+}
+
+// Beat records a beat from id now.
+func (t *BeatTable) Beat(id string) { t.BeatAt(id, time.Now()) }
+
+// Forget drops id from the table (a member administratively removed, as
+// opposed to one that died).
+func (t *BeatTable) Forget(id string) {
+	t.mu.Lock()
+	delete(t.last, id)
+	t.mu.Unlock()
+}
+
+// Silence returns how long id has been silent at now, and whether it is
+// tracked at all.
+func (t *BeatTable) Silence(id string, now time.Time) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	last, ok := t.last[id]
+	if !ok {
+		return 0, false
+	}
+	return now.Sub(last), true
+}
+
+// DeadAt returns the sorted ids whose silence at now exceeds the rule's
+// death threshold.
+func (t *BeatTable) DeadAt(now time.Time) []string {
+	t.mu.Lock()
+	var dead []string
+	for id, last := range t.last {
+		if t.rule.Dead(now.Sub(last)) {
+			dead = append(dead, id)
+		}
+	}
+	t.mu.Unlock()
+	sort.Strings(dead)
+	return dead
+}

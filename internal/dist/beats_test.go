@@ -1,0 +1,63 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestBeatRuleThresholds(t *testing.T) {
+	r := BeatRule{Heartbeat: 10 * time.Millisecond, DeadAfter: 100 * time.Millisecond}
+	if r.Overdue(20 * time.Millisecond) {
+		t.Fatal("exactly 2×heartbeat is not overdue")
+	}
+	if !r.Overdue(21 * time.Millisecond) {
+		t.Fatal("past 2×heartbeat must be overdue")
+	}
+	if r.Dead(100 * time.Millisecond) {
+		t.Fatal("exactly DeadAfter is not dead")
+	}
+	if !r.Dead(101 * time.Millisecond) {
+		t.Fatal("past DeadAfter must be dead")
+	}
+}
+
+func TestTimingRuleMatchesCoordinatorPolicy(t *testing.T) {
+	tm := Timing{Heartbeat: 25 * time.Millisecond, DeadAfter: 90 * time.Millisecond}
+	r := tm.Rule()
+	if r.Heartbeat != tm.Heartbeat || r.DeadAfter != tm.DeadAfter {
+		t.Fatalf("Rule() = %+v, want timing fields %v/%v", r, tm.Heartbeat, tm.DeadAfter)
+	}
+}
+
+func TestBeatTableDeadAndRevival(t *testing.T) {
+	rule := BeatRule{Heartbeat: 10 * time.Millisecond, DeadAfter: 50 * time.Millisecond}
+	tb := NewBeatTable(rule)
+	t0 := time.Unix(1000, 0)
+	tb.BeatAt("a", t0)
+	tb.BeatAt("b", t0)
+	tb.BeatAt("c", t0.Add(40*time.Millisecond))
+
+	if dead := tb.DeadAt(t0.Add(45 * time.Millisecond)); dead != nil {
+		t.Fatalf("nothing dead at +45ms, got %v", dead)
+	}
+	if dead := tb.DeadAt(t0.Add(60 * time.Millisecond)); !reflect.DeepEqual(dead, []string{"a", "b"}) {
+		t.Fatalf("dead at +60ms = %v, want [a b]", dead)
+	}
+	// A fresh beat revives a member.
+	tb.BeatAt("a", t0.Add(60*time.Millisecond))
+	if dead := tb.DeadAt(t0.Add(65 * time.Millisecond)); !reflect.DeepEqual(dead, []string{"b"}) {
+		t.Fatalf("dead after a's revival = %v, want [b]", dead)
+	}
+	// Forget removes without declaring dead.
+	tb.Forget("b")
+	if dead := tb.DeadAt(t0.Add(10 * time.Second)); !reflect.DeepEqual(dead, []string{"a", "c"}) {
+		t.Fatalf("dead after forgetting b = %v, want [a c]", dead)
+	}
+	if _, ok := tb.Silence("b", t0); ok {
+		t.Fatal("forgotten member still tracked")
+	}
+	if s, ok := tb.Silence("c", t0.Add(50*time.Millisecond)); !ok || s != 10*time.Millisecond {
+		t.Fatalf("Silence(c) = %v, %v", s, ok)
+	}
+}

@@ -586,14 +586,15 @@ func (c *Coordinator) Run(root Spec, n int, nodeAddrs []string, timeout time.Dur
 			}
 		case <-ticker.C:
 			tnow := time.Now()
+			rule := c.tm.Rule()
 			for i := 0; i < k; i++ {
 				if !alive[i] {
 					continue
 				}
-				if silent := tnow.Sub(lastBeat[i]); silent > 2*c.tm.Heartbeat {
+				if silent := tnow.Sub(lastBeat[i]); rule.Overdue(silent) {
 					stats.HeartbeatMisses++
 					c.reg.Counter(mHeartbeatMisses).Inc()
-					if silent > c.tm.DeadAfter {
+					if rule.Dead(silent) {
 						declareDead(i, tnow)
 					}
 				}

@@ -1,0 +1,200 @@
+package netcoll
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Peer framing: the wire layer of internal/cluster's peer protocol
+// (plan fetch, heartbeats, membership, hot-key replication). It lives
+// here because it is netcoll's discipline applied to a request/response
+// stream: a compact self-delimiting frame, validated at decode time with
+// hard caps on every attacker-controlled length — the same checkFrame
+// posture that hardened the collective framing (DESIGN.md §11), applied
+// before a single byte of payload is trusted.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic   1 byte  0xB5
+//	version 1 byte  1
+//	type    1 byte  PeerFrameType
+//	flags   1 byte  bit 0: PeerFlagCached
+//	seq     uvarint request/response correlation id
+//	keyLen  uvarint ≤ MaxPeerKeyLen, then key bytes
+//	bodyLen uvarint ≤ MaxPeerBodyLen, then body bytes
+//
+// Every request frame receives exactly one response frame on the same
+// connection, so a reader never needs lookahead beyond one frame.
+
+// PeerFrameType discriminates peer-protocol frames.
+type PeerFrameType byte
+
+// Peer frame types. Requests are odd-ball free: every type is valid in
+// exactly one direction except PeerAck, which answers any request that
+// carries no payload back.
+const (
+	// PeerFetch asks the receiver to produce the plan for Key; Body
+	// carries the canonical JSON balance request.
+	PeerFetch PeerFrameType = 1
+	// PeerPlan answers a fetch: Body is the JSON-encoded plan. The
+	// PeerFlagCached flag records whether the owner served it from its
+	// cache (a cluster-wide hit) or computed it on demand.
+	PeerPlan PeerFrameType = 2
+	// PeerErr answers a fetch that failed; Body is the error text.
+	PeerErr PeerFrameType = 3
+	// PeerBeat is a liveness heartbeat; Key is the sender's peer address.
+	PeerBeat PeerFrameType = 4
+	// PeerJoin asks to join the cluster; Key is the joiner's address.
+	PeerJoin PeerFrameType = 5
+	// PeerMembers answers a join (and gossips membership changes): Body
+	// is the newline-joined member address list.
+	PeerMembers PeerFrameType = 6
+	// PeerRepl pushes a hot cache entry to a ring successor: Key is the
+	// canonical plan key, Body the JSON-encoded plan.
+	PeerRepl PeerFrameType = 7
+	// PeerAck acknowledges a beat, membership gossip or replication push.
+	PeerAck PeerFrameType = 8
+)
+
+// PeerFlagCached marks a PeerPlan served from the owner's cache.
+const PeerFlagCached = 1
+
+// Wire-safety caps, enforced at decode time before any allocation of
+// the declared size.
+const (
+	// MaxPeerKeyLen bounds the canonical-key field. Canonical plan keys
+	// are tens of bytes; peer addresses under a hundred.
+	MaxPeerKeyLen = 4096
+	// MaxPeerBodyLen bounds the payload (a JSON plan; large-N plans run
+	// to megabytes).
+	MaxPeerBodyLen = 16 << 20
+)
+
+const (
+	peerMagic   = 0xB5
+	peerVersion = 1
+)
+
+// ErrPeerFrame marks any malformed peer frame; test with errors.Is.
+var ErrPeerFrame = errors.New("netcoll: malformed peer frame")
+
+// PeerFrame is one decoded peer-protocol frame.
+type PeerFrame struct {
+	Type  PeerFrameType
+	Flags byte
+	Seq   uint64
+	Key   string
+	Body  []byte
+}
+
+// Cached reports the PeerFlagCached flag.
+func (f *PeerFrame) Cached() bool { return f.Flags&PeerFlagCached != 0 }
+
+// AppendPeerFrame appends f's encoding to b and returns the extended
+// slice.
+func AppendPeerFrame(b []byte, f *PeerFrame) []byte {
+	b = append(b, peerMagic, peerVersion, byte(f.Type), f.Flags)
+	b = binary.AppendUvarint(b, f.Seq)
+	b = binary.AppendUvarint(b, uint64(len(f.Key)))
+	b = append(b, f.Key...)
+	b = binary.AppendUvarint(b, uint64(len(f.Body)))
+	b = append(b, f.Body...)
+	return b
+}
+
+// WritePeerFrame encodes f to w in one Write call (one frame, one
+// syscall — interleaving-safe for callers that serialise per connection).
+func WritePeerFrame(w io.Writer, f *PeerFrame) error {
+	buf := AppendPeerFrame(make([]byte, 0, 64+len(f.Key)+len(f.Body)), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint while counting
+// consumed bytes, so varint reads pull exactly what they need.
+type byteReader struct {
+	r io.Reader
+	b [1]byte
+}
+
+func (br *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(br.r, br.b[:]); err != nil {
+		return 0, err
+	}
+	return br.b[0], nil
+}
+
+// ReadPeerFrame decodes one frame from r, validating every field before
+// trusting it: magic and version, a known type, and length caps on key
+// and body. Malformed input fails with an error wrapping ErrPeerFrame;
+// a clean EOF before the first byte returns io.EOF so connection readers
+// can distinguish shutdown from corruption.
+func ReadPeerFrame(r io.Reader) (*PeerFrame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: short header: %v", ErrPeerFrame, err)
+	}
+	if hdr[0] != peerMagic {
+		return nil, fmt.Errorf("%w: bad magic 0x%02x", ErrPeerFrame, hdr[0])
+	}
+	if hdr[1] != peerVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrPeerFrame, hdr[1])
+	}
+	typ := PeerFrameType(hdr[2])
+	if typ < PeerFetch || typ > PeerAck {
+		return nil, fmt.Errorf("%w: unknown type %d", ErrPeerFrame, hdr[2])
+	}
+	br := &byteReader{r: r}
+	seq, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading seq: %v", ErrPeerFrame, err)
+	}
+	keyLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading key length: %v", ErrPeerFrame, err)
+	}
+	if keyLen > MaxPeerKeyLen {
+		return nil, fmt.Errorf("%w: key of %d bytes exceeds limit %d", ErrPeerFrame, keyLen, MaxPeerKeyLen)
+	}
+	key := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return nil, fmt.Errorf("%w: short key: %v", ErrPeerFrame, err)
+	}
+	bodyLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading body length: %v", ErrPeerFrame, err)
+	}
+	if bodyLen > MaxPeerBodyLen {
+		return nil, fmt.Errorf("%w: body of %d bytes exceeds limit %d", ErrPeerFrame, bodyLen, MaxPeerBodyLen)
+	}
+	var body []byte
+	if bodyLen > 0 {
+		// Size-capped but still attacker-declared: grow in bounded steps
+		// so a lying length prefix on a slow connection cannot pin the
+		// full cap up front.
+		body = make([]byte, 0, min64(bodyLen, 64<<10))
+		remaining := bodyLen
+		chunk := make([]byte, min64(remaining, 64<<10))
+		for remaining > 0 {
+			n := min64(remaining, uint64(len(chunk)))
+			if _, err := io.ReadFull(r, chunk[:n]); err != nil {
+				return nil, fmt.Errorf("%w: short body: %v", ErrPeerFrame, err)
+			}
+			body = append(body, chunk[:n]...)
+			remaining -= n
+		}
+	}
+	return &PeerFrame{Type: typ, Flags: hdr[3], Seq: seq, Key: string(key), Body: body}, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

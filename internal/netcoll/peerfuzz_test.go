@@ -1,0 +1,47 @@
+package netcoll
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzPeerFrameDecode hammers the peer-protocol frame decoder with
+// arbitrary bytes. Invariants: the decoder never panics, never returns a
+// frame that violates its own caps, errors either with io.EOF (clean
+// stream end before any byte) or ErrPeerFrame, and any successfully
+// decoded frame re-encodes to bytes that decode back to an identical
+// frame (round-trip stability — the property the cluster peers rely on).
+func FuzzPeerFrameDecode(f *testing.F) {
+	f.Add(AppendPeerFrame(nil, &PeerFrame{Type: PeerFetch, Seq: 7, Key: "f=uniform,s=1|n=64|alg=HF|a=0.1|k=1", Body: []byte(`{"n":64}`)}))
+	f.Add(AppendPeerFrame(nil, &PeerFrame{Type: PeerPlan, Flags: PeerFlagCached, Seq: 7, Body: []byte(`{"parts":[{"id":1}]}`)}))
+	f.Add(AppendPeerFrame(nil, &PeerFrame{Type: PeerBeat, Seq: 1, Key: "127.0.0.1:9001"}))
+	f.Add([]byte{peerMagic, peerVersion, byte(PeerAck)})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadPeerFrame(r)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, ErrPeerFrame) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		if fr.Type < PeerFetch || fr.Type > PeerAck {
+			t.Fatalf("decoded out-of-range type %d", fr.Type)
+		}
+		if len(fr.Key) > MaxPeerKeyLen || len(fr.Body) > MaxPeerBodyLen {
+			t.Fatalf("decoded frame exceeds caps: key=%d body=%d", len(fr.Key), len(fr.Body))
+		}
+		again, err := ReadPeerFrame(bytes.NewReader(AppendPeerFrame(nil, fr)))
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded frame: %v", err)
+		}
+		if again.Type != fr.Type || again.Flags != fr.Flags || again.Seq != fr.Seq ||
+			again.Key != fr.Key || !bytes.Equal(again.Body, fr.Body) {
+			t.Fatalf("round trip drifted:\n got %+v\nwant %+v", again, fr)
+		}
+	})
+}

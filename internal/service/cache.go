@@ -122,6 +122,23 @@ func (c *planCache) Put(key string, plan *Plan) {
 	}
 }
 
+// Peek returns the cached plan for key without promoting it or counting
+// a hit/miss — for observers (replication, snapshots) whose reads are
+// not client traffic. Nil-safe.
+func (c *planCache) Peek(key string) (*Plan, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).plan, true
+}
+
 // Len returns the total number of cached plans. Nil-safe.
 func (c *planCache) Len() int {
 	if c == nil {

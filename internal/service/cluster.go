@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"bisectlb"
+)
+
+// PeerCluster is the slice of a cluster node the serving path needs:
+// ownership routing, the remote fetch, hot-key accounting and the
+// health view. *cluster.Node implements it; the interface exists so
+// service does not import cluster (cluster already calls back into
+// service through Config callbacks, and a cycle would force a merge of
+// two layers that test independently).
+type PeerCluster interface {
+	// Owner returns the owning peer address for a key hash and whether
+	// it is this node.
+	Owner(hash uint64) (addr string, self bool)
+	// Fetch asks the owner for the plan, shipping the canonical request
+	// body so the owner can compute on a miss. The bool reports a
+	// cluster-wide cache hit.
+	Fetch(ctx context.Context, key string, hash uint64, body []byte) (plan []byte, cached bool, err error)
+	// Touch records a hit on an owned key for hot-key replication.
+	Touch(key string, hash uint64)
+	// Healthz returns the peer/ring view for /healthz.
+	Healthz() map[string]any
+}
+
+// SetCluster attaches the server to a cluster node. It must be called
+// before the server starts serving (the field is read without locking
+// on the request path). A nil cluster (the default) serves standalone.
+func (s *Server) SetCluster(pc PeerCluster) { s.cluster = pc }
+
+// clusterFetch proxies a miss to the key's remote owner and installs the
+// returned plan in the local cache, so repeat hits on this node stay
+// local. Runs under the caller's singleflight slot, so concurrent local
+// misses on one key cost one peer round trip.
+func (s *Server) clusterFetch(ctx context.Context, pc PeerCluster, key string, hash uint64, req *BalanceRequest) (*Plan, bool, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false, err
+	}
+	raw, cached, err := pc.Fetch(ctx, key, hash, body)
+	if err != nil {
+		return nil, false, err
+	}
+	var p Plan
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, false, fmt.Errorf("service: owner returned an undecodable plan for %q: %w", key, err)
+	}
+	s.reg.Counter(mClusterProxied).Inc()
+	s.cache.Put(key, &p)
+	s.reg.Counter(mClusterPeerPlans).Inc()
+	return &p, cached, nil
+}
+
+// ClusterFill is the owner-side fill handed to cluster.Config.Fill:
+// serve the plan for key from the local cache, or validate the shipped
+// request body and compute it through the same singleflight + worker
+// pool as a local request — so a storm of proxied misses for one key
+// still runs the planner once, and peer traffic respects the pool's
+// admission bounds.
+func (s *Server) ClusterFill(ctx context.Context, key string, body []byte) ([]byte, bool, error) {
+	if p, ok := s.cache.Get(key); ok {
+		raw, err := json.Marshal(p)
+		return raw, true, err
+	}
+	var req BalanceRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, false, fmt.Errorf("service: peer fill body: %w", err)
+	}
+	req.normalize()
+	if err := req.validate(); err != nil {
+		return nil, false, err
+	}
+	if req.N > s.cfg.MaxN {
+		return nil, false, fmt.Errorf("service: peer fill n=%d exceeds max_n %d", req.N, s.cfg.MaxN)
+	}
+	alg, err := bisectlb.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, false, err
+	}
+	sig := signature(key)
+	plan, _, err := s.sf.Do(ctx, key, func() (*Plan, error) {
+		var (
+			p    *Plan
+			cerr error
+		)
+		rerr := s.pool.Run(ctx, func() {
+			p, cerr = computePlan(&req, alg, sig, s.reg)
+			if cerr == nil {
+				s.cache.Put(key, p)
+			}
+		})
+		if rerr != nil {
+			return nil, rerr
+		}
+		return p, cerr
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	raw, err := json.Marshal(plan)
+	return raw, false, err
+}
+
+// ClusterStore installs a plan replicated from a peer (cluster hot-key
+// replication) into the local cache. Undecodable payloads are rejected.
+func (s *Server) ClusterStore(key string, plan []byte) bool {
+	if key == "" {
+		return false
+	}
+	var p Plan
+	if err := json.Unmarshal(plan, &p); err != nil {
+		return false
+	}
+	s.cache.Put(key, &p)
+	return true
+}
+
+// ClusterLoad reads a cache entry back for replication, without
+// promoting it or touching the hit/miss counters (a replication read is
+// not client traffic).
+func (s *Server) ClusterLoad(key string) ([]byte, bool) {
+	p, ok := s.cache.Peek(key)
+	if !ok {
+		return nil, false
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}

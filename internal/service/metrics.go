@@ -20,6 +20,20 @@ const (
 	mCacheEvictions = "service.cache_evictions"
 	mCoalesced      = "service.singleflight_coalesced"
 
+	// mPlansComputed counts actual planner executions (flat or
+	// interface path). In cluster mode, summing it across nodes proves
+	// the cluster-wide singleflight: N concurrent misses for one key on
+	// N nodes must raise the cluster total by exactly one.
+	mPlansComputed = "service.plans_computed"
+
+	// Cluster-mode serving counters (cluster.go): proxied counts misses
+	// routed to a remote owner, peer_plans_cached counts owner plans
+	// installed into the local cache, failover_local counts misses
+	// computed locally because the owner was unreachable.
+	mClusterProxied   = "service.cluster.proxied"
+	mClusterPeerPlans = "service.cluster.peer_plans_cached"
+	mClusterFailover  = "service.cluster.failover_local"
+
 	mBatchRequests = "service.batch_requests"
 	mBatchItems    = "service.batch_items"
 	mBatchDeduped  = "service.batch_deduped"

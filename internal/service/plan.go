@@ -224,6 +224,7 @@ func servePlan(fp *bisectlb.Plan, req *BalanceRequest, alg bisectlb.Algorithm, s
 // allocation-free fast path; everything else goes through the Problem
 // interface.
 func computePlan(req *BalanceRequest, alg bisectlb.Algorithm, sig string, reg *obs.Registry) (*Plan, error) {
+	reg.Counter(mPlansComputed).Inc()
 	if root, k, ok := flatInputs(req, alg); ok {
 		return computePlanFlat(req, alg, sig, reg, root, k)
 	}

@@ -180,6 +180,14 @@ type Server struct {
 	// drain finished cleanly; /healthz reports it distinctly.
 	drainTimeout atomic.Bool
 	started      time.Time
+	// cluster, when non-nil, routes cache misses for remotely-owned keys
+	// to their owner peer (SetCluster; read lock-free on the request
+	// path, so it must be set before serving starts).
+	cluster PeerCluster
+	// restoredVersion/restoredEntries record the last snapshot restore
+	// for /healthz (0 = no restore has happened).
+	restoredVersion atomic.Int64
+	restoredEntries atomic.Int64
 	// keyBufs pools request-key buffers so canonicalising a request on
 	// the hot path does not allocate (spec.go appendKey).
 	keyBufs sync.Pool
@@ -308,6 +316,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"inflight":  s.reg.Gauge(mInflight).Value(),
 		"cached":    s.cache.Len(),
 	}
+	snapshot := map[string]any{"restored": s.restoredVersion.Load() != 0}
+	if v := s.restoredVersion.Load(); v != 0 {
+		snapshot["restored_version"] = v
+		snapshot["restored_entries"] = s.restoredEntries.Load()
+	}
+	body["snapshot"] = snapshot
+	if s.cluster != nil {
+		body["cluster"] = s.cluster.Healthz()
+	}
 	if s.adm != nil {
 		body["slo"] = map[string]any{
 			"target_p99_ms":  s.cfg.TargetP99.Milliseconds(),
@@ -407,7 +424,8 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 			"service is over its latency SLO; load is being shed")
 		return
 	}
-	sig := signature(key)
+	hash := fnv64aString(key)
+	sig := strconv.FormatUint(hash, 16)
 
 	deadline := s.cfg.DefaultDeadline
 	if req.DeadlineMS > 0 {
@@ -416,7 +434,7 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
-	plan, shared, err := s.sf.Do(ctx, key, func() (*Plan, error) {
+	computeLocal := func() (*Plan, error) {
 		var (
 			p    *Plan
 			cerr error
@@ -434,7 +452,38 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 			return nil, rerr
 		}
 		return p, cerr
-	})
+	}
+
+	// In cluster mode a miss on a remotely-owned key is proxied to its
+	// owner instead of computed here, so the per-node singleflight
+	// composes into one planner execution per key cluster-wide. The
+	// owner being unreachable is the failover path: compute locally and
+	// keep serving. cacheState is written only by the singleflight
+	// leader (followers report a plain coalesced miss), and sf.Do's
+	// internal synchronisation orders that write before any return.
+	fill := computeLocal
+	cacheState := "miss"
+	if pc := s.cluster; pc != nil {
+		if _, self := pc.Owner(hash); !self {
+			fill = func() (*Plan, error) {
+				p, peerCached, ferr := s.clusterFetch(ctx, pc, key, hash, &req)
+				if ferr != nil {
+					s.reg.Counter(mClusterFailover).Inc()
+					return computeLocal()
+				}
+				if peerCached {
+					cacheState = "peer-hit"
+				} else {
+					cacheState = "peer-miss"
+				}
+				return p, nil
+			}
+		} else {
+			pc.Touch(key, hash)
+		}
+	}
+
+	plan, shared, err := s.sf.Do(ctx, key, fill)
 	if shared {
 		s.reg.Counter(mCoalesced).Inc()
 	}
@@ -442,7 +491,7 @@ func (s *Server) handleBalance(w http.ResponseWriter, r *http.Request) {
 		s.rejectComputeError(w, err)
 		return
 	}
-	s.respondPlan(w, BalanceResponse{Plan: *plan, Coalesced: shared}, "miss")
+	s.respondPlan(w, BalanceResponse{Plan: *plan, Cached: cacheState == "peer-hit", Coalesced: shared}, cacheState)
 	s.observeAdmitted(tn, start)
 }
 

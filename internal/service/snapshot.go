@@ -128,6 +128,8 @@ func (s *Server) RestoreCacheSnapshot(r io.Reader) (int, error) {
 		restored++
 	}
 	s.reg.Counter(mCacheRestored).Add(int64(restored))
+	s.restoredVersion.Store(int64(sn.Version))
+	s.restoredEntries.Store(int64(restored))
 	s.reg.Emit("service.cache_restore", fmt.Sprintf("%d plans restored", restored))
 	return restored, nil
 }

@@ -6,7 +6,9 @@
 # be several times slower than the machine that recorded the baseline,
 # so a violation prints a WARN and exits 0 unless BENCH_GATE_STRICT=1,
 # in which case it fails the build. Thresholds live in cmd/lbload/gate.go
-# (achieved rps ≥ 50% of baseline, p99 ≤ 3× baseline).
+# (achieved rps ≥ 50% of baseline, p99 ≤ 3× baseline). The baseline's
+# "cluster" section (the X13 study), when present, is checked under the
+# same warn-only/BENCH_GATE_STRICT policy: it must record a passing run.
 #
 # Usage: scripts/bench_gate.sh [baseline.json]
 set -eu
