@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo sweep-parallel sweep-cluster serve clean sweep-verify
+.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo sweep-parallel sweep-cluster sweep-rebalance serve clean sweep-verify
 
 all: build test
 
@@ -82,15 +82,17 @@ bench-short:
 
 # Documentation lint: gofmt, vet, and scripts/docs_lint.sh (every
 # results/*.txt and BENCH_*.json mentioned in the docs exists; every
-# cmd/* is mentioned in README.md).
+# cmd/* is mentioned in README.md; every internal/* package has a
+# package comment).
 docs-lint:
 	./scripts/docs_lint.sh
 
 # Everything CI runs, in order: vet, the full suite, the race pass, the
 # coverage gate, the short fuzzing pass, the benchmark gates, the docs
 # lint, the serving-perf regression gate (against the old baseline, so it
-# must precede `bench`), the serving-perf smoke, the cluster smoke.
-ci: test race cover fuzz-short bench-short docs-lint bench-gate bench sweep-cluster
+# must precede `bench`), the serving-perf smoke, the cluster smoke, the
+# rebalance smoke.
+ci: test race cover fuzz-short bench-short docs-lint bench-gate bench sweep-cluster sweep-rebalance
 
 # Regenerate the X7 chaos-study table.
 chaos:
@@ -118,6 +120,16 @@ sweep-slo:
 sweep-cluster:
 	mkdir -p results
 	$(GO) run ./cmd/lbload -cluster -rps 200 -duration 3s -seed 1999 -cluster-out results/cluster.txt -json BENCH_service.json
+
+# Regenerate the X14 rebalance study (incremental replanning: patched vs
+# fresh planning as drift grows, DESIGN.md §15). Appends the
+# marker-delimited X14 block to results/dynamic.txt and rewrites the
+# "rebalance" section of BENCH_service.json; exits non-zero if a small
+# drift fails to patch faster than fresh or a patched ratio leaves the
+# band.
+sweep-rebalance:
+	mkdir -p results
+	$(GO) run ./cmd/lbload -rebalance -rebalance-out results/dynamic.txt -json BENCH_service.json
 
 # Run the balancing service locally.
 serve:

@@ -85,6 +85,7 @@ func runGate(baselinePath string, seed uint64, specPool int) int {
 
 	violated := rpsFrac < gateMinRPSFrac || p99Mult > gateMaxP99Mult
 	violated = checkClusterSection(baselinePath) || violated
+	violated = checkRebalanceSection(baselinePath) || violated
 	if !violated {
 		fmt.Println("bench gate: OK — fresh run within the noise envelope of the baseline")
 		return 0
@@ -96,6 +97,49 @@ func runGate(baselinePath string, seed uint64, specPool int) int {
 	}
 	fmt.Println("bench gate: WARN — fresh run outside the envelope; not failing (set BENCH_GATE_STRICT=1 to enforce)")
 	return 0
+}
+
+// checkRebalanceSection sanity-checks the baseline's "rebalance" section
+// (the X14 study): when present it must record a passing run whose small
+// drift cells patched faster than fresh planning. Warn-only under the
+// same BENCH_GATE_STRICT escalation; a baseline without the section is
+// fine.
+func checkRebalanceSection(path string) (violated bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var sections map[string]json.RawMessage
+	if json.Unmarshal(data, &sections) != nil {
+		return false
+	}
+	raw, ok := sections["rebalance"]
+	if !ok {
+		return false
+	}
+	var study x14Study
+	if err := json.Unmarshal(raw, &study); err != nil {
+		fmt.Printf("bench gate: rebalance section unreadable (%v)\n", err)
+		return true
+	}
+	minSpeedup := 0.0
+	for _, c := range study.Cells {
+		if c.DriftMult == x14DriftMult && c.DriftedParts >= 1 && c.DriftedParts <= x14SmallDrift &&
+			(minSpeedup == 0 || c.Speedup < minSpeedup) {
+			minSpeedup = c.Speedup
+		}
+	}
+	fmt.Printf("bench gate: rebalance baseline — %d cells, small-drift speedup ≥ %.1fx, pass=%v\n",
+		len(study.Cells), minSpeedup, study.Pass)
+	if !study.Pass {
+		fmt.Println("bench gate: rebalance section records a FAILING X14 run — regenerate with `make sweep-rebalance`")
+		return true
+	}
+	if minSpeedup > 0 && minSpeedup <= 1 {
+		fmt.Println("bench gate: rebalance baseline shows no patch speedup at small drift")
+		return true
+	}
+	return false
 }
 
 // checkClusterSection sanity-checks the baseline's "cluster" section (the

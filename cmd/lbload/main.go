@@ -19,6 +19,8 @@
 //	                                        # isolation + warm-restart chaos
 //	lbload -cluster                         # X13: 3-node cluster, exactly-once
 //	                                        # planning + mid-sweep node kill
+//	lbload -rebalance                       # X14: incremental replanning —
+//	                                        # patched vs fresh as drift grows
 //	lbload -targets url1,url2,url3 ...      # drive a cluster round-robin
 //	lbload -gate BENCH_service.json         # noise-aware perf gate vs baseline
 //
@@ -29,7 +31,8 @@
 //
 // BENCH_service.json is sectioned: plain runs write {"load": …}, -slo
 // writes {"slo": …}, -sweep writes {"sweep": …}, -cluster writes
-// {"cluster": …}; each mode preserves the other sections.
+// {"cluster": …}, -rebalance writes {"rebalance": …}; each mode
+// preserves the other sections.
 package main
 
 import (
@@ -72,6 +75,8 @@ func main() {
 		clustOut  = flag.String("cluster-out", "results/cluster.txt", "X13 human-readable report file (empty disables)")
 		slo       = flag.Bool("slo", false, "X11 study: overload SLO, tenant isolation and warm-restart chaos in-process")
 		sloOut    = flag.String("slo-out", "results/service_slo.txt", "X11 human-readable report file (empty disables)")
+		rebal     = flag.Bool("rebalance", false, "X14 study: incremental replanning — patched vs fresh planning as drift grows")
+		rebalOut  = flag.String("rebalance-out", "results/dynamic.txt", "X14 human-readable report file, appended marker-delimited (empty disables)")
 		gatePath  = flag.String("gate", "", "compare a fresh in-process smoke against this baseline JSON and exit")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -94,6 +99,17 @@ func main() {
 		study, pass := runSLO(*seed, *duration, *sloOut)
 		if *jsonPath != "" {
 			writeJSONSection(*jsonPath, "slo", study)
+		}
+		if !pass {
+			stopProf()
+			os.Exit(1)
+		}
+		return
+	}
+	if *rebal {
+		study, pass := runRebalance(*rebalOut)
+		if *jsonPath != "" {
+			writeJSONSection(*jsonPath, "rebalance", study)
 		}
 		if !pass {
 			stopProf()
@@ -620,7 +636,7 @@ func writeFile(path, text string) {
 // knownSections are the keys of the sectioned BENCH_service.json
 // envelope; anything else in an existing file (e.g. the legacy flat
 // report) is dropped rather than carried along indefinitely.
-var knownSections = map[string]bool{"load": true, "slo": true, "sweep": true, "cluster": true}
+var knownSections = map[string]bool{"load": true, "slo": true, "sweep": true, "cluster": true, "rebalance": true}
 
 // writeJSONSection merges v into the sectioned JSON file at path under
 // the given key, preserving the other known sections so the load smoke

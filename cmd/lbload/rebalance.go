@@ -1,0 +1,317 @@
+package main
+
+// Experiment X14: incremental replanning — patched-vs-fresh planning
+// latency and ratio degradation as drift grows (EXPERIMENTS.md).
+//
+// One in-process server per drift cell. Each cell warms a prior plan,
+// drifts its k heaviest single-processor parts to a fixed multiple of
+// the mean, and times POST /v1/rebalance patches against POST
+// /v1/balance fresh plans of the same size. Latencies are the
+// server-side planner timings (service.rebalance.patch_ns vs
+// service.compute_ns, windowed via /metricz sums so warmup repetitions
+// are excluded); every repetition perturbs one drift factor in the
+// 1e-9 digits, which lands on a fresh cache key without changing the
+// drift regime.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bisectlb/internal/obs"
+)
+
+// X14 shape: repetitions per cell after warmup, and the drift regime.
+const (
+	x14N          = 2048
+	x14Seed       = 4242
+	x14DriftMult  = 10.0 // drifted parts land at 10× the mean
+	x14Warmup     = 4
+	x14Reps       = 20
+	x14SmallDrift = 8 // cells with ≤ this many drifted parts must beat fresh planning
+)
+
+// x14Cell is one drift magnitude of the study.
+type x14Cell struct {
+	DriftedParts int     `json:"drifted_parts"`
+	DriftMult    float64 `json:"drift_mult"`
+	Outcome      string  `json:"outcome"`
+	Band         float64 `json:"band"`
+	Dirty        int     `json:"dirty"`
+	PriorRatio   float64 `json:"prior_ratio"`
+	PatchedRatio float64 `json:"patched_ratio"`
+	PatchMeanNs  float64 `json:"patch_mean_ns"`
+	FreshMeanNs  float64 `json:"fresh_mean_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// x14Study is the {rebalance} section of BENCH_service.json.
+type x14Study struct {
+	N     int       `json:"n"`
+	Seed  uint64    `json:"seed"`
+	Reps  int       `json:"reps"`
+	Cells []x14Cell `json:"cells"`
+	Pass  bool      `json:"pass"`
+}
+
+// postJSON fires one POST and decodes the body into out (which may be
+// nil to discard). Non-200 statuses are errors.
+func postJSON(client *http.Client, url, path, body string, out any) error {
+	resp, err := client.Post(url+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, buf.String())
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(buf.Bytes(), out)
+}
+
+// x14Plan is the slice of a served plan the study reads back.
+type x14Plan struct {
+	Parts []struct {
+		ID     uint64  `json:"id"`
+		Weight float64 `json:"weight"`
+		Procs  int     `json:"procs"`
+	} `json:"parts"`
+	Total     float64 `json:"total"`
+	Ratio     float64 `json:"ratio"`
+	Signature string  `json:"signature"`
+	Rebalance *struct {
+		Outcome  string  `json:"outcome"`
+		Band     float64 `json:"band"`
+		Dirty    int     `json:"dirty"`
+		Oversize int     `json:"oversize"`
+	} `json:"rebalance"`
+}
+
+// windowedMean returns the mean of a histogram's observations between
+// two snapshots.
+func windowedMean(before, after obs.Snapshot, name string) float64 {
+	b, a := before.Histograms[name], after.Histograms[name]
+	if a.Count <= b.Count {
+		return 0
+	}
+	return float64(a.Sum-b.Sum) / float64(a.Count-b.Count)
+}
+
+// x14Deltas builds the cell's drift vector: the k heaviest 1-processor
+// parts pushed to mult× the mean, with the first factor perturbed in
+// the 1e-9 digits by rep so every repetition misses the drift cache.
+func x14Deltas(prior *x14Plan, k int, mult float64, rep int) string {
+	mean := prior.Total / float64(x14N)
+	idx := make([]int, 0, len(prior.Parts))
+	for i, pt := range prior.Parts {
+		if pt.Procs == 1 {
+			idx = append(idx, i)
+		}
+	}
+	for i := 0; i < k && i < len(idx); i++ { // selection sort: k heaviest first
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if prior.Parts[idx[j]].Weight > prior.Parts[idx[best]].Weight {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i := 0; i < k; i++ {
+		pt := prior.Parts[idx[i]]
+		f := mult * mean / pt.Weight
+		if i == 0 {
+			f *= 1 + 1e-9*float64(rep+1)
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"id":%d,"factor":%g}`, pt.ID, f)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+const x14SpecFmt = `{"spec":{"family":"uniform","lo":0.1,"hi":0.5,"seed":%d},"n":%d,"algorithm":"HF","alpha":0.1%s}`
+
+// runRebalance drives the X14 study and renders its table. pass is false
+// when a request fails, an outcome lands outside its expected regime, a
+// patched ratio escapes the band, or patching a small drift is not
+// faster than fresh planning.
+func runRebalance(outPath string) (*x14Study, bool) {
+	client := &http.Client{}
+	study := &x14Study{N: x14N, Seed: x14Seed, Reps: x14Reps, Pass: true}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lbload rebalance: "+format+"\n", args...)
+		study.Pass = false
+	}
+
+	cells := []struct {
+		k    int
+		mult float64
+	}{
+		// k heaviest parts at 10× the mean spans noop → patched → the
+		// regime where patching does more work than fresh planning; the
+		// final cell concentrates nearly all drifted weight in one part,
+		// crossing the full-replan threshold.
+		{0, x14DriftMult}, {1, x14DriftMult}, {2, x14DriftMult}, {8, x14DriftMult},
+		{32, x14DriftMult}, {128, x14DriftMult}, {512, x14DriftMult},
+		{1, 1e6},
+	}
+	for _, c := range cells {
+		k, mult := c.k, c.mult
+		url, shutdown := startInProcess(0, 1024)
+		var prior x14Plan
+		if err := postJSON(client, url, "/v1/balance", fmt.Sprintf(x14SpecFmt, x14Seed, x14N, ""), &prior); err != nil {
+			fail("prior: %v", err)
+			shutdown()
+			break
+		}
+
+		rebBody := func(rep int) string {
+			deltas := x14Deltas(&prior, k, mult, rep)
+			extra := fmt.Sprintf(`,"prior_signature":%q,"deltas":%s`, prior.Signature, deltas)
+			return fmt.Sprintf(x14SpecFmt, x14Seed, x14N, extra)
+		}
+		var patched x14Plan
+		cellOK := true
+		for rep := 0; rep < x14Warmup && cellOK; rep++ {
+			if err := postJSON(client, url, "/v1/rebalance", rebBody(rep), &patched); err != nil {
+				fail("cell k=%d warmup: %v", k, err)
+				cellOK = false
+			}
+		}
+		before, err := fetchMetrics(client, url)
+		if err != nil {
+			fail("cell k=%d metrics: %v", k, err)
+			cellOK = false
+		}
+		for rep := x14Warmup; rep < x14Warmup+x14Reps && cellOK; rep++ {
+			if err := postJSON(client, url, "/v1/rebalance", rebBody(rep), &patched); err != nil {
+				fail("cell k=%d rep %d: %v", k, rep, err)
+				cellOK = false
+			}
+		}
+		// Fresh-planning reference: same family and size, one unique seed
+		// per repetition so every request computes.
+		for rep := 0; rep < x14Reps && cellOK; rep++ {
+			seed := x14Seed + 1000 + uint64(k*x14Reps+rep)
+			if err := postJSON(client, url, "/v1/balance", fmt.Sprintf(x14SpecFmt, seed, x14N, ""), nil); err != nil {
+				fail("cell k=%d fresh rep %d: %v", k, rep, err)
+				cellOK = false
+			}
+		}
+		after, err := fetchMetrics(client, url)
+		if err != nil {
+			fail("cell k=%d metrics: %v", k, err)
+			cellOK = false
+		}
+		shutdown()
+		if !cellOK {
+			continue
+		}
+
+		cell := x14Cell{
+			DriftedParts: k,
+			DriftMult:    mult,
+			PriorRatio:   prior.Ratio,
+			PatchedRatio: patched.Ratio,
+			PatchMeanNs:  windowedMean(before, after, "service.rebalance.patch_ns"),
+			FreshMeanNs:  windowedMean(before, after, "service.compute_ns"),
+		}
+		if cell.PatchMeanNs > 0 {
+			cell.Speedup = cell.FreshMeanNs / cell.PatchMeanNs
+		}
+		if rb := patched.Rebalance; rb != nil {
+			cell.Outcome, cell.Band, cell.Dirty = rb.Outcome, rb.Band, rb.Dirty
+			if rb.Oversize == 0 && patched.Ratio > rb.Band*(1+1e-6) {
+				fail("cell k=%d: patched ratio %g escapes band %g", k, patched.Ratio, rb.Band)
+			}
+		} else {
+			fail("cell k=%d: response without a rebalance certificate", k)
+		}
+		if k == 0 && cell.Outcome != "noop" {
+			fail("cell k=0: outcome %q, want noop", cell.Outcome)
+		}
+		if mult >= 1e5 && cell.Outcome != "full_replan" {
+			fail("cell k=%d mult=%g: outcome %q, want full_replan", k, mult, cell.Outcome)
+		}
+		if mult == x14DriftMult && k >= 1 && k <= x14SmallDrift {
+			if cell.Outcome != "patched" {
+				fail("cell k=%d: outcome %q, want patched", k, cell.Outcome)
+			}
+			if cell.PatchMeanNs >= cell.FreshMeanNs {
+				fail("cell k=%d: patch mean %.0fns not below fresh mean %.0fns", k, cell.PatchMeanNs, cell.FreshMeanNs)
+			}
+		}
+		study.Cells = append(study.Cells, cell)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "X14 — incremental replanning: patched vs fresh as drift grows\n")
+	fmt.Fprintf(&b, "uniform family, N=%d, HF, α=0.1, seed %d; k heaviest parts drifted to %g× the mean;\n",
+		x14N, uint64(x14Seed), x14DriftMult)
+	fmt.Fprintf(&b, "means over %d repetitions per cell after %d warmup (server-side planner timings)\n\n",
+		x14Reps, x14Warmup)
+	fmt.Fprintf(&b, "| drifted parts | outcome | band | patched ratio | patch mean | fresh mean | speedup |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+	for _, c := range study.Cells {
+		fmt.Fprintf(&b, "| %d | %s | %.2f | %.3f | %s | %s | %.1fx |\n",
+			c.DriftedParts, c.Outcome, c.Band, c.PatchedRatio,
+			d(int64(c.PatchMeanNs)), d(int64(c.FreshMeanNs)), c.Speedup)
+	}
+	if study.Pass {
+		fmt.Fprintf(&b, "\nPASS: small drifts patch faster than fresh planning; ratios stay inside the band\n")
+	} else {
+		fmt.Fprintf(&b, "\nFAIL: see stderr\n")
+	}
+	text := b.String()
+	fmt.Print(text)
+	appendMarkedSection(outPath, "X14", text)
+	return study, study.Pass
+}
+
+// appendMarkedSection idempotently installs text as a marker-delimited
+// block at the end of path, preserving everything outside the markers
+// (results/dynamic.txt also carries the X6 dynamic-drift table).
+func appendMarkedSection(path, name, text string) {
+	if path == "" {
+		return
+	}
+	begin := fmt.Sprintf("=== %s (begin) ===\n", name)
+	end := fmt.Sprintf("=== %s (end) ===\n", name)
+	var keep string
+	if data, err := os.ReadFile(path); err == nil {
+		keep = string(data)
+		if i := strings.Index(keep, begin); i >= 0 {
+			rest := ""
+			if j := strings.Index(keep[i:], end); j >= 0 {
+				rest = keep[i+j+len(end):]
+			}
+			keep = keep[:i] + rest
+		}
+	}
+	if keep = strings.TrimRight(keep, "\n"); keep != "" {
+		keep += "\n\n"
+	}
+	os.MkdirAll(filepath.Dir(path), 0o755)
+	out := keep + begin + text + end
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lbload:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (section %s)\n", path, name)
+}

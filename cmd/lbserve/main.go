@@ -7,6 +7,12 @@
 //	POST /v1/balance:batch  {"items":[<balance request>, …]} — per-item
 //	                        results and errors, one admission slot, in-batch
 //	                        dedup (-batch-max bounds the item count)
+//	POST /v1/rebalance      {<balance request>,"prior_signature":"…",
+//	                         "deltas":[{"id":3,"factor":2.5}, …]} — patch the
+//	                        cached prior plan incrementally instead of
+//	                        replanning from scratch; the response carries a
+//	                        rebalance certificate (outcome, dirty count,
+//	                        band) and per-part group assignments
 //	GET  /healthz
 //	GET  /metricz
 //

@@ -1,0 +1,56 @@
+package bisectlb
+
+import (
+	"bisectlb/internal/core"
+)
+
+// This file is the incremental-replanning facade (DESIGN.md §15).
+//
+// A plan computed by BalanceInto describes the weights the kernel
+// predicted; once the application runs, observed loads drift. Instead of
+// replanning from scratch, a DeltaPlanner locates the parts whose
+// drifted load left the α-band, re-bisects only those subtrees, and
+// splices the fragments back over the pooled processors — returning the
+// prior plan untouched when nothing drifted far enough, and falling back
+// to a bit-identical from-scratch plan when nearly everything did.
+
+// WeightDelta reports observed drift on one part: the part's true load
+// is Factor times its planned weight.
+type WeightDelta = core.WeightDelta
+
+// PatchOptions configures a patch; Alpha is required, everything else
+// has a usable zero value. PatchStats describes what the patch did, and
+// PatchOutcome classifies it (noop / patched / full replan).
+type (
+	PatchOptions = core.PatchOptions
+	PatchStats   = core.PatchStats
+	PatchOutcome = core.PatchOutcome
+)
+
+// Patch outcomes (see core.PatchOutcome).
+const (
+	PatchNoop       = core.PatchNoop
+	PatchPatched    = core.PatchPatched
+	PatchFullReplan = core.PatchFullReplan
+)
+
+// PatchedPlan is the reusable result buffer of a patch: the spliced
+// plan plus the Group/GroupProcs arrays that express several parts
+// sharing one processor — something Plan alone cannot.
+type PatchedPlan = core.PatchedPlan
+
+// DeltaPlanner patches plans against drifted weight vectors. Like
+// Planner it is not safe for concurrent use; pool one per goroutine.
+type DeltaPlanner = core.DeltaPlanner
+
+// NewDeltaPlanner returns a delta planner sized for plans of about n
+// parts. Attach a ParallelPlanner with SetParallel to fan large repairs
+// out across workers and route full replans through the multicore path.
+func NewDeltaPlanner(n int) *DeltaPlanner { return core.NewDeltaPlanner(n) }
+
+// Patch errors, for errors.Is against PatchInto failures.
+var (
+	ErrUnknownPart  = core.ErrUnknownPart
+	ErrBadFactor    = core.ErrBadFactor
+	ErrPlanMismatch = core.ErrPlanMismatch
+)

@@ -1,0 +1,78 @@
+package bisectlb_test
+
+import (
+	"errors"
+	"testing"
+
+	"bisectlb"
+)
+
+// TestDeltaFacade exercises the incremental-replanning facade end to
+// end: a noop patch returns the prior plan object, a moderate drift
+// patches it, and bad input surfaces the exported typed errors.
+func TestDeltaFacade(t *testing.T) {
+	root, kernel, err := bisectlb.NewSyntheticFlat(1, 0.2, 0.5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := bisectlb.NewPlanner(64)
+	prior := &bisectlb.Plan{}
+	if err := bisectlb.BalanceInto(prior, pl, kernel, root, 64,
+		bisectlb.Config{Algorithm: bisectlb.HFAlgorithm, Alpha: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+
+	dp := bisectlb.NewDeltaPlanner(64)
+	pp := &bisectlb.PatchedPlan{}
+	opt := bisectlb.PatchOptions{Alpha: 0.2}
+
+	got, stats, err := dp.PatchInto(pp, kernel, root, prior, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Outcome != bisectlb.PatchNoop || got != prior {
+		t.Fatalf("zero-delta patch: outcome %v, same object %v", stats.Outcome, got == prior)
+	}
+
+	// Drift the heaviest splittable part to 12× the mean: dirty, but far
+	// below the full-replan weight fraction.
+	mean := prior.Total / float64(prior.N)
+	best := -1
+	for i, pt := range prior.Parts {
+		if !pt.Node.Leaf && (best < 0 || pt.Node.Weight > prior.Parts[best].Node.Weight) {
+			best = i
+		}
+	}
+	deltas := []bisectlb.WeightDelta{{
+		ID:     prior.Parts[best].Node.ID,
+		Factor: 12 * mean / prior.Parts[best].Node.Weight,
+	}}
+	got, stats, err = dp.PatchInto(pp, kernel, root, prior, deltas, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Outcome != bisectlb.PatchPatched || got != &pp.Plan {
+		t.Fatalf("drifted patch: outcome %v", stats.Outcome)
+	}
+	if stats.Dirty < 1 || len(pp.GroupProcs) == 0 {
+		t.Fatalf("patched stats %+v with %d groups", stats, len(pp.GroupProcs))
+	}
+	loads := pp.GroupLoads(nil)
+	if len(loads) != len(pp.GroupProcs) {
+		t.Fatalf("%d group loads for %d groups", len(loads), len(pp.GroupProcs))
+	}
+
+	if _, _, err := dp.PatchInto(pp, kernel, root, prior,
+		[]bisectlb.WeightDelta{{ID: 0xdead, Factor: 2}}, opt); !errors.Is(err, bisectlb.ErrUnknownPart) {
+		t.Fatalf("unknown part: %v", err)
+	}
+	if _, _, err := dp.PatchInto(pp, kernel, root, prior,
+		[]bisectlb.WeightDelta{{ID: prior.Parts[0].Node.ID, Factor: -1}}, opt); !errors.Is(err, bisectlb.ErrBadFactor) {
+		t.Fatalf("bad factor: %v", err)
+	}
+	bad := *prior
+	bad.Total *= 2
+	if _, _, err := dp.PatchInto(pp, kernel, root, &bad, nil, opt); !errors.Is(err, bisectlb.ErrPlanMismatch) {
+		t.Fatalf("plan mismatch: %v", err)
+	}
+}

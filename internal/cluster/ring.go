@@ -1,20 +1,3 @@
-// Package cluster turns N lbserve processes into one logical service.
-//
-// A consistent-hash ring over canonical spec-key hashes assigns each key
-// an owner peer; non-owners proxy misses to the owner over a compact
-// request/response protocol framed by netcoll's peer framing, so the
-// per-process singleflight composes into a cluster-wide single planner
-// execution per key (groupcache's discipline, applied to partition
-// plans). Liveness comes from peer-to-peer heartbeats classified by the
-// same internal/dist failure-detector rule the distributed BA
-// coordinator uses: a dead peer is excluded from the ring, its key range
-// falls over to the survivors, and periodic hot-key replication to ring
-// successors keeps a failover from stampeding the planner.
-//
-// The package is deliberately ignorant of the serving layer: plans move
-// through it as opaque bytes, and the owner-side fill, cache store and
-// cache read are callbacks — internal/service wires them without cluster
-// importing it.
 package cluster
 
 import (

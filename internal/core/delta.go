@@ -1,0 +1,881 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/bounds"
+)
+
+// Errors the delta planner reports for malformed patch requests. The
+// serving layer maps them to client errors (4xx), so they must wrap
+// cleanly through errors.Is.
+var (
+	// ErrUnknownPart means a WeightDelta names an ID that is not a part
+	// of the prior plan.
+	ErrUnknownPart = errors.New("core: weight delta names no part of the prior plan")
+	// ErrBadFactor means a WeightDelta carries a non-positive or
+	// non-finite drift factor.
+	ErrBadFactor = errors.New("core: drift factor must be positive and finite")
+	// ErrPlanMismatch means the prior plan does not describe the given
+	// problem root (different total weight, or an empty plan).
+	ErrPlanMismatch = errors.New("core: prior plan does not match the problem root")
+)
+
+// WeightDelta reports observed drift on one part of a prior plan: the
+// part's true load is Factor times its planned weight. Parts not named
+// by any delta are assumed undrifted (factor 1). When one ID appears in
+// several deltas the last one wins.
+type WeightDelta struct {
+	// ID is the part's node ID in the prior plan.
+	ID uint64
+	// Factor is the multiplicative drift: observed/planned load.
+	Factor float64
+}
+
+// PatchOutcome classifies what PatchInto did.
+type PatchOutcome int32
+
+const (
+	// PatchNoop: no part left the α-band; the prior plan is still valid
+	// and PatchInto returned the prior *Plan itself, untouched.
+	PatchNoop PatchOutcome = iota
+	// PatchPatched: the dirty subtrees were re-bisected and spliced back;
+	// the returned plan is dst.Plan with the Group arrays authoritative.
+	PatchPatched
+	// PatchFullReplan: the dirty set crossed FullReplanFrac and the plan
+	// was recomputed from the root — bit-identical to a fresh plan.
+	PatchFullReplan
+)
+
+// String names the outcome for logs and JSON.
+func (o PatchOutcome) String() string {
+	switch o {
+	case PatchNoop:
+		return "noop"
+	case PatchPatched:
+		return "patched"
+	case PatchFullReplan:
+		return "full_replan"
+	}
+	return fmt.Sprintf("PatchOutcome(%d)", int32(o))
+}
+
+// PatchOptions configures a patch. Alpha is required (the α-band and the
+// fresh-replan fallback need the class parameter); everything else has a
+// usable zero value.
+type PatchOptions struct {
+	// Alpha is the bisector class parameter of the prior plan's problem.
+	Alpha float64
+	// Kappa is the BA-HF cutoff parameter; read only when the prior
+	// plan's algorithm is BA-HF.
+	Kappa float64
+	// BandHigh overrides the dirty threshold multiplier B: a part is
+	// dirty when its per-processor drifted load exceeds B times the
+	// drifted mean. Zero means the paper's guarantee bound for the prior
+	// plan's algorithm at Alpha (floored at 2 so the LPT repair bound
+	// max(B, 2−1/P) collapses to B). Values must be > 1.
+	BandHigh float64
+	// FullReplanFrac is the dirty drifted-weight fraction at or above
+	// which PatchInto gives up on patching and replans from scratch.
+	// (Weight, not count: a part is dirty only when its load exceeds
+	// Band ≥ 2 times the mean, so dirty parts are always fewer than
+	// N/Band — a count fraction could never reach 0.5 — while the weight
+	// they carry can approach the whole plan.) Zero means 0.5; a value
+	// > 1 disables the fallback.
+	FullReplanFrac float64
+	// SplitCap bounds the bisections spent repairing one dirty subtree.
+	// Zero means 4·N+64 — far above the ~P fragments any real repair
+	// needs; it exists to bound adversarial inputs, and fragments still
+	// above target when it binds are counted in PatchStats.Oversize.
+	SplitCap int
+	// ParallelDirty is the dirty-subtree count at which the repair fans
+	// out across the parallel planner's workers (when one is attached).
+	// Zero means 32; negative disables the parallel path.
+	ParallelDirty int
+}
+
+func (o PatchOptions) frac() float64 {
+	if o.FullReplanFrac == 0 {
+		return 0.5
+	}
+	return o.FullReplanFrac
+}
+
+func (o PatchOptions) splitCap(n int) int {
+	if o.SplitCap == 0 {
+		return 4*n + 64
+	}
+	return o.SplitCap
+}
+
+func (o PatchOptions) parallelDirty() int {
+	if o.ParallelDirty == 0 {
+		return 32
+	}
+	return o.ParallelDirty
+}
+
+// PatchStats describes what a patch did, for metrics and checkers.
+type PatchStats struct {
+	// Outcome classifies the patch (noop / patched / full replan).
+	Outcome PatchOutcome
+	// Band is the dirty threshold multiplier that was used.
+	Band float64
+	// DriftedTotal is the total weight after applying the deltas.
+	DriftedTotal float64
+	// Dirty is the number of prior parts whose drifted per-processor
+	// load exceeded Band times the drifted mean and were re-bisected.
+	Dirty int
+	// DirtyWeight is the drifted weight those parts carry; its fraction
+	// of DriftedTotal is what the full-replan fallback triggers on.
+	DirtyWeight float64
+	// Donors is the number of clean parts pulled into the repair pool to
+	// bring its mean down to the drifted mean.
+	Donors int
+	// Untouched is the number of prior parts spliced through unchanged
+	// (IDs and processor assignments stable; weights drifted).
+	Untouched int
+	// Pool is P, the processor count of the repair pool — the number of
+	// single-processor groups the pool was packed into.
+	Pool int
+	// PoolItems is the number of nodes packed (fragments plus donors).
+	PoolItems int
+	// Splits is the number of bisections the repair performed.
+	Splits int
+	// Oversize counts pool items that remained above the bin target m
+	// (indivisible leaves, or SplitCap exhaustion). When zero, the
+	// patched ratio obeys the documented max(Band, 2−1/P) bound.
+	Oversize int
+	// OversizeLeaves counts dirty parts that could not be repaired at
+	// all because their node is an indivisible leaf; they are spliced
+	// through untouched and may exceed the band (a fresh plan has the
+	// identical leaf, so no plan does better).
+	OversizeLeaves int
+	// Parallel reports whether the repair used the parallel fan-out.
+	Parallel bool
+}
+
+// PatchedPlan is the result buffer of DeltaPlanner.PatchInto. Plan holds
+// the spliced parts (sorted by ID, stable with the prior plan's and a
+// fresh plan's IDs) with drifted weights; because a repair may place
+// several nodes on one processor — something Plan.Parts cannot express —
+// the parallel Group arrays are authoritative for processor accounting:
+//
+//	Group[i]      — the processor group part i belongs to;
+//	GroupProcs[g] — the processors group g owns (ΣGroupProcs = prior N).
+//
+// Untouched parts are singleton groups keeping their prior processor
+// counts; repair groups own exactly one processor each. Plan.Max and
+// Plan.Ratio are computed over group loads, not part weights, so they
+// remain comparable with a fresh plan's quality measure. Plan inside a
+// PatchedPlan deliberately does not satisfy verify.CheckPlan's per-part
+// processor invariants; use verify.CheckPatchEquivalence instead.
+type PatchedPlan struct {
+	Plan       Plan
+	Group      []int32
+	GroupProcs []int32
+	// Stats describes the last patch written into this buffer (also set
+	// on the noop path, where Plan is left untouched).
+	Stats PatchStats
+}
+
+// GroupLoads appends the per-group drifted loads to dst[:0] and returns
+// it: loads[g] is the summed weight of the parts in group g. Checkers
+// and the serving layer use it to recompute the patched quality measure.
+func (pp *PatchedPlan) GroupLoads(dst []float64) []float64 {
+	dst = dst[:0]
+	for range pp.GroupProcs {
+		dst = append(dst, 0)
+	}
+	for i, pt := range pp.Plan.Parts {
+		dst[pp.Group[i]] += pt.Node.Weight
+	}
+	return dst
+}
+
+// deltaTask is one dirty subtree handed to the repair: split nd (model
+// weights) until every fragment is at most t, then scale fragments by f
+// to drifted weights.
+type deltaTask struct {
+	nd bisect.FlatNode
+	t  float64
+	f  float64
+}
+
+// wcount accumulates one repair worker's counters without sharing.
+type wcount struct {
+	splits   int
+	oversize int
+}
+
+// DeltaPlanner patches a previously computed Plan against a drifted
+// weight vector instead of replanning from scratch (DESIGN.md §15). It
+// wraps a sequential Planner (used to re-bisect dirty subtrees and for
+// the full-replan fallback) and, optionally, the PR 7 ParallelPlanner,
+// whose worker arenas the repair reuses when the dirty set is large.
+//
+// The patch pipeline: apply the deltas to the prior parts, flag every
+// part whose per-processor load exceeds BandHigh times the drifted mean
+// (the α-band dirty rule), pull in the lightest clean parts as donors
+// until the pool's mean is at most the global mean, re-bisect the dirty
+// subtrees until every fragment is at most the pool mean, and LPT-pack
+// fragments plus donors onto the pool's processors. Untouched parts keep
+// their node IDs, weights (drifted) and processor counts — the splice
+// invariant that makes patched plans diffable against the prior plan.
+//
+// A DeltaPlanner is not safe for concurrent use; the serving layer pools
+// them like Planners. The zero value is not ready — use NewDeltaPlanner.
+type DeltaPlanner struct {
+	pl  *Planner
+	par *ParallelPlanner
+
+	factors []float64
+	inPool  []bool
+	dirty   []int32
+	clean   []int32
+	donors  int
+	tasks   []deltaTask
+	frag    Plan
+	order   []int32
+	itemBin []int32
+	binLoad []float64
+	binHeap []int32
+	loads   []float64
+	wc      []wcount
+}
+
+// NewDeltaPlanner returns a DeltaPlanner sized for plans of about n
+// parts, repairing with a private sequential Planner.
+func NewDeltaPlanner(n int) *DeltaPlanner {
+	return &DeltaPlanner{pl: NewPlanner(n)}
+}
+
+// SetParallel attaches a parallel planner: the full-replan fallback
+// routes through it, and repairs with at least PatchOptions.ParallelDirty
+// dirty subtrees fan out across its workers. nil detaches.
+func (dp *DeltaPlanner) SetParallel(par *ParallelPlanner) { dp.par = par }
+
+// SetBucketQueue selects the HF-phase queue of the wrapped planners,
+// exactly as Planner.SetBucketQueue. Output is bit-identical either way.
+func (dp *DeltaPlanner) SetBucketQueue(on bool) {
+	dp.pl.SetBucketQueue(on)
+	if dp.par != nil {
+		dp.par.SetBucketQueue(on)
+	}
+}
+
+// Footprint reports the bytes retained by the delta planner's own
+// scratch plus its wrapped planners, for pool stewardship.
+func (dp *DeltaPlanner) Footprint() int {
+	f := dp.pl.Footprint() +
+		cap(dp.factors)*8 + cap(dp.binLoad)*8 + cap(dp.loads)*8 +
+		(cap(dp.dirty)+cap(dp.clean)+cap(dp.order)+cap(dp.itemBin)+cap(dp.binHeap))*4 +
+		cap(dp.inPool) + cap(dp.tasks)*int(24+8+8) +
+		cap(dp.frag.Parts)*int(48+8)
+	if dp.par != nil {
+		f += dp.par.Footprint()
+	}
+	return f
+}
+
+// patchBand returns the default dirty threshold multiplier for one
+// algorithm: the paper's worst-case ratio guarantee at α (mirroring
+// verify.GuaranteeBound, which core cannot import), floored at 2 so the
+// LPT repair bound max(B, 2−1/P) never exceeds B.
+func patchBand(alg string, alpha, kappa float64, n int) (float64, error) {
+	var b float64
+	switch alg {
+	case "HF", "PHF":
+		b = bounds.RHF(alpha)
+	case "BA":
+		b = bounds.BA(alpha, n)
+	case "BA-HF":
+		if err := bounds.ValidateKappa(kappa); err != nil {
+			return 0, err
+		}
+		b = bounds.BAHF(alpha, kappa)
+		if r := bounds.RHF(alpha); r > b {
+			b = r
+		}
+	default:
+		return 0, fmt.Errorf("core: no α-band bound for algorithm %q", alg)
+	}
+	if b < 2 {
+		b = 2
+	}
+	return b, nil
+}
+
+// findPart binary-searches the ID-sorted parts for id.
+func findPart(parts []FlatPart, id uint64) int {
+	lo, hi := 0, len(parts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if parts[mid].Node.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(parts) && parts[lo].Node.ID == id {
+		return lo
+	}
+	return -1
+}
+
+// PatchInto patches prior against the drifted weights described by
+// deltas, writing the result into dst and returning the plan to serve:
+//
+//   - no part left the band → the prior *Plan itself (dst untouched
+//     except Stats) — the noop contract callers key caching on;
+//   - dirty weight fraction ≥ FullReplanFrac → &dst.Plan holding a from-scratch
+//     plan, bit-identical to planning the root fresh;
+//   - otherwise → &dst.Plan holding the spliced patch, with dst.Group /
+//     dst.GroupProcs describing the repair groups.
+//
+// root must be the same problem root prior was planned from (checked
+// against prior.Total); k must be the matching kernel. The patched
+// ratio obeys max(Band, 2−1/P) whenever Stats.Oversize and
+// Stats.OversizeLeaves are zero — verify.CheckPatchRatio re-derives and
+// checks the realized bound either way.
+func (dp *DeltaPlanner) PatchInto(dst *PatchedPlan, k bisect.Kernel, root bisect.FlatNode, prior *Plan, deltas []WeightDelta, opt PatchOptions) (*Plan, PatchStats, error) {
+	var zero PatchStats
+	if dst == nil || prior == nil {
+		return nil, zero, errors.New("core: PatchInto requires a dst buffer and a prior plan")
+	}
+	if err := plannerValidate(root, prior.N); err != nil {
+		return nil, zero, err
+	}
+	if len(prior.Parts) == 0 {
+		return nil, zero, fmt.Errorf("%w: prior plan has no parts", ErrPlanMismatch)
+	}
+	if root.Weight != prior.Total {
+		return nil, zero, fmt.Errorf("%w: root weight %v vs prior total %v", ErrPlanMismatch, root.Weight, prior.Total)
+	}
+	if err := bounds.ValidateAlpha(opt.Alpha); err != nil {
+		return nil, zero, err
+	}
+	band := opt.BandHigh
+	if band == 0 {
+		b, err := patchBand(prior.Algorithm, opt.Alpha, opt.Kappa, prior.N)
+		if err != nil {
+			return nil, zero, err
+		}
+		band = b
+	} else if !(band > 1) || math.IsInf(band, 0) {
+		return nil, zero, fmt.Errorf("core: BandHigh must be > 1 and finite, got %v", band)
+	}
+
+	parts := prior.Parts
+	dp.factors = growF64(dp.factors, len(parts))
+	for i := range dp.factors {
+		dp.factors[i] = 1
+	}
+	for _, d := range deltas {
+		if !(d.Factor > 0) || math.IsInf(d.Factor, 0) {
+			return nil, zero, fmt.Errorf("%w: part %d factor %v", ErrBadFactor, d.ID, d.Factor)
+		}
+		i := findPart(parts, d.ID)
+		if i < 0 {
+			return nil, zero, fmt.Errorf("%w: id %d", ErrUnknownPart, d.ID)
+		}
+		dp.factors[i] = d.Factor
+	}
+
+	totalD := 0.0
+	for i, pt := range parts {
+		totalD += dp.factors[i] * pt.Node.Weight
+	}
+	meanD := totalD / float64(prior.N)
+	// Tiny relative slack keeps a prior plan sitting exactly on its
+	// guarantee bound from being flagged dirty by its own rounding.
+	thresh := band * meanD * (1 + 1e-9)
+
+	stats := PatchStats{Band: band, DriftedTotal: totalD}
+	dp.dirty = dp.dirty[:0]
+	dirtyW := 0.0
+	for i, pt := range parts {
+		w := dp.factors[i] * pt.Node.Weight
+		if w/float64(pt.Procs) > thresh {
+			if pt.Node.Leaf {
+				stats.OversizeLeaves++
+			} else {
+				dp.dirty = append(dp.dirty, int32(i))
+				dirtyW += w
+			}
+		}
+	}
+	stats.Dirty = len(dp.dirty)
+	stats.DirtyWeight = dirtyW
+	if len(dp.dirty) == 0 {
+		stats.Outcome = PatchNoop
+		stats.Untouched = len(parts)
+		dst.Stats = stats
+		return prior, stats, nil
+	}
+
+	if dirtyW >= opt.frac()*totalD {
+		if err := dp.freshInto(&dst.Plan, k, root, prior, opt); err != nil {
+			return nil, zero, err
+		}
+		dst.Group = growI32(dst.Group, len(dst.Plan.Parts))
+		dst.GroupProcs = growI32(dst.GroupProcs, len(dst.Plan.Parts))
+		for i, pt := range dst.Plan.Parts {
+			dst.Group[i] = int32(i)
+			dst.GroupProcs[i] = pt.Procs
+		}
+		stats.Outcome = PatchFullReplan
+		stats.Splits = dst.Plan.Bisections
+		stats.Untouched = 0
+		dst.Stats = stats
+		return &dst.Plan, stats, nil
+	}
+
+	// Donor selection: pool the dirty parts, then add the lightest clean
+	// single-processor parts until the pool's per-processor mean is at
+	// most the drifted mean (the whole plan's mean is exactly meanD when
+	// processor counts sum to N, so this terminates; if clean parts run
+	// out first the pool mean stays where it is and the realized bound
+	// reported by the checker widens accordingly).
+	dp.inPool = growBool(dp.inPool, len(parts))
+	for i := range dp.inPool {
+		dp.inPool[i] = false
+	}
+	poolW, poolP := 0.0, 0
+	for _, di := range dp.dirty {
+		dp.inPool[di] = true
+		poolW += dp.factors[di] * parts[di].Node.Weight
+		poolP += int(parts[di].Procs)
+	}
+	dp.clean = dp.clean[:0]
+	for i, pt := range parts {
+		if !dp.inPool[i] && pt.Procs == 1 {
+			dp.clean = append(dp.clean, int32(i))
+		}
+	}
+	// Only the lightest few clean parts are needed, so a min-heap pops
+	// them in (load asc, ID asc) order instead of fully sorting the clean
+	// set — the selected donors and their order are exactly a full sort's
+	// prefix, at O(n + d·log n) instead of O(n·log n).
+	cn := len(dp.clean)
+	for i := cn/2 - 1; i >= 0; i-- {
+		siftLoadMin(parts, dp.factors, dp.clean, i, cn)
+	}
+	dp.donors = 0
+	heapN := cn
+	for heapN > 0 && poolW > meanD*float64(poolP) {
+		ci := dp.clean[0]
+		heapN--
+		dp.clean[0], dp.clean[heapN] = dp.clean[heapN], ci
+		siftLoadMin(parts, dp.factors, dp.clean, 0, heapN)
+		dp.inPool[ci] = true
+		poolW += dp.factors[ci] * parts[ci].Node.Weight
+		poolP++
+		dp.donors++
+	}
+	stats.Donors = dp.donors
+	stats.Pool = poolP
+	m := poolW / float64(poolP)
+
+	// Repair: split every dirty subtree until its fragments' drifted
+	// weights are at most the bin target m. Within one prior part the
+	// drift factor is a single scalar, so the split runs on model
+	// weights against the model threshold m/f and scales the fragments
+	// afterwards — the kernels conserve weight bitwise, so this is exact.
+	limit := opt.splitCap(prior.N)
+	dp.tasks = dp.tasks[:0]
+	for _, di := range dp.dirty {
+		f := dp.factors[di]
+		dp.tasks = append(dp.tasks, deltaTask{nd: parts[di].Node, t: m / f, f: f})
+	}
+	dp.frag.Parts = dp.frag.Parts[:0]
+	pd := opt.parallelDirty()
+	if dp.par != nil && pd > 0 && len(dp.tasks) >= pd && dp.par.opt.workers() >= 2 {
+		dp.splitParallel(k, limit, &stats)
+	} else {
+		for _, t := range dp.tasks {
+			start := len(dp.frag.Parts)
+			s, ov := dp.pl.thresholdExpand(&dp.frag, k, t.nd, t.t, limit)
+			stats.Splits += s
+			stats.Oversize += ov
+			for j := start; j < len(dp.frag.Parts); j++ {
+				dp.frag.Parts[j].Node.Weight *= t.f
+			}
+		}
+	}
+	for i := 0; i < dp.donors; i++ {
+		di := dp.clean[cn-1-i] // pop order: lightest donor first
+		nd := parts[di].Node
+		nd.Weight *= dp.factors[di]
+		dp.frag.Parts = append(dp.frag.Parts, FlatPart{Node: nd, Procs: 1})
+	}
+	items := dp.frag.Parts
+	stats.PoolItems = len(items)
+
+	// LPT packing: items heaviest-first into the least-loaded of P
+	// single-processor bins (min-heap keyed load-then-index, so ties are
+	// deterministic). With every item at most m this bounds the heaviest
+	// bin by (2−1/P)·m ≤ Band·mean; the general greedy bound mean+max
+	// holds regardless and is what CheckPatchRatio verifies.
+	P := poolP
+	dp.order = growI32(dp.order, len(items))
+	for i := range dp.order {
+		dp.order[i] = int32(i)
+	}
+	sortIdxByItemWeightDesc(items, dp.order)
+	dp.binLoad = growF64(dp.binLoad, P)
+	dp.binHeap = growI32(dp.binHeap, P)
+	for i := 0; i < P; i++ {
+		dp.binLoad[i] = 0
+		dp.binHeap[i] = int32(i)
+	}
+	dp.itemBin = growI32(dp.itemBin, len(items))
+	for _, oi := range dp.order {
+		b := dp.binHeap[0]
+		dp.itemBin[oi] = b
+		dp.binLoad[b] += items[oi].Node.Weight
+		siftBinDown(dp.binLoad, dp.binHeap, 0)
+	}
+
+	// Splice: untouched parts pass through with drifted weights as
+	// singleton groups (stable IDs, stable processor counts), then the
+	// pool items land in their bins' groups. The untouched parts inherit
+	// the prior plan's canonical ascending-ID order, so merging them with
+	// the ID-sorted items restores the canonical order in O(n + i·log i)
+	// instead of re-sorting the whole plan.
+	dst.Plan.reset(prior.Algorithm+"+patch", prior.N, totalD)
+	gp := dst.GroupProcs[:0]
+	for i, pt := range parts {
+		if dp.inPool[i] {
+			continue
+		}
+		nd := pt.Node
+		nd.Weight *= dp.factors[i]
+		dst.Plan.Parts = append(dst.Plan.Parts, FlatPart{Node: nd, Procs: pt.Procs})
+		gp = append(gp, pt.Procs)
+	}
+	u := len(gp)
+	stats.Untouched = u
+	for b := 0; b < P; b++ {
+		gp = append(gp, 1)
+	}
+	dst.GroupProcs = gp
+
+	// dp.order is free again after the LPT pass; reuse it for the item ID
+	// order, then merge backwards (reads of the untouched prefix stay
+	// ahead of the write cursor, so the merge is in place).
+	for i := range dp.order {
+		dp.order[i] = int32(i)
+	}
+	sortIdxByItemIDAsc(items, dp.order)
+	total := u + len(items)
+	dst.Plan.Parts = append(dst.Plan.Parts, items...)
+	grp := growI32(dst.Group, total)
+	pi, j := u-1, len(items)-1
+	for w := total - 1; w >= 0; w-- {
+		if j < 0 || (pi >= 0 && dst.Plan.Parts[pi].Node.ID > items[dp.order[j]].Node.ID) {
+			dst.Plan.Parts[w] = dst.Plan.Parts[pi]
+			grp[w] = int32(pi)
+			pi--
+		} else {
+			oi := dp.order[j]
+			dst.Plan.Parts[w] = items[oi]
+			grp[w] = int32(u) + dp.itemBin[oi]
+			j--
+		}
+	}
+	dst.Group = grp
+
+	// Summary over group loads, so Max/Ratio stay comparable with a
+	// fresh plan's quality measure.
+	dp.loads = dst.GroupLoads(dp.loads)
+	maxL := 0.0
+	for _, l := range dp.loads {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	maxD := int32(0)
+	for _, pt := range dst.Plan.Parts {
+		if pt.Node.Depth > maxD {
+			maxD = pt.Node.Depth
+		}
+	}
+	dst.Plan.Max = maxL
+	dst.Plan.MaxDepth = int(maxD)
+	dst.Plan.Ratio = bisect.Ratio(maxL, totalD, prior.N)
+	dst.Plan.Bisections = stats.Splits
+	stats.Outcome = PatchPatched
+	dst.Stats = stats
+	return &dst.Plan, stats, nil
+}
+
+// freshInto recomputes the plan from the root with the prior plan's
+// algorithm — the full-replan fallback. It routes through the attached
+// parallel planner when present (which itself falls back sequentially
+// for HF/PHF and small plans), so the output is bit-identical to a
+// fresh plan either way.
+func (dp *DeltaPlanner) freshInto(plan *Plan, k bisect.Kernel, root bisect.FlatNode, prior *Plan, opt PatchOptions) error {
+	n := prior.N
+	switch prior.Algorithm {
+	case "HF":
+		if dp.par != nil {
+			return dp.par.HFInto(plan, k, root, n)
+		}
+		return dp.pl.HFInto(plan, k, root, n)
+	case "PHF":
+		if dp.par != nil {
+			return dp.par.PHFInto(plan, k, root, n, opt.Alpha)
+		}
+		return dp.pl.PHFInto(plan, k, root, n, opt.Alpha)
+	case "BA":
+		if dp.par != nil {
+			return dp.par.BAInto(plan, k, root, n)
+		}
+		return dp.pl.BAInto(plan, k, root, n)
+	case "BA-HF":
+		if dp.par != nil {
+			return dp.par.BAHFInto(plan, k, root, n, opt.Alpha, opt.Kappa)
+		}
+		return dp.pl.BAHFInto(plan, k, root, n, opt.Alpha, opt.Kappa)
+	default:
+		return fmt.Errorf("core: cannot replan algorithm %q", prior.Algorithm)
+	}
+}
+
+// splitParallel fans the dirty-subtree repairs out across the attached
+// parallel planner's workers with the same atomic-cursor discipline as
+// planInto. Fragment order differs from the sequential path but the
+// LPT sort and the final ID sort are total orders over unique IDs, so
+// the patched plan is bit-identical either way (pinned by
+// TestPatchParityAcrossConfigs).
+func (dp *DeltaPlanner) splitParallel(k bisect.Kernel, limit int, stats *PatchStats) {
+	w := dp.par.opt.workers()
+	dp.par.ensureWorkers(w)
+	active := dp.par.workers[:w]
+	if cap(dp.wc) < w {
+		dp.wc = make([]wcount, w)
+	}
+	dp.wc = dp.wc[:w]
+	for i := range dp.wc {
+		dp.wc[i] = wcount{}
+	}
+	for _, pw := range active {
+		pw.plan.Parts = pw.plan.Parts[:0]
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi, pw := range active {
+		wg.Add(1)
+		go func(wi int, pw *pworker) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(dp.tasks) {
+					return
+				}
+				t := dp.tasks[i]
+				start := len(pw.plan.Parts)
+				s, ov := pw.pl.thresholdExpand(&pw.plan, k, t.nd, t.t, limit)
+				for j := start; j < len(pw.plan.Parts); j++ {
+					pw.plan.Parts[j].Node.Weight *= t.f
+				}
+				dp.wc[wi].splits += s
+				dp.wc[wi].oversize += ov
+			}
+		}(wi, pw)
+	}
+	wg.Wait()
+	for wi, pw := range active {
+		dp.frag.Parts = append(dp.frag.Parts, pw.plan.Parts...)
+		stats.Splits += dp.wc[wi].splits
+		stats.Oversize += dp.wc[wi].oversize
+	}
+	stats.Parallel = true
+}
+
+// thresholdExpand splits nd depth-first until every fragment weighs at
+// most t, appending fragments to plan.Parts (Procs 1) and returning the
+// bisection count plus the number of fragments still above t
+// (indivisible leaves, or the split limit binding). Unlike hfExpandHeap
+// the stopping rule is a weight threshold, not a part count, so the
+// fragment set is independent of expansion order — what makes the
+// repair's parallel fan-out bit-identical to the sequential path.
+func (pl *Planner) thresholdExpand(plan *Plan, k bisect.Kernel, nd bisect.FlatNode, t float64, limit int) (splits, oversize int) {
+	pl.stack = append(pl.stack[:0], baFrame{nd, 1})
+	for len(pl.stack) > 0 {
+		fr := pl.stack[len(pl.stack)-1]
+		pl.stack = pl.stack[:len(pl.stack)-1]
+		if fr.nd.Weight <= t || fr.nd.Leaf || splits >= limit {
+			if fr.nd.Weight > t {
+				oversize++
+			}
+			plan.Parts = append(plan.Parts, FlatPart{Node: fr.nd, Procs: 1})
+			continue
+		}
+		c1, c2 := k.Split(fr.nd)
+		splits++
+		pl.stack = append(pl.stack, baFrame{c2, 1}, baFrame{c1, 1})
+	}
+	return splits, oversize
+}
+
+// growF64 and friends resize scratch slices without reallocating when
+// capacity suffices.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// loadLess orders ascending drifted per-proc load, then ascending ID —
+// the donor selection order. siftLoadMin maintains a min-heap of that
+// order so the donor loop pops the lightest clean part in O(log n)
+// without sorting the full clean set.
+func loadLess(parts []FlatPart, factors []float64, a, b int32) bool {
+	la := factors[a] * parts[a].Node.Weight / float64(parts[a].Procs)
+	lb := factors[b] * parts[b].Node.Weight / float64(parts[b].Procs)
+	if la != lb {
+		return la < lb
+	}
+	return parts[a].Node.ID < parts[b].Node.ID
+}
+
+func siftLoadMin(parts []FlatPart, factors []float64, idx []int32, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && loadLess(parts, factors, idx[r], idx[l]) {
+			small = r
+		}
+		if !loadLess(parts, factors, idx[small], idx[i]) {
+			return
+		}
+		idx[i], idx[small] = idx[small], idx[i]
+		i = small
+	}
+}
+
+// sortIdxByItemWeightDesc heap-sorts idx so the referenced items come
+// heaviest first, ties broken by smaller ID — the LPT packing order.
+func sortIdxByItemWeightDesc(items []FlatPart, idx []int32) {
+	n := len(idx)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftItem(items, idx, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		idx[0], idx[end] = idx[end], idx[0]
+		siftItem(items, idx, 0, end)
+	}
+}
+
+// itemLess orders descending weight then ascending ID; siftItem builds a
+// min-heap of that order so the heapsort leaves idx heaviest-first.
+func itemLess(items []FlatPart, a, b int32) bool {
+	if items[a].Node.Weight != items[b].Node.Weight {
+		return items[a].Node.Weight > items[b].Node.Weight
+	}
+	return items[a].Node.ID < items[b].Node.ID
+}
+
+func siftItem(items []FlatPart, idx []int32, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		last := l
+		if r := l + 1; r < n && itemLess(items, idx[l], idx[r]) {
+			last = r
+		}
+		if !itemLess(items, idx[i], idx[last]) {
+			return
+		}
+		idx[i], idx[last] = idx[last], idx[i]
+		i = last
+	}
+}
+
+// siftBinDown restores the min-heap property of the bin heap at i; the
+// heap orders bins by (load asc, index asc) so LPT tie-breaks are
+// deterministic.
+func siftBinDown(load []float64, heap []int32, i int) {
+	n := len(heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		small := l
+		if r := l + 1; r < n && binLess(load, heap[r], heap[l]) {
+			small = r
+		}
+		if !binLess(load, heap[small], heap[i]) {
+			return
+		}
+		heap[i], heap[small] = heap[small], heap[i]
+		i = small
+	}
+}
+
+func binLess(load []float64, a, b int32) bool {
+	if load[a] != load[b] {
+		return load[a] < load[b]
+	}
+	return a < b
+}
+
+// sortIdxByItemIDAsc heap-sorts idx so the referenced items come in
+// ascending ID order — the canonical part order the splice merge
+// interleaves with the untouched prefix.
+func sortIdxByItemIDAsc(items []FlatPart, idx []int32) {
+	n := len(idx)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftItemID(items, idx, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		idx[0], idx[end] = idx[end], idx[0]
+		siftItemID(items, idx, 0, end)
+	}
+}
+
+func siftItemID(items []FlatPart, idx []int32, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		big := l
+		if r := l + 1; r < n && items[idx[r]].Node.ID > items[idx[l]].Node.ID {
+			big = r
+		}
+		if items[idx[big]].Node.ID <= items[idx[i]].Node.ID {
+			return
+		}
+		idx[i], idx[big] = idx[big], idx[i]
+		i = big
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"bisectlb/internal/bisect"
+)
+
+func BenchmarkPatchOneDirty(b *testing.B) {
+	root := bisect.SyntheticFlatRoot(1, 4242)
+	k := bisect.SyntheticKernel{Lo: 0.1, Hi: 0.5}
+	pl := NewPlanner(2048)
+	prior := &Plan{}
+	if err := pl.HFInto(prior, k, root, 2048); err != nil {
+		b.Fatal(err)
+	}
+	mean := prior.Total / float64(prior.N)
+	best := -1
+	for i, pt := range prior.Parts {
+		if !pt.Node.Leaf && (best < 0 || pt.Node.Weight > prior.Parts[best].Node.Weight) {
+			best = i
+		}
+	}
+	deltas := []WeightDelta{{ID: prior.Parts[best].Node.ID, Factor: 10 * mean / prior.Parts[best].Node.Weight}}
+	dp := NewDeltaPlanner(2048)
+	pp := &PatchedPlan{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dp.PatchInto(pp, k, root, prior, deltas, PatchOptions{Alpha: 0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFreshHF2048(b *testing.B) {
+	root := bisect.SyntheticFlatRoot(1, 4242)
+	k := bisect.SyntheticKernel{Lo: 0.1, Hi: 0.5}
+	pl := NewPlanner(2048)
+	plan := &Plan{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := pl.HFInto(plan, k, root, 2048); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

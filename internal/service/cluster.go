@@ -67,6 +67,12 @@ func (s *Server) ClusterFill(ctx context.Context, key string, body []byte) ([]by
 		raw, err := json.Marshal(p)
 		return raw, true, err
 	}
+	// Drift keys carry a rebalance body, not a balance body: route them
+	// to the patch path (decoding them as a BalanceRequest would silently
+	// drop the deltas and cache a fresh plan under the drift key).
+	if isDriftKey(key) {
+		return s.clusterFillRebalance(ctx, key, body)
+	}
 	var req BalanceRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		return nil, false, fmt.Errorf("service: peer fill body: %w", err)

@@ -60,6 +60,19 @@ const (
 	mCacheSnapshotted = "service.cache_snapshotted"
 	mCacheRestored    = "service.cache_restored"
 
+	// Incremental replanning (rebalance.go): requests counts
+	// POST /v1/rebalance arrivals; noop/patched/full_replans classify the
+	// patch outcomes actually computed (cache hits re-serve a prior
+	// outcome and count only as requests); prior_computed counts patches
+	// whose prior plan was not cached and had to be replanned first;
+	// patch_ns times the PatchInto call alone.
+	mRebalanceRequests      = "service.rebalance.requests"
+	mRebalanceNoop          = "service.rebalance.noop"
+	mRebalancePatched       = "service.rebalance.patched"
+	mRebalanceFullReplans   = "service.rebalance.full_replans"
+	mRebalancePriorComputed = "service.rebalance.prior_computed"
+	mRebalancePatchNs       = "service.rebalance.patch_ns"
+
 	// Planner-pool stewardship (plan.go): puts count scratches returned
 	// to the pools, drops count scratches discarded instead because one
 	// oversized request had ballooned their retained buffers. Parallel

@@ -15,6 +15,10 @@ type PartPlan struct {
 	Weight float64 `json:"weight"`
 	Procs  int     `json:"procs"`
 	Depth  int     `json:"depth"`
+	// Group, on a patched rebalance plan, indexes the processor group
+	// this part shares (RebalanceInfo.GroupProcs); absent (0, the first
+	// group) outside rebalance responses.
+	Group int `json:"group,omitempty"`
 }
 
 // Plan is the cacheable body of a balance response: the partition plus
@@ -37,6 +41,15 @@ type Plan struct {
 	MaxDepth   int     `json:"max_depth"`
 	// Signature is the short hex digest of the request's canonical key.
 	Signature string `json:"signature"`
+	// Rebalance carries the patch certificate on plans served by
+	// /v1/rebalance (rebalance.go); nil on /v1/balance plans.
+	Rebalance *RebalanceInfo `json:"rebalance,omitempty"`
+
+	// flat retains the plan's allocation-free form so /v1/rebalance can
+	// patch it without replanning. Set only for plans computed on this
+	// node through the flat path — it deliberately does not survive JSON,
+	// so peer-fetched and snapshot-restored plans recompute their prior.
+	flat *bisectlb.Plan
 }
 
 // BalanceResponse wraps a plan with per-request serving metadata.
@@ -171,7 +184,9 @@ func computePlanFlat(req *BalanceRequest, alg bisectlb.Algorithm, sig string, re
 		}
 		reg.Histogram(mComputeNs).ObserveSince(start)
 		reg.Counter(mPlannerPoolParallel).Inc()
-		return servePlan(&sc.plan, req, alg, sig), nil
+		plan := servePlan(&sc.plan, req, alg, sig)
+		plan.flat = cloneFlat(&sc.plan)
+		return plan, nil
 	}
 	sc := plannerPool.Get().(*plannerScratch)
 	defer putPlannerScratch(reg, sc)
@@ -180,7 +195,17 @@ func computePlanFlat(req *BalanceRequest, alg bisectlb.Algorithm, sig string, re
 		return nil, err
 	}
 	reg.Histogram(mComputeNs).ObserveSince(start)
-	return servePlan(&sc.plan, req, alg, sig), nil
+	plan := servePlan(&sc.plan, req, alg, sig)
+	plan.flat = cloneFlat(&sc.plan)
+	return plan, nil
+}
+
+// cloneFlat deep-copies a flat plan out of its pooled scratch buffer, so
+// the cached served plan can retain it for /v1/rebalance to patch.
+func cloneFlat(fp *bisectlb.Plan) *bisectlb.Plan {
+	c := *fp
+	c.Parts = append([]bisectlb.FlatPart(nil), fp.Parts...)
+	return &c
 }
 
 // servePlan maps a flat plan into the served Plan, reconstructing

@@ -210,6 +210,7 @@ func New(cfg Config) *Server {
 	s.keyBufs.New = func() any { b := make([]byte, 0, 128); return &b }
 	s.mux.HandleFunc("/v1/balance", s.handleBalance)
 	s.mux.HandleFunc("/v1/balance:batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/rebalance", s.handleRebalance)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
 	return s

@@ -1,0 +1,17 @@
+// Package verify is the property-based verification subsystem: executable
+// forms of the paper's theorems, callable from any test and from the
+// lbverify sweep command. It provides three layers:
+//
+//   - invariant checkers (verify.go, patch.go): structural partition
+//     invariants, the per-bisection α-band, the algorithm-specific
+//     worst-case ratio guarantees, the parity identities (PHF ≡ HF, flat
+//     planner ≡ interface algorithms), and the incremental-patch
+//     invariants (splice structure and patched-ratio band, DESIGN.md §15);
+//   - a shared randomized instance generator (gen.go), seeded and
+//     shrinkable, reused by property tests across packages;
+//   - a sweep engine (sweep.go) that grid-searches (α, N, family, seed)
+//     far beyond Table 1 and reports the minimal failing instance.
+//
+// verify deliberately depends only on internal packages (never the root
+// facade), so the facade's own tests can use it without an import cycle.
+package verify

@@ -239,6 +239,44 @@ func CheckInstance(pl *core.Planner, in Instance, tol float64) (checks int, fail
 			check("BA-HF/flat", CheckPlan(&plan, in.N, tol))
 			check("BA-HF/flat", CheckPlanGuarantee(&plan, in.Alpha, in.Kappa))
 		}
+
+		// Patch path (DESIGN.md §15): drift a seeded handful of parts and
+		// verify the delta planner's splice and ratio bounds, plus the
+		// zero-delta noop identity.
+		dp := core.NewDeltaPlanner(in.N)
+		opt := core.PatchOptions{Alpha: in.Alpha, Kappa: in.Kappa}
+		for _, alg := range []string{"HF", "BA-HF"} {
+			var prior core.Plan
+			var err error
+			if alg == "HF" {
+				err = pl.HFInto(&prior, k, root, in.N)
+			} else {
+				err = pl.BAHFInto(&prior, k, root, in.N, in.Alpha, in.Kappa)
+			}
+			if err != nil {
+				fail("patch/"+alg, err)
+				continue
+			}
+			checks++
+			if got, stats, err := dp.PatchInto(&core.PatchedPlan{}, k, root, &prior, nil, opt); err != nil {
+				fail("patch/"+alg, err)
+			} else if stats.Outcome != core.PatchNoop || got != &prior {
+				fail("patch/"+alg, violationf("patch", "zero-delta patch was not a noop on the prior object"))
+			}
+			deltas := DriftFor(in, &prior)
+			var pp core.PatchedPlan
+			got, stats, err := dp.PatchInto(&pp, k, root, &prior, deltas, opt)
+			if err != nil {
+				fail("patch/"+alg, err)
+				continue
+			}
+			checks++
+			if stats.Outcome == core.PatchNoop && got != &prior {
+				fail("patch/"+alg, violationf("patch", "noop outcome returned a new plan object"))
+			}
+			check("patch/"+alg, CheckPatchEquivalence(&pp, &prior, deltas, tol))
+			check("patch/"+alg, CheckPatchRatio(&pp, &prior, deltas, in.Alpha, in.Kappa, tol))
+		}
 	}
 	return checks, fails
 }

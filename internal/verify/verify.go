@@ -1,18 +1,3 @@
-// Package verify is the property-based verification subsystem: executable
-// forms of the paper's theorems, callable from any test and from the
-// lbverify sweep command. It provides three layers:
-//
-//   - invariant checkers (this file): structural partition invariants,
-//     the per-bisection α-band, the algorithm-specific worst-case ratio
-//     guarantees, and the parity identities (PHF ≡ HF, flat planner ≡
-//     interface algorithms);
-//   - a shared randomized instance generator (gen.go), seeded and
-//     shrinkable, reused by property tests across packages;
-//   - a sweep engine (sweep.go) that grid-searches (α, N, family, seed)
-//     far beyond Table 1 and reports the minimal failing instance.
-//
-// verify deliberately depends only on internal packages (never the root
-// facade), so the facade's own tests can use it without an import cycle.
 package verify
 
 import (

@@ -9,6 +9,8 @@
 #      reference an artifact that was renamed or never regenerated.
 #   4. Every command under cmd/ is mentioned in README.md, so new
 #      binaries cannot ship undocumented.
+#   5. Every internal/* package has a "// Package <name>" comment in some
+#      non-test .go file, so packages cannot ship without a godoc entry.
 #
 # Run from the repo root (make docs-lint does).
 set -eu
@@ -42,6 +44,25 @@ for dir in cmd/*/; do
     name=$(basename "$dir")
     if ! grep -q "$name" README.md; then
         echo "docs-lint: cmd/$name is not mentioned in README.md" >&2
+        fail=1
+    fi
+done
+
+echo "docs-lint: package comments under internal/"
+for dir in internal/*/; do
+    name=$(basename "$dir")
+    found=0
+    for f in "$dir"*.go; do
+        [ -f "$f" ] || continue
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q "^// Package $name " "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "docs-lint: internal/$name has no package comment ('// Package $name …')" >&2
+        echo "           (add a doc.go; godoc is part of the deliverable)" >&2
         fail=1
     fi
 done
