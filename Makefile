@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo sweep-parallel sweep-cluster sweep-rebalance serve clean sweep-verify
+.PHONY: all build test race cover fuzz-short bench bench-core bench-short bench-gate docs-lint ci chaos sweep sweep-slo sweep-parallel sweep-cluster sweep-rebalance sweep-real serve clean sweep-verify
 
 all: build test
 
@@ -37,6 +37,8 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz '^FuzzHandlers$$' -fuzztime $(FUZZTIME) ./internal/service
 	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/netcoll
 	$(GO) test -run '^$$' -fuzz '^FuzzPeerFrameDecode$$' -fuzztime $(FUZZTIME) ./internal/netcoll
+	$(GO) test -run '^$$' -fuzz '^FuzzGraphLoader$$' -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz '^FuzzMatrixLoader$$' -fuzztime $(FUZZTIME) ./internal/spatial
 
 # Guarantee sweep: lbverify's randomized grid over (α, N, family) with
 # every paper invariant checked on every instance (EXPERIMENTS.md X10).
@@ -91,8 +93,21 @@ docs-lint:
 # coverage gate, the short fuzzing pass, the benchmark gates, the docs
 # lint, the serving-perf regression gate (against the old baseline, so it
 # must precede `bench`), the serving-perf smoke, the cluster smoke, the
-# rebalance smoke.
-ci: test race cover fuzz-short bench-short docs-lint bench-gate bench sweep-cluster sweep-rebalance
+# rebalance smoke, the real-instance sweep.
+ci: test race cover fuzz-short bench-short docs-lint bench-gate bench sweep-cluster sweep-rebalance sweep-real
+
+# Regenerate the X15 real-instance study (EXPERIMENTS.md X15): the
+# randomized guarantee sweep restricted to the graph and spatial
+# families — every invariant checked against the realized α̂ of each run
+# — then the fixed-roster study that rewrites results/real.txt and the
+# {real} section of BENCH_core.json (timing cells preserved). Both
+# halves exit non-zero on any measured-bound violation. CI smoke mode:
+# SWEEP_REAL_INSTANCES=200.
+SWEEP_REAL_INSTANCES ?= 1200
+sweep-real:
+	mkdir -p results
+	$(GO) run ./cmd/lbverify -sweep -instances $(SWEEP_REAL_INSTANCES) -seed 1999 -families graph,spatial
+	$(GO) run ./cmd/lbsim -exp real -seed 1999 > /dev/null
 
 # Regenerate the X7 chaos-study table.
 chaos:

@@ -59,6 +59,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbbench:", err)
 		os.Exit(1)
 	}
+	if *jsonPath != "" {
+		// The {real} section belongs to `lbsim -exp real`; re-timing the
+		// grid must not drop it.
+		if prev, err := bench.LoadSuite(*jsonPath); err == nil {
+			s.Real = prev.Real
+		}
+	}
 	if err := s.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lbbench:", err)
 		os.Exit(1)

@@ -2,34 +2,41 @@
 // Section 4 — the κ-influence study, the variance study and the
 // non-power-of-two processor-count study — plus studies this
 // reproduction adds: the weight-estimation robustness sweep, the BA
-// split-rule quality ablation and the chaos study of the fault-tolerant
-// distributed runtime. -exp all runs every study.
+// split-rule quality ablation, the chaos study of the fault-tolerant
+// distributed runtime, and the X15 real-instance study (graph and
+// spatial bisectors checked against their measured r_α̂ bounds, written
+// to results/real.txt and the {real} section of BENCH_core.json).
+// -exp all runs every study.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
+	"bisectlb/internal/bench"
 	"bisectlb/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "study to run: kappa | variance | oddn | robustness | splitrule | dynamic | endtoend | chaos | all")
-		trials = flag.Int("trials", 1000, "trials per configuration")
-		maxLog = flag.Int("maxlog", 14, "largest log2 N for the sweeps")
-		seed   = flag.Uint64("seed", 1999, "random seed")
+		exp      = flag.String("exp", "all", "study to run: kappa | variance | oddn | robustness | splitrule | dynamic | endtoend | chaos | real | all")
+		trials   = flag.Int("trials", 1000, "trials per configuration")
+		maxLog   = flag.Int("maxlog", 14, "largest log2 N for the sweeps")
+		seed     = flag.Uint64("seed", 1999, "random seed")
+		realOut  = flag.String("real-out", "results/real.txt", "X15 table file (empty disables)")
+		realJSON = flag.String("real-json", "BENCH_core.json", "suite file whose {real} section the X15 study rewrites, timing cells preserved (empty disables)")
 	)
 	flag.Parse()
 
 	// Reject unknown experiment names before any study runs, so a typo
 	// exits immediately instead of after minutes of sweeps.
 	switch *exp {
-	case "all", "kappa", "variance", "oddn", "robustness", "splitrule", "endtoend", "dynamic", "chaos":
+	case "all", "kappa", "variance", "oddn", "robustness", "splitrule", "endtoend", "dynamic", "chaos", "real":
 	default:
 		fmt.Fprintf(os.Stderr,
-			"lbsim: unknown experiment %q (want kappa, variance, oddn, robustness, splitrule, endtoend, dynamic, chaos or all)\n", *exp)
+			"lbsim: unknown experiment %q (want kappa, variance, oddn, robustness, splitrule, endtoend, dynamic, chaos, real or all)\n", *exp)
 		os.Exit(2)
 	}
 
@@ -114,4 +121,53 @@ func main() {
 		}
 		return experiments.RenderChaosStudy(os.Stdout, cfg, rows)
 	})
+	run("real", func() error {
+		cfg := experiments.DefaultRealStudy(*seed)
+		rows, err := experiments.RunRealStudy(cfg)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderRealStudy(os.Stdout, cfg, rows); err != nil {
+			return err
+		}
+		if *realOut != "" {
+			if err := writeTo(*realOut, func(f *os.File) error {
+				return experiments.RenderRealStudy(f, cfg, rows)
+			}); err != nil {
+				return err
+			}
+		}
+		if *realJSON != "" {
+			// Merge, don't overwrite: the timing cells belong to lbbench;
+			// this study only owns the {real} section.
+			s, err := bench.LoadSuite(*realJSON)
+			if err != nil {
+				return fmt.Errorf("cannot merge {real} section: %w", err)
+			}
+			s.Real = rows
+			if err := writeTo(*realJSON, func(f *os.File) error { return s.WriteJSON(f) }); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// writeTo renders into path, creating parent directories as needed.
+func writeTo(path string, render func(*os.File) error) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := render(f); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "lbsim: wrote", path)
+	return nil
 }

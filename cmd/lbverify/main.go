@@ -3,7 +3,9 @@
 // every invariant the verify subsystem knows — structural partition
 // contracts, the per-bisection α-band, the HF/PHF/BA/BA-HF worst-case
 // ratio guarantees, flat-planner ≡ interface parity, and PHF ≡ HF parity
-// on the tie-free family (EXPERIMENTS.md X10; DESIGN.md §11).
+// on the tie-free family (EXPERIMENTS.md X10; DESIGN.md §11). The two
+// real-instance families (graph, spatial) check guarantees against the
+// realized α̂ of each run — the measured bound r_α̂ (DESIGN.md §16).
 //
 // Every failure is shrunk to a minimal reproduction and printed with the
 // fields needed to replay it; the exit status is nonzero if any
@@ -11,7 +13,7 @@
 //
 //	lbverify -sweep                       # 10⁴ instances, seed 1
 //	lbverify -sweep -instances 100000     # go deeper
-//	lbverify -sweep -seed 7 -families uniform,list
+//	lbverify -sweep -seed 7 -families graph,spatial
 package main
 
 import (
@@ -30,7 +32,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "instance-stream seed (same seed replays the same sweep)")
 		maxN      = flag.Int("maxn", 2048, "cap on generated processor counts")
 		tol       = flag.Float64("tol", 1e-9, "relative tolerance for weight-conservation checks")
-		families  = flag.String("families", "", "comma-separated family subset (uniform,fixed,list,fem); empty = all")
+		families  = flag.String("families", "", "comma-separated family subset (uniform,fixed,list,fem,graph,spatial); empty = all")
 		progress  = flag.Bool("v", false, "print progress every 1000 instances")
 	)
 	flag.Parse()

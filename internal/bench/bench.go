@@ -21,9 +21,11 @@
 package bench
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"time"
@@ -111,6 +113,24 @@ type Measurement struct {
 	Ratio float64 `json:"ratio"`
 }
 
+// RealMeasurement is one row of the X15 real-instance study
+// (cmd/lbsim -exp real): a planner run over an actual graph or spatial
+// instance, with the realized bisection quality α̂ and the measured
+// worst-case bound r_α̂ it was checked against (DESIGN.md §16). Bound is
+// 0 when the measured bound does not apply (the instance bottomed out
+// on indivisible parts before reaching N parts).
+type RealMeasurement struct {
+	Family    string  `json:"family"`
+	Instance  string  `json:"instance"`
+	Algorithm string  `json:"algorithm"`
+	N         int     `json:"n"`
+	Parts     int     `json:"parts"`
+	AlphaMin  float64 `json:"alpha_min"`
+	AlphaMean float64 `json:"alpha_mean"`
+	Ratio     float64 `json:"ratio"`
+	Bound     float64 `json:"bound,omitempty"`
+}
+
 // Suite is the full harness outcome, the schema of BENCH_core.json.
 type Suite struct {
 	Schema    string `json:"schema"`
@@ -122,13 +142,19 @@ type Suite struct {
 	MaxProcs    int           `json:"maxprocs"`
 	BenchtimeNs int64         `json:"benchtime_ns"`
 	Cells       []Measurement `json:"cells"`
+	// Real is the X15 real-instance section, written by
+	// `cmd/lbsim -exp real` (`make sweep-real`) and preserved verbatim
+	// by lbbench when it rewrites the timing cells.
+	Real []RealMeasurement `json:"real,omitempty"`
 }
 
 // SchemaID versions BENCH_core.json; bump on incompatible change.
 // v2: cells carry mode/workers, the suite records maxprocs, and the
 // scale cells (α=0.3, N ∈ {2^16, 2^20}, seq/par and heap/bucket) join
 // the grid.
-const SchemaID = "bisectlb-bench-core/v2"
+// v3: the optional {real} section carries the X15 real-instance
+// measurements (measured ratio vs the r_α̂ bound).
+const SchemaID = "bisectlb-bench-core/v3"
 
 // RunCore runs the whole grid — base cells then scale cells — spending
 // about benchtime per cell (minimum one iteration, so a tiny benchtime
@@ -252,6 +278,24 @@ func pplanFunc(alg string, pp *core.ParallelPlanner, plan *core.Plan, k bisect.K
 	default:
 		return nil, fmt.Errorf("algorithm %q has no parallel plan mode", alg)
 	}
+}
+
+// LoadSuite strict-decodes a tracked BENCH_core.json. The writers use
+// it to carry sections across partial rewrites: lbbench preserves the
+// {real} section when it re-times the grid, and `lbsim -exp real`
+// preserves the timing cells when it rewrites {real}.
+func LoadSuite(path string) (*Suite, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var s Suite
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("bench: %s does not match the Suite schema: %w", path, err)
+	}
+	return &s, nil
 }
 
 // WriteJSON renders the suite as indented JSON (the BENCH_core.json

@@ -70,6 +70,49 @@ func TestGoldenJSONSchema(t *testing.T) {
 			t.Fatalf("scale cell %s missing from tracked file", key)
 		}
 	}
+
+	// The {real} section (X15, `make sweep-real`) must be present and
+	// internally consistent: every row a valid measurement, every bound
+	// actually honored, and at least three instances per real family.
+	if len(s.Real) == 0 {
+		t.Fatalf("tracked file has no {real} section — regenerate with `make sweep-real`")
+	}
+	instances := map[string]map[string]bool{}
+	seenReal := map[string]bool{}
+	for _, r := range s.Real {
+		key := fmt.Sprintf("%s|%s|%s|n%d", r.Family, r.Instance, r.Algorithm, r.N)
+		if seenReal[key] {
+			t.Fatalf("duplicate real row %s", key)
+		}
+		seenReal[key] = true
+		if r.Family != "graph" && r.Family != "spatial" {
+			t.Fatalf("%s: unknown real family %q", key, r.Family)
+		}
+		if r.Algorithm != "HF" && r.Algorithm != "BA" {
+			t.Fatalf("%s: unexpected algorithm %q", key, r.Algorithm)
+		}
+		if r.Parts < 1 || r.Parts > r.N {
+			t.Fatalf("%s: %d parts for N=%d", key, r.Parts, r.N)
+		}
+		if r.Ratio < 1 {
+			t.Fatalf("%s: ratio %v < 1", key, r.Ratio)
+		}
+		if r.Parts > 1 && !(r.AlphaMin > 0 && r.AlphaMin <= 0.5 && r.AlphaMean >= r.AlphaMin) {
+			t.Fatalf("%s: implausible realized α̂ %v/%v", key, r.AlphaMin, r.AlphaMean)
+		}
+		if r.Bound > 0 && r.Ratio > r.Bound*(1+1e-9) {
+			t.Fatalf("%s: ratio %v exceeds recorded measured bound %v", key, r.Ratio, r.Bound)
+		}
+		if instances[r.Family] == nil {
+			instances[r.Family] = map[string]bool{}
+		}
+		instances[r.Family][r.Instance] = true
+	}
+	for _, fam := range []string{"graph", "spatial"} {
+		if len(instances[fam]) < 3 {
+			t.Fatalf("{real} section covers %d %s instances, want ≥3", len(instances[fam]), fam)
+		}
+	}
 }
 
 // TestGoldenTextHeader checks the tracked results/bench_core.txt against

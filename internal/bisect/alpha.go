@@ -1,0 +1,143 @@
+package bisect
+
+import (
+	"math"
+	"sync"
+)
+
+// AlphaRecorder accumulates the empirical bisection parameter α̂ of every
+// bisection a problem substrate performs: for a parent of weight w split
+// into w1 + w2, the recorded value is min(w1, w2)/w. Backends whose α is
+// emergent rather than declared (the graph and spatial families) carry a
+// recorder so the verifier can evaluate the paper's guarantees against
+// the bisector quality a run actually achieved (r_α̂, DESIGN.md §16)
+// instead of an assumed class parameter.
+//
+// A nil *AlphaRecorder is valid and records nothing, so substrates can
+// thread one recorder pointer unconditionally. All methods are safe for
+// concurrent use: the parallel executors bisect problems from multiple
+// goroutines.
+type AlphaRecorder struct {
+	mu     sync.Mutex
+	count  int
+	min    float64
+	sum    float64
+	levels []levelAgg
+}
+
+type levelAgg struct {
+	count int
+	min   float64
+	sum   float64
+}
+
+// LevelAlpha summarises the bisections recorded at one tree depth.
+type LevelAlpha struct {
+	// Level is the depth of the bisected parent (root = 0).
+	Level int
+	// Count is the number of bisections recorded at this level.
+	Count int
+	// Min and Mean aggregate α̂ = min(w1, w2)/w over those bisections.
+	Min  float64
+	Mean float64
+}
+
+// Record logs one bisection of a parent at the given tree level with
+// weight w into children w1 and w2. Non-positive or non-finite inputs
+// are ignored (the structural checkers reject them separately; the
+// recorder's job is only statistics). Negative levels clamp to 0.
+func (r *AlphaRecorder) Record(level int, w, w1, w2 float64) {
+	if r == nil {
+		return
+	}
+	if !(w > 0) || !(w1 > 0) || !(w2 > 0) || math.IsInf(w, 0) {
+		return
+	}
+	ahat := math.Min(w1, w2) / w
+	if level < 0 {
+		level = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 || ahat < r.min {
+		r.min = ahat
+	}
+	r.count++
+	r.sum += ahat
+	for len(r.levels) <= level {
+		r.levels = append(r.levels, levelAgg{})
+	}
+	l := &r.levels[level]
+	if l.count == 0 || ahat < l.min {
+		l.min = ahat
+	}
+	l.count++
+	l.sum += ahat
+}
+
+// Count returns the number of bisections recorded.
+func (r *AlphaRecorder) Count() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Min returns the smallest recorded α̂ — the realized bisector quality of
+// the run, the α̂ in the measured bound r_α̂. It returns 0 when nothing
+// was recorded.
+func (r *AlphaRecorder) Min() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Mean returns the mean recorded α̂, or 0 when nothing was recorded.
+func (r *AlphaRecorder) Mean() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return 0
+	}
+	return r.sum / float64(r.count)
+}
+
+// Levels returns the per-level breakdown in depth order, skipping levels
+// that recorded nothing.
+func (r *AlphaRecorder) Levels() []LevelAlpha {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]LevelAlpha, 0, len(r.levels))
+	for d, l := range r.levels {
+		if l.count == 0 {
+			continue
+		}
+		out = append(out, LevelAlpha{Level: d, Count: l.count, Min: l.min, Mean: l.sum / float64(l.count)})
+	}
+	return out
+}
+
+// Reset clears the recorder for reuse across runs.
+func (r *AlphaRecorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count, r.min, r.sum = 0, 0, 0
+	r.levels = r.levels[:0]
+}

@@ -1,0 +1,88 @@
+package bisect
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAlphaRecorderNilSafe(t *testing.T) {
+	var r *AlphaRecorder
+	r.Record(0, 1, 0.5, 0.5) // must not panic
+	r.Reset()
+	if r.Count() != 0 || r.Min() != 0 || r.Mean() != 0 || r.Levels() != nil {
+		t.Fatal("nil recorder must report zero stats")
+	}
+}
+
+func TestAlphaRecorderStats(t *testing.T) {
+	var r AlphaRecorder
+	if r.Min() != 0 || r.Mean() != 0 {
+		t.Fatal("empty recorder must report zeros")
+	}
+	r.Record(0, 10, 4, 6)    // α̂ = 0.4
+	r.Record(1, 6, 1.2, 4.8) // α̂ = 0.2
+	r.Record(1, 4, 2, 2)     // α̂ = 0.5
+	if r.Count() != 3 {
+		t.Fatalf("count = %d, want 3", r.Count())
+	}
+	if got := r.Min(); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("min = %v, want 0.2", got)
+	}
+	if got := r.Mean(); math.Abs(got-(0.4+0.2+0.5)/3) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	lv := r.Levels()
+	if len(lv) != 2 {
+		t.Fatalf("levels = %+v, want 2 entries", lv)
+	}
+	if lv[0].Level != 0 || lv[0].Count != 1 || math.Abs(lv[0].Min-0.4) > 1e-12 {
+		t.Fatalf("level 0 = %+v", lv[0])
+	}
+	if lv[1].Level != 1 || lv[1].Count != 2 || math.Abs(lv[1].Min-0.2) > 1e-12 ||
+		math.Abs(lv[1].Mean-0.35) > 1e-12 {
+		t.Fatalf("level 1 = %+v", lv[1])
+	}
+	r.Reset()
+	if r.Count() != 0 || len(r.Levels()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestAlphaRecorderIgnoresInvalid(t *testing.T) {
+	var r AlphaRecorder
+	r.Record(0, 0, 1, 1)
+	r.Record(0, -1, 0.5, 0.5)
+	r.Record(0, math.Inf(1), 1, 1)
+	r.Record(0, 1, 0, 1)
+	r.Record(0, 1, 1, math.NaN()) // NaN child: !(w2 > 0)
+	if r.Count() != 0 {
+		t.Fatalf("invalid inputs were recorded: count = %d", r.Count())
+	}
+	r.Record(-5, 2, 1, 1) // negative level clamps to 0
+	if lv := r.Levels(); len(lv) != 1 || lv[0].Level != 0 {
+		t.Fatalf("negative level not clamped: %+v", lv)
+	}
+}
+
+func TestAlphaRecorderConcurrent(t *testing.T) {
+	var r AlphaRecorder
+	var wg sync.WaitGroup
+	const g, per = 8, 200
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(lvl int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				r.Record(lvl, 10, 3, 7)
+			}
+		}(i % 4)
+	}
+	wg.Wait()
+	if r.Count() != g*per {
+		t.Fatalf("count = %d, want %d", r.Count(), g*per)
+	}
+	if math.Abs(r.Min()-0.3) > 1e-12 || math.Abs(r.Mean()-0.3) > 1e-12 {
+		t.Fatalf("min/mean drifted: %v %v", r.Min(), r.Mean())
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRealStudyCoverage(t *testing.T) {
+	cfg := RealConfig{Seed: 7, Ns: []int{4, 8}}
+	rows, err := RunRealStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := map[string]map[string]bool{}
+	for _, r := range rows {
+		if fams[r.Family] == nil {
+			fams[r.Family] = map[string]bool{}
+		}
+		fams[r.Family][r.Instance] = true
+		if r.Parts < 1 || r.Parts > r.N {
+			t.Errorf("%s/%s N=%d: %d parts", r.Instance, r.Algorithm, r.N, r.Parts)
+		}
+		if r.Ratio < 1 {
+			t.Errorf("%s/%s N=%d: ratio %v < 1", r.Instance, r.Algorithm, r.N, r.Ratio)
+		}
+		if r.Parts > 1 && !(r.AlphaMin > 0 && r.AlphaMin <= 0.5) {
+			t.Errorf("%s/%s N=%d: realized α̂ %v out of range", r.Instance, r.Algorithm, r.N, r.AlphaMin)
+		}
+		if r.Bound > 0 && r.Ratio > r.Bound*(1+1e-9) {
+			t.Errorf("%s/%s N=%d: ratio %v over bound %v", r.Instance, r.Algorithm, r.N, r.Ratio, r.Bound)
+		}
+	}
+	for _, fam := range []string{"graph", "spatial"} {
+		if len(fams[fam]) < 3 {
+			t.Errorf("study covers %d %s instances, want ≥3", len(fams[fam]), fam)
+		}
+	}
+}
+
+func TestRealStudyDeterministic(t *testing.T) {
+	cfg := RealConfig{Seed: 42, Ns: []int{4}}
+	a, err := RunRealStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRealStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different rows")
+	}
+}
+
+func TestRealStudyRejectsBadConfig(t *testing.T) {
+	if _, err := RunRealStudy(RealConfig{Seed: 1}); err == nil {
+		t.Fatal("empty Ns accepted")
+	}
+	if _, err := RunRealStudy(RealConfig{Seed: 1, Ns: []int{0}}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestRenderRealStudy(t *testing.T) {
+	cfg := RealConfig{Seed: 5, Ns: []int{4}}
+	rows, err := RunRealStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderRealStudy(&sb, cfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "X15: real-instance bisectors") {
+		t.Fatalf("title drifted: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	for _, want := range []string{"grid16x16", "ridge24x48", "r_α̂"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

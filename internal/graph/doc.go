@@ -1,0 +1,18 @@
+// Package graph provides a real-instance bisector backend: a CSR
+// vertex-weighted hypergraph with a PMondriaan-shaped multilevel
+// bisector (heavy-connection-matching coarsening, greedy LPT initial
+// bisection, boundary-FM refinement) exposed through bisect.Problem.
+//
+// Unlike the synthetic substrates in internal/bisect, the bisector
+// quality α here is emergent: each bisection honours the balance
+// contract that both sides weigh at most ⌊(1+ε)·W/2⌋, so every
+// performed split realizes α̂ ≥ (1−ε)/2, and the actual per-split α̂ is
+// reported through a bisect.AlphaRecorder for measured-bound (r_α̂)
+// verification. See DESIGN.md §16 for the backend contract.
+//
+// Instances come from three sources: text loaders for Metis/Chaco
+// graphs (LoadGraph) and hMetis hypergraphs (LoadHypergraph), both
+// hardened with decode caps and typed errors; deterministic generators
+// (GridGraph, RingGraph, RandomHypergraph); and direct construction
+// (FromEdges, FromNets).
+package graph

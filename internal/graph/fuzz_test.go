@@ -1,0 +1,44 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzGraphLoader hammers both text loaders with arbitrary bytes. The
+// contract under fuzz: loaders may reject input (with one of the
+// package's typed errors) but must never panic, and anything they do
+// accept must be structurally sound and re-loadable deterministically.
+func FuzzGraphLoader(f *testing.F) {
+	f.Add([]byte("3 2\n2\n1 3\n2\n"))
+	f.Add([]byte("% comment\n6 7 11\n2 2 1 4 2\n1 1 1 3 3 5 1\n4 2 3 6 4\n3 1 2 5 6\n2 2 1 4 6 6 1\n5 3 4 5 1\n"))
+	f.Add([]byte("3 4 11\n2 1 2\n7 2 3 4\n1 1 4\n3\n1\n2\n5\n"))
+	f.Add([]byte("1 0\n\n"))
+	f.Add([]byte("2 1\n-2\n1\n"))
+	f.Add([]byte("99999999 0\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for i, load := range []func(*bytes.Reader) (*Hypergraph, error){
+			func(r *bytes.Reader) (*Hypergraph, error) { return LoadGraph(r) },
+			func(r *bytes.Reader) (*Hypergraph, error) { return LoadHypergraph(r) },
+		} {
+			h, err := load(bytes.NewReader(data))
+			if err != nil {
+				if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrEmpty) {
+					t.Fatalf("loader %d: untyped error %v", i, err)
+				}
+				continue
+			}
+			if h.NumVertices() < 1 || h.NumVertices() > MaxVertices || h.NumPins() > MaxPins {
+				t.Fatalf("loader %d: accepted out-of-cap shape %d/%d", i, h.NumVertices(), h.NumPins())
+			}
+			if h.TotalWeight() < int64(h.NumVertices()) {
+				t.Fatalf("loader %d: total %d below vertex count", i, h.TotalWeight())
+			}
+			h2, err := load(bytes.NewReader(data))
+			if err != nil || h2.NumVertices() != h.NumVertices() || h2.NumNets() != h.NumNets() || h2.TotalWeight() != h.TotalWeight() {
+				t.Fatalf("loader %d: reload diverged", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,313 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// maxLineBytes caps a single input line; longer lines are malformed
+// rather than a reason to grow buffers without bound.
+const maxLineBytes = 1 << 20
+
+// lineScanner wraps bufio.Scanner with the comment/blank-line policy
+// shared by both loaders: '%' and '#' start comment lines, blank lines
+// are skipped, and the token buffer is capped.
+type lineScanner struct {
+	s    *bufio.Scanner
+	line int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return &lineScanner{s: s}
+}
+
+// next returns the fields of the next non-comment, non-blank line, or
+// nil at EOF. err surfaces scanner failures (e.g. an over-long line).
+func (ls *lineScanner) next() ([]string, error) {
+	for ls.s.Scan() {
+		ls.line++
+		t := strings.TrimSpace(ls.s.Text())
+		if t == "" || t[0] == '%' || t[0] == '#' {
+			continue
+		}
+		return strings.Fields(t), nil
+	}
+	if err := ls.s.Err(); err != nil {
+		return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, ls.line+1, err)
+	}
+	return nil, nil
+}
+
+func (ls *lineScanner) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: line %d: %s", ErrFormat, ls.line, fmt.Sprintf(format, args...))
+}
+
+func parsePos(ls *lineScanner, tok, what string, cap int64) (int64, error) {
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return 0, ls.errf("bad %s %q", what, tok)
+	}
+	if v < 0 {
+		return 0, ls.errf("negative %s %d", what, v)
+	}
+	if v > cap {
+		return 0, fmt.Errorf("%w: line %d: %s %d exceeds cap %d", ErrTooLarge, ls.line, what, v, cap)
+	}
+	return v, nil
+}
+
+// LoadGraph parses a Metis/Chaco-style plain-text graph:
+//
+//	% comments start with '%' or '#'
+//	<nv> <ne> [fmt]
+//	<vertex 1 adjacency line>
+//	...
+//
+// fmt is the usual 2-digit flag: 1 = edge weights present, 10 = vertex
+// weights present, 11 = both (absent or 0 = neither). Adjacency lines
+// list 1-based neighbour indices, preceded by the vertex weight when
+// declared, with each neighbour followed by the edge weight when
+// declared. Each undirected edge conventionally appears in both
+// endpoints' lines; LoadGraph keeps the u < v occurrences, so
+// single-sided listings still load. All counts are validated against the
+// package decode caps before allocation; malformed input returns a typed
+// error, never a panic.
+func LoadGraph(r io.Reader) (*Hypergraph, error) {
+	ls := newLineScanner(r)
+	hdr, err := ls.next()
+	if err != nil {
+		return nil, err
+	}
+	if hdr == nil {
+		return nil, ErrEmpty
+	}
+	if len(hdr) < 2 || len(hdr) > 3 {
+		return nil, ls.errf("header wants 'nv ne [fmt]', got %d fields", len(hdr))
+	}
+	nv64, err := parsePos(ls, hdr[0], "vertex count", MaxVertices)
+	if err != nil {
+		return nil, err
+	}
+	ne64, err := parsePos(ls, hdr[1], "edge count", MaxPins/2)
+	if err != nil {
+		return nil, err
+	}
+	hasVW, hasEW := false, false
+	if len(hdr) == 3 {
+		switch hdr[2] {
+		case "0", "00", "000":
+		case "1", "01", "001":
+			hasEW = true
+		case "10", "010":
+			hasVW = true
+		case "11", "011":
+			hasVW, hasEW = true, true
+		default:
+			return nil, ls.errf("unsupported fmt %q", hdr[2])
+		}
+	}
+	nv := int(nv64)
+	if nv == 0 {
+		return nil, ErrEmpty
+	}
+	var vw []int64
+	if hasVW {
+		vw = make([]int64, nv)
+	}
+	edges := make([]Edge, 0, ne64)
+	for v := 0; v < nv; v++ {
+		fields, err := ls.next()
+		if err != nil {
+			return nil, err
+		}
+		if fields == nil {
+			return nil, fmt.Errorf("%w: %d adjacency lines for %d vertices", ErrFormat, v, nv)
+		}
+		i := 0
+		if hasVW {
+			if len(fields) < 1 {
+				return nil, ls.errf("vertex %d: missing weight", v+1)
+			}
+			w, err := parsePos(ls, fields[0], "vertex weight", MaxVertexWeight)
+			if err != nil {
+				return nil, err
+			}
+			if w == 0 {
+				return nil, ls.errf("vertex %d: zero weight", v+1)
+			}
+			vw[v] = w
+			i = 1
+		}
+		for i < len(fields) {
+			u64, err := parsePos(ls, fields[i], "neighbour index", MaxVertices)
+			if err != nil {
+				return nil, err
+			}
+			if u64 < 1 || u64 > int64(nv) {
+				return nil, ls.errf("vertex %d: neighbour %d out of range [1, %d]", v+1, u64, nv)
+			}
+			i++
+			ew := int64(1)
+			if hasEW {
+				if i >= len(fields) {
+					return nil, ls.errf("vertex %d: neighbour %d missing edge weight", v+1, u64)
+				}
+				ew, err = parsePos(ls, fields[i], "edge weight", MaxVertexWeight)
+				if err != nil {
+					return nil, err
+				}
+				if ew == 0 {
+					return nil, ls.errf("vertex %d: zero edge weight", v+1)
+				}
+				i++
+			}
+			u := int32(u64 - 1)
+			if u == int32(v) {
+				return nil, ls.errf("vertex %d: self-loop", v+1)
+			}
+			if int32(v) < u {
+				if len(edges) >= MaxPins/2 {
+					return nil, fmt.Errorf("%w: more than %d edges", ErrTooLarge, MaxPins/2)
+				}
+				edges = append(edges, Edge{U: int32(v), V: u, Weight: ew})
+			}
+		}
+	}
+	if extra, err := ls.next(); err != nil {
+		return nil, err
+	} else if extra != nil {
+		return nil, ls.errf("trailing content after %d adjacency lines", nv)
+	}
+	return FromEdges(nv, vw, edges)
+}
+
+// LoadHypergraph parses an hMetis-style plain-text hypergraph:
+//
+//	<nnets> <nv> [fmt]
+//	<net 1 pin line>
+//	...
+//	[<nv vertex weight lines when declared>]
+//
+// fmt: 1 = net weights lead each pin line, 10 = vertex weight lines
+// follow the nets, 11 = both. Pins are 1-based vertex indices. The same
+// decode caps and typed-error policy as LoadGraph apply.
+func LoadHypergraph(r io.Reader) (*Hypergraph, error) {
+	ls := newLineScanner(r)
+	hdr, err := ls.next()
+	if err != nil {
+		return nil, err
+	}
+	if hdr == nil {
+		return nil, ErrEmpty
+	}
+	if len(hdr) < 2 || len(hdr) > 3 {
+		return nil, ls.errf("header wants 'nnets nv [fmt]', got %d fields", len(hdr))
+	}
+	nn64, err := parsePos(ls, hdr[0], "net count", MaxPins/2)
+	if err != nil {
+		return nil, err
+	}
+	nv64, err := parsePos(ls, hdr[1], "vertex count", MaxVertices)
+	if err != nil {
+		return nil, err
+	}
+	hasNW, hasVW := false, false
+	if len(hdr) == 3 {
+		switch hdr[2] {
+		case "0", "00":
+		case "1", "01":
+			hasNW = true
+		case "10":
+			hasVW = true
+		case "11":
+			hasNW, hasVW = true, true
+		default:
+			return nil, ls.errf("unsupported fmt %q", hdr[2])
+		}
+	}
+	nn, nv := int(nn64), int(nv64)
+	if nv == 0 {
+		return nil, ErrEmpty
+	}
+	netPins := make([][]int32, 0, nn)
+	var nw []int64
+	if hasNW {
+		nw = make([]int64, 0, nn)
+	}
+	totalPins := 0
+	for n := 0; n < nn; n++ {
+		fields, err := ls.next()
+		if err != nil {
+			return nil, err
+		}
+		if fields == nil {
+			return nil, fmt.Errorf("%w: %d net lines for %d nets", ErrFormat, n, nn)
+		}
+		i := 0
+		if hasNW {
+			w, err := parsePos(ls, fields[0], "net weight", MaxVertexWeight)
+			if err != nil {
+				return nil, err
+			}
+			if w == 0 {
+				return nil, ls.errf("net %d: zero weight", n+1)
+			}
+			nw = append(nw, w)
+			i = 1
+		}
+		if len(fields)-i < 2 {
+			return nil, ls.errf("net %d: fewer than two pins", n+1)
+		}
+		pins := make([]int32, 0, len(fields)-i)
+		for ; i < len(fields); i++ {
+			p64, err := parsePos(ls, fields[i], "pin index", MaxVertices)
+			if err != nil {
+				return nil, err
+			}
+			if p64 < 1 || p64 > int64(nv) {
+				return nil, ls.errf("net %d: pin %d out of range [1, %d]", n+1, p64, nv)
+			}
+			pins = append(pins, int32(p64-1))
+			totalPins++
+			if totalPins > MaxPins {
+				return nil, fmt.Errorf("%w: more than %d pins", ErrTooLarge, MaxPins)
+			}
+		}
+		netPins = append(netPins, pins)
+	}
+	var vw []int64
+	if hasVW {
+		vw = make([]int64, nv)
+		for v := 0; v < nv; v++ {
+			fields, err := ls.next()
+			if err != nil {
+				return nil, err
+			}
+			if fields == nil {
+				return nil, fmt.Errorf("%w: %d vertex weight lines for %d vertices", ErrFormat, v, nv)
+			}
+			if len(fields) != 1 {
+				return nil, ls.errf("vertex weight line wants 1 field, got %d", len(fields))
+			}
+			w, err := parsePos(ls, fields[0], "vertex weight", MaxVertexWeight)
+			if err != nil {
+				return nil, err
+			}
+			if w == 0 {
+				return nil, ls.errf("vertex %d: zero weight", v+1)
+			}
+			vw[v] = w
+		}
+	}
+	if extra, err := ls.next(); err != nil {
+		return nil, err
+	} else if extra != nil {
+		return nil, ls.errf("trailing content")
+	}
+	return FromNets(nv, vw, netPins, nw)
+}

@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func loadTestdata(t *testing.T, name string) *Hypergraph {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var h *Hypergraph
+	if filepath.Ext(name) == ".hgr" {
+		h, err = LoadHypergraph(f)
+	} else {
+		h, err = LoadGraph(f)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return h
+}
+
+func TestTestdataInstances(t *testing.T) {
+	g := loadTestdata(t, "grid6x6.graph")
+	if g.NumVertices() != 36 || g.NumNets() != 60 {
+		t.Fatalf("grid6x6 shape = %d/%d", g.NumVertices(), g.NumNets())
+	}
+	hy := loadTestdata(t, "tri.hgr")
+	if hy.NumVertices() != 8 || hy.NumNets() != 5 || hy.TotalWeight() != 20 {
+		t.Fatalf("tri.hgr shape = %d/%d/%d", hy.NumVertices(), hy.NumNets(), hy.TotalWeight())
+	}
+	for _, h := range []*Hypergraph{g, hy} {
+		p := mustProblem(t, h, Config{Seed: 7})
+		if leaves := exhaust(t, p, map[uint64]bool{}); leaves < 2 {
+			t.Fatalf("checked-in instance did not split (%d leaves)", leaves)
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package graph
+
+import (
+	"sort"
+
+	"bisectlb/internal/xrand"
+)
+
+// Multilevel tuning constants. The values follow the usual
+// coarsen → initial-partition → refine shape (PMondriaan, Metis): stop
+// coarsening once the graph is small enough for a direct greedy
+// bisection, give up when matching stalls, and run a bounded number of
+// refinement passes per level so the bisector's cost stays linear-ish.
+const (
+	// coarseStop is the vertex count below which coarsening stops and the
+	// initial bisection runs directly.
+	coarseStop = 24
+	// minShrink is the minimum relative vertex-count reduction a
+	// coarsening round must achieve to continue (stall guard).
+	minShrink = 0.05
+	// fmPasses bounds the refinement passes per uncoarsening level.
+	fmPasses = 2
+)
+
+// bisectSides computes a deterministic two-way partition of h honoring
+// the balance band [total−hiCap, hiCap] on both side weights while
+// greedily minimising the cut net weight: heavy-connection matching
+// coarsens the hypergraph, a weight-sorted greedy (LPT) bisection seeds
+// the coarsest level, and boundary FM refinement improves the cut at
+// every uncoarsening step without ever leaving the band. The returned
+// slice maps each vertex to side 0 or 1. The same (h, hiCap, seed)
+// always yields the same sides.
+func bisectSides(h *Hypergraph, hiCap int64, seed uint64) []uint8 {
+	// mergeCap bounds coarse vertex weights so the LPT bound
+	// floor(W/2) + wmax_coarse stays ≤ hiCap whenever the fine graph was
+	// feasible; never below the fine wmax, which already exists anyway.
+	mergeCap := hiCap - h.total/2
+	if mergeCap < h.wmax {
+		mergeCap = h.wmax
+	}
+
+	type level struct {
+		h    *Hypergraph
+		cmap []int32 // fine vertex -> coarse vertex of the NEXT level
+	}
+	levels := []level{{h: h}}
+	cur := h
+	rng := xrand.New(xrand.Mix(seed, 0xC0A53))
+	for cur.NumVertices() > coarseStop {
+		cmap, cnv := heavyConnectionMatch(cur, mergeCap, rng)
+		if cnv >= cur.NumVertices() || float64(cur.NumVertices()-cnv) < minShrink*float64(cur.NumVertices()) {
+			break
+		}
+		coarse := contract(cur, cmap, cnv)
+		levels[len(levels)-1].cmap = cmap
+		levels = append(levels, level{h: coarse})
+		cur = coarse
+	}
+
+	side := initialLPT(cur, hiCap)
+	refine(cur, side, hiCap)
+	for i := len(levels) - 2; i >= 0; i-- {
+		fine := levels[i]
+		fineSide := make([]uint8, fine.h.NumVertices())
+		for v := range fineSide {
+			fineSide[v] = side[fine.cmap[v]]
+		}
+		side = fineSide
+		refine(fine.h, side, hiCap)
+	}
+	return side
+}
+
+// heavyConnectionMatch greedily matches each vertex with its most
+// heavily connected unmatched neighbour (connection weight = Σ weights
+// of shared nets), subject to the combined weight staying ≤ mergeCap.
+// Vertices are visited in a seeded random order — the standard trick to
+// decorrelate matchings across bisection levels — drawn from rng, which
+// the caller seeds deterministically. Returns the fine→coarse map and
+// the coarse vertex count; coarse indices are assigned in fine-index
+// order of each group's first member, keeping contraction deterministic.
+func heavyConnectionMatch(h *Hypergraph, mergeCap int64, rng *xrand.Source) ([]int32, int) {
+	nv := h.NumVertices()
+	order := make([]int32, nv)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Fisher–Yates with the deterministic source.
+	for i := nv - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		order[i], order[j] = order[j], order[i]
+	}
+	mate := make([]int32, nv)
+	for i := range mate {
+		mate[i] = -1
+	}
+	conn := make([]int64, nv)
+	touched := make([]int32, 0, 32)
+	for _, v := range order {
+		if mate[v] != -1 {
+			continue
+		}
+		// Accumulate connection weight to each neighbour via shared nets.
+		touched = touched[:0]
+		for _, n := range h.pins[h.xpins[v]:h.xpins[v+1]] {
+			for _, u := range h.nets[h.xnets[n]:h.xnets[n+1]] {
+				if u == v {
+					continue
+				}
+				if conn[u] == 0 {
+					touched = append(touched, u)
+				}
+				conn[u] += h.nwgt[n]
+			}
+		}
+		best := int32(-1)
+		var bestConn int64
+		for _, u := range touched {
+			if mate[u] == -1 && h.vwgt[v]+h.vwgt[u] <= mergeCap {
+				if conn[u] > bestConn || (conn[u] == bestConn && (best == -1 || u < best)) {
+					best, bestConn = u, conn[u]
+				}
+			}
+			conn[u] = 0
+		}
+		if best != -1 {
+			mate[v], mate[best] = best, v
+		}
+	}
+	// Assign coarse indices by the smallest fine index of each pair.
+	cmap := make([]int32, nv)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	cnv := 0
+	for v := 0; v < nv; v++ {
+		if cmap[v] != -1 {
+			continue
+		}
+		cmap[v] = int32(cnv)
+		if m := mate[v]; m != -1 {
+			cmap[m] = int32(cnv)
+		}
+		cnv++
+	}
+	return cmap, cnv
+}
+
+// contract builds the coarse hypergraph: vertex weights sum over groups,
+// net pins map through cmap with duplicates removed, and nets left with
+// fewer than two distinct coarse pins vanish (they can never be cut).
+func contract(h *Hypergraph, cmap []int32, cnv int) *Hypergraph {
+	vw := make([]int64, cnv)
+	for v, c := range cmap {
+		vw[c] += h.vwgt[v]
+	}
+	var netPins [][]int32
+	var nw []int64
+	seen := make([]int32, cnv)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for n := 0; n < h.NumNets(); n++ {
+		var pins []int32
+		for _, v := range h.nets[h.xnets[n]:h.xnets[n+1]] {
+			c := cmap[v]
+			if seen[c] != int32(n) {
+				seen[c] = int32(n)
+				pins = append(pins, c)
+			}
+		}
+		if len(pins) >= 2 {
+			netPins = append(netPins, pins)
+			nw = append(nw, h.nwgt[n])
+		}
+	}
+	coarse, err := FromNets(cnv, vw, netPins, nw)
+	if err != nil {
+		// All inputs come from a validated parent; a failure here is a
+		// programmer error, not bad input.
+		panic("graph: contract produced invalid hypergraph: " + err.Error())
+	}
+	return coarse
+}
+
+// initialLPT seeds the coarsest bisection: vertices sorted by weight
+// descending (index ascending on ties) are assigned greedily to the
+// lighter side. For two bins this keeps the heavier side at most
+// floor(W/2) + wmax_coarse, which the coarsening mergeCap ties back to
+// hiCap whenever the fine problem was feasible.
+func initialLPT(h *Hypergraph, hiCap int64) []uint8 {
+	nv := h.NumVertices()
+	order := make([]int32, nv)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if h.vwgt[a] != h.vwgt[b] {
+			return h.vwgt[a] > h.vwgt[b]
+		}
+		return a < b
+	})
+	side := make([]uint8, nv)
+	var w0, w1 int64
+	for _, v := range order {
+		if w1 < w0 {
+			side[v] = 1
+			w1 += h.vwgt[v]
+		} else {
+			side[v] = 0
+			w0 += h.vwgt[v]
+		}
+	}
+	// Defensive repair: if the greedy seed somehow exceeds the cap (only
+	// possible when the caller admitted an infeasible instance), shift the
+	// lightest vertices of the heavy side over until within band or stuck.
+	repair(h, side, hiCap)
+	return side
+}
+
+// repair moves lightest-first vertices off an over-cap side. It is a
+// no-op for feasible instances; Problem.CanBisect re-checks the band
+// after bisection, so a stuck repair surfaces as an indivisible leaf,
+// never as a silent contract breach.
+func repair(h *Hypergraph, side []uint8, hiCap int64) {
+	var w [2]int64
+	for v, s := range side {
+		w[s] += h.vwgt[v]
+	}
+	for from := 0; from < 2; from++ {
+		if w[from] <= hiCap {
+			continue
+		}
+		order := make([]int32, 0, len(side))
+		for v := range side {
+			if side[v] == uint8(from) {
+				order = append(order, int32(v))
+			}
+		}
+		sort.Slice(order, func(i, j int) bool {
+			a, b := order[i], order[j]
+			if h.vwgt[a] != h.vwgt[b] {
+				return h.vwgt[a] < h.vwgt[b]
+			}
+			return a < b
+		})
+		to := 1 - from
+		for _, v := range order {
+			if w[from] <= hiCap {
+				break
+			}
+			if w[to]+h.vwgt[v] > hiCap {
+				continue
+			}
+			side[v] = uint8(to)
+			w[from] -= h.vwgt[v]
+			w[to] += h.vwgt[v]
+		}
+	}
+}
+
+// refine runs bounded greedy boundary-FM passes: repeatedly move the
+// boundary vertex with the best positive cut gain whose move keeps both
+// sides inside the band, locking each moved vertex for the rest of the
+// pass. Only strictly improving moves are taken, so the cut decreases
+// monotonically and the loop terminates.
+func refine(h *Hypergraph, side []uint8, hiCap int64) {
+	nv := h.NumVertices()
+	nn := h.NumNets()
+	if nv == 0 || nn == 0 {
+		return
+	}
+	lo := h.total - hiCap
+	cnt := make([][2]int32, nn)
+	var w [2]int64
+	recount := func() {
+		for n := range cnt {
+			cnt[n] = [2]int32{}
+		}
+		w = [2]int64{}
+		for v := 0; v < nv; v++ {
+			w[side[v]] += h.vwgt[v]
+		}
+		for n := 0; n < nn; n++ {
+			for _, v := range h.nets[h.xnets[n]:h.xnets[n+1]] {
+				cnt[n][side[v]]++
+			}
+		}
+	}
+	gain := func(v int32) int64 {
+		s := side[v]
+		var g int64
+		for _, n := range h.pins[h.xpins[v]:h.xpins[v+1]] {
+			if cnt[n][s] == 1 {
+				g += h.nwgt[n] // net leaves the cut
+			}
+			if cnt[n][1-s] == 0 {
+				g -= h.nwgt[n] // net enters the cut
+			}
+		}
+		return g
+	}
+	locked := make([]bool, nv)
+	for pass := 0; pass < fmPasses; pass++ {
+		recount()
+		for i := range locked {
+			locked[i] = false
+		}
+		improved := false
+		for moves := 0; moves < nv; moves++ {
+			best := int32(-1)
+			var bestGain int64
+			for n := 0; n < nn; n++ {
+				if cnt[n][0] == 0 || cnt[n][1] == 0 {
+					continue // uncut net: its pins may still be boundary via other nets
+				}
+				for _, v := range h.nets[h.xnets[n]:h.xnets[n+1]] {
+					if locked[v] {
+						continue
+					}
+					s := side[v]
+					if w[s]-h.vwgt[v] < lo || w[1-s]+h.vwgt[v] > hiCap {
+						continue
+					}
+					if g := gain(v); g > bestGain || (g == bestGain && g > 0 && (best == -1 || v < best)) {
+						best, bestGain = v, g
+					}
+				}
+			}
+			if best == -1 || bestGain <= 0 {
+				break
+			}
+			s := side[best]
+			for _, n := range h.pins[h.xpins[best]:h.xpins[best+1]] {
+				cnt[n][s]--
+				cnt[n][1-s]++
+			}
+			w[s] -= h.vwgt[best]
+			w[1-s] += h.vwgt[best]
+			side[best] = 1 - s
+			locked[best] = true
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// CutWeight returns the total weight of nets with pins on both sides of
+// the given assignment — the quality measure the refinement minimises.
+func CutWeight(h *Hypergraph, side []uint8) int64 {
+	var cut int64
+	for n := 0; n < h.NumNets(); n++ {
+		var c [2]int32
+		for _, v := range h.nets[h.xnets[n]:h.xnets[n+1]] {
+			c[side[v]]++
+		}
+		if c[0] > 0 && c[1] > 0 {
+			cut += h.nwgt[n]
+		}
+	}
+	return cut
+}

@@ -104,6 +104,8 @@ func TestComputePlanInterfaceFamilies(t *testing.T) {
 		{Family: "quadrature", Split: "median", Seed: 2},
 		{Family: "fem", Seed: 3},
 		{Family: "searchtree", Seed: 4},
+		{Family: "graph", Seed: 5},
+		{Family: "spatial", Seed: 6},
 	} {
 		req := &BalanceRequest{Spec: spec, N: 16, Algorithm: "HF"}
 		req.normalize()

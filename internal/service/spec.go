@@ -14,7 +14,10 @@ import (
 // problem — which is what makes partition plans cacheable.
 type ProblemSpec struct {
 	// Family selects the substrate: "uniform", "fixed", "list", "fem",
-	// "quadrature" or "searchtree".
+	// "quadrature", "searchtree", "graph" or "spatial". The last two are
+	// the seed-derived real-instance generators of DESIGN.md §16 —
+	// file-loaded instances stay out of specs so a spec remains a pure,
+	// canonicalisable parameter set.
 	Family string `json:"family"`
 	// Weight is the root weight for the synthetic families (default 1).
 	Weight float64 `json:"weight,omitempty"`
@@ -99,7 +102,7 @@ func (r *BalanceRequest) validate() error {
 		if !(r.Spec.SplitAlpha > 0 && r.Spec.SplitAlpha <= 0.5) {
 			return fmt.Errorf("list family needs 0 < split_alpha ≤ 1/2, got %g", r.Spec.SplitAlpha)
 		}
-	case "fem", "searchtree":
+	case "fem", "searchtree", "graph", "spatial":
 		// Seed-only families.
 	case "quadrature":
 		if r.Spec.Split != "median" && r.Spec.Split != "midpoint" {
@@ -136,6 +139,10 @@ func (r *BalanceRequest) buildProblem() (bisectlb.Problem, error) {
 		return bisectlb.NewQuadratureProblem(split, r.Spec.Seed)
 	case "searchtree":
 		return bisectlb.DefaultSearchTreeProblem(r.Spec.Seed), nil
+	case "graph":
+		return bisectlb.NewGraphProblem(r.Spec.Seed)
+	case "spatial":
+		return bisectlb.NewSpatialProblem(r.Spec.Seed)
 	default:
 		return nil, fmt.Errorf("unknown problem family %q", r.Spec.Family)
 	}
@@ -168,7 +175,7 @@ func (r *BalanceRequest) appendKey(b []byte) []byte {
 		b = strconv.AppendInt(b, int64(r.Spec.Elems), 10)
 		b = appendFloatField(b, ",sa=", r.Spec.SplitAlpha)
 		b = appendSeedField(b, r.Spec.Seed)
-	case "fem", "searchtree":
+	case "fem", "searchtree", "graph", "spatial":
 		b = appendSeedField(b, r.Spec.Seed)
 	case "quadrature":
 		b = append(b, ",sp="...)

@@ -67,3 +67,28 @@ func TestSignatureFormsAgree(t *testing.T) {
 		t.Fatal("empty signature")
 	}
 }
+
+// TestRealFamilySpecs pins the seed-only real-instance families
+// (DESIGN.md §16): they validate, their keys are seed-discriminated,
+// and they materialise through the facade.
+func TestRealFamilySpecs(t *testing.T) {
+	for _, fam := range []string{"graph", "spatial"} {
+		a := BalanceRequest{Spec: ProblemSpec{Family: fam, Seed: 1}, N: 4, Algorithm: "HF"}
+		a.normalize()
+		if err := a.validate(); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		b := a
+		b.Spec.Seed = 2
+		if a.cacheKey() == b.cacheKey() {
+			t.Fatalf("%s: different seeds collapsed to one key: %q", fam, a.cacheKey())
+		}
+		p, err := a.buildProblem()
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if !(p.Weight() > 0) {
+			t.Fatalf("%s: root weight %v", fam, p.Weight())
+		}
+	}
+}

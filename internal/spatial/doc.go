@@ -1,0 +1,16 @@
+// Package spatial provides the second real-instance bisector backend:
+// axis-aligned rectangles of a 2D load matrix, bisected by the best
+// horizontal or vertical cut line — the recursive-bisection step of
+// spatially-located rectangular partitioning (Saule et al., PAPERS.md).
+//
+// Cut selection is exhaustive over the rectangle's cut lines via a
+// prefix-sum Matrix, so bisection is deterministic with no randomness at
+// all; the declared quality α is a Config knob (a cut is only performed
+// when its lighter side holds ≥ α·W), and the realized per-cut α̂ flows
+// through a bisect.AlphaRecorder for measured-bound (r_α̂) verification.
+// See DESIGN.md §16 for the backend contract.
+//
+// Instances come from a MatrixMarket-style coordinate loader
+// (LoadMatrix), hardened with decode caps and typed errors, and from
+// deterministic generators (UniformMatrix, BlobMatrix, RidgeMatrix).
+package spatial

@@ -1,0 +1,38 @@
+package spatial
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzMatrixLoader hammers LoadMatrix with arbitrary bytes: it may
+// reject input with one of the package's typed errors but must never
+// panic, and anything accepted must be in-cap, positive-total, and
+// deterministically re-loadable.
+func FuzzMatrixLoader(f *testing.F) {
+	f.Add([]byte("%%MatrixMarket matrix coordinate integer general\n3 3 2\n1 1 5\n2 2 7\n"))
+	f.Add([]byte("2 2 1\n1 1 4\n"))
+	f.Add([]byte("% comment\n1 1 1\n1 1 1\n"))
+	f.Add([]byte("99999 2 0\n"))
+	f.Add([]byte("2 2 2\n1 1 4\n1 1 5\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := LoadMatrix(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrTooLarge) && !errors.Is(err, ErrEmpty) {
+				t.Fatalf("untyped error %v", err)
+			}
+			return
+		}
+		if m.Rows() < 1 || m.Cols() < 1 || m.Rows() > MaxDim || m.Cols() > MaxDim || m.Rows()*m.Cols() > MaxCells {
+			t.Fatalf("accepted out-of-cap shape %dx%d", m.Rows(), m.Cols())
+		}
+		if m.TotalLoad() < 1 {
+			t.Fatalf("accepted zero-load matrix")
+		}
+		m2, err := LoadMatrix(bytes.NewReader(data))
+		if err != nil || m2.Rows() != m.Rows() || m2.Cols() != m.Cols() || m2.TotalLoad() != m.TotalLoad() {
+			t.Fatal("reload diverged")
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package spatial
+
+import (
+	"fmt"
+
+	"bisectlb/internal/xrand"
+)
+
+func checkDims(rows, cols int) error {
+	if rows < 1 || cols < 1 {
+		return fmt.Errorf("%w: %dx%d", ErrFormat, rows, cols)
+	}
+	if rows > MaxDim || cols > MaxDim || rows*cols > MaxCells {
+		return fmt.Errorf("%w: %dx%d", ErrTooLarge, rows, cols)
+	}
+	return nil
+}
+
+// UniformMatrix draws every cell load independently from [1, maxLoad] —
+// the easy, near-homogeneous instance class where any cut is good.
+func UniformMatrix(rows, cols int, maxLoad int64, seed uint64) (*Matrix, error) {
+	if err := checkDims(rows, cols); err != nil {
+		return nil, err
+	}
+	if maxLoad < 1 || maxLoad > MaxCellLoad {
+		return nil, fmt.Errorf("%w: maxLoad %d", ErrFormat, maxLoad)
+	}
+	rng := xrand.New(xrand.Mix(seed, 0x4E1F))
+	cells := make([]int64, rows*cols)
+	for i := range cells {
+		cells[i] = 1 + int64(rng.Uint64()%uint64(maxLoad))
+	}
+	return NewMatrix(rows, cols, cells)
+}
+
+// BlobMatrix places `blobs` seeded load peaks and decays each as
+// peak/(1+d²) with Chebyshev distance d — clustered hotspots, the
+// particle-density instance class where cut quality varies with depth.
+// A unit background keeps every cell positive.
+func BlobMatrix(rows, cols, blobs int, peak int64, seed uint64) (*Matrix, error) {
+	if err := checkDims(rows, cols); err != nil {
+		return nil, err
+	}
+	if blobs < 1 || peak < 1 || peak > MaxCellLoad/2 {
+		return nil, fmt.Errorf("%w: blobs=%d peak=%d", ErrFormat, blobs, peak)
+	}
+	rng := xrand.New(xrand.Mix(seed, 0xB10B))
+	cells := make([]int64, rows*cols)
+	for i := range cells {
+		cells[i] = 1
+	}
+	for b := 0; b < blobs; b++ {
+		br, bc := rng.Intn(rows), rng.Intn(cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				dr, dc := r-br, c-bc
+				if dr < 0 {
+					dr = -dr
+				}
+				if dc < 0 {
+					dc = -dc
+				}
+				d := int64(dr)
+				if int64(dc) > d {
+					d = int64(dc)
+				}
+				v := peak / (1 + d*d)
+				if v > 0 && cells[r*cols+c] <= MaxCellLoad-v {
+					cells[r*cols+c] += v
+				}
+			}
+		}
+	}
+	return NewMatrix(rows, cols, cells)
+}
+
+// RidgeMatrix loads a diagonal band heavily and the rest lightly — the
+// anisotropic instance class where one cut orientation is much better
+// than the other.
+func RidgeMatrix(rows, cols int, ridge int64, seed uint64) (*Matrix, error) {
+	if err := checkDims(rows, cols); err != nil {
+		return nil, err
+	}
+	if ridge < 1 || ridge > MaxCellLoad-8 {
+		return nil, fmt.Errorf("%w: ridge %d", ErrFormat, ridge)
+	}
+	rng := xrand.New(xrand.Mix(seed, 0x21D6E))
+	cells := make([]int64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := 1 + int64(rng.Uint64()%8)
+			// Band around the main diagonal scaled to the aspect ratio.
+			if d := r*cols - c*rows; d > -2*cols && d < 2*cols {
+				v += ridge
+			}
+			cells[r*cols+c] = v
+		}
+	}
+	return NewMatrix(rows, cols, cells)
+}

@@ -1,0 +1,138 @@
+package spatial
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+const maxLineBytes = 1 << 20
+
+// LoadMatrix parses a MatrixMarket-style coordinate listing of cell
+// loads:
+//
+//	%%MatrixMarket matrix coordinate integer general   (optional banner)
+//	% comments
+//	<rows> <cols> <nnz>
+//	<row> <col> <load>    (1-based, one entry per line)
+//
+// Unlisted cells are zero; listing a cell twice is malformed. All
+// dimensions and loads are validated against the package decode caps
+// before allocation; malformed input returns a typed error, never a
+// panic.
+func LoadMatrix(r io.Reader) (*Matrix, error) {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	line := 0
+	errf := func(format string, args ...interface{}) error {
+		return fmt.Errorf("%w: line %d: %s", ErrFormat, line, fmt.Sprintf(format, args...))
+	}
+	next := func() ([]string, error) {
+		for s.Scan() {
+			line++
+			t := strings.TrimSpace(s.Text())
+			if t == "" || t[0] == '#' {
+				continue
+			}
+			if t[0] == '%' {
+				if line == 1 && strings.HasPrefix(t, "%%MatrixMarket") {
+					low := strings.ToLower(t)
+					if !strings.Contains(low, "coordinate") || !strings.Contains(low, "integer") {
+						return nil, errf("unsupported MatrixMarket banner %q", t)
+					}
+				}
+				continue
+			}
+			return strings.Fields(t), nil
+		}
+		if err := s.Err(); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrFormat, line+1, err)
+		}
+		return nil, nil
+	}
+	// parse bounds a token in [lo, hi]; exceeding a *decode cap* is
+	// ErrTooLarge, exceeding a bound declared by the input itself (an
+	// index or count inconsistent with the size line) is ErrFormat.
+	parse := func(tok, what string, lo, hi int64, capped bool) (int64, error) {
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return 0, errf("bad %s %q", what, tok)
+		}
+		if v < lo {
+			return 0, errf("%s %d below %d", what, v, lo)
+		}
+		if v > hi {
+			if capped {
+				return 0, fmt.Errorf("%w: line %d: %s %d exceeds cap %d", ErrTooLarge, line, what, v, hi)
+			}
+			return 0, errf("%s %d exceeds %d", what, v, hi)
+		}
+		return v, nil
+	}
+
+	hdr, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if hdr == nil {
+		return nil, ErrEmpty
+	}
+	if len(hdr) != 3 {
+		return nil, errf("size line wants 'rows cols nnz', got %d fields", len(hdr))
+	}
+	rows, err := parse(hdr[0], "row count", 1, MaxDim, true)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := parse(hdr[1], "column count", 1, MaxDim, true)
+	if err != nil {
+		return nil, err
+	}
+	if rows*cols > MaxCells {
+		return nil, fmt.Errorf("%w: %dx%d exceeds %d cells", ErrTooLarge, rows, cols, MaxCells)
+	}
+	nnz, err := parse(hdr[2], "entry count", 0, rows*cols, false)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]int64, rows*cols)
+	set := make([]bool, rows*cols)
+	for k := int64(0); k < nnz; k++ {
+		fields, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if fields == nil {
+			return nil, fmt.Errorf("%w: %d entries for declared %d", ErrFormat, k, nnz)
+		}
+		if len(fields) != 3 {
+			return nil, errf("entry wants 'row col load', got %d fields", len(fields))
+		}
+		rr, err := parse(fields[0], "row index", 1, rows, false)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := parse(fields[1], "column index", 1, cols, false)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parse(fields[2], "load", 0, MaxCellLoad, true)
+		if err != nil {
+			return nil, err
+		}
+		idx := (rr-1)*cols + cc - 1
+		if set[idx] {
+			return nil, errf("cell (%d,%d) listed twice", rr, cc)
+		}
+		set[idx] = true
+		cells[idx] = v
+	}
+	if extra, err := next(); err != nil {
+		return nil, err
+	} else if extra != nil {
+		return nil, errf("trailing content after %d entries", nnz)
+	}
+	return NewMatrix(int(rows), int(cols), cells)
+}

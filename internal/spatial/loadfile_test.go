@@ -1,0 +1,26 @@
+package spatial
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTestdataInstance(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "hotspots.mtx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := LoadMatrix(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 8 || m.Cols() != 8 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	p := mustProblem(t, m, Config{Seed: 7})
+	if leaves := exhaust(t, p, map[uint64]bool{}); leaves < 2 {
+		t.Fatalf("checked-in instance did not split (%d leaves)", leaves)
+	}
+}

@@ -1,0 +1,83 @@
+package spatial
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Decode and construction caps, mirroring internal/graph's policy:
+// loaders reject inputs above these bounds before allocating.
+const (
+	// MaxDim bounds each matrix dimension.
+	MaxDim = 1 << 12
+	// MaxCells bounds rows×cols.
+	MaxCells = 1 << 22
+	// MaxCellLoad bounds one cell's load; MaxCells such cells still sum
+	// below 2^52, keeping float64 weights exact.
+	MaxCellLoad = 1 << 30
+)
+
+// Typed construction/loader errors.
+var (
+	// ErrFormat reports malformed loader input. Loaders never panic on
+	// bad input.
+	ErrFormat = errors.New("spatial: malformed input")
+	// ErrTooLarge reports input exceeding the decode caps.
+	ErrTooLarge = errors.New("spatial: input exceeds size caps")
+	// ErrEmpty reports a matrix with no cells or zero total load.
+	ErrEmpty = errors.New("spatial: empty matrix")
+)
+
+// Matrix is an immutable 2D non-negative load matrix held as a prefix-sum
+// table, so any axis-aligned rectangle's load is four lookups. All
+// spatial Problems over the same instance share one Matrix.
+type Matrix struct {
+	rows, cols int
+	pre        []int64 // (rows+1)×(cols+1) inclusive 2D prefix sums
+	total      int64
+}
+
+// NewMatrix builds a Matrix from row-major cell loads. Loads must lie in
+// [0, MaxCellLoad] and sum to at least 1.
+func NewMatrix(rows, cols int, cells []int64) (*Matrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, ErrEmpty
+	}
+	if rows > MaxDim || cols > MaxDim || rows*cols > MaxCells {
+		return nil, fmt.Errorf("%w: %dx%d matrix (caps %d per dim, %d cells)", ErrTooLarge, rows, cols, MaxDim, MaxCells)
+	}
+	if len(cells) != rows*cols {
+		return nil, fmt.Errorf("%w: %d cells for %dx%d", ErrFormat, len(cells), rows, cols)
+	}
+	m := &Matrix{rows: rows, cols: cols, pre: make([]int64, (rows+1)*(cols+1))}
+	w := cols + 1
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := cells[r*cols+c]
+			if v < 0 || v > MaxCellLoad {
+				return nil, fmt.Errorf("%w: cell (%d,%d) load %d outside [0, %d]", ErrFormat, r, c, v, int64(MaxCellLoad))
+			}
+			m.pre[(r+1)*w+c+1] = v + m.pre[r*w+c+1] + m.pre[(r+1)*w+c] - m.pre[r*w+c]
+		}
+	}
+	m.total = m.pre[rows*w+cols]
+	if m.total < 1 {
+		return nil, fmt.Errorf("%w: zero total load", ErrEmpty)
+	}
+	return m, nil
+}
+
+// Rows returns the row count.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *Matrix) Cols() int { return m.cols }
+
+// TotalLoad returns the whole matrix's load sum.
+func (m *Matrix) TotalLoad() int64 { return m.total }
+
+// Sum returns the load of the half-open rectangle [r0,r1)×[c0,c1).
+func (m *Matrix) Sum(r0, c0, r1, c1 int) int64 {
+	w := m.cols + 1
+	return m.pre[r1*w+c1] - m.pre[r0*w+c1] - m.pre[r1*w+c0] + m.pre[r0*w+c0]
+}

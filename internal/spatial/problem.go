@@ -1,0 +1,150 @@
+package spatial
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"bisectlb/internal/bisect"
+	"bisectlb/internal/xrand"
+)
+
+// DefaultAlpha is the declared bisector quality when Config.Alpha is
+// zero: a cut line is only accepted when its lighter side carries at
+// least this fraction of the rectangle's load.
+const DefaultAlpha = 0.1
+
+// Config parameterises a root spatial Problem.
+type Config struct {
+	// Alpha ∈ (0, 0.5] is the declared bisector quality: Bisect only
+	// performs cuts whose lighter side holds ≥ Alpha·W; rectangles with
+	// no such cut become final parts. 0 selects DefaultAlpha.
+	Alpha float64
+	// Seed is the root problem ID; 0 selects 1.
+	Seed uint64
+	// Recorder, when non-nil, receives every performed bisection.
+	Recorder *bisect.AlphaRecorder
+}
+
+// Problem is an axis-aligned rectangle of a load Matrix implementing
+// bisect.Problem. Bisect cuts along the horizontal or vertical line
+// that best balances the two sides — the recursive-bisection step of
+// spatially-located rectangular partitioning — and is fully
+// deterministic: no randomness enters the cut choice, and child IDs
+// derive from the parent's.
+type Problem struct {
+	m              *Matrix
+	r0, c0, r1, c1 int
+	id             uint64
+	depth          int
+	alpha          float64
+	rec            *bisect.AlphaRecorder
+
+	once sync.Once
+	ok   bool
+	horz bool // cut orientation: true = horizontal line (splits rows)
+	at   int  // cut coordinate: rows [r0,at)+[at,r1) or cols likewise
+}
+
+// New wraps the whole matrix as a root Problem.
+func New(m *Matrix, cfg Config) (*Problem, error) {
+	if m == nil || m.total < 1 {
+		return nil, ErrEmpty
+	}
+	alpha := cfg.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	if !(alpha > 0 && alpha <= 0.5) || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("%w: alpha %v outside (0, 0.5]", ErrFormat, cfg.Alpha)
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Problem{m: m, r1: m.rows, c1: m.cols, id: seed, alpha: alpha, rec: cfg.Recorder}, nil
+}
+
+// Bounds returns the problem's rectangle as half-open [r0,r1)×[c0,c1).
+func (p *Problem) Bounds() (r0, c0, r1, c1 int) { return p.r0, p.c0, p.r1, p.c1 }
+
+// ID returns the problem's unique identifier within its tree.
+func (p *Problem) ID() uint64 { return p.id }
+
+// Weight returns the rectangle's load. Construction caps keep totals
+// below 2^52, so the value is exact and children sum exactly to parents.
+func (p *Problem) Weight() float64 { return float64(p.weight()) }
+
+func (p *Problem) weight() int64 { return p.m.Sum(p.r0, p.c0, p.r1, p.c1) }
+
+// Alpha returns the declared bisector quality every performed cut meets.
+func (p *Problem) Alpha() float64 { return p.alpha }
+
+// bestCut scans every horizontal and vertical cut line of the rectangle
+// for the most balanced split (largest lighter side). Ties prefer
+// cutting the longer axis — keeping rectangles square-ish, the usual
+// rectangular-partitioning heuristic — then the smaller coordinate.
+func (p *Problem) bestCut() {
+	p.once.Do(func() {
+		w := p.weight()
+		if w < 1 {
+			return
+		}
+		bestMin := int64(-1)
+		consider := func(horz bool, at int, w1 int64) {
+			mn := w1
+			if w-w1 < mn {
+				mn = w - w1
+			}
+			better := mn > bestMin
+			if mn == bestMin && horz != p.horz {
+				// Tie across orientations: prefer cutting the longer axis.
+				better = horz == (p.r1-p.r0 >= p.c1-p.c0)
+			}
+			if better {
+				bestMin, p.horz, p.at = mn, horz, at
+			}
+		}
+		for r := p.r0 + 1; r < p.r1; r++ {
+			consider(true, r, p.m.Sum(p.r0, p.c0, r, p.c1))
+		}
+		for c := p.c0 + 1; c < p.c1; c++ {
+			consider(false, c, p.m.Sum(p.r0, c, p.r1, p.c1))
+		}
+		p.ok = float64(bestMin) >= p.alpha*float64(w)
+	})
+}
+
+// CanBisect reports whether some cut line satisfies the declared α:
+// single-cell rectangles, and rectangles whose load is too concentrated
+// for any α-balanced cut, become final parts.
+func (p *Problem) CanBisect() bool {
+	if p.r1-p.r0 < 2 && p.c1-p.c0 < 2 {
+		return false
+	}
+	p.bestCut()
+	return p.ok
+}
+
+// Bisect cuts at the best line, heavier side first (ties keep the
+// top/left side first). Child IDs derive from the parent's exactly like
+// the other substrates, so HF and PHF see identical trees. Each call
+// records the realized α̂ with the configured recorder.
+func (p *Problem) Bisect() (bisect.Problem, bisect.Problem) {
+	if !p.CanBisect() {
+		panic("spatial: Bisect called on indivisible problem")
+	}
+	a := &Problem{m: p.m, r0: p.r0, c0: p.c0, r1: p.r1, c1: p.c1, depth: p.depth + 1, alpha: p.alpha, rec: p.rec}
+	b := &Problem{m: p.m, r0: p.r0, c0: p.c0, r1: p.r1, c1: p.c1, depth: p.depth + 1, alpha: p.alpha, rec: p.rec}
+	if p.horz {
+		a.r1, b.r0 = p.at, p.at
+	} else {
+		a.c1, b.c0 = p.at, p.at
+	}
+	if b.weight() > a.weight() {
+		a, b = b, a
+	}
+	a.id, b.id = xrand.Mix(p.id, 1), xrand.Mix(p.id, 2)
+	p.rec.Record(p.depth, p.Weight(), a.Weight(), b.Weight())
+	return a, b
+}

@@ -1,0 +1,189 @@
+package spatial
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bisectlb/internal/bisect"
+)
+
+// exhaust recursively bisects p to leaves, asserting on every split:
+// exact weight conservation, measured α̂ within the declared bound,
+// heavy child first, distinct IDs, and disjoint covering rectangles.
+func exhaust(t *testing.T, p *Problem, ids map[uint64]bool) int {
+	t.Helper()
+	if ids[p.ID()] {
+		t.Fatalf("duplicate problem ID %d", p.ID())
+	}
+	ids[p.ID()] = true
+	if !p.CanBisect() {
+		return 1
+	}
+	a, b := p.Bisect()
+	pa, pb := a.(*Problem), b.(*Problem)
+	if a.Weight()+b.Weight() != p.Weight() {
+		t.Fatalf("weight not conserved: %v + %v != %v", a.Weight(), b.Weight(), p.Weight())
+	}
+	if a.Weight() < b.Weight() {
+		t.Fatal("heavy child must come first")
+	}
+	if ahat := b.Weight() / p.Weight(); ahat < p.Alpha() {
+		t.Fatalf("measured α̂ %v below declared α %v", ahat, p.Alpha())
+	}
+	ar0, ac0, ar1, ac1 := pa.Bounds()
+	br0, bc0, br1, bc1 := pb.Bounds()
+	cells := func(r0, c0, r1, c1 int) int { return (r1 - r0) * (c1 - c0) }
+	pr0, pc0, pr1, pc1 := p.Bounds()
+	if cells(ar0, ac0, ar1, ac1)+cells(br0, bc0, br1, bc1) != cells(pr0, pc0, pr1, pc1) {
+		t.Fatal("children do not tile the parent rectangle")
+	}
+	return exhaust(t, pa, ids) + exhaust(t, pb, ids)
+}
+
+func mustProblem(t *testing.T, m *Matrix, cfg Config) *Problem {
+	t.Helper()
+	p, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBisectInvariants(t *testing.T) {
+	var rec bisect.AlphaRecorder
+	builders := []func() (*Matrix, error){
+		func() (*Matrix, error) { return UniformMatrix(17, 23, 9, 3) },
+		func() (*Matrix, error) { return BlobMatrix(20, 20, 4, 5000, 11) },
+		func() (*Matrix, error) { return RidgeMatrix(16, 24, 300, 5) },
+		func() (*Matrix, error) { return NewMatrix(1, 2, []int64{4, 4}) },
+	}
+	for i, build := range builders {
+		m, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := mustProblem(t, m, Config{Seed: uint64(i + 1), Recorder: &rec})
+		if leaves := exhaust(t, p, map[uint64]bool{}); leaves < 2 {
+			t.Fatalf("builder %d did not split", i)
+		}
+	}
+	if rec.Count() == 0 {
+		t.Fatal("recorder saw no bisections")
+	}
+	if rec.Min() < DefaultAlpha || rec.Min() > 0.5 {
+		t.Fatalf("recorded min α̂ = %v outside [α, 0.5]", rec.Min())
+	}
+}
+
+func TestBisectDeterministic(t *testing.T) {
+	build := func() *Problem {
+		m, err := BlobMatrix(15, 18, 3, 2000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustProblem(t, m, Config{Seed: 99})
+	}
+	var walk func(p *Problem, out *[]uint64)
+	walk = func(p *Problem, out *[]uint64) {
+		r0, c0, r1, c1 := p.Bounds()
+		*out = append(*out, p.ID(), uint64(r0), uint64(c0), uint64(r1), uint64(c1))
+		if !p.CanBisect() {
+			return
+		}
+		a, b := p.Bisect()
+		walk(a.(*Problem), out)
+		walk(b.(*Problem), out)
+	}
+	var t1, t2 []uint64
+	walk(build(), &t1)
+	walk(build(), &t2)
+	if len(t1) != len(t2) {
+		t.Fatalf("tree sizes differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trees diverge at %d", i)
+		}
+	}
+	p := build()
+	a1, b1 := p.Bisect()
+	a2, b2 := p.Bisect()
+	if a1.ID() != a2.ID() || b1.ID() != b2.ID() || a1.Weight() != a2.Weight() || b1.Weight() != b2.Weight() {
+		t.Fatal("same-object re-bisection diverged")
+	}
+}
+
+func TestIndivisibleLeaf(t *testing.T) {
+	m, err := NewMatrix(1, 1, []int64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustProblem(t, m, Config{})
+	if p.CanBisect() {
+		t.Fatal("single cell must not bisect")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bisect on indivisible problem must panic")
+		}
+	}()
+	p.Bisect()
+}
+
+func TestConcentratedLoadIndivisible(t *testing.T) {
+	// One cell dominates: no cut line reaches the declared α.
+	m, err := NewMatrix(2, 2, []int64{1000, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := mustProblem(t, m, Config{Alpha: 0.25})
+	if p.CanBisect() {
+		t.Fatal("concentrated instance must be indivisible")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	m, err := NewMatrix(2, 2, []int64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(m, Config{Alpha: 0.7}); err == nil {
+		t.Fatal("alpha > 0.5 accepted")
+	}
+	if _, err := New(m, Config{Alpha: math.NaN()}); err == nil {
+		t.Fatal("NaN alpha accepted")
+	}
+	p := mustProblem(t, m, Config{})
+	if p.ID() != 1 || p.Alpha() != DefaultAlpha {
+		t.Fatalf("defaults = id %d, alpha %v", p.ID(), p.Alpha())
+	}
+}
+
+// TestQuickBisect drives randomized generator parameters through the
+// full invariant walk via testing/quick.
+func TestQuickBisect(t *testing.T) {
+	f := func(seed uint64, rowsRaw, colsRaw uint8, peakRaw uint16) bool {
+		rows := 1 + int(rowsRaw)%24
+		cols := 1 + int(colsRaw)%24
+		peak := 1 + int64(peakRaw)%5000
+		m, err := BlobMatrix(rows, cols, 2, peak, seed)
+		if err != nil {
+			t.Logf("gen: %v", err)
+			return false
+		}
+		p, err := New(m, Config{Seed: seed | 1})
+		if err != nil {
+			t.Logf("new: %v", err)
+			return false
+		}
+		exhaust(t, p, map[uint64]bool{})
+		return !t.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package spatial
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, 3, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("0 rows: %v", err)
+	}
+	if _, err := NewMatrix(MaxDim+1, 1, nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over dim cap: %v", err)
+	}
+	if _, err := NewMatrix(2, 2, []int64{1, 2, 3}); !errors.Is(err, ErrFormat) {
+		t.Fatalf("cell count mismatch: %v", err)
+	}
+	if _, err := NewMatrix(2, 2, []int64{1, -1, 0, 0}); !errors.Is(err, ErrFormat) {
+		t.Fatalf("negative load: %v", err)
+	}
+	if _, err := NewMatrix(2, 2, []int64{0, 0, 0, 0}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("zero total: %v", err)
+	}
+}
+
+func TestMatrixSums(t *testing.T) {
+	m, err := NewMatrix(3, 4, []int64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 4 || m.TotalLoad() != 78 {
+		t.Fatalf("shape = %d/%d/%d", m.Rows(), m.Cols(), m.TotalLoad())
+	}
+	if got := m.Sum(0, 0, 3, 4); got != 78 {
+		t.Fatalf("full sum = %d", got)
+	}
+	if got := m.Sum(1, 1, 3, 3); got != 6+7+10+11 {
+		t.Fatalf("inner sum = %d", got)
+	}
+	if got := m.Sum(2, 3, 3, 4); got != 12 {
+		t.Fatalf("corner sum = %d", got)
+	}
+	if got := m.Sum(1, 1, 1, 1); got != 0 {
+		t.Fatalf("empty sum = %d", got)
+	}
+}
+
+func TestBestCutOrientation(t *testing.T) {
+	// Uniform 2x4: the middle vertical cut and the horizontal cut both
+	// split 12|12, so the orientation tie prefers the longer axis (cols).
+	m, err := NewMatrix(2, 4, []int64{
+		3, 3, 3, 3,
+		3, 3, 3, 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CanBisect() {
+		t.Fatal("must bisect")
+	}
+	a, b := p.Bisect()
+	pa, pb := a.(*Problem), b.(*Problem)
+	if pa.Weight() < pb.Weight() {
+		t.Fatal("heavy child first")
+	}
+	r0, c0, r1, c1 := pa.Bounds()
+	if r1-r0 != 2 || c1-c0 != 2 {
+		t.Fatalf("expected vertical cut, heavy bounds = [%d,%d)x[%d,%d)", r0, r1, c0, c1)
+	}
+	if pa.Weight()+pb.Weight() != p.Weight() {
+		t.Fatal("weight not conserved")
+	}
+}
+
+func TestLoadMatrix(t *testing.T) {
+	const src = `%%MatrixMarket matrix coordinate integer general
+% a sparse 3x3 load map
+3 3 4
+1 1 5
+2 2 7
+3 1 2
+3 3 1
+`
+	m, err := LoadMatrix(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 3 || m.Cols() != 3 || m.TotalLoad() != 15 {
+		t.Fatalf("shape = %d/%d/%d", m.Rows(), m.Cols(), m.TotalLoad())
+	}
+	if got := m.Sum(2, 0, 3, 1); got != 2 {
+		t.Fatalf("cell (3,1) = %d", got)
+	}
+}
+
+func TestLoadMatrixErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"empty", "", ErrEmpty},
+		{"comments only", "% nothing\n", ErrEmpty},
+		{"bad banner", "%%MatrixMarket matrix array real general\n2 2 0\n", ErrFormat},
+		{"size fields", "2 2\n", ErrFormat},
+		{"zero rows", "0 2 0\n", ErrFormat},
+		{"over dim", "99999 2 0\n", ErrTooLarge},
+		{"over cells", "4096 4096 0\n", ErrTooLarge},
+		{"nnz over cells", "2 2 5\n", ErrFormat},
+		{"entry fields", "2 2 1\n1 1\n", ErrFormat},
+		{"row range", "2 2 1\n3 1 4\n", ErrFormat},
+		{"negative load", "2 2 1\n1 1 -4\n", ErrFormat},
+		{"load cap", "2 2 1\n1 1 99999999999\n", ErrTooLarge},
+		{"duplicate cell", "2 2 2\n1 1 4\n1 1 5\n", ErrFormat},
+		{"missing entries", "2 2 2\n1 1 4\n", ErrFormat},
+		{"trailing", "2 2 1\n1 1 4\n2 2 5\n", ErrFormat},
+		{"all zero", "2 2 1\n1 1 0\n", ErrEmpty},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := LoadMatrix(strings.NewReader(c.src)); !errors.Is(err, c.want) {
+				t.Fatalf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	u, err := UniformMatrix(8, 9, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Rows() != 8 || u.Cols() != 9 || u.TotalLoad() < 72 {
+		t.Fatalf("uniform = %d/%d/%d", u.Rows(), u.Cols(), u.TotalLoad())
+	}
+	b, err := BlobMatrix(12, 12, 3, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalLoad() <= 144 {
+		t.Fatalf("blob total %d has no blobs", b.TotalLoad())
+	}
+	r, err := RidgeMatrix(10, 14, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalLoad() <= 140 {
+		t.Fatalf("ridge total %d has no ridge", r.TotalLoad())
+	}
+	if _, err := UniformMatrix(0, 3, 5, 1); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad uniform: %v", err)
+	}
+	if _, err := BlobMatrix(3, 3, 0, 5, 1); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad blob: %v", err)
+	}
+	if _, err := RidgeMatrix(3, 3, 0, 1); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad ridge: %v", err)
+	}
+	// Same seed → same matrix.
+	u2, err := UniformMatrix(8, 9, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.TotalLoad() != u.TotalLoad() {
+		t.Fatal("generator not deterministic")
+	}
+}

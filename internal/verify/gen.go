@@ -5,6 +5,8 @@ import (
 
 	"bisectlb/internal/bisect"
 	"bisectlb/internal/femtree"
+	"bisectlb/internal/graph"
+	"bisectlb/internal/spatial"
 	"bisectlb/internal/xrand"
 )
 
@@ -24,11 +26,26 @@ const (
 	// FamilyFEM is the adaptive FE-tree substrate; it carries no a-priori
 	// α (probe with femtree.ProbeAlpha) and has no flat kernel.
 	FamilyFEM
+	// FamilyGraph is the real-instance multilevel graph/hypergraph
+	// bisector (internal/graph). Its α is emergent: the balance contract
+	// guarantees α ≥ (1−ε)/2 per performed bisection, and guarantees are
+	// checked against the realized α̂ of the run (r_α̂).
+	FamilyGraph
+	// FamilySpatial is the real-instance rectangular load-matrix bisector
+	// (internal/spatial); cuts meet the declared α, guarantees are
+	// checked against the realized α̂ like FamilyGraph.
+	FamilySpatial
 	numFamilies
 )
 
 // AllFamilies lists every generatable family.
-var AllFamilies = []Family{FamilyUniform, FamilyFixed, FamilyList, FamilyFEM}
+var AllFamilies = []Family{FamilyUniform, FamilyFixed, FamilyList, FamilyFEM, FamilyGraph, FamilySpatial}
+
+// Measured reports whether the family's bisector quality is emergent —
+// guarantee checks use realized-α̂ bounds instead of the class bound.
+func (f Family) Measured() bool {
+	return f == FamilyFEM || f == FamilyGraph || f == FamilySpatial
+}
 
 func (f Family) String() string {
 	switch f {
@@ -40,6 +57,10 @@ func (f Family) String() string {
 		return "list"
 	case FamilyFEM:
 		return "fem"
+	case FamilyGraph:
+		return "graph"
+	case FamilySpatial:
+		return "spatial"
 	default:
 		return fmt.Sprintf("family(%d)", int(f))
 	}
@@ -54,8 +75,10 @@ type Instance struct {
 	// Weight is the root weight (uniform/fixed; lists weigh their length).
 	Weight float64
 	// Alpha is the declared class parameter: the interval's lower bound
-	// for uniform, the exact split for fixed, the pivot guard for list.
-	// Zero for FEM (no a-priori guarantee; probe instead).
+	// for uniform, the exact split for fixed, the pivot guard for list,
+	// the balance-contract floor (1−ε)/2 for graph, the cut-acceptance
+	// threshold for spatial. Zero for FEM (no a-priori guarantee; probe
+	// instead).
 	Alpha float64
 	// Hi is the α̂ interval's upper bound (uniform only).
 	Hi float64
@@ -82,6 +105,10 @@ func (in Instance) String() string {
 			in.Elems, in.Alpha, in.N, in.Kappa, in.Seed)
 	case FamilyFEM:
 		return fmt.Sprintf("family=fem n=%d kappa=%g seed=%d", in.N, in.Kappa, in.Seed)
+	case FamilyGraph:
+		return fmt.Sprintf("family=graph alpha=%g n=%d kappa=%g seed=%d", in.Alpha, in.N, in.Kappa, in.Seed)
+	case FamilySpatial:
+		return fmt.Sprintf("family=spatial alpha=%g n=%d kappa=%g seed=%d", in.Alpha, in.N, in.Kappa, in.Seed)
 	default:
 		return fmt.Sprintf("family=%v", in.Family)
 	}
@@ -98,8 +125,53 @@ func (in Instance) Problem() (bisect.Problem, error) {
 		return bisect.NewList(in.Elems, in.Alpha, in.Seed)
 	case FamilyFEM:
 		return femtree.NewRegion(femtree.MustGenerate(femtree.DefaultGenConfig(in.Seed))), nil
+	case FamilyGraph:
+		h, err := GraphInstance(in.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return graph.New(h, graph.Config{Seed: in.Seed | 1})
+	case FamilySpatial:
+		m, err := SpatialInstance(in.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return spatial.New(m, spatial.Config{Seed: in.Seed | 1})
 	default:
 		return nil, fmt.Errorf("verify: unknown family %v", in.Family)
+	}
+}
+
+// GraphInstance derives a deterministic real graph/hypergraph instance
+// from a seed, rotating through the three generator kinds (mesh, chorded
+// ring, random hypergraph). Sizes stay small enough for sweep volume but
+// large enough that HF at the sweep's processor counts rarely runs out
+// of divisible subproblems.
+func GraphInstance(seed uint64) (*graph.Hypergraph, error) {
+	r := xrand.New(xrand.Mix(seed, 0x6EA9))
+	switch r.Intn(3) {
+	case 0:
+		return graph.GridGraph(8+r.Intn(13), 8+r.Intn(13), 1+int64(r.Intn(4)), seed)
+	case 1:
+		return graph.RingGraph(64+r.Intn(192), 16+r.Intn(32), 1+int64(r.Intn(4)), seed)
+	default:
+		return graph.RandomHypergraph(64+r.Intn(128), 48+r.Intn(96), 3+r.Intn(4), 1+int64(r.Intn(4)), seed)
+	}
+}
+
+// SpatialInstance derives a deterministic load-matrix instance from a
+// seed, rotating through the three generator kinds (uniform, blobs,
+// ridge).
+func SpatialInstance(seed uint64) (*spatial.Matrix, error) {
+	r := xrand.New(xrand.Mix(seed, 0x5A71))
+	rows, cols := 10+r.Intn(28), 10+r.Intn(28)
+	switch r.Intn(3) {
+	case 0:
+		return spatial.UniformMatrix(rows, cols, 1+int64(r.Intn(16)), seed)
+	case 1:
+		return spatial.BlobMatrix(rows, cols, 1+r.Intn(4), 100+int64(r.Intn(4000)), seed)
+	default:
+		return spatial.RidgeMatrix(rows, cols, 50+int64(r.Intn(400)), seed)
 	}
 }
 
@@ -147,7 +219,7 @@ func (in Instance) Shrink() []Instance {
 		}
 		add(c)
 	}
-	if in.Weight != 1 && in.Family != FamilyList && in.Family != FamilyFEM {
+	if in.Weight != 1 && (in.Family == FamilyUniform || in.Family == FamilyFixed) {
 		c := in
 		c.Weight = 1
 		add(c)
@@ -201,7 +273,11 @@ func (g *Gen) families() []Family {
 //     stays divisible and indivisible unit leaves stay far below the
 //     ideal share (the guarantee presumes bisectable subproblems);
 //   - fem: default generated FE-trees with N ≤ 32, small enough that
-//     partitions do not run out of divisible regions.
+//     partitions do not run out of divisible regions;
+//   - graph: real multilevel-bisector instances (GraphInstance) with
+//     N ≤ 8 and class α = (1−ε)/2 from the balance contract;
+//   - spatial: real load-matrix instances (SpatialInstance) with N ≤ 12
+//     and class α = the cut-acceptance threshold.
 func (g *Gen) Instance() Instance {
 	fams := g.families()
 	f := fams[g.rng.Intn(len(fams))]
@@ -231,6 +307,14 @@ func (g *Gen) Instance() Instance {
 		in.Weight = float64(in.Elems)
 	case FamilyFEM:
 		in.N = 1 + g.rng.Intn(32)
+	case FamilyGraph:
+		// Class α from the balance contract: every performed bisection has
+		// α̂ ≥ (1−ε)/2, exactly (integer caps only tighten the band).
+		in.Alpha = (1 - graph.DefaultEps) / 2
+		in.N = 1 + g.rng.Intn(8)
+	case FamilySpatial:
+		in.Alpha = spatial.DefaultAlpha
+		in.N = 1 + g.rng.Intn(12)
 	}
 	return in
 }

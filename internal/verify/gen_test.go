@@ -48,11 +48,20 @@ func TestGenInstanceConstraints(t *testing.T) {
 			if in.N > 32 {
 				t.Fatalf("FEM N out of range: %v", in)
 			}
+		case FamilyGraph:
+			if in.N > 8 || in.Alpha <= 0 {
+				t.Fatalf("graph instance out of range: %v", in)
+			}
+		case FamilySpatial:
+			if in.N > 12 || in.Alpha <= 0 {
+				t.Fatalf("spatial instance out of range: %v", in)
+			}
 		}
 		if _, err := in.Problem(); err != nil {
 			t.Fatalf("generated instance does not materialise: %v: %v", in, err)
 		}
-		if _, _, ok := in.Flat(); ok != (in.Family != FamilyFEM) {
+		flatFamily := in.Family == FamilyUniform || in.Family == FamilyFixed || in.Family == FamilyList
+		if _, _, ok := in.Flat(); ok != flatFamily {
 			t.Fatalf("flat availability wrong for %v", in)
 		}
 	}

@@ -1,0 +1,94 @@
+package verify
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"bisectlb/internal/core"
+	"bisectlb/internal/graph"
+)
+
+// TestRealFamiliesSweep is the in-test form of `make sweep-real`: the
+// full randomized invariant grid restricted to the two real-instance
+// families, where every guarantee is evaluated against the realized α̂
+// of the run rather than a class parameter.
+func TestRealFamiliesSweep(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 80
+	}
+	rep := Sweep(SweepConfig{Instances: n, Seed: 20260809, Families: []Family{FamilyGraph, FamilySpatial}})
+	if !rep.OK() {
+		for _, f := range rep.Failures {
+			t.Errorf("%s: %s\n  instance: %s\n  minimal:  %s", f.Alg, f.Err, f.Instance, f.Minimal)
+		}
+	}
+	if rep.ByFamily["graph"] == 0 || rep.ByFamily["spatial"] == 0 {
+		t.Fatalf("family coverage hole: %v", rep.ByFamily)
+	}
+}
+
+// TestGoldenGraphParity pins Theorem 3 on a fixed checked-in graph
+// instance: HF and PHF produce the identical partition at every
+// processor count, and the partitions themselves are pinned so any
+// change to the multilevel bisector's decisions surfaces as a diff, not
+// silent drift.
+func TestGoldenGraphParity(t *testing.T) {
+	f, err := os.Open("../graph/testdata/grid6x6.graph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := graph.LoadGraph(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 11
+	classAlpha := (1 - graph.DefaultEps) / 2
+	// With ε = 0.1 and unit weights, parts of weight 9 are indivisible
+	// (9 → 4|5 misses the ⌊4.95⌋ cap), so the tree bottoms out at four
+	// parts of 9: processor counts above 4 park there — exactly the
+	// "processors remain idle" behaviour the checkers must tolerate.
+	golden := map[int][]float64{
+		2: {18, 18},
+		3: {9, 9, 18},
+		4: {9, 9, 9, 9},
+		8: {9, 9, 9, 9},
+	}
+	for n := 2; n <= 8; n++ {
+		p, err := graph.New(h, graph.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hf, err := core.HF(p, n, core.Options{RecordTree: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := graph.New(h, graph.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phf, err := core.PHF(p2, n, classAlpha, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CheckResultParity(hf, &phf.Result); err != nil {
+			t.Errorf("n=%d: HF ≢ PHF on fixed instance: %v", n, err)
+		}
+		if want, ok := golden[n]; ok {
+			var got []float64
+			for _, pt := range hf.Parts {
+				got = append(got, pt.Problem.Weight())
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("n=%d: partition drifted: got %v, want %v", n, got, want)
+			}
+		}
+		if a := realizedAlpha(hf.Tree); a > 0 && len(hf.Parts) == hf.N {
+			if err := CheckMeasuredGuarantee(hf, a); err != nil {
+				t.Errorf("n=%d: %v", n, err)
+			}
+		}
+	}
+}

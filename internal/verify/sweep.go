@@ -139,34 +139,42 @@ func CheckInstance(pl *core.Planner, in Instance, tol float64) (checks int, fail
 
 	// Interface paths. The substrates are pure (Bisect never mutates), so
 	// one root serves every algorithm.
+	measured := in.Family.Measured()
 	hf, err := core.HF(p, in.N, core.Options{RecordTree: true})
 	if err != nil {
 		fail("HF", err)
 		return checks, fails
 	}
 	check("HF", CheckPartition(hf, in.N, tol))
-	if in.Family == FamilyFEM {
-		// No a-priori α: check the guarantee provable from the realized
-		// bisector quality of the performed bisections alone.
+	if measured {
+		// Emergent α: check the guarantee provable from the realized
+		// bisector quality of the performed bisections alone (r_α̂).
 		if a := realizedAlpha(hf.Tree); a > 0 && len(hf.Parts) == hf.N {
-			checks++
-			if limit := bounds.RHFProvableN(a, hf.N); hf.Ratio > limit+guaranteeSlack {
-				fail("HF/realized", violationf("guarantee",
-					"HF ratio %v exceeds realized-α bound %v at α̂=%g N=%d", hf.Ratio, limit, a, hf.N))
-			}
+			check("HF/realized", CheckMeasuredGuarantee(hf, a))
+		}
+		if in.Alpha > 0 {
+			// Graph/spatial declare a class floor every performed
+			// bisection must meet; FEM declares none.
+			check("HF", CheckBand(hf.Tree, in.Alpha, tol))
 		}
 	} else {
 		check("HF", CheckBand(hf.Tree, in.Alpha, tol))
 		check("HF", CheckGuarantee(hf, in.Alpha, in.Kappa))
 	}
 
-	if in.Family != FamilyFEM {
-		phf, err := core.PHF(p, in.N, in.Alpha, core.Options{})
+	if in.Alpha > 0 {
+		phf, err := core.PHF(p, in.N, in.Alpha, core.Options{RecordTree: measured})
 		if err != nil {
 			fail("PHF", err)
 		} else {
 			check("PHF", CheckPartition(&phf.Result, in.N, tol))
-			check("PHF", CheckGuarantee(&phf.Result, in.Alpha, in.Kappa))
+			if measured {
+				if a := realizedAlpha(phf.Result.Tree); a > 0 && len(phf.Result.Parts) == phf.Result.N {
+					check("PHF/realized", CheckMeasuredGuarantee(&phf.Result, a))
+				}
+			} else {
+				check("PHF", CheckGuarantee(&phf.Result, in.Alpha, in.Kappa))
+			}
 			checks++
 			if d := bounds.PHFPhase1Depth(in.Alpha, in.N); phf.Phase1Rounds > d {
 				fail("PHF", violationf("guarantee", "phase-1 ran %d rounds, bound is %d at α=%g N=%d",
@@ -199,17 +207,21 @@ func CheckInstance(pl *core.Planner, in Instance, tol float64) (checks int, fail
 			fail("BA-HF", err)
 		} else {
 			check("BA-HF", CheckPartition(bahf, in.N, tol))
-			check("BA-HF", CheckGuarantee(bahf, in.Alpha, in.Kappa))
+			if !measured {
+				check("BA-HF", CheckGuarantee(bahf, in.Alpha, in.Kappa))
+			}
 		}
 	}
 
-	ba, err := core.BA(p, in.N, core.Options{})
+	ba, err := core.BA(p, in.N, core.Options{RecordTree: measured})
 	if err != nil {
 		fail("BA", err)
 	} else {
 		check("BA", CheckPartition(ba, in.N, tol))
-		if in.Family != FamilyFEM {
+		if !measured {
 			check("BA", CheckGuarantee(ba, in.Alpha, in.Kappa))
+		} else if a := realizedAlpha(ba.Tree); a > 0 && len(ba.Parts) == ba.N {
+			check("BA/realized", CheckMeasuredGuarantee(ba, a))
 		}
 	}
 

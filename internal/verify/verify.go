@@ -162,6 +162,57 @@ func CheckGuarantee(r *core.Result, alpha, kappa float64) error {
 	return nil
 }
 
+// MeasuredGuaranteeBound returns the ratio bound r_α̂ provable from the
+// realized bisector quality α̂ of a run's performed bisections: every
+// bisection actually performed was an α̂-bisection, so the paper's
+// arguments apply with α̂ in place of the class α. HF and PHF use the
+// n-aware provable bound n/(1+(n−1)·α̂); BA uses the paper's BA bound,
+// which is Lemma 5's n·(1−α̂)^⌊log₂n⌋ only for n ≤ 1/α̂ and Theorem 7's
+// e·(1/α̂)·(1−α̂)^{⌈1/(2α̂)⌉−1} beyond (real instances realize α̂ near
+// 0.5, where n > 1/α̂ is the common case and Lemma 5 alone would be
+// unsound). Both require the run to have produced its full n parts —
+// the caller must check that — since the depth arguments presume no
+// subproblem was parked indivisible early. BA-HF has no measured bound
+// here: its κ threshold couples phases in a way the realized-α̂ argument
+// does not cover, so only its structural contracts are checked on
+// measured families.
+func MeasuredGuaranteeBound(alg string, ahat float64, n int) (float64, error) {
+	if err := bounds.ValidateAlpha(ahat); err != nil {
+		return 0, err
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("verify: n must be ≥ 1, got %d", n)
+	}
+	switch alg {
+	case "HF", "HF-scan", "PHF", "parallel-PHF":
+		return bounds.RHFProvableN(ahat, n), nil
+	case "BA", "parallel-BA":
+		return bounds.BA(ahat, n), nil
+	default:
+		return 0, fmt.Errorf("verify: no measured-α̂ bound known for algorithm %q", alg)
+	}
+}
+
+// CheckMeasuredGuarantee verifies r.Ratio against the measured-α̂ bound
+// r_α̂ = MeasuredGuaranteeBound(r.Algorithm, ahat, r.N). ahat must be
+// the realized bisector quality of this run (e.g. realizedAlpha of its
+// recorded tree, or an AlphaRecorder minimum), and the run must have
+// produced its full N parts for the bound to be sound.
+func CheckMeasuredGuarantee(r *core.Result, ahat float64) error {
+	if r == nil {
+		return violationf("guarantee", "nil result")
+	}
+	limit, err := MeasuredGuaranteeBound(r.Algorithm, ahat, r.N)
+	if err != nil {
+		return Violation{Check: "guarantee", Detail: err.Error()}
+	}
+	if r.Ratio > limit+guaranteeSlack {
+		return violationf("guarantee", "%s ratio %v exceeds measured-α̂ bound %v at α̂=%g N=%d",
+			r.Algorithm, r.Ratio, limit, ahat, r.N)
+	}
+	return nil
+}
+
 // CheckPlan verifies the structural contract of a flat-path plan against
 // the requested processor count n: strictly ascending unique part IDs,
 // positive weights summing to the total, Max/Ratio/MaxDepth consistent,

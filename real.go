@@ -1,0 +1,76 @@
+package bisectlb
+
+import (
+	"io"
+
+	"bisectlb/internal/graph"
+	"bisectlb/internal/spatial"
+	"bisectlb/internal/verify"
+)
+
+// Real-instance substrates (DESIGN.md §16): actual graphs, hypergraphs
+// and 2D load matrices bisected by real algorithms — the multilevel
+// hypergraph bisector of internal/graph and the cut-line bisector of
+// internal/spatial — rather than by a stochastic model. Neither carries
+// an a-priori α guarantee beyond its construction contract (graph:
+// every performed bisection lands in the (1±ε)·W/2 band; spatial: the
+// lighter side of every performed cut holds ≥ α·W); use ProbeAlpha or
+// the verify subsystem's measured-α̂ bounds to reason about achieved
+// quality.
+
+// NewGraphProblem returns a seed-derived graph/hypergraph instance from
+// the same generator roster the lbverify "graph" family sweeps (meshes,
+// chorded rings, random hypergraphs), wrapped as a multilevel-bisection
+// problem at the default balance slack. The same seed always yields the
+// same instance and the same bisection tree.
+func NewGraphProblem(seed uint64) (Problem, error) {
+	h, err := verify.GraphInstance(seed)
+	if err != nil {
+		return nil, err
+	}
+	return graph.New(h, graph.Config{Seed: seed | 1})
+}
+
+// NewSpatialProblem returns a seed-derived 2D load-matrix instance from
+// the same generator roster the lbverify "spatial" family sweeps
+// (uniform, blob and ridge load patterns), wrapped as a cut-line
+// bisection problem at the default declared α. Deterministic per seed.
+func NewSpatialProblem(seed uint64) (Problem, error) {
+	m, err := verify.SpatialInstance(seed)
+	if err != nil {
+		return nil, err
+	}
+	return spatial.New(m, spatial.Config{Seed: seed | 1})
+}
+
+// LoadGraphProblem reads a Metis-format graph (see internal/graph) and
+// wraps it as a multilevel-bisection problem. seed pins the bisection
+// tree; 0 selects the default.
+func LoadGraphProblem(r io.Reader, seed uint64) (Problem, error) {
+	h, err := graph.LoadGraph(r)
+	if err != nil {
+		return nil, err
+	}
+	return graph.New(h, graph.Config{Seed: seed})
+}
+
+// LoadHypergraphProblem reads an hMetis-format hypergraph and wraps it
+// as a multilevel-bisection problem. seed pins the bisection tree.
+func LoadHypergraphProblem(r io.Reader, seed uint64) (Problem, error) {
+	h, err := graph.LoadHypergraph(r)
+	if err != nil {
+		return nil, err
+	}
+	return graph.New(h, graph.Config{Seed: seed})
+}
+
+// LoadMatrixProblem reads a MatrixMarket-style integer load matrix (see
+// internal/spatial) and wraps it as a cut-line bisection problem. seed
+// pins problem identities; the bisector itself is deterministic.
+func LoadMatrixProblem(r io.Reader, seed uint64) (Problem, error) {
+	m, err := spatial.LoadMatrix(r)
+	if err != nil {
+		return nil, err
+	}
+	return spatial.New(m, spatial.Config{Seed: seed})
+}

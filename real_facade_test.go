@@ -1,0 +1,112 @@
+package bisectlb
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRealProblemConstructors exercises the seed-derived real-instance
+// substrates end to end: build, balance, and check the partition
+// conserves weight.
+func TestRealProblemConstructors(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func(seed uint64) (Problem, error)
+	}{
+		{"graph", NewGraphProblem},
+		{"spatial", NewSpatialProblem},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := tc.build(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Balance(p, 4, Config{Algorithm: HFAlgorithm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for _, part := range res.Parts {
+				sum += part.Problem.Weight()
+			}
+			if diff := sum - p.Weight(); diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("partition lost weight: parts sum %v, root %v", sum, p.Weight())
+			}
+			// Same seed, same tree: the facade promises determinism.
+			p2, err := tc.build(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res2, err := Balance(p2, 4, Config{Algorithm: HFAlgorithm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ratio != res2.Ratio || len(res.Parts) != len(res2.Parts) {
+				t.Fatalf("re-built instance diverged: %v vs %v", res, res2)
+			}
+		})
+	}
+}
+
+// TestLoadProblemConstructors round-trips the checked-in instance files
+// through the loader facade.
+func TestLoadProblemConstructors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		path string
+		load func(f *os.File) (Problem, error)
+	}{
+		{"graph", "internal/graph/testdata/grid6x6.graph",
+			func(f *os.File) (Problem, error) { return LoadGraphProblem(f, 11) }},
+		{"matrix", "internal/spatial/testdata/hotspots.mtx",
+			func(f *os.File) (Problem, error) { return LoadMatrixProblem(f, 11) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := os.Open(tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			p, err := tc.load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !(p.Weight() > 0) {
+				t.Fatalf("loaded root weight %v", p.Weight())
+			}
+			if !p.CanBisect() {
+				t.Fatal("checked-in instance should be bisectable")
+			}
+		})
+	}
+}
+
+func TestLoadHypergraphProblem(t *testing.T) {
+	f, err := os.Open("internal/graph/testdata/tri.hgr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	p, err := LoadHypergraphProblem(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CanBisect() {
+		t.Fatal("tri.hgr should be bisectable")
+	}
+}
+
+// TestLoadProblemErrors: malformed inputs surface the loader's typed
+// errors through the facade instead of partially-built problems.
+func TestLoadProblemErrors(t *testing.T) {
+	if _, err := LoadGraphProblem(strings.NewReader("not a graph"), 1); err == nil {
+		t.Fatal("malformed graph accepted")
+	}
+	if _, err := LoadHypergraphProblem(strings.NewReader("0 0"), 1); err == nil {
+		t.Fatal("empty hypergraph accepted")
+	}
+	if _, err := LoadMatrixProblem(strings.NewReader("1 1"), 1); err == nil {
+		t.Fatal("malformed matrix accepted")
+	}
+}

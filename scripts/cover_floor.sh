@@ -25,3 +25,24 @@ awk -v t="$total" -v f="$FLOOR" 'BEGIN {
     }
     printf "cover_floor: ok — total coverage %.1f%% (floor %.1f%%)\n", t, f
 }'
+
+# Per-package floors for the real-instance bisector backends: these two
+# packages are the trust anchors of the measured-α̂ guarantee story
+# (DESIGN.md §16), so their coverage is ratcheted individually rather
+# than hidden inside the module-wide average.
+for pkg in bisectlb/internal/graph bisectlb/internal/spatial; do
+    pct=$(go tool cover -func=coverage.out | awk -v p="$pkg/" '
+        index($1, p) == 1 && $1 != "total:" { sub(/%/, "", $3); sum += $3; n++ }
+        END { if (n) printf "%.1f", sum / n }')
+    if [ -z "$pct" ]; then
+        echo "cover_floor: FAIL — no coverage data for $pkg" >&2
+        exit 1
+    fi
+    awk -v t="$pct" -v f="$FLOOR" -v p="$pkg" 'BEGIN {
+        if (t + 0 < f + 0) {
+            printf "cover_floor: FAIL — %s function coverage %.1f%% is below the %.1f%% floor\n", p, t, f
+            exit 1
+        }
+        printf "cover_floor: ok — %s function coverage %.1f%% (floor %.1f%%)\n", p, t, f
+    }'
+done
